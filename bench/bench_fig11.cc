@@ -1,0 +1,120 @@
+// Figure 11: ClusterMem under shrinking memory budgets. Three panels:
+//
+//   (a) citation data, several dataset sizes, fixed threshold;
+//   (b) citation data, several thresholds, fixed size;
+//   (c) address data, several dataset sizes, fixed threshold.
+//
+// Each series reports running time normalized to the full-memory run
+// (index fraction 1.0), exactly as the paper's y-axis. Paper shape:
+// memory / 5 => time x ~1.5; memory / 50 => time x <= ~2.5.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/overlap_predicate.h"
+
+namespace {
+
+using namespace ssjoin;
+using namespace ssjoin::bench;
+
+const double kFractions[] = {1.0, 0.5, 0.2, 0.1, 0.05, 0.02};
+
+/// One series: normalized ClusterMem time per index-size fraction.
+std::vector<double> Series(const RecordSet& corpus, double threshold) {
+  OverlapPredicate pred(threshold);
+  uint64_t full_index = corpus.total_token_occurrences();
+  std::vector<double> times;
+  for (double fraction : kFractions) {
+    JoinOptions options;
+    options.cluster_mem.memory_budget_postings = std::max<uint64_t>(
+        1, static_cast<uint64_t>(fraction * full_index));
+    options.cluster_mem.temp_dir = "/tmp";
+    times.push_back(
+        TimeJoin(corpus, pred, JoinAlgorithm::kClusterMem, options).seconds);
+  }
+  double base = times[0] > 0 ? times[0] : 1e-9;
+  for (double& t : times) t /= base;
+  return times;
+}
+
+void PrintPanel(const char* title, const std::vector<std::string>& labels,
+                const std::vector<std::vector<double>>& series) {
+  std::printf("%s\n", title);
+  std::vector<std::string> header = {"index_fraction"};
+  header.insert(header.end(), labels.begin(), labels.end());
+  PrintRow(header);
+  for (size_t f = 0; f < std::size(kFractions); ++f) {
+    std::vector<std::string> row;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", kFractions[f]);
+    row.push_back(buf);
+    for (const std::vector<double>& s : series) {
+      std::snprintf(buf, sizeof(buf), "%.2f", s[f]);
+      row.push_back(buf);
+    }
+    PrintRow(row);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = ParseScale(argc, argv);
+  std::vector<uint32_t> citation_sizes = {Scaled(4000, scale),
+                                          Scaled(8000, scale),
+                                          Scaled(16000, scale)};
+  std::vector<double> citation_thresholds = {9, 13, 17};
+  std::vector<uint32_t> address_sizes = {Scaled(4000, scale),
+                                         Scaled(8000, scale),
+                                         Scaled(16000, scale)};
+
+  std::vector<std::string> citation_texts = CitationTexts(
+      citation_sizes.back());
+  std::vector<std::string> address_texts = AddressTexts(address_sizes.back());
+
+  {
+    std::vector<std::string> labels;
+    std::vector<std::vector<double>> series;
+    for (uint32_t n : citation_sizes) {
+      TokenDictionary dict;
+      RecordSet corpus = WordCorpusPrefix(citation_texts, n, &dict);
+      labels.push_back("Datasize=" + std::to_string(n));
+      series.push_back(Series(corpus, 17));
+    }
+    PrintPanel("# Figure 11a: normalized time vs index-size fraction "
+               "(citation, T=17)",
+               labels, series);
+  }
+  {
+    TokenDictionary dict;
+    RecordSet corpus =
+        WordCorpusPrefix(citation_texts, citation_sizes[1], &dict);
+    std::vector<std::string> labels;
+    std::vector<std::vector<double>> series;
+    for (double t : citation_thresholds) {
+      labels.push_back("T=" + std::to_string((int)t));
+      series.push_back(Series(corpus, t));
+    }
+    std::printf("\n");
+    PrintPanel("# Figure 11b: normalized time vs index-size fraction "
+               "(citation, varying T)",
+               labels, series);
+  }
+  {
+    std::vector<std::string> labels;
+    std::vector<std::vector<double>> series;
+    for (uint32_t n : address_sizes) {
+      TokenDictionary dict;
+      RecordSet corpus = QGramCorpusPrefix(address_texts, n, &dict);
+      labels.push_back("Datasize=" + std::to_string(n));
+      series.push_back(Series(corpus, 40));
+    }
+    std::printf("\n");
+    PrintPanel("# Figure 11c: normalized time vs index-size fraction "
+               "(address, T=40)",
+               labels, series);
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 12: the generality claim — running time as a function of output
+// size for three different join predicates (intersect size, Jaccard
+// coefficient, TF-IDF cosine) at two dataset sizes. If the general
+// framework optimizes every predicate equally well, the three curves lie
+// close together (the paper reports within 20-30%).
+//
+// Each predicate sweeps its own threshold range; we report (output pairs,
+// seconds) points per predicate, sorted by output size.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/cosine_predicate.h"
+#include "core/jaccard_predicate.h"
+#include "core/overlap_predicate.h"
+
+namespace {
+
+using namespace ssjoin;
+using namespace ssjoin::bench;
+
+struct Point {
+  uint64_t pairs;
+  double seconds;
+};
+
+void RunPanel(const RecordSet& corpus) {
+  std::vector<std::pair<std::string, std::vector<Point>>> curves;
+
+  {
+    std::vector<Point> points;
+    for (double t : {7, 9, 11, 13, 15, 17, 19, 21}) {
+      OverlapPredicate pred(t);
+      RunResult r = TimeJoin(corpus, pred, JoinAlgorithm::kProbeCluster);
+      points.push_back({r.pairs, r.seconds});
+    }
+    curves.emplace_back("IntersectSize", points);
+  }
+  {
+    std::vector<Point> points;
+    for (double f : {0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95}) {
+      JaccardPredicate pred(f);
+      RunResult r = TimeJoin(corpus, pred, JoinAlgorithm::kProbeCluster);
+      points.push_back({r.pairs, r.seconds});
+    }
+    curves.emplace_back("Jaccard", points);
+  }
+  {
+    std::vector<Point> points;
+    for (double f : {0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.97}) {
+      CosinePredicate pred(f);
+      RunResult r = TimeJoin(corpus, pred, JoinAlgorithm::kProbeCluster);
+      points.push_back({r.pairs, r.seconds});
+    }
+    curves.emplace_back("Cosine", points);
+  }
+
+  PrintRow({"predicate", "output_pairs", "seconds"});
+  for (auto& [name, points] : curves) {
+    std::sort(points.begin(), points.end(),
+              [](const Point& a, const Point& b) { return a.pairs < b.pairs; });
+    for (const Point& p : points) {
+      char pairs_buf[32], secs_buf[32];
+      std::snprintf(pairs_buf, sizeof(pairs_buf), "%llu",
+                    static_cast<unsigned long long>(p.pairs));
+      std::snprintf(secs_buf, sizeof(secs_buf), "%.3f", p.seconds);
+      PrintRow({name, pairs_buf, secs_buf});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = ParseScale(argc, argv);
+  uint32_t large = Scaled(12000, scale);
+  uint32_t small = Scaled(5000, scale);
+
+  std::vector<std::string> texts = CitationTexts(large);
+
+  std::printf("# Figure 12 (top): time vs output size, %u records "
+              "(citation All-words)\n",
+              large);
+  {
+    TokenDictionary dict;
+    RunPanel(WordCorpusPrefix(texts, large, &dict));
+  }
+  std::printf("\n# Figure 12 (bottom): time vs output size, %u records\n",
+              small);
+  {
+    TokenDictionary dict;
+    RunPanel(WordCorpusPrefix(texts, small, &dict));
+  }
+  return 0;
+}

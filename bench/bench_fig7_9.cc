@@ -1,0 +1,82 @@
+// Figures 7 & 9: the cumulative Probe-Count optimization ladder on
+// citation words — optMerge -> online -> sort -> Cluster.
+//
+//   Fig 7: running time vs dataset size (averaged over thresholds).
+//   Fig 9: running time vs threshold at fixed size (log axis in the
+//          paper; we print raw seconds).
+//
+// Paper shape: online is 2-3x faster than optMerge, sort up to another
+// 2x, and clustering helps most on the duplicate-heavy citation data;
+// the full ladder is ~2 orders of magnitude below the original Probe.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/overlap_predicate.h"
+
+namespace {
+
+using namespace ssjoin;
+using namespace ssjoin::bench;
+
+const JoinAlgorithm kLadder[] = {
+    JoinAlgorithm::kProbeOptMerge,
+    JoinAlgorithm::kProbeOnline,
+    JoinAlgorithm::kProbeSort,
+    JoinAlgorithm::kProbeCluster,
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = ParseScale(argc, argv);
+  std::vector<uint32_t> sizes;
+  for (uint32_t n : {5000, 10000, 20000, 30000}) {
+    sizes.push_back(Scaled(n, scale));
+  }
+  std::vector<double> thresholds = {9, 13, 17, 21};
+  uint32_t fixed_size = Scaled(10000, scale);
+
+  std::vector<std::string> texts = CitationTexts(sizes.back());
+
+  std::printf("# Figure 7: running time (s) vs dataset size, averaged over "
+              "thresholds {9,13,17,21} (citation All-words)\n");
+  PrintRow({"records", "ProbeCount-optMerge", "ProbeCount-online",
+            "ProbeCount-sort", "Cluster"});
+  for (uint32_t n : sizes) {
+    TokenDictionary dict;
+    RecordSet corpus = WordCorpusPrefix(texts, n, &dict);
+    std::vector<std::string> row = {std::to_string(n)};
+    for (JoinAlgorithm algorithm : kLadder) {
+      double total = 0;
+      for (double t : thresholds) {
+        OverlapPredicate pred(t);
+        total += TimeJoin(corpus, pred, algorithm).seconds;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3f", total / thresholds.size());
+      row.push_back(buf);
+    }
+    PrintRow(row);
+  }
+
+  std::printf("\n# Figure 9: running time (s) vs threshold, %u records "
+              "(citation All-words; paper plots log scale)\n",
+              fixed_size);
+  PrintRow({"threshold", "ProbeCount-optMerge", "ProbeCount-online",
+            "ProbeCount-sort", "Cluster"});
+  {
+    TokenDictionary dict;
+    RecordSet corpus = WordCorpusPrefix(texts, fixed_size, &dict);
+    for (double t : thresholds) {
+      OverlapPredicate pred(t);
+      std::vector<std::string> row = {std::to_string((int)t)};
+      for (JoinAlgorithm algorithm : kLadder) {
+        row.push_back(Cell(TimeJoin(corpus, pred, algorithm)));
+      }
+      PrintRow(row);
+    }
+  }
+  return 0;
+}

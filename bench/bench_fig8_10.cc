@@ -1,0 +1,80 @@
+// Figures 8 & 10: the cumulative Probe-Count optimization ladder on the
+// address All-3grams corpus.
+//
+//   Fig 8: running time vs dataset size (averaged over thresholds).
+//   Fig 10: running time vs threshold at fixed size.
+//
+// Paper shape: same ladder as Figures 7/9 but clustering gains less than
+// on citations — the address data has fewer high-overlap record groups.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/overlap_predicate.h"
+
+namespace {
+
+using namespace ssjoin;
+using namespace ssjoin::bench;
+
+const JoinAlgorithm kLadder[] = {
+    JoinAlgorithm::kProbeOptMerge,
+    JoinAlgorithm::kProbeOnline,
+    JoinAlgorithm::kProbeSort,
+    JoinAlgorithm::kProbeCluster,
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = ParseScale(argc, argv);
+  std::vector<uint32_t> sizes;
+  for (uint32_t n : {4000, 8000, 12000, 16000}) {
+    sizes.push_back(Scaled(n, scale));
+  }
+  std::vector<double> thresholds = {25, 30, 35, 40, 45};
+  uint32_t fixed_size = Scaled(8000, scale);
+
+  std::vector<std::string> texts = AddressTexts(sizes.back());
+
+  std::printf("# Figure 8: running time (s) vs dataset size, averaged over "
+              "thresholds {25,30,35,40,45} (address All-3grams)\n");
+  PrintRow({"records", "ProbeCount-optMerge", "ProbeCount-online",
+            "ProbeCount-sort", "Cluster"});
+  for (uint32_t n : sizes) {
+    TokenDictionary dict;
+    RecordSet corpus = QGramCorpusPrefix(texts, n, &dict);
+    std::vector<std::string> row = {std::to_string(n)};
+    for (JoinAlgorithm algorithm : kLadder) {
+      double total = 0;
+      for (double t : thresholds) {
+        OverlapPredicate pred(t);
+        total += TimeJoin(corpus, pred, algorithm).seconds;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3f", total / thresholds.size());
+      row.push_back(buf);
+    }
+    PrintRow(row);
+  }
+
+  std::printf("\n# Figure 10: running time (s) vs threshold, %u records "
+              "(address All-3grams; paper plots log scale)\n",
+              fixed_size);
+  PrintRow({"threshold", "ProbeCount-optMerge", "ProbeCount-online",
+            "ProbeCount-sort", "Cluster"});
+  {
+    TokenDictionary dict;
+    RecordSet corpus = QGramCorpusPrefix(texts, fixed_size, &dict);
+    for (double t : thresholds) {
+      OverlapPredicate pred(t);
+      std::vector<std::string> row = {std::to_string((int)t)};
+      for (JoinAlgorithm algorithm : kLadder) {
+        row.push_back(Cell(TimeJoin(corpus, pred, algorithm)));
+      }
+      PrintRow(row);
+    }
+  }
+  return 0;
+}

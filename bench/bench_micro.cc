@@ -1,0 +1,151 @@
+// Substrate microbenchmarks (google-benchmark): the primitives whose
+// constants drive the figure-level results — heap merge vs MergeOpt,
+// galloping search, MinHash signatures, varint coding, banded vs full
+// edit distance.
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/merge_opt.h"
+#include "index/compressed_postings.h"
+#include "index/posting_list.h"
+#include "minhash/minhash.h"
+#include "text/edit_distance.h"
+#include "util/rng.h"
+#include "util/varint.h"
+
+namespace ssjoin {
+namespace {
+
+std::vector<PostingList> SkewedLists(int num_lists, uint32_t universe,
+                                     uint64_t seed) {
+  // One hot list (every other id) + progressively sparser lists, the skew
+  // regime MergeOpt exploits.
+  Rng rng(seed);
+  std::vector<PostingList> lists(num_lists);
+  for (int i = 0; i < num_lists; ++i) {
+    double density = i == 0 ? 0.5 : 0.5 / (i * 4);
+    for (uint32_t id = 0; id < universe; ++id) {
+      if (rng.Bernoulli(density)) lists[i].Append(id, 1.0);
+    }
+  }
+  return lists;
+}
+
+void BM_MergePlain(benchmark::State& state) {
+  std::vector<PostingList> lists = SkewedLists(8, 20000, 1);
+  std::vector<const PostingList*> ptrs;
+  for (const auto& l : lists) ptrs.push_back(&l);
+  std::vector<double> scores(lists.size(), 1.0);
+  double threshold = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    ListMerger merger(ptrs, scores, threshold, nullptr, nullptr,
+                      {.split_lists = false}, nullptr);
+    MergeCandidate c;
+    uint64_t count = 0;
+    while (merger.Next(&c)) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_MergePlain)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_MergeOpt(benchmark::State& state) {
+  std::vector<PostingList> lists = SkewedLists(8, 20000, 1);
+  std::vector<const PostingList*> ptrs;
+  for (const auto& l : lists) ptrs.push_back(&l);
+  std::vector<double> scores(lists.size(), 1.0);
+  double threshold = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    ListMerger merger(ptrs, scores, threshold, nullptr, nullptr,
+                      {.split_lists = true}, nullptr);
+    MergeCandidate c;
+    uint64_t count = 0;
+    while (merger.Next(&c)) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_MergeOpt)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_GallopFind(benchmark::State& state) {
+  PostingList list;
+  for (uint32_t id = 0; id < 1u << 20; id += 2) list.Append(id, 1.0);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.GallopFind(rng.NextU32() % (1u << 20)));
+  }
+}
+BENCHMARK(BM_GallopFind);
+
+void BM_MinHashSignature(benchmark::State& state) {
+  MinHasher hasher(static_cast<int>(state.range(0)), 7);
+  Rng rng(9);
+  std::vector<uint32_t> ids(200);
+  for (uint32_t& id : ids) id = rng.NextU32();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.Signature(ids));
+  }
+}
+BENCHMARK(BM_MinHashSignature)->Arg(16)->Arg(64);
+
+void BM_VarintDeltaRoundTrip(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<uint32_t> ids;
+  uint32_t v = 0;
+  for (int i = 0; i < 10000; ++i) {
+    v += 1 + rng.UniformU32(50);
+    ids.push_back(v);
+  }
+  for (auto _ : state) {
+    std::string encoded = EncodeDeltaList(ids);
+    std::vector<uint32_t> decoded;
+    DecodeDeltaList(encoded, &decoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_VarintDeltaRoundTrip);
+
+void BM_EditDistanceFull(benchmark::State& state) {
+  Rng rng(13);
+  std::string a(64, 'x'), b(64, 'x');
+  for (char& c : a) c = static_cast<char>('a' + rng.UniformU32(26));
+  b = a;
+  b[10] = '!';
+  b[40] = '?';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistance(a, b));
+  }
+}
+BENCHMARK(BM_EditDistanceFull);
+
+void BM_EditDistanceBanded(benchmark::State& state) {
+  Rng rng(13);
+  std::string a(64, 'x');
+  for (char& c : a) c = static_cast<char>('a' + rng.UniformU32(26));
+  std::string b = a;
+  b[10] = '!';
+  b[40] = '?';
+  size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistanceAtMost(a, b, k));
+  }
+}
+BENCHMARK(BM_EditDistanceBanded)->Arg(2)->Arg(4);
+
+void BM_CompressPostingList(benchmark::State& state) {
+  PostingList list;
+  Rng rng(15);
+  uint32_t id = 0;
+  for (int i = 0; i < 10000; ++i) {
+    id += 1 + rng.UniformU32(20);
+    list.Append(id, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompressedPostingList::FromPostingList(list));
+  }
+}
+BENCHMARK(BM_CompressPostingList);
+
+}  // namespace
+}  // namespace ssjoin

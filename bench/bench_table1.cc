@@ -1,0 +1,72 @@
+// Table 1: similarity functions with the average set size and the number
+// of distinct elements, for the four corpus/tokenization combinations the
+// paper evaluates (citation All-words / All-3grams, address All-3grams /
+// Name-3grams).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/corpus_stats.h"
+
+namespace {
+
+using namespace ssjoin;
+using namespace ssjoin::bench;
+
+void Report(const char* function, const RecordSet& records) {
+  CorpusStats stats = ComputeCorpusStats(records);
+  std::printf("%-24s %16.0f %20llu\n", function, stats.average_set_size,
+              static_cast<unsigned long long>(stats.num_distinct_elements));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = ParseScale(argc, argv);
+  uint32_t citation_n = Scaled(20000, scale);
+  uint32_t address_n = Scaled(40000, scale);
+
+  std::printf("Table 1: similarity functions (scaled: %u citations, "
+              "%u addresses; paper used 250k / 500k)\n\n",
+              citation_n, address_n);
+  std::printf("%-24s %16s %20s\n", "Function", "Average set size",
+              "Number of elements");
+
+  std::vector<std::string> citations = CitationTexts(citation_n);
+  {
+    TokenDictionary dict;
+    Report("Citation All-words", WordCorpusPrefix(citations, citation_n,
+                                                  &dict));
+  }
+  {
+    TokenDictionary dict;
+    Report("Citation All-3grams",
+           QGramCorpusPrefix(citations, citation_n, &dict));
+  }
+
+  AddressGeneratorOptions address_options;
+  address_options.num_records = address_n;
+  std::vector<AddressRecord> addresses =
+      AddressGenerator(address_options).Generate();
+  {
+    std::vector<std::string> full;
+    full.reserve(addresses.size());
+    for (const AddressRecord& a : addresses) full.push_back(a.FullText());
+    TokenDictionary dict;
+    Report("Address All-3grams", QGramCorpusPrefix(full, address_n, &dict));
+  }
+  {
+    std::vector<std::string> names;
+    names.reserve(addresses.size());
+    for (const AddressRecord& a : addresses) names.push_back(a.name);
+    TokenDictionary dict;
+    Report("Address Name-3grams",
+           QGramCorpusPrefix(names, address_n, &dict));
+  }
+  std::printf(
+      "\npaper (Table 1): All-words 24 / 70000; Citation All-3grams 127 / "
+      "29000; Address All-3grams 47 / 37000; Name-3grams 16 / 14000\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fuzzy address matching via the edit-distance join (Section 5.2.3):
+// generates a synthetic utility-roll address list with typo'd duplicates,
+// builds a 3-gram corpus, and finds every pair of addresses within k
+// edits. Demonstrates that the q-gram count filter plus banded verifier
+// gives an exact edit-distance join without comparing all pairs.
+//
+//   $ ./fuzzy_address_match [num_records] [max_edits]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/edit_distance_predicate.h"
+#include "core/join.h"
+#include "data/address_generator.h"
+#include "data/corpus_builder.h"
+#include "text/edit_distance.h"
+#include "text/token_dictionary.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  uint32_t num_records = argc > 1 ? std::atoi(argv[1]) : 4000;
+  int max_edits = argc > 2 ? std::atoi(argv[2]) : 2;
+  const int q = 3;
+
+  ssjoin::AddressGeneratorOptions gen_options;
+  gen_options.num_records = num_records;
+  gen_options.duplicate_fraction = 0.3;
+  gen_options.max_typos_per_duplicate = max_edits;
+  std::vector<std::string> addresses =
+      ssjoin::AddressGenerator(gen_options).GenerateFullTexts();
+
+  ssjoin::TokenDictionary dict;
+  ssjoin::RecordSet records = ssjoin::BuildQGramCorpus(addresses, q, &dict);
+  std::printf("corpus: %zu addresses, avg %.1f 3-grams per record\n",
+              records.size(), records.average_record_size());
+
+  ssjoin::EditDistancePredicate pred(max_edits, q);
+  ssjoin::JoinOptions options;
+  std::vector<std::pair<ssjoin::RecordId, ssjoin::RecordId>> matches;
+
+  ssjoin::Timer timer;
+  ssjoin::Result<ssjoin::JoinStats> stats = ssjoin::RunJoin(
+      &records, pred, ssjoin::JoinAlgorithm::kProbeCluster, options,
+      [&matches](ssjoin::RecordId a, ssjoin::RecordId b) {
+        matches.emplace_back(a, b);
+      });
+  if (!stats.ok()) {
+    std::fprintf(stderr, "join failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  double elapsed = timer.ElapsedSeconds();
+
+  std::printf(
+      "edit-distance <= %d join: %zu pairs in %.2fs; %llu candidates "
+      "verified out of %llu possible pairs\n",
+      max_edits, matches.size(), elapsed,
+      static_cast<unsigned long long>(stats.value().candidates_verified),
+      static_cast<unsigned long long>(records.size()) *
+          (records.size() - 1) / 2);
+
+  int shown = 0;
+  for (const auto& [a, b] : matches) {
+    if (shown >= 5) break;
+    size_t dist = ssjoin::EditDistance(records.text(a), records.text(b));
+    std::printf("\n  dist=%zu\n    %s\n    %s\n", dist,
+                records.text(a).c_str(), records.text(b).c_str());
+    ++shown;
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// ClusterMem in action (Section 4): the same join run with a sequence of
+// shrinking index-memory budgets, showing that output stays identical
+// while the index footprint drops — the paper's "memory / 50 => time
+// x 2.5" behaviour in miniature.
+//
+//   $ ./limited_memory_join [num_records]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/join.h"
+#include "core/overlap_predicate.h"
+#include "data/citation_generator.h"
+#include "data/corpus_builder.h"
+#include "text/token_dictionary.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  uint32_t num_records = argc > 1 ? std::atoi(argv[1]) : 8000;
+
+  ssjoin::CitationGeneratorOptions gen_options;
+  gen_options.num_records = num_records;
+  std::vector<std::string> citations =
+      ssjoin::CitationGenerator(gen_options).Generate();
+  ssjoin::TokenDictionary dict;
+  ssjoin::RecordSet base = ssjoin::BuildWordCorpus(citations, &dict);
+
+  double threshold = 0.6 * base.average_record_size();
+  ssjoin::OverlapPredicate pred(threshold);
+  uint64_t full_index = base.total_token_occurrences();
+  std::printf(
+      "corpus: %zu records; full record-level index = %llu postings; "
+      "overlap threshold T = %.0f\n\n",
+      base.size(), static_cast<unsigned long long>(full_index), threshold);
+
+  std::printf("%-22s %12s %14s %10s %8s\n", "memory budget", "postings",
+              "index peak", "pairs", "time(s)");
+
+  uint64_t reference_pairs = 0;
+  for (double fraction : {1.0, 0.5, 0.2, 0.1, 0.02}) {
+    uint64_t budget =
+        std::max<uint64_t>(1, static_cast<uint64_t>(fraction * full_index));
+    ssjoin::RecordSet working = base;
+    ssjoin::JoinOptions options;
+    options.cluster_mem.memory_budget_postings = budget;
+    options.cluster_mem.temp_dir = "/tmp";
+
+    uint64_t pairs = 0;
+    ssjoin::Timer timer;
+    ssjoin::Result<ssjoin::JoinStats> stats = ssjoin::RunJoin(
+        &working, pred, ssjoin::JoinAlgorithm::kClusterMem, options,
+        [&pairs](ssjoin::RecordId, ssjoin::RecordId) { ++pairs; });
+    double elapsed = timer.ElapsedSeconds();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "join failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    if (reference_pairs == 0) reference_pairs = pairs;
+
+    char label[64];
+    std::snprintf(label, sizeof(label), "%.0f%% of full index",
+                  fraction * 100);
+    std::printf("%-22s %12llu %14llu %10llu %8.2f%s\n", label,
+                static_cast<unsigned long long>(budget),
+                static_cast<unsigned long long>(stats.value().index_postings),
+                static_cast<unsigned long long>(pairs), elapsed,
+                pairs == reference_pairs ? "" : "  <-- MISMATCH");
+  }
+  std::printf(
+      "\nevery row reports the same pair count: the partitioned join is "
+      "exact at any budget.\n");
+  return 0;
+}

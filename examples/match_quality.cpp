@@ -1,0 +1,131 @@
+// Match quality against ground truth — the data-cleaning question behind
+// the paper's motivating applications: which similarity predicate and
+// threshold actually *find the duplicates*?
+//
+// The synthetic citation generator knows which base paper every record
+// cites (GenerateWithProvenance), so true duplicate pairs are known
+// exactly. This example sweeps thresholds for four predicates, runs the
+// Probe-Cluster join, and reports precision / recall / F1 against that
+// ground truth.
+//
+//   $ ./match_quality [num_records]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cosine_predicate.h"
+#include "core/dice_predicate.h"
+#include "core/jaccard_predicate.h"
+#include "core/join.h"
+#include "core/overlap_predicate.h"
+#include "data/citation_generator.h"
+#include "data/corpus_builder.h"
+#include "text/token_dictionary.h"
+
+namespace {
+
+using namespace ssjoin;
+
+struct Quality {
+  uint64_t matched = 0;
+  uint64_t true_positive = 0;
+  uint64_t truth = 0;
+  double precision() const {
+    return matched ? static_cast<double>(true_positive) / matched : 0;
+  }
+  double recall() const {
+    return truth ? static_cast<double>(true_positive) / truth : 0;
+  }
+  double f1() const {
+    double p = precision();
+    double r = recall();
+    return p + r > 0 ? 2 * p * r / (p + r) : 0;
+  }
+};
+
+uint64_t Key(RecordId a, RecordId b) {
+  return (static_cast<uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint32_t num_records = argc > 1 ? std::atoi(argv[1]) : 4000;
+
+  CitationGeneratorOptions gen_options;
+  gen_options.num_records = num_records;
+  gen_options.duplicate_fraction = 0.5;
+  GeneratedCitations corpus =
+      CitationGenerator(gen_options).GenerateWithProvenance();
+
+  // Ground truth: all pairs citing the same paper.
+  std::unordered_set<uint64_t> truth;
+  {
+    std::map<uint32_t, std::vector<RecordId>> by_paper;
+    for (RecordId id = 0; id < corpus.texts.size(); ++id) {
+      by_paper[corpus.paper_id[id]].push_back(id);
+    }
+    for (const auto& [paper, ids] : by_paper) {
+      for (size_t i = 0; i < ids.size(); ++i) {
+        for (size_t j = i + 1; j < ids.size(); ++j) {
+          truth.insert(Key(ids[i], ids[j]));
+        }
+      }
+    }
+  }
+
+  TokenDictionary dict;
+  RecordSet base = BuildWordCorpus(corpus.texts, &dict);
+  std::printf("corpus: %zu citations, %zu true duplicate pairs\n\n",
+              base.size(), truth.size());
+  std::printf("%-14s %9s %9s %9s %9s %9s\n", "predicate", "threshold",
+              "matched", "precision", "recall", "F1");
+
+  auto evaluate = [&](const char* name, const Predicate& pred,
+                      double threshold) {
+    RecordSet working = base;
+    Quality quality;
+    quality.truth = truth.size();
+    JoinOptions options;
+    Result<JoinStats> stats = RunJoin(
+        &working, pred, JoinAlgorithm::kProbeCluster, options,
+        [&](RecordId a, RecordId b) {
+          ++quality.matched;
+          if (truth.count(Key(a, b)) > 0) ++quality.true_positive;
+        });
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name,
+                   stats.status().ToString().c_str());
+      return;
+    }
+    std::printf("%-14s %9.2f %9llu %9.3f %9.3f %9.3f\n", name, threshold,
+                static_cast<unsigned long long>(quality.matched),
+                quality.precision(), quality.recall(), quality.f1());
+  };
+
+  double avg = base.average_record_size();
+  for (double fraction : {0.3, 0.5, 0.7}) {
+    evaluate("overlap", OverlapPredicate(fraction * avg), fraction * avg);
+  }
+  std::printf("\n");
+  for (double f : {0.5, 0.7, 0.85}) {
+    evaluate("jaccard", JaccardPredicate(f), f);
+  }
+  std::printf("\n");
+  for (double f : {0.6, 0.75, 0.9}) {
+    evaluate("cosine", CosinePredicate(f), f);
+  }
+  std::printf("\n");
+  for (double f : {0.6, 0.75, 0.9}) {
+    evaluate("dice", DicePredicate(f), f);
+  }
+  std::printf(
+      "\nprecision saturates quickly (near-duplicates share most words); "
+      "the F1 race is about recall at a safe threshold — compare the "
+      "predicates' best rows above.\n");
+  return 0;
+}

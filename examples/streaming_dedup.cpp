@@ -1,0 +1,66 @@
+// Streaming deduplication: records arrive one at a time (think a data-
+// entry feed or CDC stream) and each new record is checked against
+// everything ingested so far — the Section 3.2 single-pass build-and-
+// probe loop exposed as a long-lived object.
+//
+//   $ ./streaming_dedup [num_records]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/jaccard_predicate.h"
+#include "core/streaming_join.h"
+#include "data/address_generator.h"
+#include "data/corpus_builder.h"
+#include "text/token_dictionary.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  uint32_t num_records = argc > 1 ? std::atoi(argv[1]) : 6000;
+
+  ssjoin::AddressGeneratorOptions gen_options;
+  gen_options.num_records = num_records;
+  gen_options.duplicate_fraction = 0.3;
+  std::vector<std::string> addresses =
+      ssjoin::AddressGenerator(gen_options).GenerateFullTexts();
+
+  // Tokenize up front (in a real feed this happens per record).
+  ssjoin::TokenDictionary dict;
+  ssjoin::RecordSet staged = ssjoin::BuildWordCorpus(addresses, &dict);
+
+  ssjoin::JaccardPredicate pred(0.8);
+  ssjoin::StreamingJoin stream(pred);
+
+  uint64_t duplicates_flagged = 0;
+  uint64_t records_with_duplicate = 0;
+  ssjoin::Timer timer;
+  for (ssjoin::RecordId id = 0; id < staged.size(); ++id) {
+    bool any = false;
+    stream.Add(staged.record(id), staged.text(id),
+               [&](ssjoin::RecordId earlier) {
+                 ++duplicates_flagged;
+                 any = true;
+                 if (duplicates_flagged <= 3) {
+                   std::printf("record %u duplicates record %u:\n  %s\n  %s\n",
+                               id, earlier, staged.text(id).c_str(),
+                               staged.text(earlier).c_str());
+                 }
+               });
+    if (any) ++records_with_duplicate;
+  }
+  double elapsed = timer.ElapsedSeconds();
+
+  std::printf(
+      "\nstreamed %zu records in %.2fs (%.0f records/s): %llu duplicate "
+      "pairs, %llu records flagged at arrival\n",
+      staged.size(), elapsed, staged.size() / elapsed,
+      static_cast<unsigned long long>(duplicates_flagged),
+      static_cast<unsigned long long>(records_with_duplicate));
+  std::printf("index: %llu postings; %llu candidates verified\n",
+              static_cast<unsigned long long>(stream.stats().index_postings),
+              static_cast<unsigned long long>(
+                  stream.stats().candidates_verified));
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "core/band_partition.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace ssjoin {
+
+namespace {
+
+uint64_t SpanCost(size_t len) {
+  return static_cast<uint64_t>(len) * static_cast<uint64_t>(len);
+}
+
+}  // namespace
+
+std::vector<BandWindow> SimpleBandWindows(
+    const std::vector<double>& sorted_values, double k) {
+  std::vector<BandWindow> windows;
+  const size_t n = sorted_values.size();
+  if (n == 0) return windows;
+  SSJOIN_DCHECK(std::is_sorted(sorted_values.begin(), sorted_values.end()));
+  size_t start = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (sorted_values[i] - sorted_values[start] > k) {
+      windows.push_back({start, i});
+      while (sorted_values[i] - sorted_values[start] > k) ++start;
+    }
+  }
+  windows.push_back({start, n});
+  return windows;
+}
+
+std::vector<BandWindow> GreedyMergeWindows(
+    const std::vector<BandWindow>& windows) {
+  std::vector<BandWindow> merged;
+  if (windows.empty()) return merged;
+  BandWindow pending = windows[0];
+  for (size_t i = 1; i < windows.size(); ++i) {
+    const BandWindow& current = windows[i];
+    size_t merged_len = current.end - pending.begin;
+    size_t pending_len = pending.end - pending.begin;
+    size_t current_len = current.end - current.begin;
+    if (SpanCost(merged_len) < SpanCost(pending_len) + SpanCost(current_len)) {
+      pending.end = current.end;
+    } else {
+      merged.push_back(pending);
+      pending = current;
+    }
+  }
+  merged.push_back(pending);
+  return merged;
+}
+
+std::vector<BandWindow> OptimalMergeWindows(
+    const std::vector<BandWindow>& windows) {
+  const size_t n = windows.size();
+  if (n == 0) return {};
+  // dp[j] = cheapest partitioning of windows 1..j; edge (i, j) merges
+  // windows i+1..j into the span [windows[i].begin, windows[j-1].end).
+  std::vector<uint64_t> dp(n + 1, std::numeric_limits<uint64_t>::max());
+  std::vector<size_t> parent(n + 1, 0);
+  dp[0] = 0;
+  for (size_t j = 1; j <= n; ++j) {
+    for (size_t i = 0; i < j; ++i) {
+      size_t span_len = windows[j - 1].end - windows[i].begin;
+      uint64_t cost = dp[i] + SpanCost(span_len);
+      if (cost < dp[j]) {
+        dp[j] = cost;
+        parent[j] = i;
+      }
+    }
+  }
+  std::vector<BandWindow> partitions;
+  for (size_t j = n; j > 0; j = parent[j]) {
+    size_t i = parent[j];
+    partitions.push_back({windows[i].begin, windows[j - 1].end});
+  }
+  std::reverse(partitions.begin(), partitions.end());
+  return partitions;
+}
+
+std::vector<std::vector<RecordId>> BandPartitionByNorm(
+    const RecordSet& records, double k, BandStrategy strategy) {
+  std::vector<RecordId> ids(records.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::stable_sort(ids.begin(), ids.end(), [&records](RecordId a, RecordId b) {
+    return records.record(a).norm() < records.record(b).norm();
+  });
+  std::vector<double> values;
+  values.reserve(ids.size());
+  for (RecordId id : ids) values.push_back(records.record(id).norm());
+
+  std::vector<BandWindow> windows = SimpleBandWindows(values, k);
+  switch (strategy) {
+    case BandStrategy::kSimple:
+      break;
+    case BandStrategy::kGreedy:
+      windows = GreedyMergeWindows(windows);
+      break;
+    case BandStrategy::kOptimal:
+      windows = OptimalMergeWindows(windows);
+      break;
+  }
+
+  std::vector<std::vector<RecordId>> partitions;
+  partitions.reserve(windows.size());
+  for (const BandWindow& w : windows) {
+    partitions.emplace_back(ids.begin() + w.begin, ids.begin() + w.end);
+  }
+  return partitions;
+}
+
+uint64_t BandPartitionCost(const std::vector<BandWindow>& partitions) {
+  uint64_t total = 0;
+  for (const BandWindow& w : partitions) total += SpanCost(w.end - w.begin);
+  return total;
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,59 @@
+#ifndef SSJOIN_CORE_BAND_PARTITION_H_
+#define SSJOIN_CORE_BAND_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/record.h"
+#include "data/record_set.h"
+
+namespace ssjoin {
+
+/// Range-filter partitioning (Section 5.3). All the framework's filters
+/// are range conditions |l(r) - l(s)| <= k on an ordered record property
+/// l(); instead of evaluating the filter during list merging, records can
+/// be range-partitioned into (overlapping) groups such that every pair
+/// satisfying the condition co-occurs in at least one group, and the join
+/// run per group.
+
+/// A window over the records sorted by l(): positions [begin, end).
+struct BandWindow {
+  size_t begin;
+  size_t end;
+};
+
+/// The paper's Simple algorithm: grow a window while the first record
+/// stays within range k of the current one; on overflow, emit the window
+/// and restart it at the first in-range position. Guarantees every pair
+/// with |l(r) - l(s)| <= k shares a window. `sorted_values` must be
+/// ascending.
+std::vector<BandWindow> SimpleBandWindows(
+    const std::vector<double>& sorted_values, double k);
+
+/// The Greedy algorithm: delay each window and merge it with its successor
+/// when the merged join cost (|merged|^2) undercuts the sum of the two.
+std::vector<BandWindow> GreedyMergeWindows(
+    const std::vector<BandWindow>& windows);
+
+/// The Optimal algorithm: shortest path over window boundaries with edge
+/// weight = cost of the merged span (dynamic program of Section 5.3).
+std::vector<BandWindow> OptimalMergeWindows(
+    const std::vector<BandWindow>& windows);
+
+enum class BandStrategy { kSimple, kGreedy, kOptimal };
+
+/// End-to-end helper: sorts record ids by norm (the l() of every built-in
+/// filter), windows them with range `k`, merges windows per `strategy`,
+/// and returns groups of RecordIds. Every pair with |norm difference|
+/// <= k co-occurs in at least one group; groups may overlap, so a join
+/// over the groups must deduplicate its output.
+std::vector<std::vector<RecordId>> BandPartitionByNorm(
+    const RecordSet& records, double k, BandStrategy strategy);
+
+/// Total join cost estimate (sum of squared partition sizes) used to
+/// compare strategies in the ablation bench.
+uint64_t BandPartitionCost(const std::vector<BandWindow>& partitions);
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_CORE_BAND_PARTITION_H_

@@ -1,0 +1,59 @@
+#ifndef SSJOIN_CORE_CLUSTER_MEM_H_
+#define SSJOIN_CORE_CLUSTER_MEM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/join_common.h"
+#include "core/predicate.h"
+#include "core/probe_cluster.h"
+#include "data/record_set.h"
+#include "util/status.h"
+
+namespace ssjoin {
+
+/// ClusterMem (Section 4, Algorithm 2): the limited-memory join.
+///
+/// Phase 1 scans the data once, maintaining only a *compressed* inverted
+/// index — one posting per (token, cluster) instead of per (token,
+/// record) — capped at the memory budget M. Each record's join targets
+/// J(r) and home cluster h(r) are appended to a partition file (pInfo) on
+/// disk.
+///
+/// Phase 2 packs clusters into batches whose full member-level indexes fit
+/// in M, splits pInfo by batch, and streams each batch: records are
+/// re-fetched from the record store in scan order, probe the member
+/// indexes of their J(r) ∩ batch clusters, and are inserted into their
+/// home cluster's index when it belongs to the batch.
+struct ClusterMemOptions {
+  /// M: the memory budget in postings (word occurrences). Must be > 0.
+  /// With M >= W (the full index size) the algorithm degenerates to a
+  /// single batch, i.e. Probe-Cluster.
+  uint64_t memory_budget_postings = 0;
+
+  /// Directory for the record store, pInfo and per-batch spill files.
+  std::string temp_dir = ".";
+
+  /// Keep spill files after the join (debugging).
+  bool keep_temp_files = false;
+
+  bool presort = true;
+  bool apply_filter = true;
+
+  /// Clustering knobs. max_clusters / max_cluster_size of 0 are estimated
+  /// from the data as in Section 4.1: Ng = clamp(N*M/W, 1, N) and
+  /// NR = 2*ceil(N/Ng) (the paper's formulas with a 2x occupancy slack —
+  /// the exact estimation procedure is elided in the paper "because of
+  /// lack of space").
+  ClusterSetOptions cluster;
+};
+
+/// Runs ClusterMem. `records` must already be Prepare()d by `pred`.
+Result<JoinStats> ClusterMemJoin(const RecordSet& records,
+                                 const Predicate& pred,
+                                 const ClusterMemOptions& options,
+                                 const PairSink& sink);
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_CORE_CLUSTER_MEM_H_

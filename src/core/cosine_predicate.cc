@@ -1,0 +1,68 @@
+#include "core/cosine_predicate.h"
+
+#include <cmath>
+
+#include "text/tfidf.h"
+#include "util/logging.h"
+
+namespace ssjoin {
+
+CosinePredicate::CosinePredicate(double fraction) : fraction_(fraction) {
+  SSJOIN_CHECK(fraction > 0 && fraction <= 1);
+}
+
+namespace {
+
+/// Installs unit-normalized TF-IDF scores from `weighter` onto `records`.
+void ApplyWeights(RecordSet* records, const TfIdfWeighter& weighter);
+
+}  // namespace
+
+void CosinePredicate::Prepare(RecordSet* records) const {
+  ApplyWeights(records, TfIdfWeighter::FromRecordSet(*records));
+}
+
+void CosinePredicate::PrepareForJoin(RecordSet* left,
+                                     RecordSet* right) const {
+  std::vector<uint64_t> combined = left->term_frequencies();
+  const std::vector<uint64_t>& other = right->term_frequencies();
+  if (other.size() > combined.size()) combined.resize(other.size(), 0);
+  for (size_t t = 0; t < other.size(); ++t) combined[t] += other[t];
+  TfIdfWeighter weighter(std::move(combined), left->size() + right->size());
+  ApplyWeights(left, weighter);
+  ApplyWeights(right, weighter);
+}
+
+namespace {
+
+void ApplyWeights(RecordSet* records, const TfIdfWeighter& weighter) {
+  for (RecordId id = 0; id < records->size(); ++id) {
+    Record& r = records->mutable_record(id);
+    double squared = 0;
+    for (size_t i = 0; i < r.size(); ++i) {
+      double w = weighter.Weight(r.token(i), /*tf=*/1);
+      r.set_score(i, w);
+      squared += w * w;
+    }
+    double l2 = std::sqrt(squared);
+    if (l2 > 0) {
+      for (size_t i = 0; i < r.size(); ++i) {
+        r.set_score(i, r.score(i) / l2);
+      }
+    }
+    // Unit vectors make Equation 1's record score identically 1, which
+    // would defeat the pre-sort heuristic; record size is the natural
+    // proxy (longer records produce longer lists). The threshold is
+    // norm-independent, so this choice has no correctness impact.
+    r.set_norm(static_cast<double>(r.size()));
+  }
+}
+
+}  // namespace
+
+double CosinePredicate::ThresholdForNorms(double /*norm_r*/,
+                                          double /*norm_s*/) const {
+  return fraction_;
+}
+
+}  // namespace ssjoin

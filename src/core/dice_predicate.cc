@@ -1,0 +1,33 @@
+#include "core/dice_predicate.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ssjoin {
+
+DicePredicate::DicePredicate(double fraction) : fraction_(fraction) {
+  SSJOIN_CHECK(fraction > 0 && fraction <= 1);
+}
+
+void DicePredicate::Prepare(RecordSet* records) const {
+  for (RecordId id = 0; id < records->size(); ++id) {
+    Record& r = records->mutable_record(id);
+    for (size_t i = 0; i < r.size(); ++i) r.set_score(i, 1.0);
+    r.set_norm(static_cast<double>(r.size()));
+  }
+}
+
+double DicePredicate::ThresholdForNorms(double norm_r, double norm_s) const {
+  return fraction_ / 2.0 * (norm_r + norm_s);
+}
+
+bool DicePredicate::NormFilter(double norm_r, double norm_s) const {
+  // Best case: the smaller set is contained in the larger, giving
+  // Dice = 2 min / (min + max) >= f  <=>  min/max >= f / (2 - f).
+  double lo = std::min(norm_r, norm_s);
+  double hi = std::max(norm_r, norm_s);
+  return lo >= fraction_ / (2.0 - fraction_) * hi;
+}
+
+}  // namespace ssjoin

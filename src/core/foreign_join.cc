@@ -1,0 +1,102 @@
+#include "core/foreign_join.h"
+
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+#include "core/merge_opt.h"
+#include "index/inverted_index.h"
+#include "util/logging.h"
+
+namespace ssjoin {
+
+Result<JoinStats> ForeignProbeJoin(RecordSet* left, RecordSet* right,
+                                   const Predicate& pred,
+                                   const ForeignJoinOptions& options,
+                                   const CrossPairSink& sink) {
+  pred.PrepareForJoin(left, right);
+  JoinStats stats;
+
+  InvertedIndex index;
+  for (RecordId id = 0; id < right->size(); ++id) {
+    index.Insert(id, right->record(id));
+  }
+  stats.index_postings = index.total_postings();
+
+  double short_bound = pred.ShortRecordNormBound();
+  std::unordered_set<uint64_t> emitted;  // only used with the fallback
+
+  auto verify_and_emit = [&](RecordId left_id, RecordId right_id) {
+    ++stats.candidates_verified;
+    if (pred.MatchesCross(*left, left_id, *right, right_id)) {
+      ++stats.pairs;
+      if (short_bound > 0) {
+        emitted.insert((static_cast<uint64_t>(left_id) << 32) | right_id);
+      }
+      sink(left_id, right_id);
+    }
+  };
+
+  std::vector<RecordId> order;
+  if (options.presort) {
+    order = left->IdsByDecreasingNorm();
+  } else {
+    order.resize(left->size());
+    std::iota(order.begin(), order.end(), 0);
+  }
+
+  MergeOptions merge_options;
+  merge_options.split_lists = options.optimized_merge;
+  merge_options.apply_filter = options.apply_filter;
+
+  std::vector<const PostingList*> lists;
+  std::vector<double> probe_scores;
+  if (index.num_entities() > 0) {
+    for (RecordId left_id : order) {
+      const Record& probe = left->record(left_id);
+      double floor = pred.ThresholdForNorms(probe.norm(), index.min_norm());
+      std::function<double(RecordId)> required = [&](RecordId m) {
+        return pred.ThresholdForNorms(probe.norm(),
+                                      right->record(m).norm());
+      };
+      std::function<bool(RecordId)> filter;
+      if (options.apply_filter && pred.has_norm_filter()) {
+        filter = [&](RecordId m) {
+          return pred.NormFilter(probe.norm(), right->record(m).norm());
+        };
+      }
+      CollectProbeLists(index, probe, &lists, &probe_scores);
+      ListMerger merger(std::move(lists), std::move(probe_scores), floor,
+                        required, filter, merge_options, &stats.merge);
+      MergeCandidate candidate;
+      while (merger.Next(&candidate)) {
+        verify_and_emit(left_id, candidate.id);
+      }
+    }
+  }
+
+  if (short_bound > 0) {
+    // Cross fallback: both-short pairs can match with no shared token.
+    std::vector<RecordId> short_left, short_right;
+    for (RecordId id = 0; id < left->size(); ++id) {
+      if (left->record(id).norm() < short_bound) short_left.push_back(id);
+    }
+    for (RecordId id = 0; id < right->size(); ++id) {
+      if (right->record(id).norm() < short_bound) short_right.push_back(id);
+    }
+    for (RecordId a : short_left) {
+      for (RecordId b : short_right) {
+        uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+        if (emitted.count(key) > 0) continue;
+        ++stats.candidates_verified;
+        if (pred.MatchesCross(*left, a, *right, b)) {
+          ++stats.pairs;
+          sink(a, b);
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace ssjoin

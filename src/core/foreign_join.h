@@ -1,0 +1,41 @@
+#ifndef SSJOIN_CORE_FOREIGN_JOIN_H_
+#define SSJOIN_CORE_FOREIGN_JOIN_H_
+
+#include <functional>
+
+#include "core/join_common.h"
+#include "core/predicate.h"
+#include "data/record_set.h"
+#include "util/status.h"
+
+namespace ssjoin {
+
+/// Receives one matching cross pair: `left_id` indexes the left set,
+/// `right_id` the right set.
+using CrossPairSink =
+    std::function<void(RecordId left_id, RecordId right_id)>;
+
+/// Non-self similarity join R ⋈ S (the paper presents self-joins and notes
+/// "the extension to non-self-joins is obvious"): index the right set once,
+/// probe with every left record through MergeOpt, verify with
+/// Predicate::MatchesCross.
+struct ForeignJoinOptions {
+  bool optimized_merge = true;
+  bool apply_filter = true;
+  /// Probe left records in decreasing-norm order (Section 3.3's sort; it
+  /// only affects speed, never output).
+  bool presort = true;
+};
+
+/// Runs the cross join, preparing both sides via
+/// Predicate::PrepareForJoin. Emits each matching (left, right) pair
+/// exactly once. Handles the short-record fallback for predicates (edit
+/// distance, Hamming) whose tiny records can match without shared tokens.
+Result<JoinStats> ForeignProbeJoin(RecordSet* left, RecordSet* right,
+                                   const Predicate& pred,
+                                   const ForeignJoinOptions& options,
+                                   const CrossPairSink& sink);
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_CORE_FOREIGN_JOIN_H_

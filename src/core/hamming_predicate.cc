@@ -1,0 +1,30 @@
+#include "core/hamming_predicate.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ssjoin {
+
+HammingPredicate::HammingPredicate(double k) : k_(k) {
+  SSJOIN_CHECK(k >= 0);
+}
+
+void HammingPredicate::Prepare(RecordSet* records) const {
+  for (RecordId id = 0; id < records->size(); ++id) {
+    Record& r = records->mutable_record(id);
+    for (size_t i = 0; i < r.size(); ++i) r.set_score(i, 1.0);
+    r.set_norm(static_cast<double>(r.size()));
+  }
+}
+
+double HammingPredicate::ThresholdForNorms(double norm_r,
+                                           double norm_s) const {
+  return (norm_r + norm_s - k_) / 2.0;
+}
+
+bool HammingPredicate::NormFilter(double norm_r, double norm_s) const {
+  return std::abs(norm_r - norm_s) <= k_;
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,83 @@
+#ifndef SSJOIN_CORE_JOIN_H_
+#define SSJOIN_CORE_JOIN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/band_partition.h"
+#include "core/cluster_mem.h"
+#include "core/join_common.h"
+#include "core/pair_count.h"
+#include "core/predicate.h"
+#include "core/prefix_filter_join.h"
+#include "core/probe_cluster.h"
+#include "core/probe_join.h"
+#include "core/word_groups.h"
+#include "data/record_set.h"
+#include "util/status.h"
+
+namespace ssjoin {
+
+/// Every algorithm evaluated in the paper, named as in the figures.
+enum class JoinAlgorithm {
+  kBruteForce,            // reference nested-loop join (testing)
+  kProbeCount,            // Section 2.1
+  kProbeStopwords,        // Section 3.1 (Probe-stopWords)
+  kProbeOptMerge,         // Section 3.1 (Probe-optMerge)
+  kProbeOnline,           // Section 3.2 (ProbeCount-online)
+  kProbeSort,             // Section 3.3 (ProbeCount-sort)
+  kProbeCluster,          // Section 3.4 (the final Probe Cluster)
+  kPairCount,             // Section 2.2
+  kPairCountOptMerge,     // Section 3.1 (threshold-optimized Pair-Count)
+  kWordGroups,            // Section 2.3
+  kWordGroupsOptMerge,    // Section 3.1 (threshold-optimized Word-Groups)
+  kClusterMem,            // Section 4 (limited-memory)
+  kPrefixFilter,          // extension: AllPairs-style prefix filtering
+};
+
+/// Paper-style display name, e.g. "ProbeCount-optMerge".
+const char* JoinAlgorithmName(JoinAlgorithm algorithm);
+
+/// Union of per-algorithm knobs; the driver picks the relevant block.
+struct JoinOptions {
+  ProbeJoinOptions probe;          // flags overridden per algorithm preset
+  ProbeClusterOptions cluster;
+  ClusterMemOptions cluster_mem;
+  PairCountOptions pair_count;
+  WordGroupsOptions word_groups;
+  PrefixFilterJoinOptions prefix_filter;
+};
+
+/// Runs `algorithm` over `records` under `pred`:
+///   1. pred.Prepare(records) installs scores and norms;
+///   2. the algorithm emits each matching pair once (smaller id first);
+///   3. when the predicate declares a short-record bound (edit distance),
+///      the degenerate short-short pairs are joined brute-force and
+///      deduplicated against the main output.
+Result<JoinStats> RunJoin(RecordSet* records, const Predicate& pred,
+                          JoinAlgorithm algorithm, const JoinOptions& options,
+                          const PairSink& sink);
+
+/// Convenience wrapper collecting the output, sorted ascending.
+Result<std::vector<std::pair<RecordId, RecordId>>> JoinToPairs(
+    RecordSet* records, const Predicate& pred, JoinAlgorithm algorithm,
+    const JoinOptions& options = {});
+
+/// Reference O(n^2) join via Predicate::Matches. `records` must already be
+/// Prepare()d.
+JoinStats BruteForceJoin(const RecordSet& records, const Predicate& pred,
+                         const PairSink& sink);
+
+/// Section 5.3 alternative to inline filter evaluation: band-partition the
+/// records on their norm with range `k`, run the Probe-Cluster join inside
+/// every partition, and deduplicate the output. Exact for predicates whose
+/// filter is |norm_r - norm_s| <= k (edit distance with k = max edits).
+Result<JoinStats> BandPartitionedJoin(RecordSet* records,
+                                      const Predicate& pred, double k,
+                                      BandStrategy strategy,
+                                      const PairSink& sink);
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_CORE_JOIN_H_

@@ -1,0 +1,47 @@
+#ifndef SSJOIN_CORE_JOIN_COMMON_H_
+#define SSJOIN_CORE_JOIN_COMMON_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/merge_opt.h"
+#include "data/record.h"
+
+namespace ssjoin {
+
+/// Receives each matching pair exactly once, with a < b.
+using PairSink = std::function<void(RecordId a, RecordId b)>;
+
+/// Counters reported by every join algorithm.
+struct JoinStats {
+  uint64_t pairs = 0;                 // matches emitted
+  uint64_t candidates_verified = 0;   // Predicate::Matches invocations
+  uint64_t index_postings = 0;        // peak postings held in indexes
+  uint64_t aggregated_pairs = 0;      // Pair-Count hash-table peak size
+  uint64_t groups = 0;                // Word-Groups groups emitted
+  MergeStats merge;
+
+  JoinStats& operator+=(const JoinStats& other) {
+    pairs += other.pairs;
+    candidates_verified += other.candidates_verified;
+    index_postings = std::max(index_postings, other.index_postings);
+    aggregated_pairs = std::max(aggregated_pairs, other.aggregated_pairs);
+    groups += other.groups;
+    merge += other.merge;
+    return *this;
+  }
+};
+
+/// Canonical 64-bit key of an unordered pair (used for deduplication).
+inline uint64_t PairKey(RecordId a, RecordId b) {
+  if (a > b) {
+    RecordId tmp = a;
+    a = b;
+    b = tmp;
+  }
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_CORE_JOIN_COMMON_H_

@@ -1,0 +1,191 @@
+#include "core/merge_opt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ssjoin {
+
+MergeStats& MergeStats::operator+=(const MergeStats& other) {
+  merges += other.merges;
+  heap_pops += other.heap_pops;
+  gallop_probes += other.gallop_probes;
+  candidates += other.candidates;
+  lists_direct += other.lists_direct;
+  lists_merged += other.lists_merged;
+  return *this;
+}
+
+double PruneBound(double bound) {
+  return bound - 1e-7 * std::max(1.0, std::fabs(bound));
+}
+
+ListMerger::ListMerger(std::vector<const PostingList*> lists,
+                       std::vector<double> probe_scores, double floor,
+                       std::function<double(RecordId)> required,
+                       std::function<bool(RecordId)> filter,
+                       MergeOptions options, MergeStats* stats)
+    : lists_(std::move(lists)),
+      probe_scores_(std::move(probe_scores)),
+      floor_(floor),
+      required_(std::move(required)),
+      filter_(std::move(filter)),
+      options_(options),
+      stats_(stats) {
+  SSJOIN_CHECK(lists_.size() == probe_scores_.size());
+  if (stats_ != nullptr) ++stats_->merges;
+
+  // Order lists by decreasing length (step 1 of Algorithm 1). The caller
+  // usually already did this via CollectProbeLists; re-sorting keeps the
+  // contract local.
+  std::vector<uint32_t> order(lists_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Ties broken by position: deterministic without stable_sort's buffer
+  // allocation (this constructor runs once per probe).
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    if (lists_[a]->size() != lists_[b]->size()) {
+      return lists_[a]->size() > lists_[b]->size();
+    }
+    return a < b;
+  });
+  std::vector<const PostingList*> sorted_lists(lists_.size());
+  std::vector<double> sorted_scores(lists_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    sorted_lists[i] = lists_[order[i]];
+    sorted_scores[i] = probe_scores_[order[i]];
+  }
+  lists_ = std::move(sorted_lists);
+  probe_scores_ = std::move(sorted_scores);
+
+  // cumulativeWt(l_i) = sum_{j<=i} score(w_j, r) * score(w_j, I): the
+  // maximum overlap obtainable from lists l_1..l_i (step 2).
+  cumulative_weight_.resize(lists_.size());
+  double running = 0;
+  for (size_t i = 0; i < lists_.size(); ++i) {
+    running += probe_scores_[i] * lists_[i]->max_score();
+    cumulative_weight_[i] = running;
+  }
+
+  frontier_.assign(lists_.size(), 0);
+  search_pos_.assign(lists_.size(), 0);
+  direct_.assign(lists_.size(), false);
+  RecomputeSplit();
+  for (uint32_t i = 0; i < lists_.size(); ++i) {
+    if (!direct_[i]) {
+      if (stats_ != nullptr) ++stats_->lists_merged;
+      PushFrontier(i);
+    }
+  }
+}
+
+void ListMerger::RecomputeSplit() {
+  if (!options_.split_lists) {
+    split_k_ = 0;
+    return;
+  }
+  // L = l_1..l_k with the largest k whose cumulative potential stays below
+  // the floor (step 3). Monotone in the floor, so raising the floor only
+  // grows k.
+  size_t k = split_k_;
+  while (k < lists_.size() && cumulative_weight_[k] < PruneBound(floor_)) {
+    direct_[k] = true;
+    // A list moving out of the heap mid-merge keeps its frontier as the
+    // direct-search start: everything before it was already consumed
+    // through the heap.
+    search_pos_[k] = frontier_[k];
+    if (stats_ != nullptr) ++stats_->lists_direct;
+    ++k;
+  }
+  split_k_ = k;
+}
+
+void ListMerger::RaiseFloor(double floor) {
+  if (floor <= floor_) return;
+  floor_ = floor;
+  RecomputeSplit();
+}
+
+void ListMerger::PushFrontier(uint32_t i) {
+  const PostingList& list = *lists_[i];
+  size_t& pos = frontier_[i];
+  bool filtering = options_.apply_filter && filter_ != nullptr;
+  while (pos < list.size()) {
+    const Posting& p = list[pos];
+    if (filtering && !filter_(p.id)) {
+      ++pos;  // step 7: apply filter(r, n) before pushing
+      continue;
+    }
+    heap_.push_back({p.id, i});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+    return;
+  }
+}
+
+bool ListMerger::Next(MergeCandidate* out) {
+  while (!heap_.empty()) {
+    // Pop every entry for the minimum id, accumulating the S-side overlap
+    // (step 6). Entries of lists that migrated to L are skipped without
+    // advancing their frontier: the direct search covers them.
+    RecordId id = heap_.front().id;
+    double overlap = 0;
+    bool any_live = false;
+    while (!heap_.empty() && heap_.front().id == id) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+      uint32_t i = heap_.back().list;
+      heap_.pop_back();
+      if (direct_[i]) continue;  // migrated by RaiseFloor; frontier kept
+      const Posting& p = (*lists_[i])[frontier_[i]];
+      SSJOIN_DCHECK(p.id == id);
+      overlap += probe_scores_[i] * p.score;
+      ++frontier_[i];
+      if (stats_ != nullptr) ++stats_->heap_pops;
+      PushFrontier(i);
+      any_live = true;
+    }
+    if (!any_live) continue;
+
+    double bound = floor_;
+    if (required_ != nullptr) bound = std::max(bound, required_(id));
+
+    // Steps 8-11: direct search of the L lists from the smallest
+    // cumulative potential upwards, abandoning the candidate as soon as
+    // even full membership in the remaining lists cannot reach the bound.
+    bool viable = true;
+    for (size_t i = split_k_; i-- > 0;) {
+      if (overlap + cumulative_weight_[i] < PruneBound(bound)) {
+        viable = false;
+        break;
+      }
+      uint64_t* cost = stats_ != nullptr ? &stats_->gallop_probes : nullptr;
+      size_t pos = lists_[i]->GallopLowerBound(id, search_pos_[i], cost);
+      search_pos_[i] = pos;  // candidates arrive in increasing id order
+      if (pos < lists_[i]->size() && (*lists_[i])[pos].id == id) {
+        overlap += probe_scores_[i] * (*lists_[i])[pos].score;
+      }
+    }
+    if (!viable) continue;
+    if (overlap < PruneBound(bound)) continue;
+
+    if (stats_ != nullptr) ++stats_->candidates;
+    out->id = id;
+    out->overlap = overlap;
+    return true;
+  }
+  return false;
+}
+
+void CollectProbeLists(const InvertedIndex& index, const Record& probe,
+                       std::vector<const PostingList*>* lists,
+                       std::vector<double>* probe_scores) {
+  lists->clear();
+  probe_scores->clear();
+  for (size_t i = 0; i < probe.size(); ++i) {
+    const PostingList* list = index.list(probe.token(i));
+    if (list == nullptr) continue;
+    lists->push_back(list);
+    probe_scores->push_back(probe.score(i));
+  }
+}
+
+}  // namespace ssjoin

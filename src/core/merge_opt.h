@@ -1,0 +1,121 @@
+#ifndef SSJOIN_CORE_MERGE_OPT_H_
+#define SSJOIN_CORE_MERGE_OPT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/record.h"
+#include "index/inverted_index.h"
+#include "index/posting_list.h"
+
+namespace ssjoin {
+
+/// Instrumentation counters for one or many merges.
+struct MergeStats {
+  uint64_t merges = 0;          // probe-merge invocations
+  uint64_t heap_pops = 0;       // postings consumed through the heap
+  uint64_t gallop_probes = 0;   // comparisons in direct (L) searches
+  uint64_t candidates = 0;      // candidates emitted
+  uint64_t lists_direct = 0;    // lists placed in L across merges
+  uint64_t lists_merged = 0;    // lists placed in S across merges
+
+  MergeStats& operator+=(const MergeStats& other);
+};
+
+/// A candidate produced by a merge: an indexed entity id and its exact
+/// total overlap with the probe record (S-side accumulation plus all
+/// direct-search contributions).
+struct MergeCandidate {
+  RecordId id;
+  double overlap;
+};
+
+struct MergeOptions {
+  /// Enables the threshold-sensitive L/S split of Section 3.1 (MergeOpt).
+  /// False gives the plain heap merge over all lists (Probe-Count).
+  bool split_lists = true;
+  /// Applies the pair filter when postings enter the heap (Section 5's
+  /// simplest filter placement). Ignored when no filter is supplied.
+  bool apply_filter = true;
+};
+
+/// Relative slack used whenever a float comparison prunes work: borderline
+/// candidates survive to exact verification instead of being lost to
+/// accumulation-order rounding.
+double PruneBound(double bound);
+
+/// Threshold-sensitive multi-way posting-list merge: Algorithm 1
+/// (MergeOpt) and its generalized form Algorithm 3 (MergeOptGen), plus the
+/// dynamic floor raises of Section 4.1.1.
+///
+/// Given the posting lists of a probe record's tokens, emits every indexed
+/// id whose total overlap with the probe reaches the per-candidate bound
+/// max(floor, required(id)). Lists are split into L (largest lists whose
+/// cumulative potential stays below the floor, consulted only by doubling
+/// binary search) and S (heap-merged). Candidates stream out of Next() in
+/// increasing id order.
+///
+/// Contracts:
+///   * `required` may be null; candidates are then held only to the floor.
+///     When supplied it must satisfy required(id) >= any floor ever set
+///     (join mode: required = T(r, m) and floor = T(r, I) <= T(r, m)).
+///   * RaiseFloor only increases the floor, and the caller must keep it
+///     <= min over ids of the emit bound it still cares about (cluster
+///     mode caps raises at T(r, I)).
+class ListMerger {
+ public:
+  ListMerger(std::vector<const PostingList*> lists,
+             std::vector<double> probe_scores, double floor,
+             std::function<double(RecordId)> required,
+             std::function<bool(RecordId)> filter, MergeOptions options,
+             MergeStats* stats);
+
+  ListMerger(const ListMerger&) = delete;
+  ListMerger& operator=(const ListMerger&) = delete;
+
+  /// Produces the next candidate; returns false when the merge is done.
+  bool Next(MergeCandidate* out);
+
+  /// Raises the emit floor, migrating newly prunable lists from the heap
+  /// to the direct-search set (Section 4.1.1).
+  void RaiseFloor(double floor);
+
+  double floor() const { return floor_; }
+
+ private:
+  struct HeapEntry {
+    RecordId id;
+    uint32_t list;
+    bool operator>(const HeapEntry& other) const { return id > other.id; }
+  };
+
+  /// Pushes list `i`'s frontier posting (after filtering) into the heap.
+  void PushFrontier(uint32_t i);
+  void RecomputeSplit();
+
+  std::vector<const PostingList*> lists_;   // decreasing length order
+  std::vector<double> probe_scores_;        // parallel to lists_
+  std::vector<double> cumulative_weight_;   // prefix sums of potential
+  std::vector<size_t> frontier_;            // next unconsumed posting (S)
+  std::vector<size_t> search_pos_;          // rolling gallop hint (L)
+  std::vector<bool> direct_;                // list is in L
+  size_t split_k_ = 0;                      // |L| under the current floor
+  double floor_;
+  std::function<double(RecordId)> required_;
+  std::function<bool(RecordId)> filter_;
+  MergeOptions options_;
+  MergeStats* stats_;
+  std::vector<HeapEntry> heap_;  // min-heap on id via std::*_heap
+};
+
+/// Gathers the posting lists for `probe`'s tokens from `index`, paired
+/// with the probe-side scores, ordered by decreasing list length as
+/// MergeOpt requires. Tokens absent from the index are skipped.
+void CollectProbeLists(const InvertedIndex& index, const Record& probe,
+                       std::vector<const PostingList*>* lists,
+                       std::vector<double>* probe_scores);
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_CORE_MERGE_OPT_H_

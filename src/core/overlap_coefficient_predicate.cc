@@ -1,0 +1,40 @@
+#include "core/overlap_coefficient_predicate.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ssjoin {
+
+OverlapCoefficientPredicate::OverlapCoefficientPredicate(double fraction)
+    : fraction_(fraction) {
+  SSJOIN_CHECK(fraction > 0 && fraction <= 1);
+}
+
+void OverlapCoefficientPredicate::Prepare(RecordSet* records) const {
+  for (RecordId id = 0; id < records->size(); ++id) {
+    Record& r = records->mutable_record(id);
+    for (size_t i = 0; i < r.size(); ++i) r.set_score(i, 1.0);
+    r.set_norm(static_cast<double>(r.size()));
+  }
+}
+
+double OverlapCoefficientPredicate::ThresholdForNorms(double norm_r,
+                                                      double norm_s) const {
+  return fraction_ * std::min(norm_r, norm_s);
+}
+
+bool OverlapCoefficientPredicate::MatchesCross(const RecordSet& set_a,
+                                               RecordId a,
+                                               const RecordSet& set_b,
+                                               RecordId b) const {
+  const Record& ra = set_a.record(a);
+  const Record& rb = set_b.record(b);
+  // 0/0 guard: an empty record matches nothing. Without this, the default
+  // overlap >= T comparison would accept 0 >= 0 — a pair the index-based
+  // algorithms can never surface (no shared token).
+  if (ra.empty() || rb.empty()) return false;
+  return ra.OverlapWith(rb) >= ThresholdForNorms(ra.norm(), rb.norm());
+}
+
+}  // namespace ssjoin

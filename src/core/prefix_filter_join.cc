@@ -1,0 +1,115 @@
+#include "core/prefix_filter_join.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "core/merge_opt.h"
+#include "util/logging.h"
+
+namespace ssjoin {
+
+Result<JoinStats> PrefixFilterJoin(const RecordSet& records,
+                                   const Predicate& pred,
+                                   const PrefixFilterJoinOptions& options,
+                                   const PairSink& sink) {
+  if (pred.MinMatchOverlap(1e18) <= 0) {
+    return Status::InvalidArgument(
+        "prefix filtering needs a positive MinMatchOverlap bound; '" +
+        pred.name() + "' does not provide one");
+  }
+  JoinStats stats;
+  const size_t n = records.size();
+
+  // Global token order: increasing document frequency, rare tokens first,
+  // so prefixes hold the most selective tokens.
+  std::vector<uint32_t> rank(records.vocabulary_size());
+  {
+    std::vector<TokenId> by_df(records.vocabulary_size());
+    std::iota(by_df.begin(), by_df.end(), 0);
+    std::stable_sort(by_df.begin(), by_df.end(),
+                     [&records](TokenId a, TokenId b) {
+                       return records.doc_frequency(a) <
+                              records.doc_frequency(b);
+                     });
+    for (uint32_t i = 0; i < by_df.size(); ++i) rank[by_df[i]] = i;
+  }
+
+  // Corpus-wide max score per token (the gmax of the suffix bound).
+  std::vector<double> gmax(records.vocabulary_size(), 0.0);
+  for (const Record& r : records.records()) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      gmax[r.token(i)] = std::max(gmax[r.token(i)], r.score(i));
+    }
+  }
+
+  std::vector<RecordId> order;
+  if (options.presort) {
+    order = records.IdsByDecreasingNorm();
+  } else {
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0);
+  }
+
+  std::unordered_map<TokenId, std::vector<RecordId>> prefix_index;
+  std::vector<std::pair<uint32_t, size_t>> ordered;  // (rank, token pos)
+  std::vector<RecordId> candidates;
+  std::vector<uint32_t> last_seen(n, UINT32_MAX);  // probe-local dedup
+
+  for (uint32_t pos = 0; pos < n; ++pos) {
+    RecordId id = order[pos];
+    const Record& r = records.record(id);
+
+    // Probe: every token of r against the prefix index of earlier records.
+    candidates.clear();
+    for (size_t i = 0; i < r.size(); ++i) {
+      auto it = prefix_index.find(r.token(i));
+      if (it == prefix_index.end()) continue;
+      for (RecordId other : it->second) {
+        if (last_seen[other] == pos) continue;
+        last_seen[other] = pos;
+        if (options.apply_filter && pred.has_norm_filter() &&
+            !pred.NormFilter(r.norm(), records.record(other).norm())) {
+          continue;
+        }
+        candidates.push_back(other);
+      }
+    }
+    for (RecordId other : candidates) {
+      ++stats.candidates_verified;
+      if (pred.Matches(records, other, id)) {
+        ++stats.pairs;
+        sink(std::min(other, id), std::max(other, id));
+      }
+    }
+
+    // Index r's prefix: tokens in rank order; the suffix is the longest
+    // tail whose total potential stays below α(r).
+    double alpha = pred.MinMatchOverlap(r.norm());
+    ordered.clear();
+    for (size_t i = 0; i < r.size(); ++i) {
+      ordered.emplace_back(rank[r.token(i)], i);
+    }
+    std::sort(ordered.begin(), ordered.end());
+    size_t prefix_len = ordered.size();
+    if (alpha > 0) {
+      double suffix_potential = 0;
+      while (prefix_len > 0) {
+        size_t token_pos = ordered[prefix_len - 1].second;
+        double contribution =
+            r.score(token_pos) * gmax[r.token(token_pos)];
+        if (suffix_potential + contribution >= PruneBound(alpha)) break;
+        suffix_potential += contribution;
+        --prefix_len;
+      }
+    }
+    for (size_t i = 0; i < prefix_len; ++i) {
+      prefix_index[r.token(ordered[i].second)].push_back(id);
+      ++stats.index_postings;
+    }
+  }
+  return stats;
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,49 @@
+#ifndef SSJOIN_CORE_PREFIX_FILTER_JOIN_H_
+#define SSJOIN_CORE_PREFIX_FILTER_JOIN_H_
+
+#include "core/join_common.h"
+#include "core/predicate.h"
+#include "data/record_set.h"
+#include "util/status.h"
+
+namespace ssjoin {
+
+/// Prefix-filter similarity join — the AllPairs/PPJoin idea that grew out
+/// of this paper's line of work, implemented as an extension so the bench
+/// suite can compare it against MergeOpt-based probing.
+///
+/// Principle: order tokens globally by increasing document frequency
+/// (rare first) and sort each record's tokens in that order. For a record
+/// s, let α(s) = Predicate::MinMatchOverlap(||s||) — the smallest overlap
+/// any match of s can have — and define s's *prefix* as the shortest
+/// leading token span whose remaining suffix cannot contribute α(s):
+///
+///   prefix(s) = min p such that  Σ_{i>p} score(w_i, s) · gmax(w_i) < α(s)
+///
+/// (gmax is the corpus-wide max score of the token). Any record matching
+/// s must then share at least one *prefix* token with s, so indexing only
+/// prefixes and probing with whole records finds every match; candidates
+/// are verified exactly.
+///
+/// Works for any predicate with MinMatchOverlap > 0 (overlap, Jaccard,
+/// Dice, cosine; Hamming degrades gracefully — tiny records index fully
+/// and the short-record pool covers zero-overlap pairs). Weighted scores
+/// are supported through the gmax bound.
+struct PrefixFilterJoinOptions {
+  /// Process records in decreasing norm order (affects speed only).
+  bool presort = true;
+  bool apply_filter = true;
+};
+
+/// Runs the prefix-filter self-join. `records` must already be
+/// Prepare()d. Emits each matching pair once (smaller id first). Returns
+/// InvalidArgument for predicates whose MinMatchOverlap is never
+/// positive.
+Result<JoinStats> PrefixFilterJoin(const RecordSet& records,
+                                   const Predicate& pred,
+                                   const PrefixFilterJoinOptions& options,
+                                   const PairSink& sink);
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_CORE_PREFIX_FILTER_JOIN_H_

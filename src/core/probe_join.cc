@@ -1,0 +1,198 @@
+#include "core/probe_join.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "data/corpus_stats.h"
+#include "util/logging.h"
+
+namespace ssjoin {
+
+namespace {
+
+/// Per-token upper bound on what a single shared occurrence of the token
+/// can contribute to any pair's overlap: (max_r score(t, r))^2.
+std::vector<double> MaxTokenScores(const RecordSet& records) {
+  std::vector<double> max_score(records.vocabulary_size(), 0.0);
+  for (const Record& r : records.records()) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      max_score[r.token(i)] = std::max(max_score[r.token(i)], r.score(i));
+    }
+  }
+  return max_score;
+}
+
+struct StopwordPlan {
+  std::vector<bool> is_stop;       // per token
+  std::vector<double> max_score;   // per token
+  double threshold = 0;            // the predicate's constant T
+};
+
+/// Picks the maximal prefix of the most document-frequent tokens whose
+/// total potential contribution stays below T (the paper's "top T-1
+/// highest frequency words" generalized to weighted scores).
+StopwordPlan BuildStopwordPlan(const RecordSet& records, double threshold) {
+  StopwordPlan plan;
+  plan.threshold = threshold;
+  plan.max_score = MaxTokenScores(records);
+  plan.is_stop.assign(records.vocabulary_size(), false);
+  std::vector<TokenId> by_frequency =
+      TopFrequentTokens(records, records.vocabulary_size());
+  double sum = 0;
+  for (TokenId t : by_frequency) {
+    double contribution = plan.max_score[t] * plan.max_score[t];
+    if (sum + contribution >= threshold) break;
+    sum += contribution;
+    plan.is_stop[t] = true;
+  }
+  return plan;
+}
+
+/// The record with stopword tokens removed, keeping the original norm and
+/// text_length so index statistics and thresholds stay correct.
+Record StripStopwords(const Record& r, const StopwordPlan& plan) {
+  std::vector<std::pair<TokenId, double>> kept;
+  kept.reserve(r.size());
+  for (size_t i = 0; i < r.size(); ++i) {
+    if (!plan.is_stop[r.token(i)]) kept.emplace_back(r.token(i), r.score(i));
+  }
+  Record out = Record::FromWeightedTokens(std::move(kept));
+  out.set_norm(r.norm());
+  out.set_text_length(r.text_length());
+  return out;
+}
+
+/// Reduced threshold for probe r: T minus the potential carried by r's own
+/// stopwords (Section 3.1).
+double ReducedThreshold(const Record& r, const StopwordPlan& plan) {
+  double reduction = 0;
+  for (size_t i = 0; i < r.size(); ++i) {
+    TokenId t = r.token(i);
+    if (plan.is_stop[t]) reduction += r.score(i) * plan.max_score[t];
+  }
+  return plan.threshold - reduction;
+}
+
+}  // namespace
+
+Result<JoinStats> ProbeJoin(const RecordSet& records, const Predicate& pred,
+                            const ProbeJoinOptions& options,
+                            const PairSink& sink) {
+  JoinStats stats;
+  const size_t n = records.size();
+
+  std::vector<RecordId> order;
+  if (options.presort) {
+    order = records.IdsByDecreasingNorm();
+  } else {
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0);
+  }
+
+  StopwordPlan stop_plan;
+  if (options.stopwords) {
+    std::optional<double> constant = pred.ConstantThreshold();
+    if (!constant.has_value()) {
+      return Status::InvalidArgument(
+          "Probe-stopWords requires a constant-threshold predicate; '" +
+          pred.name() + "' has a pair-dependent threshold");
+    }
+    stop_plan = BuildStopwordPlan(records, *constant);
+  }
+
+  // The index is keyed by processing position so posting ids stay strictly
+  // increasing under any processing order; `order` maps back to RecordIds.
+  InvertedIndex index;
+  std::vector<Record> stripped;  // stopword mode only
+  if (options.stopwords) {
+    stripped.reserve(n);
+    for (RecordId id = 0; id < n; ++id) {
+      stripped.push_back(StripStopwords(records.record(id), stop_plan));
+    }
+  }
+  auto record_for_index = [&](RecordId id) -> const Record& {
+    return options.stopwords ? stripped[id] : records.record(id);
+  };
+
+  if (!options.online) {
+    for (uint32_t pos = 0; pos < n; ++pos) {
+      index.Insert(pos, record_for_index(order[pos]));
+    }
+  }
+
+  auto verify_and_emit = [&](RecordId a, RecordId b) {
+    ++stats.candidates_verified;
+    if (pred.Matches(records, a, b)) {
+      ++stats.pairs;
+      sink(std::min(a, b), std::max(a, b));
+    }
+  };
+
+  MergeOptions merge_options;
+  merge_options.split_lists = options.optimized_merge;
+  merge_options.apply_filter = options.apply_filter;
+
+  std::vector<const PostingList*> lists;
+  std::vector<double> probe_scores;
+
+  for (uint32_t pos = 0; pos < n; ++pos) {
+    RecordId probe_id = order[pos];
+    const Record& probe_full = records.record(probe_id);
+    const Record& probe = record_for_index(probe_id);
+
+    if (index.num_entities() > 0) {
+      double floor;
+      std::function<double(RecordId)> required;
+      if (options.stopwords) {
+        double reduced = ReducedThreshold(probe_full, stop_plan);
+        if (reduced <= 0) {
+          // Degenerate probe: its own stopwords could carry the whole
+          // threshold, so every indexed record is a candidate.
+          uint32_t limit = options.online ? pos : static_cast<uint32_t>(n);
+          for (uint32_t m = 0; m < limit; ++m) {
+            if (!options.online && m >= pos) break;
+            verify_and_emit(order[m], probe_id);
+          }
+          if (options.online) index.Insert(pos, probe);
+          continue;
+        }
+        floor = reduced;
+      } else {
+        floor = pred.ThresholdForNorms(probe_full.norm(), index.min_norm());
+        required = [&](RecordId m) {
+          return pred.ThresholdForNorms(probe_full.norm(),
+                                        records.record(order[m]).norm());
+        };
+      }
+      std::function<bool(RecordId)> filter;
+      if (options.apply_filter && pred.has_norm_filter()) {
+        filter = [&](RecordId m) {
+          return pred.NormFilter(probe_full.norm(),
+                                 records.record(order[m]).norm());
+        };
+      }
+      CollectProbeLists(index, probe, &lists, &probe_scores);
+      ListMerger merger(std::move(lists), std::move(probe_scores), floor,
+                        required, filter, merge_options, &stats.merge);
+      MergeCandidate candidate;
+      while (merger.Next(&candidate)) {
+        if (!options.online && candidate.id >= pos) {
+          // Two-pass mode indexes every record: skip self matches and
+          // emit each unordered pair from its later endpoint only.
+          continue;
+        }
+        verify_and_emit(order[candidate.id], probe_id);
+      }
+      lists.clear();
+      probe_scores.clear();
+    }
+
+    if (options.online) index.Insert(pos, probe);
+  }
+
+  stats.index_postings = index.total_postings();
+  return stats;
+}
+
+}  // namespace ssjoin

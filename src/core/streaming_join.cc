@@ -1,0 +1,81 @@
+#include "core/streaming_join.h"
+
+#include <unordered_set>
+
+#include "core/merge_opt.h"
+#include "util/logging.h"
+
+namespace ssjoin {
+
+StreamingJoin::StreamingJoin(const Predicate& pred, Options options)
+    : pred_(pred), options_(options) {
+  SSJOIN_CHECK(pred.corpus_independent_scores())
+      << "StreamingJoin requires per-record scores; predicate '"
+      << pred.name() << "' weights records against corpus statistics";
+}
+
+RecordId StreamingJoin::Add(
+    Record record, std::string text,
+    const std::function<void(RecordId earlier)>& on_match) {
+  // Single-record preparation: installs score(w, r) and the norm.
+  RecordSet staging;
+  staging.Add(std::move(record), std::move(text));
+  pred_.Prepare(&staging);
+  const Record& probe = staging.record(0);
+
+  double short_bound = pred_.ShortRecordNormBound();
+  bool probe_is_short = short_bound > 0 && probe.norm() < short_bound;
+  std::unordered_set<RecordId> emitted;  // only filled when needed
+
+  if (index_.num_entities() > 0 && !probe.empty()) {
+    double floor = pred_.ThresholdForNorms(probe.norm(), index_.min_norm());
+    std::function<double(RecordId)> required = [&](RecordId m) {
+      return pred_.ThresholdForNorms(probe.norm(),
+                                     records_.record(m).norm());
+    };
+    std::function<bool(RecordId)> filter;
+    if (options_.apply_filter && pred_.has_norm_filter()) {
+      filter = [&](RecordId m) {
+        return pred_.NormFilter(probe.norm(), records_.record(m).norm());
+      };
+    }
+    std::vector<const PostingList*> lists;
+    std::vector<double> probe_scores;
+    CollectProbeLists(index_, probe, &lists, &probe_scores);
+    ListMerger merger(std::move(lists), std::move(probe_scores), floor,
+                      required, filter, {}, &stats_.merge);
+    MergeCandidate candidate;
+    while (merger.Next(&candidate)) {
+      ++stats_.candidates_verified;
+      if (pred_.MatchesCross(records_, candidate.id, staging, 0)) {
+        ++stats_.pairs;
+        if (probe_is_short) emitted.insert(candidate.id);
+        on_match(candidate.id);
+      }
+    }
+  }
+
+  if (probe_is_short) {
+    // Both-short pairs can match with no shared token (edit distance,
+    // Hamming); check the new record against every past short record.
+    for (RecordId earlier : short_records_) {
+      if (emitted.count(earlier) > 0) continue;
+      ++stats_.candidates_verified;
+      if (pred_.MatchesCross(records_, earlier, staging, 0)) {
+        ++stats_.pairs;
+        on_match(earlier);
+      }
+    }
+  }
+
+  // Move the prepared record into the permanent set and index it.
+  RecordId id = records_.Add(staging.record(0), staging.text(0));
+  index_.Insert(id, records_.record(id));
+  if (short_bound > 0 && records_.record(id).norm() < short_bound) {
+    short_records_.push_back(id);
+  }
+  stats_.index_postings = index_.total_postings();
+  return id;
+}
+
+}  // namespace ssjoin

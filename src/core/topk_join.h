@@ -1,0 +1,49 @@
+#ifndef SSJOIN_CORE_TOPK_JOIN_H_
+#define SSJOIN_CORE_TOPK_JOIN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/join_common.h"
+#include "data/record_set.h"
+#include "util/status.h"
+
+namespace ssjoin {
+
+/// Similarity measure ranked by the top-k join.
+enum class TopKMetric {
+  kOverlap,  // |r ∩ s| (unweighted intersect size)
+  kJaccard,  // |r ∩ s| / |r ∪ s|
+  kCosine,   // TF-IDF cosine
+  kDice,     // 2 |r ∩ s| / (|r| + |s|)
+};
+
+struct TopKMatch {
+  RecordId a;  // a < b
+  RecordId b;
+  double score;
+};
+
+/// Top-k similarity self-join: returns the k most similar record pairs
+/// under `metric`, sorted by decreasing score (ties broken by pair id).
+///
+/// This is the paper's related-work direction [9] (Cohen's top-r joins)
+/// realized on the Probe Cluster machinery: an online probe whose
+/// threshold is not fixed but *ratchets up* as better pairs are found —
+/// exactly the dynamic-floor capability MergeOpt grew for the Section
+/// 4.1.1 cluster search. Records are processed in decreasing norm order
+/// so the k-th best score rises early and prunes hard.
+///
+/// Only pairs with at least one shared token are rankable (all metrics
+/// are zero otherwise); if fewer than k such pairs exist, all of them are
+/// returned.
+Result<std::vector<TopKMatch>> TopKJoin(RecordSet* records,
+                                        TopKMetric metric, size_t k,
+                                        JoinStats* stats = nullptr);
+
+/// Display name of a metric ("overlap", "jaccard", ...).
+const char* TopKMetricName(TopKMetric metric);
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_CORE_TOPK_JOIN_H_

@@ -1,0 +1,86 @@
+#include "data/address_generator.h"
+
+#include <sstream>
+
+#include "data/synth_text.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ssjoin {
+
+AddressGenerator::AddressGenerator(AddressGeneratorOptions options)
+    : options_(options) {
+  SSJOIN_CHECK(options_.num_records > 0);
+}
+
+std::vector<AddressRecord> AddressGenerator::Generate() const {
+  Rng rng(options_.seed);
+  std::vector<std::string> last_names =
+      SynthesizeNamePool(options_.num_last_names, rng);
+  std::vector<std::string> first_names =
+      SynthesizeNamePool(options_.num_first_names, rng);
+  std::vector<std::string> streets = SynthesizeNamePool(options_.num_streets, rng);
+  std::vector<std::string> areas = SynthesizeNamePool(options_.num_areas, rng);
+  std::vector<std::string> cities = SynthesizeNamePool(options_.num_cities, rng);
+  ZipfTable last_zipf(options_.num_last_names, 0.9);
+  ZipfTable first_zipf(options_.num_first_names, 0.9);
+  ZipfTable street_zipf(options_.num_streets, 0.8);
+  ZipfTable area_zipf(options_.num_areas, 0.7);
+  ZipfTable city_zipf(options_.num_cities, 1.2);
+
+  std::vector<AddressRecord> out;
+  out.reserve(options_.num_records);
+
+  for (uint32_t i = 0; i < options_.num_records; ++i) {
+    bool make_duplicate =
+        !out.empty() && rng.Bernoulli(options_.duplicate_fraction);
+    if (make_duplicate) {
+      const AddressRecord& base =
+          out[rng.UniformU32(static_cast<uint32_t>(out.size()))];
+      AddressRecord dup;
+      int typos = rng.UniformInt(1, options_.max_typos_per_duplicate);
+      // Distribute typos over name and address proportionally to length.
+      int name_typos = 0;
+      for (int t = 0; t < typos; ++t) {
+        double name_share = static_cast<double>(base.name.size()) /
+                            (base.name.size() + base.address.size() + 1.0);
+        if (rng.Bernoulli(name_share)) ++name_typos;
+      }
+      dup.name = ApplyTypos(base.name, name_typos, rng);
+      dup.address = ApplyTypos(base.address, typos - name_typos, rng);
+      out.push_back(std::move(dup));
+      continue;
+    }
+
+    AddressRecord rec;
+    {
+      std::ostringstream name;
+      name << last_names[last_zipf.Sample(rng)] << " "
+           << first_names[first_zipf.Sample(rng)];
+      if (rng.Bernoulli(0.3)) {
+        name << " " << first_names[first_zipf.Sample(rng)];
+      }
+      rec.name = name.str();
+    }
+    {
+      std::ostringstream addr;
+      addr << rng.UniformInt(1, 999) << " " << streets[street_zipf.Sample(rng)];
+      if (rng.Bernoulli(0.3)) addr << " Rd";
+      addr << " " << areas[area_zipf.Sample(rng)] << " "
+           << cities[city_zipf.Sample(rng)] << " " << rng.UniformInt(400001, 411062);
+      rec.address = addr.str();
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::vector<std::string> AddressGenerator::GenerateFullTexts() const {
+  std::vector<AddressRecord> records = Generate();
+  std::vector<std::string> out;
+  out.reserve(records.size());
+  for (const AddressRecord& r : records) out.push_back(r.FullText());
+  return out;
+}
+
+}  // namespace ssjoin

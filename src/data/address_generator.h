@@ -1,0 +1,58 @@
+#ifndef SSJOIN_DATA_ADDRESS_GENERATOR_H_
+#define SSJOIN_DATA_ADDRESS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssjoin {
+
+/// One generated address record, split into the name part and the address
+/// part so the two Table-1 functions (All-3grams over everything,
+/// Name-3grams over the name only) can be derived from the same corpus.
+struct AddressRecord {
+  std::string name;     // "lastname firstname middlename"
+  std::string address;  // street/area/city/pin fields
+  /// Full text: name + " " + address.
+  std::string FullText() const { return name + " " + address; }
+};
+
+/// Knobs for the synthetic address corpus (stand-in for the Pune utility
+/// list: 500k records, avg 47 3-grams over the whole record, ~14-char
+/// names, fewer exact-duplicate clusters than the citation data but many
+/// typo-level variants).
+struct AddressGeneratorOptions {
+  uint32_t num_records = 10000;
+  uint64_t seed = 1234;
+
+  /// Fraction of records that are typo-perturbed copies of an earlier one
+  /// (the same household appearing in several utility databases).
+  double duplicate_fraction = 0.25;
+
+  uint32_t num_last_names = 400;
+  uint32_t num_first_names = 400;
+  uint32_t num_streets = 600;
+  uint32_t num_areas = 120;
+  uint32_t num_cities = 15;
+
+  /// Typos per duplicated record (drawn uniformly in [1, max]).
+  int max_typos_per_duplicate = 3;
+};
+
+/// Generates address-like records. Deterministic given the seed.
+class AddressGenerator {
+ public:
+  explicit AddressGenerator(AddressGeneratorOptions options);
+
+  std::vector<AddressRecord> Generate() const;
+
+  /// Convenience: FullText() of every generated record.
+  std::vector<std::string> GenerateFullTexts() const;
+
+ private:
+  AddressGeneratorOptions options_;
+};
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_DATA_ADDRESS_GENERATOR_H_

@@ -1,0 +1,134 @@
+#include "data/citation_generator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "data/synth_text.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ssjoin {
+
+namespace {
+
+struct Paper {
+  std::vector<std::string> author_first;  // parallel with author_last
+  std::vector<std::string> author_last;
+  std::vector<std::string> title_words;
+  std::string venue;
+  int year;
+  int first_page;
+  int last_page;
+};
+
+std::string RenderCitation(const Paper& paper, bool abbreviate_first_names) {
+  std::ostringstream out;
+  for (size_t i = 0; i < paper.author_last.size(); ++i) {
+    if (i > 0) out << ", ";
+    if (abbreviate_first_names) {
+      out << paper.author_first[i][0] << ". ";
+    } else {
+      out << paper.author_first[i] << " ";
+    }
+    out << paper.author_last[i];
+  }
+  out << ". ";
+  for (size_t i = 0; i < paper.title_words.size(); ++i) {
+    if (i > 0) out << " ";
+    out << paper.title_words[i];
+  }
+  out << ". " << paper.venue << ", " << paper.year << ", pages "
+      << paper.first_page << "-" << paper.last_page << ".";
+  return out.str();
+}
+
+}  // namespace
+
+CitationGenerator::CitationGenerator(CitationGeneratorOptions options)
+    : options_(options) {
+  SSJOIN_CHECK(options_.num_records > 0);
+  if (options_.title_vocabulary == 0) {
+    // Scale Table 1's 70000 words / 250000 records, with a floor so tiny
+    // test corpora still have a usable vocabulary.
+    options_.title_vocabulary = std::max<uint32_t>(
+        500, static_cast<uint32_t>(0.28 * options_.num_records));
+  }
+}
+
+std::vector<std::string> CitationGenerator::Generate() const {
+  return GenerateWithProvenance().texts;
+}
+
+GeneratedCitations CitationGenerator::GenerateWithProvenance() const {
+  Rng rng(options_.seed);
+  std::vector<std::string> words =
+      SynthesizeWordPool(options_.title_vocabulary, rng);
+  std::vector<std::string> last_names =
+      SynthesizeNamePool(options_.num_authors, rng);
+  std::vector<std::string> first_names =
+      SynthesizeNamePool(options_.num_authors, rng);
+  std::vector<std::string> venues = SynthesizeNamePool(options_.num_venues, rng);
+  ZipfTable word_zipf(options_.title_vocabulary, options_.zipf_exponent);
+  ZipfTable author_zipf(options_.num_authors, 0.8);
+  ZipfTable venue_zipf(options_.num_venues, 0.9);
+
+  std::vector<Paper> base_papers;
+  GeneratedCitations out;
+  out.texts.reserve(options_.num_records);
+  out.paper_id.reserve(options_.num_records);
+
+  for (uint32_t i = 0; i < options_.num_records; ++i) {
+    bool make_duplicate =
+        !base_papers.empty() && rng.Bernoulli(options_.duplicate_fraction);
+    if (!make_duplicate) {
+      Paper paper;
+      int num_authors = rng.UniformInt(options_.min_authors_per_paper,
+                                       options_.max_authors_per_paper);
+      for (int a = 0; a < num_authors; ++a) {
+        uint32_t who = author_zipf.Sample(rng);
+        paper.author_first.push_back(first_names[who]);
+        paper.author_last.push_back(last_names[who]);
+      }
+      int num_words =
+          rng.UniformInt(options_.min_title_words, options_.max_title_words);
+      for (int w = 0; w < num_words; ++w) {
+        paper.title_words.push_back(words[word_zipf.Sample(rng)]);
+      }
+      paper.venue = venues[venue_zipf.Sample(rng)];
+      paper.year = rng.UniformInt(1975, 2004);
+      paper.first_page = rng.UniformInt(1, 800);
+      paper.last_page = paper.first_page + rng.UniformInt(5, 25);
+      out.paper_id.push_back(static_cast<uint32_t>(base_papers.size()));
+      base_papers.push_back(paper);
+      out.texts.push_back(RenderCitation(paper, rng.Bernoulli(0.5)));
+      continue;
+    }
+
+    // Perturbed re-citation of an earlier paper. Popularity is heavy-
+    // tailed like real citation counts: squaring the uniform draw skews
+    // picks toward early (famous) papers, giving the deep duplicate
+    // clusters that make Probe-Cluster shine on this corpus.
+    double u = rng.NextDouble();
+    size_t base_index = static_cast<size_t>(u * u * base_papers.size());
+    base_index = std::min(base_index, base_papers.size() - 1);
+    Paper paper = base_papers[base_index];
+    out.paper_id.push_back(static_cast<uint32_t>(base_index));
+    std::vector<std::string> kept_words;
+    for (std::string& word : paper.title_words) {
+      if (rng.Bernoulli(options_.drop_word_prob)) continue;
+      if (rng.Bernoulli(options_.typo_word_prob)) word = ApplyTypo(word, rng);
+      kept_words.push_back(std::move(word));
+    }
+    if (kept_words.empty()) kept_words.push_back(words[word_zipf.Sample(rng)]);
+    paper.title_words = std::move(kept_words);
+    if (rng.Bernoulli(options_.change_pages_prob)) {
+      paper.first_page = rng.UniformInt(1, 800);
+      paper.last_page = paper.first_page + rng.UniformInt(5, 25);
+    }
+    out.texts.push_back(
+        RenderCitation(paper, rng.Bernoulli(options_.abbreviate_prob)));
+  }
+  return out;
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,69 @@
+#ifndef SSJOIN_DATA_CITATION_GENERATOR_H_
+#define SSJOIN_DATA_CITATION_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssjoin {
+
+/// Knobs for the synthetic citation corpus (stand-in for the paper's
+/// CiteSeer download: 250k citations, avg 24 words/record, ~70k distinct
+/// words, many near-duplicate entries because the same paper is cited in
+/// many bibliographies with small formatting differences).
+struct CitationGeneratorOptions {
+  uint32_t num_records = 10000;
+  uint64_t seed = 42;
+
+  /// Fraction of records that are perturbed re-citations of an earlier
+  /// base record. The paper's citation data is duplicate-heavy, which is
+  /// what makes Probe Cluster shine there (Section 3.4).
+  double duplicate_fraction = 0.5;
+
+  /// Distinct base papers grow with corpus size; vocabulary below scales
+  /// the Table-1 figure (70000 words / 250000 records) to num_records.
+  uint32_t title_vocabulary = 0;  // 0 = scale automatically
+  double zipf_exponent = 1.05;    // word-frequency skew
+
+  uint32_t num_authors = 120;  // "100 most cited authors" pool
+  uint32_t num_venues = 250;
+
+  int min_title_words = 7;
+  int max_title_words = 16;
+  int min_authors_per_paper = 1;
+  int max_authors_per_paper = 4;
+
+  /// Perturbations applied to a duplicate: each independent.
+  double drop_word_prob = 0.12;    // per title word
+  double typo_word_prob = 0.08;    // per word, one char typo
+  double abbreviate_prob = 0.5;    // first names -> initials
+  double change_pages_prob = 0.4;  // re-roll page numbers
+};
+
+/// Generated corpus with ground truth: texts plus, for each record, the
+/// id of the underlying paper it cites. Records with equal paper_id are
+/// true duplicates — the labels quality evaluations score against.
+struct GeneratedCitations {
+  std::vector<std::string> texts;
+  std::vector<uint32_t> paper_id;  // parallel to texts
+};
+
+/// Generates citation-like text records ("author(s). title. venue, year,
+/// pages") with controlled duplication. Deterministic given the seed.
+class CitationGenerator {
+ public:
+  explicit CitationGenerator(CitationGeneratorOptions options);
+
+  /// Produces options.num_records raw citation strings.
+  std::vector<std::string> Generate() const;
+
+  /// Same stream of records plus the ground-truth paper id per record.
+  GeneratedCitations GenerateWithProvenance() const;
+
+ private:
+  CitationGeneratorOptions options_;
+};
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_DATA_CITATION_GENERATOR_H_

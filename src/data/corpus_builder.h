@@ -1,0 +1,37 @@
+#ifndef SSJOIN_DATA_CORPUS_BUILDER_H_
+#define SSJOIN_DATA_CORPUS_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/record_set.h"
+#include "text/token_dictionary.h"
+
+namespace ssjoin {
+
+/// Options for turning raw text records into a RecordSet.
+struct CorpusBuilderOptions {
+  /// Retain the normalized text on each record (needed for edit-distance
+  /// verification and readable example output).
+  bool keep_text = true;
+  /// Run the Normalizer (lowercase, strip punctuation) first.
+  bool normalize = true;
+};
+
+/// Table 1's "All-words" style corpus: each record is the set of words in
+/// its text. `dict` accumulates the token vocabulary and may be shared
+/// across corpora.
+RecordSet BuildWordCorpus(const std::vector<std::string>& texts,
+                          TokenDictionary* dict,
+                          const CorpusBuilderOptions& options = {});
+
+/// Table 1's "All-3grams" style corpus with configurable q: each record is
+/// the set of q-grams of its (padded) text. text_length is set so the
+/// edit-distance predicate can evaluate its threshold.
+RecordSet BuildQGramCorpus(const std::vector<std::string>& texts, int q,
+                           TokenDictionary* dict,
+                           const CorpusBuilderOptions& options = {});
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_DATA_CORPUS_BUILDER_H_

@@ -1,0 +1,75 @@
+#include "data/corpus_stats.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace ssjoin {
+
+std::string CorpusStats::ToString() const {
+  std::ostringstream out;
+  out << "records=" << num_records << " avg_set_size=" << average_set_size
+      << " distinct_elements=" << num_distinct_elements
+      << " total_occurrences=" << total_occurrences
+      << " set_size=[" << min_set_size << "," << max_set_size << "]"
+      << " max_df=" << max_doc_frequency
+      << " top1pct_share=" << top1pct_occurrence_share;
+  return out.str();
+}
+
+CorpusStats ComputeCorpusStats(const RecordSet& records) {
+  CorpusStats stats;
+  stats.num_records = records.size();
+  stats.total_occurrences = records.total_token_occurrences();
+  stats.average_set_size = records.average_record_size();
+
+  uint64_t min_size = UINT64_MAX;
+  uint64_t max_size = 0;
+  for (const Record& r : records.records()) {
+    min_size = std::min<uint64_t>(min_size, r.size());
+    max_size = std::max<uint64_t>(max_size, r.size());
+  }
+  stats.min_set_size = records.empty() ? 0 : min_size;
+  stats.max_set_size = max_size;
+
+  std::vector<uint64_t> freqs = SortedDocFrequencies(records);
+  stats.num_distinct_elements =
+      static_cast<uint64_t>(std::count_if(freqs.begin(), freqs.end(),
+                                          [](uint64_t f) { return f > 0; }));
+  stats.max_doc_frequency = freqs.empty() ? 0 : freqs.front();
+
+  if (stats.total_occurrences > 0 && !freqs.empty()) {
+    size_t top = std::max<size_t>(1, stats.num_distinct_elements / 100);
+    uint64_t top_sum = std::accumulate(
+        freqs.begin(), freqs.begin() + std::min(top, freqs.size()),
+        uint64_t{0});
+    stats.top1pct_occurrence_share =
+        static_cast<double>(top_sum) /
+        static_cast<double>(stats.total_occurrences);
+  }
+  return stats;
+}
+
+std::vector<uint64_t> SortedDocFrequencies(const RecordSet& records) {
+  std::vector<uint64_t> freqs;
+  freqs.reserve(records.vocabulary_size());
+  for (TokenId t = 0; t < records.vocabulary_size(); ++t) {
+    freqs.push_back(records.doc_frequency(t));
+  }
+  std::sort(freqs.begin(), freqs.end(), std::greater<uint64_t>());
+  return freqs;
+}
+
+std::vector<TokenId> TopFrequentTokens(const RecordSet& records,
+                                       size_t count) {
+  std::vector<TokenId> tokens(records.vocabulary_size());
+  std::iota(tokens.begin(), tokens.end(), 0);
+  std::stable_sort(tokens.begin(), tokens.end(),
+                   [&records](TokenId a, TokenId b) {
+                     return records.doc_frequency(a) > records.doc_frequency(b);
+                   });
+  if (tokens.size() > count) tokens.resize(count);
+  return tokens;
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,101 @@
+#include "data/record.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ssjoin {
+
+Record Record::FromTokens(std::vector<TokenId> tokens) {
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  Record r;
+  r.tokens_ = std::move(tokens);
+  r.scores_.assign(r.tokens_.size(), 1.0);
+  return r;
+}
+
+Record Record::FromWeightedTokens(
+    std::vector<std::pair<TokenId, double>> weighted) {
+  std::sort(weighted.begin(), weighted.end());
+  Record r;
+  r.tokens_.reserve(weighted.size());
+  r.scores_.reserve(weighted.size());
+  for (const auto& [token, score] : weighted) {
+    SSJOIN_DCHECK(r.tokens_.empty() || r.tokens_.back() != token);
+    r.tokens_.push_back(token);
+    r.scores_.push_back(score);
+  }
+  return r;
+}
+
+size_t Record::Find(TokenId t) const {
+  auto it = std::lower_bound(tokens_.begin(), tokens_.end(), t);
+  if (it == tokens_.end() || *it != t) return SIZE_MAX;
+  return static_cast<size_t>(it - tokens_.begin());
+}
+
+double Record::OverlapWith(const Record& other) const {
+  double total = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < tokens_.size() && j < other.tokens_.size()) {
+    if (tokens_[i] < other.tokens_[j]) {
+      ++i;
+    } else if (tokens_[i] > other.tokens_[j]) {
+      ++j;
+    } else {
+      total += scores_[i] * other.scores_[j];
+      ++i;
+      ++j;
+    }
+  }
+  return total;
+}
+
+Record Record::UnionMax(const Record& a, const Record& b) {
+  Record out;
+  out.tokens_.reserve(a.size() + b.size());
+  out.scores_.reserve(a.size() + b.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j >= b.size() || (i < a.size() && a.token(i) < b.token(j))) {
+      out.tokens_.push_back(a.token(i));
+      out.scores_.push_back(a.score(i));
+      ++i;
+    } else if (i >= a.size() || b.token(j) < a.token(i)) {
+      out.tokens_.push_back(b.token(j));
+      out.scores_.push_back(b.score(j));
+      ++j;
+    } else {
+      out.tokens_.push_back(a.token(i));
+      out.scores_.push_back(std::max(a.score(i), b.score(j)));
+      ++i;
+      ++j;
+    }
+  }
+  out.norm_ = std::min(a.norm_, b.norm_);
+  out.text_length_ = std::min(a.text_length_, b.text_length_);
+  return out;
+}
+
+size_t Record::IntersectionSize(const Record& other) const {
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < tokens_.size() && j < other.tokens_.size()) {
+    if (tokens_[i] < other.tokens_[j]) {
+      ++i;
+    } else if (tokens_[i] > other.tokens_[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace ssjoin

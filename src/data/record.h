@@ -1,0 +1,81 @@
+#ifndef SSJOIN_DATA_RECORD_H_
+#define SSJOIN_DATA_RECORD_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "text/token_dictionary.h"
+
+namespace ssjoin {
+
+/// Dense record identifier: position of the record in its RecordSet.
+using RecordId = uint32_t;
+
+/// A set-valued attribute value: the sorted set of its tokens, each with a
+/// score. Scores are what the general framework of Section 5 calls
+/// score(w, r); they default to 1 and are overwritten by weighted
+/// predicates (e.g. the cosine predicate installs unit-normalized TF-IDF
+/// weights). `norm` caches the predicate-defined record score ||r||
+/// (Equation 1) and `text_length` carries the original string length used
+/// by the edit-distance threshold.
+class Record {
+ public:
+  Record() = default;
+
+  /// Builds a record from possibly-unsorted, possibly-duplicated tokens;
+  /// duplicates are collapsed (set semantics) with unit scores.
+  static Record FromTokens(std::vector<TokenId> tokens);
+
+  /// Builds a record from (token, score) pairs; tokens must be distinct.
+  static Record FromWeightedTokens(
+      std::vector<std::pair<TokenId, double>> weighted);
+
+  /// Number of distinct tokens.
+  size_t size() const { return tokens_.size(); }
+  bool empty() const { return tokens_.empty(); }
+
+  /// Tokens in strictly increasing order.
+  const std::vector<TokenId>& tokens() const { return tokens_; }
+  /// scores()[i] is the score of tokens()[i].
+  const std::vector<double>& scores() const { return scores_; }
+
+  TokenId token(size_t i) const { return tokens_[i]; }
+  double score(size_t i) const { return scores_[i]; }
+
+  /// Binary-searches for `t`; returns its position or SIZE_MAX.
+  size_t Find(TokenId t) const;
+  bool Contains(TokenId t) const { return Find(t) != SIZE_MAX; }
+
+  /// Rewrites the score of tokens()[i]; used by Predicate::Prepare.
+  void set_score(size_t i, double score) { scores_[i] = score; }
+
+  double norm() const { return norm_; }
+  void set_norm(double norm) { norm_ = norm; }
+
+  uint32_t text_length() const { return text_length_; }
+  void set_text_length(uint32_t len) { text_length_ = len; }
+
+  /// Sum over common tokens of score(w, r) * score(w, s): the match amount
+  /// of the general framework. Linear in size() + other.size().
+  double OverlapWith(const Record& other) const;
+
+  /// Number of common tokens, ignoring scores.
+  size_t IntersectionSize(const Record& other) const;
+
+  /// Token-set union of `a` and `b` with per-token score = max of the two:
+  /// the cluster summary of Section 5.1.3 (score(w, C) = max over members).
+  /// The result's norm is min(a.norm, b.norm) (= ||C||) and text_length is
+  /// min of the two (the shortest member drives the edit-distance bound).
+  static Record UnionMax(const Record& a, const Record& b);
+
+ private:
+  std::vector<TokenId> tokens_;
+  std::vector<double> scores_;
+  double norm_ = 0;
+  uint32_t text_length_ = 0;
+};
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_DATA_RECORD_H_

@@ -1,0 +1,59 @@
+#include "data/record_set.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace ssjoin {
+
+RecordId RecordSet::Add(Record record, std::string text) {
+  RecordId id = static_cast<RecordId>(records_.size());
+  for (size_t i = 0; i < record.size(); ++i) {
+    TokenId t = record.token(i);
+    if (t >= doc_frequency_.size()) {
+      doc_frequency_.resize(t + 1, 0);
+      term_frequency_.resize(t + 1, 0);
+    }
+    ++doc_frequency_[t];
+    ++term_frequency_[t];
+  }
+  total_occurrences_ += record.size();
+  records_.push_back(std::move(record));
+  texts_.push_back(std::move(text));
+  return id;
+}
+
+uint64_t RecordSet::doc_frequency(TokenId t) const {
+  return t < doc_frequency_.size() ? doc_frequency_[t] : 0;
+}
+
+uint64_t RecordSet::term_frequency(TokenId t) const {
+  return t < term_frequency_.size() ? term_frequency_[t] : 0;
+}
+
+double RecordSet::average_record_size() const {
+  if (records_.empty()) return 0;
+  return static_cast<double>(total_occurrences_) /
+         static_cast<double>(records_.size());
+}
+
+std::vector<RecordId> RecordSet::IdsByDecreasingSize() const {
+  std::vector<RecordId> ids(records_.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::stable_sort(ids.begin(), ids.end(), [this](RecordId a, RecordId b) {
+    return records_[a].size() > records_[b].size();
+  });
+  return ids;
+}
+
+std::vector<RecordId> RecordSet::IdsByDecreasingNorm() const {
+  std::vector<RecordId> ids(records_.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::stable_sort(ids.begin(), ids.end(), [this](RecordId a, RecordId b) {
+    return records_[a].norm() > records_[b].norm();
+  });
+  return ids;
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,79 @@
+#ifndef SSJOIN_DATA_RECORD_SET_H_
+#define SSJOIN_DATA_RECORD_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+#include "text/token_dictionary.h"
+
+namespace ssjoin {
+
+/// The join input: an ordered collection of Records plus the corpus-level
+/// token statistics the algorithms and weighting schemes need (document
+/// frequency for stopword selection and list-length estimates, total term
+/// frequency for TF-IDF). Optionally retains the original text of each
+/// record for edit-distance verification and for human-readable output.
+class RecordSet {
+ public:
+  RecordSet() = default;
+
+  RecordSet(const RecordSet&) = default;
+  RecordSet& operator=(const RecordSet&) = default;
+  RecordSet(RecordSet&&) = default;
+  RecordSet& operator=(RecordSet&&) = default;
+
+  /// Appends `record` and returns its RecordId. `text` may be empty.
+  RecordId Add(Record record, std::string text = {});
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  const Record& record(RecordId id) const { return records_[id]; }
+  Record& mutable_record(RecordId id) { return records_[id]; }
+
+  const std::vector<Record>& records() const { return records_; }
+
+  /// Original text of record `id`; empty if not retained.
+  const std::string& text(RecordId id) const { return texts_[id]; }
+
+  /// Number of distinct tokens seen across all records.
+  size_t vocabulary_size() const { return doc_frequency_.size(); }
+
+  /// Number of records containing token `t` (0 for unseen tokens).
+  uint64_t doc_frequency(TokenId t) const;
+
+  /// Total occurrences of token `t` over all records, counting within-record
+  /// multiplicity recorded at tokenization time. With set semantics this
+  /// equals doc_frequency.
+  uint64_t term_frequency(TokenId t) const;
+  const std::vector<uint64_t>& term_frequencies() const {
+    return term_frequency_;
+  }
+
+  /// Sum of record sizes == total word occurrences W of Section 4.
+  uint64_t total_token_occurrences() const { return total_occurrences_; }
+
+  /// Mean record size (0 for an empty set).
+  double average_record_size() const;
+
+  /// Returns record ids sorted by decreasing record size, breaking ties by
+  /// id; the Section 3.3 pre-sort order. Does not move the records.
+  std::vector<RecordId> IdsByDecreasingSize() const;
+
+  /// Returns record ids sorted by decreasing norm(); the generalized
+  /// pre-sort order of Section 5.1.2.
+  std::vector<RecordId> IdsByDecreasingNorm() const;
+
+ private:
+  std::vector<Record> records_;
+  std::vector<std::string> texts_;
+  std::vector<uint64_t> doc_frequency_;
+  std::vector<uint64_t> term_frequency_;
+  uint64_t total_occurrences_ = 0;
+};
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_DATA_RECORD_SET_H_

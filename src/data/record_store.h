@@ -1,0 +1,63 @@
+#ifndef SSJOIN_DATA_RECORD_STORE_H_
+#define SSJOIN_DATA_RECORD_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+#include "data/record_set.h"
+#include "util/status.h"
+
+namespace ssjoin {
+
+/// Disk-backed record storage standing in for "the database" that
+/// ClusterMem's second phase re-fetches records from (Section 4.2). Records
+/// are serialized sequentially; an in-memory offset table supports random
+/// Fetch by RecordId, while batched access in scan order stays sequential
+/// on disk exactly as the paper's I/O discussion prescribes.
+class RecordStore {
+ public:
+  RecordStore() = default;
+
+  RecordStore(const RecordStore&) = delete;
+  RecordStore& operator=(const RecordStore&) = delete;
+  RecordStore(RecordStore&&) = default;
+  RecordStore& operator=(RecordStore&&) = default;
+
+  /// Serializes every record of `records` (with retained text) to `path`,
+  /// replacing any existing file, and returns an open store.
+  static Result<RecordStore> Create(const std::string& path,
+                                    const RecordSet& records);
+
+  /// Opens an existing store, rebuilding the offset table with one
+  /// sequential scan.
+  static Result<RecordStore> Open(const std::string& path);
+
+  size_t size() const { return offsets_.size(); }
+
+  /// Reads record `id`. `text` may be nullptr if the caller does not need
+  /// the original string.
+  Status Fetch(RecordId id, Record* record, std::string* text) const;
+
+ private:
+  /// The whole file is kept as an in-memory string after open; datasets in
+  /// this reproduction are laptop-scale, and keeping bytes (not parsed
+  /// Records) preserves the phase-2 deserialization cost structure.
+  std::string data_;
+  std::vector<uint64_t> offsets_;
+};
+
+/// Serializes one record (tokens delta-coded, scores as IEEE doubles,
+/// norm, text_length and raw text) into `out`.
+void SerializeRecord(const Record& record, const std::string& text,
+                     std::string* out);
+
+/// Deserializes a record starting at data[*offset]; advances *offset.
+/// Returns false on malformed input.
+bool DeserializeRecord(const std::string& data, size_t* offset,
+                       Record* record, std::string* text);
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_DATA_RECORD_STORE_H_

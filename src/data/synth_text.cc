@@ -1,0 +1,98 @@
+#include "data/synth_text.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace ssjoin {
+
+namespace {
+
+constexpr const char* kOnsets[] = {"b",  "c",  "d",  "f",  "g",  "h",  "j",
+                                   "k",  "l",  "m",  "n",  "p",  "r",  "s",
+                                   "t",  "v",  "w",  "z",  "ch", "sh", "th",
+                                   "br", "cr", "dr", "pr", "st", "tr", "kh"};
+constexpr const char* kVowels[] = {"a", "e", "i", "o", "u", "ai", "ee", "oo"};
+constexpr const char* kCodas[] = {"",  "",  "",  "n", "r", "l",
+                                  "s", "t", "m", "k", "nd", "sh"};
+
+std::string RandomSyllable(Rng& rng) {
+  std::string s = kOnsets[rng.UniformU32(std::size(kOnsets))];
+  s += kVowels[rng.UniformU32(std::size(kVowels))];
+  s += kCodas[rng.UniformU32(std::size(kCodas))];
+  return s;
+}
+
+std::string RandomWord(Rng& rng, int min_syllables, int max_syllables) {
+  int n = rng.UniformInt(min_syllables, max_syllables);
+  std::string word;
+  for (int i = 0; i < n; ++i) word += RandomSyllable(rng);
+  return word;
+}
+
+std::vector<std::string> SynthesizeDistinct(uint32_t count, Rng& rng,
+                                            bool capitalize,
+                                            int max_syllables) {
+  std::vector<std::string> pool;
+  pool.reserve(count);
+  std::unordered_set<std::string> seen;
+  int salt = 0;
+  while (pool.size() < count) {
+    std::string word = RandomWord(rng, 2, max_syllables);
+    if (capitalize && !word.empty()) {
+      word[0] = static_cast<char>(word[0] - 'a' + 'A');
+    }
+    if (!seen.insert(word).second) {
+      // Collision: salt with a digit suffix to guarantee progress even when
+      // the syllable space is nearly exhausted.
+      word += std::to_string(salt++ % 10);
+      if (!seen.insert(word).second) continue;
+    }
+    pool.push_back(std::move(word));
+  }
+  return pool;
+}
+
+}  // namespace
+
+std::vector<std::string> SynthesizeWordPool(uint32_t count, Rng& rng) {
+  return SynthesizeDistinct(count, rng, /*capitalize=*/false,
+                            /*max_syllables=*/4);
+}
+
+std::vector<std::string> SynthesizeNamePool(uint32_t count, Rng& rng) {
+  // Names are kept shorter than title words so the address corpus hits
+  // the paper's ~14-character names / ~47-gram records.
+  return SynthesizeDistinct(count, rng, /*capitalize=*/true,
+                            /*max_syllables=*/3);
+}
+
+std::string ApplyTypo(const std::string& text, Rng& rng) {
+  if (text.empty()) return text;
+  std::string out = text;
+  uint32_t pos = rng.UniformU32(static_cast<uint32_t>(out.size()));
+  switch (rng.UniformU32(4)) {
+    case 0:  // substitute
+      out[pos] = static_cast<char>('a' + rng.UniformU32(26));
+      break;
+    case 1:  // delete
+      out.erase(pos, 1);
+      break;
+    case 2:  // insert
+      out.insert(out.begin() + pos,
+                 static_cast<char>('a' + rng.UniformU32(26)));
+      break;
+    case 3:  // transpose
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out;
+}
+
+std::string ApplyTypos(const std::string& text, int count, Rng& rng) {
+  std::string out = text;
+  for (int i = 0; i < count; ++i) out = ApplyTypo(out, rng);
+  return out;
+}
+
+}  // namespace ssjoin

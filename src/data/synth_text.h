@@ -1,0 +1,36 @@
+#ifndef SSJOIN_DATA_SYNTH_TEXT_H_
+#define SSJOIN_DATA_SYNTH_TEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ssjoin {
+
+/// Shared vocabulary machinery for the synthetic corpora. The paper's real
+/// datasets (CiteSeer citations, Pune addresses) are not redistributable;
+/// what the join algorithms are sensitive to is (a) the skewed Zipfian
+/// frequency distribution of elements, (b) average set size, and (c) the
+/// presence of near-duplicate records. These helpers synthesize
+/// pronounceable pseudo-words so that q-gram tokenizations also behave like
+/// natural text (shared prefixes/suffixes, non-uniform gram frequencies).
+
+/// Generates `count` distinct pseudo-words of 2-4 syllables.
+std::vector<std::string> SynthesizeWordPool(uint32_t count, Rng& rng);
+
+/// Generates `count` distinct capitalized pseudo-names (for authors,
+/// streets, cities).
+std::vector<std::string> SynthesizeNamePool(uint32_t count, Rng& rng);
+
+/// Applies a single random character-level typo (substitute, delete,
+/// insert, or transpose) to `text`. No-op on empty input.
+std::string ApplyTypo(const std::string& text, Rng& rng);
+
+/// Applies `count` independent typos.
+std::string ApplyTypos(const std::string& text, int count, Rng& rng);
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_DATA_SYNTH_TEXT_H_

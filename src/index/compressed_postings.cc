@@ -1,0 +1,52 @@
+#include "index/compressed_postings.h"
+
+#include "util/logging.h"
+#include "util/varint.h"
+
+namespace ssjoin {
+
+CompressedPostingList CompressedPostingList::FromPostingList(
+    const PostingList& list) {
+  CompressedPostingList out;
+  out.num_postings_ = list.size();
+  out.scores_.reserve(list.size());
+  uint32_t prev = 0;
+  for (size_t i = 0; i < list.size(); ++i) {
+    const Posting& p = list[i];
+    SSJOIN_DCHECK(i == 0 || p.id >= prev);
+    PutVarint32(&out.ids_, p.id - prev);
+    prev = p.id;
+    out.scores_.push_back(static_cast<float>(p.score));
+  }
+  return out;
+}
+
+PostingList CompressedPostingList::Decode() const {
+  PostingList out;
+  size_t offset = 0;
+  uint32_t id = 0;
+  for (size_t i = 0; i < num_postings_; ++i) {
+    uint32_t delta = 0;
+    bool ok = GetVarint32(ids_, &offset, &delta);
+    SSJOIN_CHECK(ok) << "corrupt compressed posting list";
+    id += delta;
+    // Append allows only strictly increasing ids; duplicate-id postings
+    // cannot occur because FromPostingList consumed a sorted unique list.
+    out.Append(id, scores_[i]);
+  }
+  return out;
+}
+
+IndexCompressionStats CompressIndex(const InvertedIndex& index) {
+  IndexCompressionStats stats;
+  index.ForEachList([&stats](TokenId /*t*/, const PostingList& list) {
+    CompressedPostingList compressed =
+        CompressedPostingList::FromPostingList(list);
+    stats.total_postings += compressed.num_postings();
+    stats.compressed_bytes += compressed.byte_size();
+    stats.uncompressed_bytes += compressed.uncompressed_byte_size();
+  });
+  return stats;
+}
+
+}  // namespace ssjoin

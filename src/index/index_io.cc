@@ -1,0 +1,138 @@
+#include "index/index_io.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "util/varint.h"
+
+namespace ssjoin {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'S', 'J', 'I'};
+
+void PutFloat(std::string* out, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  out->append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+}
+
+bool GetFloat(const std::string& data, size_t* offset, float* v) {
+  if (*offset + sizeof(uint32_t) > data.size()) return false;
+  uint32_t bits;
+  std::memcpy(&bits, data.data() + *offset, sizeof(bits));
+  *offset += sizeof(bits);
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+void PutDouble(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  out->append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+}
+
+bool GetDouble(const std::string& data, size_t* offset, double* v) {
+  if (*offset + sizeof(uint64_t) > data.size()) return false;
+  uint64_t bits;
+  std::memcpy(&bits, data.data() + *offset, sizeof(bits));
+  *offset += sizeof(bits);
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+}  // namespace
+
+Status SaveIndex(const InvertedIndex& index, const std::string& path) {
+  std::string buffer(kMagic, sizeof(kMagic));
+  PutVarint64(&buffer, index.num_entities());
+  // min_norm may be +inf for an empty index; encode the raw double bits.
+  PutDouble(&buffer, index.min_norm());
+
+  // Token order from the hash map is unspecified; sort for a canonical
+  // file (byte-identical across runs).
+  std::vector<std::pair<TokenId, const PostingList*>> lists;
+  index.ForEachList([&lists](TokenId t, const PostingList& list) {
+    lists.emplace_back(t, &list);
+  });
+  std::sort(lists.begin(), lists.end());
+  PutVarint64(&buffer, lists.size());
+  for (const auto& [token, list] : lists) {
+    PutVarint32(&buffer, token);
+    PutVarint32(&buffer, static_cast<uint32_t>(list->size()));
+    uint32_t prev = 0;
+    for (size_t i = 0; i < list->size(); ++i) {
+      PutVarint32(&buffer, (*list)[i].id - prev);
+      prev = (*list)[i].id;
+    }
+    for (size_t i = 0; i < list->size(); ++i) {
+      PutFloat(&buffer, static_cast<float>((*list)[i].score));
+    }
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  out.close();
+  if (out.fail()) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<InvertedIndex> LoadIndex(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (data.size() < sizeof(kMagic) ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError("bad magic in index file: " + path);
+  }
+  size_t offset = sizeof(kMagic);
+  uint64_t num_entities = 0;
+  double min_norm = std::numeric_limits<double>::infinity();
+  uint64_t num_lists = 0;
+  if (!GetVarint64(data, &offset, &num_entities) ||
+      !GetDouble(data, &offset, &min_norm) ||
+      !GetVarint64(data, &offset, &num_lists)) {
+    return Status::IOError("truncated index header: " + path);
+  }
+
+  InvertedIndex index;
+  for (uint64_t l = 0; l < num_lists; ++l) {
+    uint32_t token = 0;
+    uint32_t count = 0;
+    if (!GetVarint32(data, &offset, &token) ||
+        !GetVarint32(data, &offset, &count)) {
+      return Status::IOError("truncated list header: " + path);
+    }
+    std::vector<uint32_t> ids(count);
+    uint32_t prev = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t delta = 0;
+      if (!GetVarint32(data, &offset, &delta)) {
+        return Status::IOError("truncated posting ids: " + path);
+      }
+      prev += delta;
+      ids[i] = prev;
+    }
+    PostingList list;
+    for (uint32_t i = 0; i < count; ++i) {
+      float score = 0;
+      if (!GetFloat(data, &offset, &score)) {
+        return Status::IOError("truncated posting scores: " + path);
+      }
+      list.Append(ids[i], score);
+    }
+    index.RestoreList(token, std::move(list));
+  }
+  if (offset != data.size()) {
+    return Status::IOError("trailing bytes in index file: " + path);
+  }
+  index.RestoreStats(num_entities, min_norm);
+  return index;
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,30 @@
+#ifndef SSJOIN_INDEX_INDEX_IO_H_
+#define SSJOIN_INDEX_INDEX_IO_H_
+
+#include <string>
+
+#include "index/inverted_index.h"
+#include "util/status.h"
+
+namespace ssjoin {
+
+/// Index persistence: build an inverted index once, reuse it across
+/// processes ("probe many" workloads — a reference set that incoming
+/// records are matched against). Posting ids are delta+varint coded and
+/// scores quantized to float32, the same layout CompressedPostingList
+/// uses, so on-disk size tracks the Section 4 compression ratios.
+///
+/// Note: score quantization means a loaded index is bit-identical for
+/// unit-score predicates and accurate to float precision for weighted
+/// ones; candidate generation tolerates this through the standard prune
+/// slack, and verification always recomputes on full-precision records.
+
+/// Writes `index` to `path`, replacing any existing file.
+Status SaveIndex(const InvertedIndex& index, const std::string& path);
+
+/// Reads an index previously written by SaveIndex.
+Result<InvertedIndex> LoadIndex(const std::string& path);
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_INDEX_INDEX_IO_H_

@@ -1,0 +1,56 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ssjoin {
+
+void InvertedIndex::TrackEntity(RecordId id, double norm) {
+  if (max_entity_id_ == std::numeric_limits<RecordId>::max() ||
+      id > max_entity_id_) {
+    max_entity_id_ = id;
+  }
+  num_entities_ = std::max<size_t>(num_entities_, max_entity_id_ + 1);
+  min_norm_ = std::min(min_norm_, norm);
+}
+
+void InvertedIndex::Insert(RecordId id, const Record& record) {
+  TrackEntity(id, record.norm());
+  for (size_t i = 0; i < record.size(); ++i) {
+    lists_[record.token(i)].Append(id, record.score(i));
+    ++total_postings_;
+  }
+}
+
+void InvertedIndex::RestoreList(TokenId t, PostingList list) {
+  auto it = lists_.find(t);
+  if (it != lists_.end()) {
+    total_postings_ -= it->second.size();
+    it->second = std::move(list);
+    total_postings_ += it->second.size();
+    return;
+  }
+  total_postings_ += list.size();
+  lists_.emplace(t, std::move(list));
+}
+
+void InvertedIndex::RestoreStats(size_t num_entities, double min_norm) {
+  num_entities_ = num_entities;
+  if (num_entities > 0) {
+    max_entity_id_ = static_cast<RecordId>(num_entities - 1);
+  }
+  min_norm_ = min_norm;
+}
+
+void InvertedIndex::InsertOrUpdateMax(RecordId id, const Record& record,
+                                      double norm) {
+  TrackEntity(id, norm);
+  for (size_t i = 0; i < record.size(); ++i) {
+    if (lists_[record.token(i)].InsertOrUpdateMax(id, record.score(i))) {
+      ++total_postings_;
+    }
+  }
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,94 @@
+#ifndef SSJOIN_INDEX_INVERTED_INDEX_H_
+#define SSJOIN_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "data/record.h"
+#include "index/posting_list.h"
+#include "text/token_dictionary.h"
+
+namespace ssjoin {
+
+/// Token -> posting-list inverted index, the central data structure of
+/// every algorithm in the paper (Section 2.1). Supports both usage modes:
+///
+///   * record-level: Insert() appends each record's postings in scan
+///     order (ids strictly increasing within each list);
+///   * cluster-level: InsertOrUpdateMax() keeps one posting per cluster
+///     with score(w, C) = max over member records (Section 5.1.3).
+///
+/// It also maintains the aggregate statistics the generalized MergeOpt
+/// needs: the minimum record norm in the index (for T(r, I)) and the
+/// total number of postings (the W of Section 4's memory model).
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+  InvertedIndex(InvertedIndex&&) = default;
+  InvertedIndex& operator=(InvertedIndex&&) = default;
+
+  /// Appends all postings of `record` under id `id`. Requires `id` to be
+  /// strictly greater than any previously inserted id.
+  void Insert(RecordId id, const Record& record);
+
+  /// Cluster-mode insertion: merges `record`'s tokens into entity `id`'s
+  /// postings, raising existing scores to the max. `norm` is the entity's
+  /// current norm (||C|| = min member norm, supplied by the caller).
+  void InsertOrUpdateMax(RecordId id, const Record& record, double norm);
+
+  /// The posting list of token `t`, or nullptr if no record contains it.
+  /// Storage is sparse (hash map): Probe-Cluster keeps one small member
+  /// index per cluster over a large shared token space, where dense
+  /// per-token arrays would cost O(vocabulary) memory per cluster.
+  const PostingList* list(TokenId t) const {
+    auto it = lists_.find(t);
+    return it == lists_.end() ? nullptr : &it->second;
+  }
+
+  /// Invokes `fn(token, list)` for every non-empty list, in unspecified
+  /// order. Used by whole-index consumers (Pair-Count, compression).
+  void ForEachList(
+      const std::function<void(TokenId, const PostingList&)>& fn) const {
+    for (const auto& [token, list] : lists_) fn(token, list);
+  }
+
+  /// Number of distinct tokens with a posting list.
+  size_t num_tokens() const { return lists_.size(); }
+
+  /// Number of Insert/InsertOrUpdateMax target entities seen (records or
+  /// clusters).
+  size_t num_entities() const { return num_entities_; }
+
+  /// Minimum norm over all inserted records; +inf when empty. This is the
+  /// minS of Section 5.1.1.
+  double min_norm() const { return min_norm_; }
+
+  /// Total postings currently stored (index size in word occurrences).
+  uint64_t total_postings() const { return total_postings_; }
+
+  /// Restores a deserialized list (used by index_io); replaces any
+  /// existing list for `t` and accounts its postings.
+  void RestoreList(TokenId t, PostingList list);
+
+  /// Restores the aggregate statistics a serialized index carries.
+  void RestoreStats(size_t num_entities, double min_norm);
+
+ private:
+  void TrackEntity(RecordId id, double norm);
+
+  std::unordered_map<TokenId, PostingList> lists_;
+  size_t num_entities_ = 0;
+  RecordId max_entity_id_ = std::numeric_limits<RecordId>::max();  // none yet
+  double min_norm_ = std::numeric_limits<double>::infinity();
+  uint64_t total_postings_ = 0;
+};
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_INDEX_INVERTED_INDEX_H_

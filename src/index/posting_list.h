@@ -1,0 +1,71 @@
+#ifndef SSJOIN_INDEX_POSTING_LIST_H_
+#define SSJOIN_INDEX_POSTING_LIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "data/record.h"
+
+namespace ssjoin {
+
+/// One entry of a posting list: a record (or cluster) id and the score of
+/// the list's token in that record, i.e. the framework's score(w, s).
+struct Posting {
+  RecordId id;
+  double score;
+};
+
+/// A sorted-by-id posting list with the per-list statistics MergeOptGen
+/// needs: length and max score (Equation 3's score(w, I), maintained
+/// incrementally as postings arrive).
+class PostingList {
+ public:
+  PostingList() = default;
+
+  /// Appends a posting with id strictly greater than all existing ids
+  /// (the common case: records are inserted in scan order).
+  void Append(RecordId id, double score);
+
+  /// Inserts in sorted position, or raises an existing posting's score to
+  /// max(old, score). Used by the cluster-level index, where an old
+  /// cluster can acquire a new token after younger clusters already
+  /// appear in the list. O(size) worst case, O(1) when appending.
+  /// Returns true if a new posting was inserted (vs. updated in place).
+  bool InsertOrUpdateMax(RecordId id, double score);
+
+  size_t size() const { return postings_.size(); }
+  bool empty() const { return postings_.empty(); }
+  const Posting& operator[](size_t i) const { return postings_[i]; }
+  const std::vector<Posting>& postings() const { return postings_; }
+
+  /// Max score over postings; 0 when empty.
+  double max_score() const { return max_score_; }
+
+  /// Doubling (galloping) binary search for `id` starting at position
+  /// `start`: the search primitive of MergeOpt step 10. Returns the
+  /// posting's position, or SIZE_MAX if absent. `probe_cost` (optional)
+  /// is incremented by the number of comparisons, for instrumentation.
+  size_t GallopFind(RecordId id, size_t start = 0,
+                    uint64_t* probe_cost = nullptr) const;
+
+  /// Doubling search for the first position at or after `start` whose
+  /// posting id is >= `id`. Returns size() when no such posting exists.
+  /// This is the primitive MergeOpt uses so the caller can both test
+  /// membership and carry the position forward as the next search hint
+  /// (candidates arrive in increasing id order).
+  size_t GallopLowerBound(RecordId id, size_t start = 0,
+                          uint64_t* probe_cost = nullptr) const;
+
+  /// First position with posting id >= `id` (classic lower bound), used by
+  /// merge frontiers.
+  size_t LowerBound(RecordId id) const;
+
+ private:
+  std::vector<Posting> postings_;
+  double max_score_ = 0;
+};
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_INDEX_POSTING_LIST_H_

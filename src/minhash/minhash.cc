@@ -1,0 +1,61 @@
+#include "minhash/minhash.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ssjoin {
+
+MinHasher::MinHasher(int k, uint64_t seed) {
+  SSJOIN_CHECK(k > 0);
+  Rng rng(seed);
+  mul_.reserve(k);
+  add_.reserve(k);
+  for (int i = 0; i < k; ++i) {
+    mul_.push_back(rng.NextU64() | 1);  // odd multiplier
+    add_.push_back(rng.NextU64());
+  }
+}
+
+uint64_t MinHasher::HashWith(size_t i, uint32_t id) const {
+  // Multiply-shift style mixing; full 64-bit avalanche via xorshift steps.
+  uint64_t x = (static_cast<uint64_t>(id) + add_[i]) * mul_[i];
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::vector<uint64_t> MinHasher::Signature(
+    const std::vector<uint32_t>& ids) const {
+  std::vector<uint64_t> sig = EmptySignature();
+  for (uint32_t id : ids) Absorb(&sig, id);
+  return sig;
+}
+
+double MinHasher::EstimateResemblance(const std::vector<uint64_t>& sig1,
+                                      const std::vector<uint64_t>& sig2) {
+  SSJOIN_CHECK(sig1.size() == sig2.size());
+  SSJOIN_CHECK(!sig1.empty());
+  size_t equal = 0;
+  for (size_t i = 0; i < sig1.size(); ++i) {
+    if (sig1[i] == sig2[i]) ++equal;
+  }
+  return static_cast<double>(equal) / static_cast<double>(sig1.size());
+}
+
+void MinHasher::Absorb(std::vector<uint64_t>* signature, uint32_t id) const {
+  SSJOIN_DCHECK(signature->size() == mul_.size());
+  for (size_t i = 0; i < mul_.size(); ++i) {
+    (*signature)[i] = std::min((*signature)[i], HashWith(i, id));
+  }
+}
+
+std::vector<uint64_t> MinHasher::EmptySignature() const {
+  return std::vector<uint64_t>(mul_.size(),
+                               std::numeric_limits<uint64_t>::max());
+}
+
+}  // namespace ssjoin

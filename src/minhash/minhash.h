@@ -1,0 +1,46 @@
+#ifndef SSJOIN_MINHASH_MINHASH_H_
+#define SSJOIN_MINHASH_MINHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ssjoin {
+
+/// k-signature MinHash over sets of 32-bit ids (Section 2.3). Each of the
+/// k hash functions defines a pseudo-random order of ids; the signature
+/// component is the minimum hash value in that order. The probability
+/// that two sets agree on one component equals their Jaccard resemblance,
+/// so the fraction of equal components estimates it.
+class MinHasher {
+ public:
+  /// Requires k > 0. `seed` derives the k independent hash functions.
+  MinHasher(int k, uint64_t seed);
+
+  int k() const { return static_cast<int>(mul_.size()); }
+
+  /// Signature of a set given as (possibly unsorted) ids.
+  std::vector<uint64_t> Signature(const std::vector<uint32_t>& ids) const;
+
+  /// Fraction of equal components: the S(g1, g2) estimator of Section 2.3.
+  /// Requires both signatures to come from this hasher (same k).
+  static double EstimateResemblance(const std::vector<uint64_t>& sig1,
+                                    const std::vector<uint64_t>& sig2);
+
+  /// Incremental form: a signature can absorb additional ids one at a
+  /// time, which the Word-Groups compaction uses as groups grow.
+  void Absorb(std::vector<uint64_t>* signature, uint32_t id) const;
+
+  /// Identity element for Absorb (all components at +infinity).
+  std::vector<uint64_t> EmptySignature() const;
+
+ private:
+  uint64_t HashWith(size_t i, uint32_t id) const;
+
+  std::vector<uint64_t> mul_;
+  std::vector<uint64_t> add_;
+};
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_MINHASH_MINHASH_H_

@@ -1,0 +1,35 @@
+#include "text/normalizer.h"
+
+#include <cctype>
+
+namespace ssjoin {
+
+std::string Normalizer::Normalize(std::string_view text) const {
+  std::string out;
+  out.reserve(text.size());
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (options_.strip_punctuation && !std::isalnum(c) && !std::isspace(c)) {
+      c = ' ';
+    }
+    if (options_.lowercase) c = static_cast<unsigned char>(std::tolower(c));
+    out.push_back(static_cast<char>(c));
+  }
+  if (!options_.collapse_whitespace) return out;
+
+  std::string collapsed;
+  collapsed.reserve(out.size());
+  bool in_space = true;  // also trims leading whitespace
+  for (char raw : out) {
+    if (std::isspace(static_cast<unsigned char>(raw))) {
+      in_space = true;
+      continue;
+    }
+    if (in_space && !collapsed.empty()) collapsed.push_back(' ');
+    in_space = false;
+    collapsed.push_back(raw);
+  }
+  return collapsed;
+}
+
+}  // namespace ssjoin

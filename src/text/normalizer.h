@@ -1,0 +1,33 @@
+#ifndef SSJOIN_TEXT_NORMALIZER_H_
+#define SSJOIN_TEXT_NORMALIZER_H_
+
+#include <string>
+#include <string_view>
+
+namespace ssjoin {
+
+/// Options controlling text canonicalization before tokenization.
+struct NormalizerOptions {
+  bool lowercase = true;
+  /// Replace every non-alphanumeric character with a space.
+  bool strip_punctuation = true;
+  /// Collapse runs of whitespace into a single space and trim the ends.
+  bool collapse_whitespace = true;
+};
+
+/// Canonicalizes raw text (ASCII) so that trivially different spellings of
+/// the same record tokenize identically. Mirrors the cleanup the paper
+/// applies before segmenting citations and addresses.
+class Normalizer {
+ public:
+  explicit Normalizer(NormalizerOptions options = {}) : options_(options) {}
+
+  std::string Normalize(std::string_view text) const;
+
+ private:
+  NormalizerOptions options_;
+};
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_TEXT_NORMALIZER_H_

@@ -1,0 +1,40 @@
+#ifndef SSJOIN_TEXT_TFIDF_H_
+#define SSJOIN_TEXT_TFIDF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/token_dictionary.h"
+
+namespace ssjoin {
+
+class RecordSet;
+
+/// TF-IDF weighting used by the cosine predicate (Section 5.2.2):
+///
+///   TF-IDF(w, r) = (1 + log fr(w, r)) * log(1 + N / fr(w))
+///
+/// where fr(w, r) is the within-record frequency, fr(w) is the total
+/// frequency of w over the corpus, and N is the number of records.
+class TfIdfWeighter {
+ public:
+  /// Builds the corpus-frequency table. `token_frequency[t]` must hold the
+  /// total occurrences of token t across all records.
+  TfIdfWeighter(std::vector<uint64_t> token_frequency, uint64_t num_records);
+
+  /// Convenience: gathers frequencies from a materialized RecordSet.
+  static TfIdfWeighter FromRecordSet(const RecordSet& records);
+
+  /// Raw TF-IDF score of token `t` appearing `tf` times in a record.
+  double Weight(TokenId t, uint32_t tf) const;
+
+  uint64_t num_records() const { return num_records_; }
+
+ private:
+  std::vector<uint64_t> token_frequency_;
+  uint64_t num_records_;
+};
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_TEXT_TFIDF_H_

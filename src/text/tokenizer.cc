@@ -1,0 +1,69 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ssjoin {
+
+namespace {
+
+std::vector<std::pair<TokenId, uint32_t>> CountsToPairs(
+    const std::unordered_map<TokenId, uint32_t>& counts) {
+  std::vector<std::pair<TokenId, uint32_t>> out(counts.begin(), counts.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<TokenId, uint32_t>> WordTokenizer::Tokenize(
+    std::string_view text, TokenDictionary* dict) const {
+  std::unordered_map<TokenId, uint32_t> counts;
+  for (std::string_view word : SplitAndTrim(text)) {
+    ++counts[dict->Intern(word)];
+  }
+  return CountsToPairs(counts);
+}
+
+QGramTokenizer::QGramTokenizer(int q, char pad, bool tag_occurrences)
+    : q_(q), pad_(pad), tag_occurrences_(tag_occurrences) {
+  SSJOIN_CHECK(q >= 1);
+}
+
+std::vector<std::pair<TokenId, uint32_t>> QGramTokenizer::Tokenize(
+    std::string_view text, TokenDictionary* dict) const {
+  std::string padded;
+  padded.reserve(text.size() + 2 * (q_ - 1));
+  padded.append(q_ - 1, pad_);
+  padded.append(text);
+  padded.append(q_ - 1, pad_);
+
+  std::unordered_map<TokenId, uint32_t> counts;
+  std::unordered_map<std::string, uint32_t> occurrence;  // tag mode
+  if (padded.size() >= static_cast<size_t>(q_)) {
+    for (size_t i = 0; i + q_ <= padded.size(); ++i) {
+      std::string_view gram(padded.data() + i, q_);
+      if (!tag_occurrences_) {
+        ++counts[dict->Intern(gram)];
+        continue;
+      }
+      uint32_t seen = occurrence[std::string(gram)]++;
+      if (seen == 0) {
+        ++counts[dict->Intern(gram)];
+      } else {
+        // '\x01' cannot occur in text, so tagged names never collide with
+        // real grams.
+        std::string tagged(gram);
+        tagged.push_back('\x01');
+        tagged.append(std::to_string(seen));
+        ++counts[dict->Intern(tagged)];
+      }
+    }
+  }
+  return CountsToPairs(counts);
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,75 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ssjoin {
+
+namespace {
+constexpr uint64_t kPcgMultiplier = 6364136223846793005ULL;
+constexpr uint64_t kPcgIncrement = 1442695040888963407ULL;
+}  // namespace
+
+void Rng::Reseed(uint64_t seed) {
+  state_ = 0;
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+uint32_t Rng::NextU32() {
+  uint64_t old = state_;
+  state_ = old * kPcgMultiplier + kPcgIncrement;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18U) ^ old) >> 27U);
+  uint32_t rot = static_cast<uint32_t>(old >> 59U);
+  return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+}
+
+uint64_t Rng::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+uint32_t Rng::UniformU32(uint32_t bound) {
+  SSJOIN_DCHECK(bound > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  uint32_t threshold = (0U - bound) % bound;
+  for (;;) {
+    uint32_t r = NextU32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  SSJOIN_DCHECK(lo <= hi);
+  uint32_t span = static_cast<uint32_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int>(NextU32());  // full int range
+  return lo + static_cast<int>(UniformU32(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+ZipfTable::ZipfTable(uint32_t n, double s) {
+  SSJOIN_CHECK(n > 0);
+  cdf_.resize(n);
+  double total = 0;
+  for (uint32_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (uint32_t k = 0; k < n; ++k) cdf_[k] /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+uint32_t ZipfTable::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+}  // namespace ssjoin

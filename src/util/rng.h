@@ -1,0 +1,65 @@
+#ifndef SSJOIN_UTIL_RNG_H_
+#define SSJOIN_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ssjoin {
+
+/// Deterministic PCG32 random number generator (O'Neill's pcg32_oneseq).
+/// Used everywhere instead of std::mt19937 so that synthetic datasets,
+/// MinHash permutations and test sweeps are reproducible across platforms
+/// and standard-library versions.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always produces the same stream.
+  explicit Rng(uint64_t seed) { Reseed(seed); }
+
+  void Reseed(uint64_t seed);
+
+  /// Uniform 32-bit value.
+  uint32_t NextU32();
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform value in [0, bound). Requires bound > 0. Uses unbiased
+  /// rejection sampling.
+  uint32_t UniformU32(uint32_t bound);
+
+  /// Uniform value in [lo, hi]. Requires lo <= hi.
+  int UniformInt(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-distributed value in [0, n) with exponent `s` (s > 0). Rank 0 is
+  /// the most frequent. Uses a precomputed CDF supplied by ZipfTable.
+  /// (Use ZipfTable for repeated sampling; this header only declares it.)
+
+ private:
+  uint64_t state_;
+};
+
+/// Precomputed CDF for Zipf(n, s) sampling: P(rank = k) proportional to
+/// 1 / (k + 1)^s. Sampling is O(log n) via binary search on the CDF.
+class ZipfTable {
+ public:
+  /// Requires n > 0 and s >= 0 (s = 0 degenerates to uniform).
+  ZipfTable(uint32_t n, double s);
+
+  /// Draws a rank in [0, n).
+  uint32_t Sample(Rng& rng) const;
+
+  uint32_t size() const { return static_cast<uint32_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_UTIL_RNG_H_

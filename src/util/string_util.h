@@ -1,0 +1,26 @@
+#ifndef SSJOIN_UTIL_STRING_UTIL_H_
+#define SSJOIN_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssjoin {
+
+/// Splits `text` on any character in `delims`, dropping empty pieces.
+std::vector<std::string_view> SplitAndTrim(std::string_view text,
+                                           std::string_view delims = " \t\n\r");
+
+/// ASCII lower-casing (the synthetic corpora are ASCII by construction).
+std::string AsciiToLower(std::string_view text);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// printf-style float formatting helper for benchmark tables.
+std::string FormatDouble(double value, int precision);
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_UTIL_STRING_UTIL_H_

@@ -1,0 +1,90 @@
+#include "util/varint.h"
+
+#include "util/logging.h"
+
+namespace ssjoin {
+
+void PutVarint32(std::string* out, uint32_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+void PutVarint64(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+bool GetVarint32(const std::string& data, size_t* offset, uint32_t* value) {
+  uint32_t result = 0;
+  for (int shift = 0; shift <= 28; shift += 7) {
+    if (*offset >= data.size()) return false;
+    uint8_t byte = static_cast<uint8_t>(data[*offset]);
+    ++*offset;
+    result |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+  }
+  return false;  // more than 5 bytes: malformed
+}
+
+bool GetVarint64(const std::string& data, size_t* offset, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (*offset >= data.size()) return false;
+    uint8_t byte = static_cast<uint8_t>(data[*offset]);
+    ++*offset;
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Varint32Size(uint32_t value) {
+  size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+std::string EncodeDeltaList(const std::vector<uint32_t>& ids) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(ids.size()));
+  uint32_t prev = 0;
+  for (uint32_t id : ids) {
+    SSJOIN_DCHECK(id >= prev);
+    PutVarint32(&out, id - prev);
+    prev = id;
+  }
+  return out;
+}
+
+bool DecodeDeltaList(const std::string& encoded, std::vector<uint32_t>* ids) {
+  ids->clear();
+  size_t offset = 0;
+  uint32_t count = 0;
+  if (!GetVarint32(encoded, &offset, &count)) return false;
+  ids->reserve(count);
+  uint32_t prev = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t delta = 0;
+    if (!GetVarint32(encoded, &offset, &delta)) return false;
+    prev += delta;
+    ids->push_back(prev);
+  }
+  return offset == encoded.size();
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,172 @@
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/join_common.h"
+#include "mining/apriori.h"
+#include "test_util.h"
+
+namespace ssjoin {
+namespace {
+
+using PairSet = std::set<uint64_t>;
+
+/// All record pairs implied by the emitted groups.
+PairSet CoveredPairs(const RecordSet& records, const AprioriOptions& options,
+                     std::vector<double> weights = {}) {
+  if (weights.empty()) weights.assign(records.vocabulary_size(), 1.0);
+  AprioriMiner miner(records, std::move(weights), options);
+  PairSet covered;
+  miner.Mine([&covered](const MinedGroup& group) {
+    for (size_t i = 0; i < group.rids.size(); ++i) {
+      for (size_t j = i + 1; j < group.rids.size(); ++j) {
+        covered.insert(PairKey(group.rids[i], group.rids[j]));
+      }
+    }
+  });
+  return covered;
+}
+
+/// Pairs whose unweighted overlap reaches `threshold` (ground truth).
+PairSet MatchingPairs(const RecordSet& records, double threshold) {
+  PairSet matches;
+  for (RecordId a = 0; a < records.size(); ++a) {
+    for (RecordId b = a + 1; b < records.size(); ++b) {
+      if (records.record(a).IntersectionSize(records.record(b)) >=
+          threshold) {
+        matches.insert(PairKey(a, b));
+      }
+    }
+  }
+  return matches;
+}
+
+void ExpectCoversAllMatches(const RecordSet& records,
+                            const AprioriOptions& options, double threshold) {
+  PairSet covered = CoveredPairs(records, options);
+  for (uint64_t key : MatchingPairs(records, threshold)) {
+    EXPECT_TRUE(covered.count(key) > 0)
+        << "pair (" << (key >> 32) << "," << (key & 0xFFFFFFFF)
+        << ") with overlap >= " << threshold << " not covered";
+  }
+}
+
+TEST(AprioriTest, ConfirmedGroupsCarryRealMatches) {
+  RecordSet records;
+  records.Add(Record::FromTokens({1, 2, 3, 4}));
+  records.Add(Record::FromTokens({1, 2, 3, 5}));
+  records.Add(Record::FromTokens({7, 8}));
+  AprioriOptions options;
+  options.min_weight = 3;
+  options.minhash_compaction = false;
+  // Disable early output (support threshold 2 = minimum support) so the
+  // itemset chain reaches the confirmed weight-3 group.
+  options.early_output_support = 2;
+  std::vector<double> weights(10, 1.0);
+  AprioriMiner miner(records, weights, options);
+  bool found_confirmed = false;
+  miner.Mine([&](const MinedGroup& group) {
+    if (group.confirmed) {
+      found_confirmed = true;
+      EXPECT_GE(group.weight, 3.0 - 1e-6);
+      // Every pair in a confirmed group genuinely overlaps >= T.
+      for (size_t i = 0; i < group.rids.size(); ++i) {
+        for (size_t j = i + 1; j < group.rids.size(); ++j) {
+          EXPECT_GE(records.record(group.rids[i])
+                        .IntersectionSize(records.record(group.rids[j])),
+                    3u);
+        }
+      }
+    }
+  });
+  EXPECT_TRUE(found_confirmed);
+}
+
+TEST(AprioriTest, CoversAllMatchesOnRandomData) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    RecordSet records = testing_util::MakeRandomRecordSet(
+        {.num_records = 80, .vocabulary = 40}, seed);
+    for (double threshold : {2.0, 4.0}) {
+      AprioriOptions options;
+      options.min_weight = threshold;
+      ExpectCoversAllMatches(records, options, threshold);
+    }
+  }
+}
+
+TEST(AprioriTest, CoversWithCompactionDisabled) {
+  RecordSet records = testing_util::MakeRandomRecordSet(
+      {.num_records = 60, .vocabulary = 30}, 9);
+  AprioriOptions options;
+  options.min_weight = 3;
+  options.minhash_compaction = false;
+  ExpectCoversAllMatches(records, options, 3);
+}
+
+TEST(AprioriTest, CoversWithAggressiveEarlyOutput) {
+  RecordSet records = testing_util::MakeRandomRecordSet(
+      {.num_records = 60, .vocabulary = 30}, 10);
+  AprioriOptions options;
+  options.min_weight = 3;
+  options.early_output_support = 20;  // almost everything leaves early
+  ExpectCoversAllMatches(records, options, 3);
+}
+
+TEST(AprioriTest, CoversWithMaxLevelCutoff) {
+  RecordSet records = testing_util::MakeRandomRecordSet(
+      {.num_records = 60, .vocabulary = 30}, 11);
+  AprioriOptions options;
+  options.min_weight = 5;
+  options.max_level = 2;  // stop early; open itemsets must still be emitted
+  ExpectCoversAllMatches(records, options, 5);
+}
+
+TEST(AprioriTest, CoversWithLargeListPruning) {
+  RecordSet records = testing_util::MakeRandomRecordSet(
+      {.num_records = 70, .vocabulary = 25, .zipf_exponent = 1.3}, 12);
+  AprioriOptions options;
+  options.min_weight = 3;
+  // Mark the two hottest tokens as the L set (total weight 2 < T = 3).
+  options.token_in_large_set.assign(records.vocabulary_size(), false);
+  std::vector<std::pair<uint64_t, TokenId>> by_df;
+  for (TokenId t = 0; t < records.vocabulary_size(); ++t) {
+    by_df.push_back({records.doc_frequency(t), t});
+  }
+  std::sort(by_df.rbegin(), by_df.rend());
+  options.token_in_large_set[by_df[0].second] = true;
+  options.token_in_large_set[by_df[1].second] = true;
+  ExpectCoversAllMatches(records, options, 3);
+}
+
+TEST(AprioriTest, WeightedItemsets) {
+  RecordSet records;
+  records.Add(Record::FromTokens({0, 1}));
+  records.Add(Record::FromTokens({0, 1}));
+  records.Add(Record::FromTokens({2}));
+  std::vector<double> weights = {2.5, 1.0, 1.0};
+  AprioriOptions options;
+  options.min_weight = 3.0;  // tokens {0,1} together weigh 3.5 >= 3
+  PairSet covered = CoveredPairs(records, options, weights);
+  EXPECT_TRUE(covered.count(PairKey(0, 1)) > 0);
+}
+
+TEST(AprioriTest, NoGroupsWhenNothingRepeats) {
+  RecordSet records;
+  records.Add(Record::FromTokens({0, 1}));
+  records.Add(Record::FromTokens({2, 3}));
+  AprioriOptions options;
+  options.min_weight = 1;
+  EXPECT_TRUE(CoveredPairs(records, options).empty());
+}
+
+TEST(AprioriTest, EmptyInput) {
+  RecordSet records;
+  AprioriOptions options;
+  options.min_weight = 2;
+  EXPECT_TRUE(CoveredPairs(records, options).empty());
+}
+
+}  // namespace
+}  // namespace ssjoin

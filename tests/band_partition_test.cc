@@ -1,0 +1,167 @@
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/band_partition.h"
+#include "core/edit_distance_predicate.h"
+#include "core/join.h"
+#include "core/join_common.h"
+#include "data/corpus_builder.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ssjoin {
+namespace {
+
+std::vector<double> RandomSortedValues(Rng& rng, int n, double spread) {
+  std::vector<double> values;
+  double v = 0;
+  for (int i = 0; i < n; ++i) {
+    v += rng.NextDouble() * spread;
+    values.push_back(v);
+  }
+  return values;
+}
+
+void ExpectWindowsCoverAllInRangePairs(const std::vector<double>& values,
+                                       double k,
+                                       const std::vector<BandWindow>& wins) {
+  for (size_t a = 0; a < values.size(); ++a) {
+    for (size_t b = a + 1; b < values.size(); ++b) {
+      if (values[b] - values[a] > k) break;  // sorted: later b only worse
+      bool covered = false;
+      for (const BandWindow& w : wins) {
+        if (w.begin <= a && b < w.end) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << "pair (" << a << "," << b << ") uncovered";
+    }
+  }
+}
+
+TEST(SimpleBandWindowsTest, CoversAllInRangePairs) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> values = RandomSortedValues(rng, 120, 2.0);
+    for (double k : {0.5, 2.0, 10.0}) {
+      ExpectWindowsCoverAllInRangePairs(values, k,
+                                        SimpleBandWindows(values, k));
+    }
+  }
+}
+
+TEST(SimpleBandWindowsTest, SingleWindowWhenRangeCoversAll) {
+  std::vector<double> values = {1, 2, 3};
+  auto windows = SimpleBandWindows(values, 100);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].begin, 0u);
+  EXPECT_EQ(windows[0].end, 3u);
+}
+
+TEST(SimpleBandWindowsTest, EmptyInput) {
+  EXPECT_TRUE(SimpleBandWindows({}, 1).empty());
+}
+
+TEST(MergedWindowsTest, GreedyAndOptimalPreserveCoverage) {
+  Rng rng(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<double> values = RandomSortedValues(rng, 100, 1.5);
+    double k = 1.0;
+    auto simple = SimpleBandWindows(values, k);
+    ExpectWindowsCoverAllInRangePairs(values, k, GreedyMergeWindows(simple));
+    ExpectWindowsCoverAllInRangePairs(values, k, OptimalMergeWindows(simple));
+  }
+}
+
+TEST(MergedWindowsTest, OptimalNeverCostsMoreThanGreedyOrSimple) {
+  Rng rng(4);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<double> values = RandomSortedValues(rng, 150, 1.0);
+    auto simple = SimpleBandWindows(values, 2.0);
+    uint64_t simple_cost = BandPartitionCost(simple);
+    uint64_t greedy_cost = BandPartitionCost(GreedyMergeWindows(simple));
+    uint64_t optimal_cost = BandPartitionCost(OptimalMergeWindows(simple));
+    EXPECT_LE(optimal_cost, greedy_cost);
+    EXPECT_LE(optimal_cost, simple_cost);
+  }
+}
+
+TEST(BandPartitionByNormTest, GroupsContainAllCloseNormPairs) {
+  RecordSet set = testing_util::MakeRandomRecordSet(
+      {.num_records = 80, .vocabulary = 40}, 5);
+  // Use record size as norm (unit scores; set them explicitly).
+  for (RecordId id = 0; id < set.size(); ++id) {
+    set.mutable_record(id).set_norm(
+        static_cast<double>(set.record(id).size()));
+  }
+  double k = 2.0;
+  auto partitions = BandPartitionByNorm(set, k, BandStrategy::kOptimal);
+  std::set<uint64_t> covered;
+  for (const auto& partition : partitions) {
+    for (size_t i = 0; i < partition.size(); ++i) {
+      for (size_t j = i + 1; j < partition.size(); ++j) {
+        covered.insert(PairKey(partition[i], partition[j]));
+      }
+    }
+  }
+  for (RecordId a = 0; a < set.size(); ++a) {
+    for (RecordId b = a + 1; b < set.size(); ++b) {
+      if (std::abs(set.record(a).norm() - set.record(b).norm()) <= k) {
+        EXPECT_TRUE(covered.count(PairKey(a, b)) > 0)
+            << "(" << a << "," << b << ")";
+      }
+    }
+  }
+}
+
+TEST(BandPartitionedJoinTest, MatchesBruteForceForEditDistance) {
+  Rng rng(6);
+  std::vector<std::string> texts;
+  for (int i = 0; i < 100; ++i) {
+    if (!texts.empty() && rng.Bernoulli(0.4)) {
+      std::string base = texts[rng.UniformU32(texts.size())];
+      if (!base.empty()) {
+        base[rng.UniformU32(base.size())] =
+            static_cast<char>('a' + rng.UniformU32(26));
+      }
+      texts.push_back(base);
+    } else {
+      texts.push_back(testing_util::RandomAsciiString(rng, 2, 18));
+    }
+  }
+  const int k = 2;
+  TokenDictionary dict;
+  CorpusBuilderOptions copts;
+  copts.normalize = false;
+  RecordSet base = BuildQGramCorpus(texts, 3, &dict, copts);
+  EditDistancePredicate pred(k, 3);
+
+  RecordSet reference = base;
+  pred.Prepare(&reference);
+  std::vector<std::pair<RecordId, RecordId>> expected;
+  BruteForceJoin(reference, pred, [&expected](RecordId a, RecordId b) {
+    expected.emplace_back(a, b);
+  });
+  std::sort(expected.begin(), expected.end());
+
+  for (BandStrategy strategy :
+       {BandStrategy::kSimple, BandStrategy::kGreedy, BandStrategy::kOptimal}) {
+    RecordSet working = base;
+    std::vector<std::pair<RecordId, RecordId>> actual;
+    Result<JoinStats> result = BandPartitionedJoin(
+        &working, pred, k, strategy,
+        [&actual](RecordId a, RecordId b) { actual.emplace_back(a, b); });
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected)
+        << "strategy=" << static_cast<int>(strategy);
+  }
+}
+
+}  // namespace
+}  // namespace ssjoin

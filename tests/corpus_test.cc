@@ -1,0 +1,192 @@
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/address_generator.h"
+#include "data/citation_generator.h"
+#include "data/corpus_builder.h"
+#include "data/corpus_stats.h"
+#include "text/token_dictionary.h"
+
+namespace ssjoin {
+namespace {
+
+TEST(CitationGeneratorTest, DeterministicGivenSeed) {
+  CitationGeneratorOptions opts;
+  opts.num_records = 200;
+  EXPECT_EQ(CitationGenerator(opts).Generate(),
+            CitationGenerator(opts).Generate());
+}
+
+TEST(CitationGeneratorTest, SeedsProduceDifferentData) {
+  CitationGeneratorOptions a, b;
+  a.num_records = b.num_records = 50;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(CitationGenerator(a).Generate(), CitationGenerator(b).Generate());
+}
+
+TEST(CitationGeneratorTest, ShapeMatchesPaperTable1) {
+  CitationGeneratorOptions opts;
+  opts.num_records = 4000;
+  std::vector<std::string> texts = CitationGenerator(opts).Generate();
+  ASSERT_EQ(texts.size(), opts.num_records);
+
+  TokenDictionary dict;
+  RecordSet words = BuildWordCorpus(texts, &dict);
+  CorpusStats stats = ComputeCorpusStats(words);
+  // Paper: All-words averages ~24 words per citation. Allow a wide band.
+  EXPECT_GT(stats.average_set_size, 10);
+  EXPECT_LT(stats.average_set_size, 40);
+  // Skewed frequencies: top 1% of words carries a large share.
+  EXPECT_GT(stats.top1pct_occurrence_share, 0.1);
+}
+
+TEST(CitationGeneratorTest, DuplicatesCreateHighOverlapPairs) {
+  CitationGeneratorOptions opts;
+  opts.num_records = 300;
+  opts.duplicate_fraction = 0.6;
+  std::vector<std::string> texts = CitationGenerator(opts).Generate();
+  TokenDictionary dict;
+  RecordSet set = BuildWordCorpus(texts, &dict);
+  // Count pairs sharing at least 70% of the smaller record.
+  int high_overlap = 0;
+  for (RecordId a = 0; a < set.size() && high_overlap < 5; ++a) {
+    for (RecordId b = a + 1; b < set.size(); ++b) {
+      size_t shared = set.record(a).IntersectionSize(set.record(b));
+      size_t smaller = std::min(set.record(a).size(), set.record(b).size());
+      if (smaller > 0 && shared >= 0.7 * smaller) {
+        ++high_overlap;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(high_overlap, 5);
+}
+
+TEST(CitationGeneratorTest, ProvenanceLabelsDuplicates) {
+  CitationGeneratorOptions opts;
+  opts.num_records = 400;
+  opts.duplicate_fraction = 0.5;
+  GeneratedCitations corpus =
+      CitationGenerator(opts).GenerateWithProvenance();
+  ASSERT_EQ(corpus.texts.size(), corpus.paper_id.size());
+  // Texts must match the plain Generate() stream.
+  EXPECT_EQ(corpus.texts, CitationGenerator(opts).Generate());
+  // With 50% duplication some papers must be cited more than once, and
+  // same-paper records should share far more words than random pairs.
+  std::map<uint32_t, std::vector<size_t>> by_paper;
+  for (size_t i = 0; i < corpus.paper_id.size(); ++i) {
+    by_paper[corpus.paper_id[i]].push_back(i);
+  }
+  EXPECT_LT(by_paper.size(), corpus.texts.size());
+  TokenDictionary dict;
+  RecordSet set = BuildWordCorpus(corpus.texts, &dict);
+  int checked = 0;
+  for (const auto& [paper, ids] : by_paper) {
+    if (ids.size() < 2 || checked >= 20) continue;
+    ++checked;
+    size_t shared = set.record(static_cast<RecordId>(ids[0]))
+                        .IntersectionSize(
+                            set.record(static_cast<RecordId>(ids[1])));
+    size_t smaller = std::min(set.record(ids[0]).size(),
+                              set.record(ids[1]).size());
+    EXPECT_GE(shared * 2, smaller)
+        << "same-paper records share too little (paper " << paper << ")";
+  }
+  EXPECT_GE(checked, 10);
+}
+
+TEST(AddressGeneratorTest, Deterministic) {
+  AddressGeneratorOptions opts;
+  opts.num_records = 100;
+  std::vector<AddressRecord> a = AddressGenerator(opts).Generate();
+  std::vector<AddressRecord> b = AddressGenerator(opts).Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].FullText(), b[i].FullText());
+  }
+}
+
+TEST(AddressGeneratorTest, ThreeGramShapeMatchesPaperTable1) {
+  AddressGeneratorOptions opts;
+  opts.num_records = 3000;
+  std::vector<std::string> texts = AddressGenerator(opts).GenerateFullTexts();
+  TokenDictionary dict;
+  RecordSet grams = BuildQGramCorpus(texts, 3, &dict);
+  CorpusStats stats = ComputeCorpusStats(grams);
+  // Paper: All-3grams averages ~47 grams per address record.
+  EXPECT_GT(stats.average_set_size, 25);
+  EXPECT_LT(stats.average_set_size, 75);
+}
+
+TEST(AddressGeneratorTest, NamePartIsShort) {
+  AddressGeneratorOptions opts;
+  opts.num_records = 500;
+  std::vector<AddressRecord> records = AddressGenerator(opts).Generate();
+  double total = 0;
+  for (const AddressRecord& r : records) total += r.name.size();
+  double avg = total / records.size();
+  // Paper's Name-3grams averages ~16 grams => names around 14 chars.
+  EXPECT_GT(avg, 8);
+  EXPECT_LT(avg, 30);
+}
+
+TEST(CorpusBuilderTest, WordCorpusKeepsNormalizedText) {
+  TokenDictionary dict;
+  RecordSet set = BuildWordCorpus({"Hello, World!"}, &dict);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.text(0), "hello world");
+  EXPECT_EQ(set.record(0).size(), 2u);
+  EXPECT_EQ(set.record(0).text_length(), 11u);
+}
+
+TEST(CorpusBuilderTest, QGramCorpusSetsTextLength) {
+  TokenDictionary dict;
+  RecordSet set = BuildQGramCorpus({"abcd"}, 3, &dict);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.record(0).text_length(), 4u);
+  // Padded "$$abcd$$": 6 grams, all distinct.
+  EXPECT_EQ(set.record(0).size(), 6u);
+}
+
+TEST(CorpusBuilderTest, TaggedGramsMakeSetIntersectionMultiset) {
+  TokenDictionary dict;
+  // "aaaa" has repeated "aaa" grams; tagging must keep them distinct so
+  // the record size equals len + q - 1.
+  RecordSet set = BuildQGramCorpus({"aaaa", "aaa"}, 3, &dict);
+  EXPECT_EQ(set.record(0).size(), 6u);  // 4 + 3 - 1
+  EXPECT_EQ(set.record(1).size(), 5u);  // 3 + 3 - 1
+  // Multiset intersection of the padded gram bags ($$a, $aa, aaa, aa$,
+  // a$$) is 5; the second "aaa" of record 0 is tagged and unshared.
+  EXPECT_EQ(set.record(0).IntersectionSize(set.record(1)), 5u);
+}
+
+TEST(CorpusStatsTest, BasicCounts) {
+  RecordSet set;
+  set.Add(Record::FromTokens({0, 1, 2}));
+  set.Add(Record::FromTokens({0}));
+  CorpusStats stats = ComputeCorpusStats(set);
+  EXPECT_EQ(stats.num_records, 2u);
+  EXPECT_EQ(stats.num_distinct_elements, 3u);
+  EXPECT_EQ(stats.total_occurrences, 4u);
+  EXPECT_EQ(stats.max_set_size, 3u);
+  EXPECT_EQ(stats.min_set_size, 1u);
+  EXPECT_EQ(stats.max_doc_frequency, 2u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(CorpusStatsTest, TopFrequentTokens) {
+  RecordSet set;
+  set.Add(Record::FromTokens({0, 1}));
+  set.Add(Record::FromTokens({1, 2}));
+  set.Add(Record::FromTokens({1}));
+  std::vector<TokenId> top = TopFrequentTokens(set, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);  // df 3
+}
+
+}  // namespace
+}  // namespace ssjoin

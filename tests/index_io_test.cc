@@ -1,0 +1,114 @@
+#include <cmath>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/foreign_join.h"
+#include "core/jaccard_predicate.h"
+#include "index/index_io.h"
+#include "test_util.h"
+
+namespace ssjoin {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+InvertedIndex BuildIndex(const RecordSet& records) {
+  InvertedIndex index;
+  for (RecordId id = 0; id < records.size(); ++id) {
+    index.Insert(id, records.record(id));
+  }
+  return index;
+}
+
+TEST(IndexIoTest, RoundTripPreservesStructure) {
+  RecordSet records = testing_util::MakeRandomRecordSet(
+      {.num_records = 120, .vocabulary = 60}, 61);
+  JaccardPredicate pred(0.5);
+  pred.Prepare(&records);
+  InvertedIndex original = BuildIndex(records);
+
+  std::string path = TempPath("index_roundtrip.idx");
+  ASSERT_TRUE(SaveIndex(original, path).ok());
+  Result<InvertedIndex> loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded.value().num_entities(), original.num_entities());
+  EXPECT_EQ(loaded.value().total_postings(), original.total_postings());
+  EXPECT_EQ(loaded.value().num_tokens(), original.num_tokens());
+  EXPECT_DOUBLE_EQ(loaded.value().min_norm(), original.min_norm());
+
+  original.ForEachList([&](TokenId t, const PostingList& list) {
+    const PostingList* restored = loaded.value().list(t);
+    ASSERT_NE(restored, nullptr) << "token " << t;
+    ASSERT_EQ(restored->size(), list.size());
+    for (size_t i = 0; i < list.size(); ++i) {
+      EXPECT_EQ((*restored)[i].id, list[i].id);
+      EXPECT_FLOAT_EQ(static_cast<float>((*restored)[i].score),
+                      static_cast<float>(list[i].score));
+    }
+    EXPECT_FLOAT_EQ(static_cast<float>(restored->max_score()),
+                    static_cast<float>(list.max_score()));
+  });
+}
+
+TEST(IndexIoTest, EmptyIndexRoundTrips) {
+  InvertedIndex empty;
+  std::string path = TempPath("index_empty.idx");
+  ASSERT_TRUE(SaveIndex(empty, path).ok());
+  Result<InvertedIndex> loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_entities(), 0u);
+  EXPECT_EQ(loaded.value().total_postings(), 0u);
+  EXPECT_TRUE(std::isinf(loaded.value().min_norm()));
+}
+
+TEST(IndexIoTest, CanonicalBytes) {
+  RecordSet records = testing_util::MakeRandomRecordSet(
+      {.num_records = 50, .vocabulary = 30}, 62);
+  InvertedIndex index = BuildIndex(records);
+  std::string path_a = TempPath("index_a.idx");
+  std::string path_b = TempPath("index_b.idx");
+  ASSERT_TRUE(SaveIndex(index, path_a).ok());
+  ASSERT_TRUE(SaveIndex(index, path_b).ok());
+  std::ifstream a(path_a, std::ios::binary), b(path_b, std::ios::binary);
+  std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                      std::istreambuf_iterator<char>());
+  std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+TEST(IndexIoTest, RejectsCorruptFiles) {
+  std::string path = TempPath("index_corrupt.idx");
+  std::ofstream(path, std::ios::binary) << "definitely not an index";
+  EXPECT_FALSE(LoadIndex(path).ok());
+
+  // Truncations of a valid file must all be rejected.
+  RecordSet records = testing_util::MakeRandomRecordSet(
+      {.num_records = 20, .vocabulary = 15}, 63);
+  InvertedIndex index = BuildIndex(records);
+  std::string valid_path = TempPath("index_valid.idx");
+  ASSERT_TRUE(SaveIndex(index, valid_path).ok());
+  std::ifstream in(valid_path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  for (size_t cut = 1; cut < bytes.size(); cut += 7) {
+    std::string truncated_path = TempPath("index_truncated.idx");
+    std::ofstream(truncated_path, std::ios::binary)
+        << bytes.substr(0, bytes.size() - cut);
+    EXPECT_FALSE(LoadIndex(truncated_path).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(IndexIoTest, MissingFile) {
+  Result<InvertedIndex> loaded = LoadIndex(TempPath("no_such_index.idx"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace ssjoin

@@ -1,0 +1,342 @@
+// Cross-algorithm integration tests: every algorithm must produce exactly
+// the brute-force join result, for every predicate, over randomized
+// corpora. This is the paper's core correctness claim ("our goal is to
+// return exact answers").
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cosine_predicate.h"
+#include "core/dice_predicate.h"
+#include "core/edit_distance_predicate.h"
+#include "core/hamming_predicate.h"
+#include "core/jaccard_predicate.h"
+#include "core/join.h"
+#include "core/overlap_coefficient_predicate.h"
+#include "core/overlap_predicate.h"
+#include "data/corpus_builder.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ssjoin {
+namespace {
+
+using testing_util::MakeRandomRecordSet;
+using testing_util::RandomSetOptions;
+
+using PairVector = std::vector<std::pair<RecordId, RecordId>>;
+
+PairVector ReferenceJoin(RecordSet* records, const Predicate& pred) {
+  pred.Prepare(records);
+  PairVector pairs;
+  BruteForceJoin(*records, pred,
+                 [&pairs](RecordId a, RecordId b) { pairs.emplace_back(a, b); });
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+// Algorithms applicable to any predicate.
+const JoinAlgorithm kGeneralAlgorithms[] = {
+    JoinAlgorithm::kProbeCount,     JoinAlgorithm::kProbeOptMerge,
+    JoinAlgorithm::kProbeOnline,    JoinAlgorithm::kProbeSort,
+    JoinAlgorithm::kProbeCluster,   JoinAlgorithm::kPairCount,
+    JoinAlgorithm::kPairCountOptMerge, JoinAlgorithm::kClusterMem,
+};
+
+// Algorithms requiring a constant threshold (and static weights for
+// Word-Groups).
+const JoinAlgorithm kConstantThresholdAlgorithms[] = {
+    JoinAlgorithm::kProbeStopwords,
+    JoinAlgorithm::kWordGroups,
+    JoinAlgorithm::kWordGroupsOptMerge,
+};
+
+JoinOptions DefaultOptions() {
+  JoinOptions options;
+  options.cluster_mem.memory_budget_postings = 300;
+  options.cluster_mem.temp_dir = ::testing::TempDir();
+  return options;
+}
+
+void ExpectAlgorithmMatchesReference(const RecordSet& base,
+                                     const Predicate& pred,
+                                     JoinAlgorithm algorithm,
+                                     const JoinOptions& options) {
+  RecordSet reference_set = base;
+  PairVector expected = ReferenceJoin(&reference_set, pred);
+
+  RecordSet working = base;
+  Result<PairVector> actual = JoinToPairs(&working, pred, algorithm, options);
+  ASSERT_TRUE(actual.ok()) << JoinAlgorithmName(algorithm) << ": "
+                           << actual.status().ToString();
+  EXPECT_EQ(actual.value(), expected)
+      << JoinAlgorithmName(algorithm) << " diverged from brute force ("
+      << pred.name() << ", expected " << expected.size() << " pairs, got "
+      << actual.value().size() << ")";
+}
+
+struct EquivalenceCase {
+  std::string label;
+  uint64_t seed;
+  RandomSetOptions shape;
+};
+
+std::vector<EquivalenceCase> MakeCases() {
+  std::vector<EquivalenceCase> cases;
+  RandomSetOptions dense;  // heavy overlap, small vocab
+  dense.num_records = 150;
+  dense.vocabulary = 60;
+  cases.push_back({"dense", 11, dense});
+
+  RandomSetOptions sparse;  // little overlap
+  sparse.num_records = 180;
+  sparse.vocabulary = 900;
+  sparse.duplicate_fraction = 0.1;
+  cases.push_back({"sparse", 22, sparse});
+
+  RandomSetOptions skewed;  // few very hot tokens
+  skewed.num_records = 160;
+  skewed.vocabulary = 200;
+  skewed.zipf_exponent = 1.4;
+  cases.push_back({"skewed", 33, skewed});
+
+  RandomSetOptions dupheavy;  // near-duplicate clusters
+  dupheavy.num_records = 140;
+  dupheavy.vocabulary = 150;
+  dupheavy.duplicate_fraction = 0.6;
+  cases.push_back({"dupheavy", 44, dupheavy});
+  return cases;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(EquivalenceTest, OverlapPredicateAllAlgorithms) {
+  RecordSet base = MakeRandomRecordSet(GetParam().shape, GetParam().seed);
+  JoinOptions options = DefaultOptions();
+  for (double threshold : {2.0, 4.0, 7.0}) {
+    OverlapPredicate pred(threshold);
+    for (JoinAlgorithm algorithm : kGeneralAlgorithms) {
+      ExpectAlgorithmMatchesReference(base, pred, algorithm, options);
+    }
+    for (JoinAlgorithm algorithm : kConstantThresholdAlgorithms) {
+      ExpectAlgorithmMatchesReference(base, pred, algorithm, options);
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, WeightedOverlapAllAlgorithms) {
+  RecordSet base = MakeRandomRecordSet(GetParam().shape, GetParam().seed + 1);
+  Rng rng(GetParam().seed + 100);
+  std::vector<double> weights(base.vocabulary_size());
+  for (double& w : weights) w = 0.25 + rng.NextDouble() * 3.0;
+  OverlapPredicate pred(3.5, weights);
+  JoinOptions options = DefaultOptions();
+  for (JoinAlgorithm algorithm : kGeneralAlgorithms) {
+    ExpectAlgorithmMatchesReference(base, pred, algorithm, options);
+  }
+  for (JoinAlgorithm algorithm : kConstantThresholdAlgorithms) {
+    ExpectAlgorithmMatchesReference(base, pred, algorithm, options);
+  }
+}
+
+TEST_P(EquivalenceTest, JaccardPredicate) {
+  RecordSet base = MakeRandomRecordSet(GetParam().shape, GetParam().seed + 2);
+  JoinOptions options = DefaultOptions();
+  for (double fraction : {0.3, 0.6, 0.85}) {
+    JaccardPredicate pred(fraction);
+    for (JoinAlgorithm algorithm : kGeneralAlgorithms) {
+      ExpectAlgorithmMatchesReference(base, pred, algorithm, options);
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, WeightedJaccardPredicate) {
+  RecordSet base = MakeRandomRecordSet(GetParam().shape, GetParam().seed + 3);
+  Rng rng(GetParam().seed + 200);
+  std::vector<double> weights(base.vocabulary_size());
+  for (double& w : weights) w = 0.5 + rng.NextDouble() * 2.0;
+  JaccardPredicate pred(0.55, weights);
+  JoinOptions options = DefaultOptions();
+  for (JoinAlgorithm algorithm : kGeneralAlgorithms) {
+    ExpectAlgorithmMatchesReference(base, pred, algorithm, options);
+  }
+}
+
+TEST_P(EquivalenceTest, CosinePredicate) {
+  RecordSet base = MakeRandomRecordSet(GetParam().shape, GetParam().seed + 4);
+  JoinOptions options = DefaultOptions();
+  for (double fraction : {0.35, 0.7}) {
+    CosinePredicate pred(fraction);
+    for (JoinAlgorithm algorithm : kGeneralAlgorithms) {
+      ExpectAlgorithmMatchesReference(base, pred, algorithm, options);
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, DicePredicate) {
+  RecordSet base = MakeRandomRecordSet(GetParam().shape, GetParam().seed + 5);
+  JoinOptions options = DefaultOptions();
+  for (double fraction : {0.4, 0.75}) {
+    DicePredicate pred(fraction);
+    for (JoinAlgorithm algorithm : kGeneralAlgorithms) {
+      ExpectAlgorithmMatchesReference(base, pred, algorithm, options);
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, OverlapCoefficientPredicate) {
+  RecordSet base = MakeRandomRecordSet(GetParam().shape, GetParam().seed + 6);
+  JoinOptions options = DefaultOptions();
+  for (double fraction : {0.5, 0.9}) {
+    OverlapCoefficientPredicate pred(fraction);
+    for (JoinAlgorithm algorithm : kGeneralAlgorithms) {
+      ExpectAlgorithmMatchesReference(base, pred, algorithm, options);
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, HammingPredicate) {
+  RandomSetOptions shape = GetParam().shape;
+  shape.min_tokens = 1;  // include tiny sets: the short-record fallback
+  RecordSet base = MakeRandomRecordSet(shape, GetParam().seed + 7);
+  JoinOptions options = DefaultOptions();
+  for (double k : {3.0, 8.0}) {
+    HammingPredicate pred(k);
+    for (JoinAlgorithm algorithm : kGeneralAlgorithms) {
+      ExpectAlgorithmMatchesReference(base, pred, algorithm, options);
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, WordGroupsDepthFirstMiner) {
+  RecordSet base = MakeRandomRecordSet(GetParam().shape, GetParam().seed + 8);
+  JoinOptions options = DefaultOptions();
+  options.word_groups.miner = WordGroupsMiner::kDepthFirst;
+  for (double threshold : {3.0, 6.0}) {
+    OverlapPredicate pred(threshold);
+    ExpectAlgorithmMatchesReference(base, pred, JoinAlgorithm::kWordGroups,
+                                    options);
+    ExpectAlgorithmMatchesReference(base, pred,
+                                    JoinAlgorithm::kWordGroupsOptMerge,
+                                    options);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EquivalenceTest, ::testing::ValuesIn(MakeCases()),
+    [](const ::testing::TestParamInfo<EquivalenceCase>& info) {
+      return info.param.label;
+    });
+
+// Edit distance runs on q-gram corpora built from real strings.
+TEST(EditDistanceEquivalenceTest, QGramJoinMatchesBruteForce) {
+  Rng rng(77);
+  std::vector<std::string> texts;
+  for (int i = 0; i < 120; ++i) {
+    if (!texts.empty() && rng.Bernoulli(0.5)) {
+      // Perturbed copy: guarantees pairs within small edit distance.
+      std::string base = texts[rng.UniformU32(texts.size())];
+      int edits = rng.UniformInt(0, 3);
+      for (int e = 0; e < edits && !base.empty(); ++e) {
+        uint32_t pos = rng.UniformU32(static_cast<uint32_t>(base.size()));
+        base[pos] = static_cast<char>('a' + rng.UniformU32(26));
+      }
+      texts.push_back(base);
+    } else {
+      texts.push_back(testing_util::RandomAsciiString(rng, 1, 24));
+    }
+  }
+  for (int k : {1, 2, 3}) {
+    TokenDictionary dict;
+    CorpusBuilderOptions copts;
+    copts.normalize = false;
+    RecordSet base = BuildQGramCorpus(texts, /*q=*/3, &dict, copts);
+    EditDistancePredicate pred(k, 3);
+    JoinOptions options = DefaultOptions();
+    for (JoinAlgorithm algorithm : kGeneralAlgorithms) {
+      ExpectAlgorithmMatchesReference(base, pred, algorithm, options);
+    }
+  }
+}
+
+// Degenerate corpora must not crash or diverge.
+TEST(EquivalenceEdgeCases, EmptyAndTinyInputs) {
+  JoinOptions options = DefaultOptions();
+  OverlapPredicate pred(2.0);
+
+  RecordSet empty;
+  for (JoinAlgorithm algorithm : kGeneralAlgorithms) {
+    ExpectAlgorithmMatchesReference(empty, pred, algorithm, options);
+  }
+
+  RecordSet single;
+  single.Add(Record::FromTokens({1, 2, 3}), "a b c");
+  for (JoinAlgorithm algorithm : kGeneralAlgorithms) {
+    ExpectAlgorithmMatchesReference(single, pred, algorithm, options);
+  }
+
+  RecordSet identical;
+  for (int i = 0; i < 5; ++i) {
+    identical.Add(Record::FromTokens({7, 8, 9, 10}), "same tokens");
+  }
+  for (JoinAlgorithm algorithm : kGeneralAlgorithms) {
+    ExpectAlgorithmMatchesReference(identical, pred, algorithm, options);
+  }
+  for (JoinAlgorithm algorithm : kConstantThresholdAlgorithms) {
+    ExpectAlgorithmMatchesReference(identical, pred, algorithm, options);
+  }
+}
+
+// A threshold larger than any record: no pairs, no crashes.
+TEST(EquivalenceEdgeCases, UnreachableThreshold) {
+  RecordSet base = MakeRandomRecordSet({}, 5);
+  OverlapPredicate pred(1000.0);
+  JoinOptions options = DefaultOptions();
+  for (JoinAlgorithm algorithm : kGeneralAlgorithms) {
+    ExpectAlgorithmMatchesReference(base, pred, algorithm, options);
+  }
+}
+
+// Records containing duplicate-free single tokens and empty-ish records.
+TEST(EquivalenceEdgeCases, SingleTokenRecords) {
+  RecordSet base;
+  Rng rng(9);
+  for (int i = 0; i < 60; ++i) {
+    base.Add(Record::FromTokens({rng.UniformU32(10)}), "x");
+  }
+  OverlapPredicate pred(1.0);
+  JoinOptions options = DefaultOptions();
+  for (JoinAlgorithm algorithm : kGeneralAlgorithms) {
+    ExpectAlgorithmMatchesReference(base, pred, algorithm, options);
+  }
+}
+
+// ClusterMem must agree with brute force across the whole memory range,
+// from "barely any clusters" to "effectively unlimited".
+TEST(ClusterMemEquivalence, MemoryBudgetSweep) {
+  RandomSetOptions shape;
+  shape.num_records = 180;
+  shape.vocabulary = 100;
+  RecordSet base = MakeRandomRecordSet(shape, 123);
+  OverlapPredicate pred(3.0);
+
+  RecordSet reference_set = base;
+  PairVector expected = ReferenceJoin(&reference_set, pred);
+
+  for (uint64_t budget : {40, 120, 400, 1500, 1000000}) {
+    JoinOptions options = DefaultOptions();
+    options.cluster_mem.memory_budget_postings = budget;
+    RecordSet working = base;
+    Result<PairVector> actual =
+        JoinToPairs(&working, pred, JoinAlgorithm::kClusterMem, options);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    EXPECT_EQ(actual.value(), expected) << "budget=" << budget;
+  }
+}
+
+}  // namespace
+}  // namespace ssjoin

@@ -1,0 +1,231 @@
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/merge_opt.h"
+#include "util/rng.h"
+
+namespace ssjoin {
+namespace {
+
+/// Random posting lists with controllable density.
+std::vector<PostingList> MakeLists(Rng& rng, int num_lists, uint32_t universe,
+                                   double density, bool unit_scores) {
+  std::vector<PostingList> lists(num_lists);
+  for (PostingList& list : lists) {
+    for (uint32_t id = 0; id < universe; ++id) {
+      if (rng.Bernoulli(density)) {
+        list.Append(id, unit_scores ? 1.0 : 0.25 + rng.NextDouble() * 2);
+      }
+    }
+  }
+  return lists;
+}
+
+/// Ground truth: per-id total overlap across all lists.
+std::map<RecordId, double> NaiveOverlaps(
+    const std::vector<PostingList>& lists,
+    const std::vector<double>& probe_scores) {
+  std::map<RecordId, double> overlap;
+  for (size_t i = 0; i < lists.size(); ++i) {
+    for (size_t p = 0; p < lists[i].size(); ++p) {
+      overlap[lists[i][p].id] += probe_scores[i] * lists[i][p].score;
+    }
+  }
+  return overlap;
+}
+
+std::vector<const PostingList*> Pointers(
+    const std::vector<PostingList>& lists) {
+  std::vector<const PostingList*> out;
+  for (const PostingList& list : lists) out.push_back(&list);
+  return out;
+}
+
+class MergerThresholdTest
+    : public ::testing::TestWithParam<std::tuple<double, bool, bool>> {};
+
+TEST_P(MergerThresholdTest, FindsExactlyTheIdsAboveThreshold) {
+  auto [threshold, split, unit_scores] = GetParam();
+  Rng rng(static_cast<uint64_t>(threshold * 10) + split);
+  for (int trial = 0; trial < 20; ++trial) {
+    int num_lists = rng.UniformInt(1, 12);
+    std::vector<PostingList> lists =
+        MakeLists(rng, num_lists, 300, 0.15, unit_scores);
+    std::vector<double> probe_scores(num_lists);
+    for (double& s : probe_scores) {
+      s = unit_scores ? 1.0 : 0.25 + rng.NextDouble();
+    }
+    std::map<RecordId, double> expected_overlap =
+        NaiveOverlaps(lists, probe_scores);
+
+    MergeOptions options;
+    options.split_lists = split;
+    MergeStats stats;
+    ListMerger merger(Pointers(lists), probe_scores, threshold,
+                      /*required=*/nullptr, /*filter=*/nullptr, options,
+                      &stats);
+    std::map<RecordId, double> got;
+    MergeCandidate candidate;
+    RecordId last = 0;
+    bool first = true;
+    while (merger.Next(&candidate)) {
+      EXPECT_TRUE(first || candidate.id > last) << "ids must ascend";
+      first = false;
+      last = candidate.id;
+      got[candidate.id] = candidate.overlap;
+    }
+
+    for (const auto& [id, overlap] : expected_overlap) {
+      if (overlap >= threshold) {
+        ASSERT_TRUE(got.count(id) > 0)
+            << "missed id " << id << " overlap " << overlap
+            << " threshold " << threshold << " split " << split;
+        EXPECT_NEAR(got[id], overlap, 1e-9);
+      }
+    }
+    // No id below the pruned bound may be emitted.
+    for (const auto& [id, overlap] : got) {
+      EXPECT_GE(overlap, PruneBound(threshold));
+      EXPECT_NEAR(overlap, expected_overlap[id], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MergerThresholdTest,
+    ::testing::Combine(::testing::Values(1.0, 2.0, 3.0, 5.0, 8.0),
+                       ::testing::Bool(), ::testing::Bool()));
+
+TEST(ListMergerTest, PerCandidateRequiredBound) {
+  // required() demands more from even ids; odd ids keep the floor.
+  Rng rng(42);
+  std::vector<PostingList> lists = MakeLists(rng, 6, 200, 0.3, true);
+  std::vector<double> scores(6, 1.0);
+  std::map<RecordId, double> expected = NaiveOverlaps(lists, scores);
+
+  auto required = [](RecordId id) { return id % 2 == 0 ? 4.0 : 2.0; };
+  MergeStats stats;
+  ListMerger merger(Pointers(lists), scores, /*floor=*/2.0, required,
+                    nullptr, {}, &stats);
+  MergeCandidate candidate;
+  std::map<RecordId, double> got;
+  while (merger.Next(&candidate)) got[candidate.id] = candidate.overlap;
+
+  for (const auto& [id, overlap] : expected) {
+    bool should_emit = overlap >= required(id);
+    EXPECT_EQ(got.count(id) > 0, should_emit)
+        << "id=" << id << " overlap=" << overlap;
+  }
+}
+
+TEST(ListMergerTest, FilterSkipsIds) {
+  Rng rng(43);
+  std::vector<PostingList> lists = MakeLists(rng, 5, 150, 0.3, true);
+  std::vector<double> scores(5, 1.0);
+  std::map<RecordId, double> expected = NaiveOverlaps(lists, scores);
+
+  auto filter = [](RecordId id) { return id % 3 != 0; };
+  MergeStats stats;
+  ListMerger merger(Pointers(lists), scores, 2.0, nullptr, filter, {},
+                    &stats);
+  MergeCandidate candidate;
+  while (merger.Next(&candidate)) {
+    EXPECT_NE(candidate.id % 3, 0u) << "filtered id leaked through";
+  }
+}
+
+TEST(ListMergerTest, RaiseFloorNeverLosesAboveNewFloor) {
+  // Raising the floor mid-merge may drop ids below it but must keep every
+  // id at or above it, with exact overlaps.
+  Rng rng(44);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<PostingList> lists = MakeLists(rng, 8, 250, 0.25, true);
+    std::vector<double> scores(8, 1.0);
+    std::map<RecordId, double> expected = NaiveOverlaps(lists, scores);
+
+    MergeStats stats;
+    ListMerger merger(Pointers(lists), scores, 1.0, nullptr, nullptr, {},
+                      &stats);
+    const double final_floor = 4.0;
+    std::map<RecordId, double> got;
+    MergeCandidate candidate;
+    int step = 0;
+    while (merger.Next(&candidate)) {
+      got[candidate.id] = candidate.overlap;
+      if (++step == 5) merger.RaiseFloor(2.5);
+      if (step == 10) merger.RaiseFloor(final_floor);
+    }
+    // After the merge, every id with overlap >= final_floor must have been
+    // seen (it was above every intermediate floor too).
+    for (const auto& [id, overlap] : expected) {
+      if (overlap >= final_floor) {
+        ASSERT_TRUE(got.count(id) > 0) << "id=" << id;
+        EXPECT_NEAR(got[id], overlap, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(ListMergerTest, EmptyInputs) {
+  MergeStats stats;
+  ListMerger empty({}, {}, 1.0, nullptr, nullptr, {}, &stats);
+  MergeCandidate candidate;
+  EXPECT_FALSE(empty.Next(&candidate));
+
+  PostingList list;  // empty list
+  ListMerger with_empty({&list}, {1.0}, 1.0, nullptr, nullptr, {}, &stats);
+  EXPECT_FALSE(with_empty.Next(&candidate));
+}
+
+TEST(ListMergerTest, NegativeFloorEmitsEverything) {
+  Rng rng(45);
+  std::vector<PostingList> lists = MakeLists(rng, 4, 100, 0.2, true);
+  std::vector<double> scores(4, 1.0);
+  std::map<RecordId, double> expected = NaiveOverlaps(lists, scores);
+  MergeStats stats;
+  ListMerger merger(Pointers(lists), scores, -3.0, nullptr, nullptr, {},
+                    &stats);
+  size_t count = 0;
+  MergeCandidate candidate;
+  while (merger.Next(&candidate)) ++count;
+  EXPECT_EQ(count, expected.size());
+}
+
+TEST(ListMergerTest, SplitReducesHeapWork) {
+  // One huge list + several small ones: with the L/S split the huge list
+  // must not be heap-merged.
+  PostingList huge;
+  for (uint32_t id = 0; id < 5000; ++id) huge.Append(id, 1.0);
+  PostingList small1, small2, small3;
+  for (uint32_t id = 0; id < 5000; id += 100) {
+    small1.Append(id, 1.0);
+    small2.Append(id, 1.0);
+    small3.Append(id, 1.0);
+  }
+  std::vector<const PostingList*> lists = {&huge, &small1, &small2, &small3};
+  std::vector<double> scores(4, 1.0);
+
+  MergeStats split_stats;
+  {
+    ListMerger merger(lists, scores, /*floor=*/2.0, nullptr, nullptr,
+                      {.split_lists = true}, &split_stats);
+    MergeCandidate c;
+    while (merger.Next(&c)) {
+    }
+  }
+  MergeStats plain_stats;
+  {
+    ListMerger merger(lists, scores, /*floor=*/2.0, nullptr, nullptr,
+                      {.split_lists = false}, &plain_stats);
+    MergeCandidate c;
+    while (merger.Next(&c)) {
+    }
+  }
+  EXPECT_LT(split_stats.heap_pops, plain_stats.heap_pops / 5);
+  EXPECT_EQ(split_stats.lists_direct, 1u);
+}
+
+}  // namespace
+}  // namespace ssjoin

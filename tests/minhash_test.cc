@@ -1,0 +1,85 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "minhash/minhash.h"
+#include "util/rng.h"
+
+namespace ssjoin {
+namespace {
+
+TEST(MinHashTest, DeterministicGivenSeed) {
+  MinHasher a(16, 7), b(16, 7);
+  std::vector<uint32_t> ids = {1, 5, 9, 100};
+  EXPECT_EQ(a.Signature(ids), b.Signature(ids));
+}
+
+TEST(MinHashTest, OrderInvariant) {
+  MinHasher hasher(16, 7);
+  EXPECT_EQ(hasher.Signature({1, 2, 3}), hasher.Signature({3, 1, 2}));
+}
+
+TEST(MinHashTest, IdenticalSetsResembleFully) {
+  MinHasher hasher(32, 3);
+  std::vector<uint32_t> ids = {4, 8, 15, 16, 23, 42};
+  auto sig = hasher.Signature(ids);
+  EXPECT_DOUBLE_EQ(MinHasher::EstimateResemblance(sig, sig), 1.0);
+}
+
+TEST(MinHashTest, DisjointSetsResembleLittle) {
+  MinHasher hasher(64, 9);
+  std::vector<uint32_t> a, b;
+  for (uint32_t i = 0; i < 200; ++i) {
+    a.push_back(i);
+    b.push_back(1000 + i);
+  }
+  double sim = MinHasher::EstimateResemblance(hasher.Signature(a),
+                                              hasher.Signature(b));
+  EXPECT_LT(sim, 0.15);
+}
+
+TEST(MinHashTest, EstimatesJaccardResemblance) {
+  // Sets with known resemblance r: |A ∩ B| / |A ∪ B|. With k independent
+  // components the estimator is Binomial(k, r)/k; use k large and a loose
+  // tolerance.
+  MinHasher hasher(512, 21);
+  Rng rng(5);
+  for (double target : {0.2, 0.5, 0.8}) {
+    // |A|=n shared + m each side unique => r = n / (n + 2m).
+    int n = 300;
+    int m = static_cast<int>(n * (1 - target) / (2 * target));
+    std::vector<uint32_t> a, b;
+    for (int i = 0; i < n; ++i) {
+      a.push_back(i);
+      b.push_back(i);
+    }
+    for (int i = 0; i < m; ++i) {
+      a.push_back(10000 + i);
+      b.push_back(20000 + i);
+    }
+    double expected = static_cast<double>(n) / (n + 2 * m);
+    double estimated = MinHasher::EstimateResemblance(hasher.Signature(a),
+                                                      hasher.Signature(b));
+    EXPECT_NEAR(estimated, expected, 0.08) << "target=" << target;
+  }
+}
+
+TEST(MinHashTest, AbsorbMatchesBatchSignature) {
+  MinHasher hasher(16, 11);
+  std::vector<uint32_t> ids = {3, 1, 4, 1, 5, 9, 2, 6};
+  auto incremental = hasher.EmptySignature();
+  for (uint32_t id : ids) hasher.Absorb(&incremental, id);
+  EXPECT_EQ(incremental, hasher.Signature(ids));
+}
+
+TEST(MinHashTest, SubsetAbsorptionOnlyLowers) {
+  MinHasher hasher(16, 13);
+  auto sig = hasher.Signature({1, 2, 3});
+  auto grown = sig;
+  hasher.Absorb(&grown, 99);
+  for (size_t i = 0; i < sig.size(); ++i) EXPECT_LE(grown[i], sig[i]);
+}
+
+}  // namespace
+}  // namespace ssjoin

@@ -1,0 +1,301 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/cosine_predicate.h"
+#include "core/dice_predicate.h"
+#include "core/edit_distance_predicate.h"
+#include "core/hamming_predicate.h"
+#include "core/jaccard_predicate.h"
+#include "core/overlap_coefficient_predicate.h"
+#include "core/overlap_predicate.h"
+#include "data/corpus_builder.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ssjoin {
+namespace {
+
+RecordSet TwoRecords(std::vector<TokenId> a, std::vector<TokenId> b) {
+  RecordSet set;
+  set.Add(Record::FromTokens(std::move(a)));
+  set.Add(Record::FromTokens(std::move(b)));
+  return set;
+}
+
+TEST(OverlapPredicateTest, UnweightedCountsSharedTokens) {
+  RecordSet set = TwoRecords({1, 2, 3, 4}, {2, 3, 4, 5});
+  OverlapPredicate pred3(3);
+  pred3.Prepare(&set);
+  EXPECT_TRUE(pred3.Matches(set, 0, 1));  // 3 shared tokens
+  OverlapPredicate pred4(4);
+  pred4.Prepare(&set);
+  EXPECT_FALSE(pred4.Matches(set, 0, 1));
+}
+
+TEST(OverlapPredicateTest, PrepareInstallsSqrtScoresAndWeightNorm) {
+  RecordSet set = TwoRecords({0, 1}, {1});
+  std::vector<double> weights = {4.0, 9.0};
+  OverlapPredicate pred(5, weights);
+  pred.Prepare(&set);
+  EXPECT_DOUBLE_EQ(set.record(0).score(0), 2.0);  // sqrt(4)
+  EXPECT_DOUBLE_EQ(set.record(0).score(1), 3.0);  // sqrt(9)
+  EXPECT_DOUBLE_EQ(set.record(0).norm(), 13.0);   // 4 + 9
+  // Shared token 1 contributes weight 9 >= 5.
+  EXPECT_TRUE(pred.Matches(set, 0, 1));
+}
+
+TEST(OverlapPredicateTest, ConstantThresholdAndStaticWeights) {
+  OverlapPredicate pred(7, {2.0, 3.0});
+  EXPECT_EQ(pred.ConstantThreshold().value(), 7.0);
+  EXPECT_TRUE(pred.has_static_weights());
+  EXPECT_DOUBLE_EQ(pred.StaticTokenWeight(1), 3.0);
+  EXPECT_DOUBLE_EQ(pred.StaticTokenWeight(99), 1.0);  // beyond vector
+}
+
+TEST(JaccardPredicateTest, MatchesDefinition) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    RecordSet set = testing_util::MakeRandomRecordSet(
+        {.num_records = 2, .vocabulary = 20}, trial);
+    for (double f : {0.3, 0.5, 0.8}) {
+      JaccardPredicate pred(f);
+      pred.Prepare(&set);
+      const Record& a = set.record(0);
+      const Record& b = set.record(1);
+      size_t inter = a.IntersectionSize(b);
+      size_t uni = a.size() + b.size() - inter;
+      bool expected =
+          uni > 0 && static_cast<double>(inter) / uni >= f - 1e-12;
+      EXPECT_EQ(pred.Matches(set, 0, 1), expected)
+          << "f=" << f << " inter=" << inter << " union=" << uni;
+    }
+  }
+}
+
+TEST(JaccardPredicateTest, ThresholdAlgebra) {
+  JaccardPredicate pred(0.5);
+  // T(r, s) = f/(1+f) (|r| + |s|): f=0.5 -> (1/3)(|r|+|s|).
+  EXPECT_NEAR(pred.ThresholdForNorms(6, 9), 5.0, 1e-12);
+  // Monotone in both arguments.
+  EXPECT_LE(pred.ThresholdForNorms(3, 9), pred.ThresholdForNorms(6, 9));
+}
+
+TEST(JaccardPredicateTest, SizeRatioFilter) {
+  JaccardPredicate pred(0.5);
+  EXPECT_TRUE(pred.has_norm_filter());
+  EXPECT_TRUE(pred.NormFilter(10, 5));    // ratio 0.5 >= f
+  EXPECT_FALSE(pred.NormFilter(10, 4));   // ratio 0.4 < f
+  EXPECT_TRUE(pred.NormFilter(7, 7));
+}
+
+TEST(JaccardPredicateTest, FilterNeverRejectsMatches) {
+  // Any pair with Jaccard >= f satisfies min/max >= f.
+  Rng rng(8);
+  for (int trial = 0; trial < 200; ++trial) {
+    RecordSet set = testing_util::MakeRandomRecordSet(
+        {.num_records = 2, .vocabulary = 15}, 1000 + trial);
+    JaccardPredicate pred(0.4);
+    pred.Prepare(&set);
+    if (pred.Matches(set, 0, 1)) {
+      EXPECT_TRUE(
+          pred.NormFilter(set.record(0).norm(), set.record(1).norm()));
+    }
+  }
+}
+
+TEST(CosinePredicateTest, IdenticalRecordsScoreOne) {
+  RecordSet set = TwoRecords({1, 2, 3}, {1, 2, 3});
+  CosinePredicate pred(0.99);
+  pred.Prepare(&set);
+  EXPECT_NEAR(set.record(0).OverlapWith(set.record(1)), 1.0, 1e-9);
+  EXPECT_TRUE(pred.Matches(set, 0, 1));
+}
+
+TEST(CosinePredicateTest, DisjointRecordsScoreZero) {
+  RecordSet set = TwoRecords({1, 2}, {3, 4});
+  CosinePredicate pred(0.1);
+  pred.Prepare(&set);
+  EXPECT_FALSE(pred.Matches(set, 0, 1));
+}
+
+TEST(CosinePredicateTest, UnitVectorsAfterPrepare) {
+  RecordSet set = testing_util::MakeRandomRecordSet(
+      {.num_records = 30, .vocabulary = 40}, 4);
+  CosinePredicate pred(0.5);
+  pred.Prepare(&set);
+  for (RecordId id = 0; id < set.size(); ++id) {
+    double squared = 0;
+    for (size_t i = 0; i < set.record(id).size(); ++i) {
+      squared += set.record(id).score(i) * set.record(id).score(i);
+    }
+    EXPECT_NEAR(squared, 1.0, 1e-9);
+  }
+}
+
+TEST(CosinePredicateTest, RareTokenMatchBeatsCommonTokenMatch) {
+  // Two pairs each sharing one of their two tokens; the pair sharing the
+  // rare token must score higher cosine.
+  RecordSet set;
+  // Token 0 appears in many records (common); token 9 in two (rare).
+  for (int i = 0; i < 20; ++i) {
+    set.Add(Record::FromTokens({0, static_cast<TokenId>(10 + i)}));
+  }
+  set.Add(Record::FromTokens({0, 40}));  // id 20, shares common token 0
+  set.Add(Record::FromTokens({0, 41}));  // id 21
+  set.Add(Record::FromTokens({9, 42}));  // id 22, shares rare token 9
+  set.Add(Record::FromTokens({9, 43}));  // id 23
+  CosinePredicate pred(0.5);
+  pred.Prepare(&set);
+  double common_sim = set.record(20).OverlapWith(set.record(21));
+  double rare_sim = set.record(22).OverlapWith(set.record(23));
+  EXPECT_GT(rare_sim, common_sim);
+}
+
+TEST(EditDistancePredicateTest, MatchesRunsVerifier) {
+  TokenDictionary dict;
+  CorpusBuilderOptions opts;
+  opts.normalize = false;
+  RecordSet set = BuildQGramCorpus({"similarity", "similarty", "different"},
+                                   3, &dict, opts);
+  EditDistancePredicate pred(1, 3);
+  pred.Prepare(&set);
+  EXPECT_TRUE(pred.Matches(set, 0, 1));   // one deletion apart
+  EXPECT_FALSE(pred.Matches(set, 0, 2));
+}
+
+TEST(EditDistancePredicateTest, ThresholdFormula) {
+  EditDistancePredicate pred(2, 3);
+  // T = max(len) - 1 - q(k-1) = 20 - 1 - 3 = 16.
+  EXPECT_DOUBLE_EQ(pred.ThresholdForNorms(20, 12), 16.0);
+  EXPECT_DOUBLE_EQ(pred.ThresholdForNorms(12, 20), 16.0);
+}
+
+TEST(EditDistancePredicateTest, LengthFilter) {
+  EditDistancePredicate pred(2, 3);
+  EXPECT_TRUE(pred.NormFilter(10, 12));
+  EXPECT_FALSE(pred.NormFilter(10, 13));
+}
+
+TEST(EditDistancePredicateTest, ShortRecordBound) {
+  EditDistancePredicate pred(2, 3);
+  EXPECT_DOUBLE_EQ(pred.ShortRecordNormBound(), 5.0);  // 2 + 3*(2-1)
+  EditDistancePredicate pred_k1(1, 3);
+  EXPECT_DOUBLE_EQ(pred_k1.ShortRecordNormBound(), 2.0);
+}
+
+TEST(EditDistancePredicateTest, NormIsTextLength) {
+  TokenDictionary dict;
+  CorpusBuilderOptions opts;
+  opts.normalize = false;
+  RecordSet set = BuildQGramCorpus({"hello"}, 3, &dict, opts);
+  EditDistancePredicate pred(1, 3);
+  pred.Prepare(&set);
+  EXPECT_DOUBLE_EQ(set.record(0).norm(), 5.0);
+}
+
+TEST(DicePredicateTest, MatchesDefinition) {
+  for (int trial = 0; trial < 100; ++trial) {
+    RecordSet set = testing_util::MakeRandomRecordSet(
+        {.num_records = 2, .vocabulary = 20}, 3000 + trial);
+    for (double f : {0.3, 0.6, 0.9}) {
+      DicePredicate pred(f);
+      pred.Prepare(&set);
+      const Record& a = set.record(0);
+      const Record& b = set.record(1);
+      size_t inter = a.IntersectionSize(b);
+      double denom = static_cast<double>(a.size() + b.size());
+      bool expected = denom > 0 && 2.0 * inter / denom >= f - 1e-12;
+      EXPECT_EQ(pred.Matches(set, 0, 1), expected) << "f=" << f;
+    }
+  }
+}
+
+TEST(DicePredicateTest, FilterNeverRejectsMatches) {
+  for (int trial = 0; trial < 200; ++trial) {
+    RecordSet set = testing_util::MakeRandomRecordSet(
+        {.num_records = 2, .vocabulary = 15}, 4000 + trial);
+    DicePredicate pred(0.5);
+    pred.Prepare(&set);
+    if (pred.Matches(set, 0, 1)) {
+      EXPECT_TRUE(
+          pred.NormFilter(set.record(0).norm(), set.record(1).norm()));
+    }
+  }
+}
+
+TEST(OverlapCoefficientPredicateTest, MatchesDefinition) {
+  for (int trial = 0; trial < 100; ++trial) {
+    RecordSet set = testing_util::MakeRandomRecordSet(
+        {.num_records = 2, .vocabulary = 20}, 5000 + trial);
+    for (double f : {0.4, 0.8, 1.0}) {
+      OverlapCoefficientPredicate pred(f);
+      pred.Prepare(&set);
+      const Record& a = set.record(0);
+      const Record& b = set.record(1);
+      size_t inter = a.IntersectionSize(b);
+      double denom = static_cast<double>(std::min(a.size(), b.size()));
+      bool expected = denom > 0 &&
+                      static_cast<double>(inter) / denom >= f - 1e-12;
+      EXPECT_EQ(pred.Matches(set, 0, 1), expected) << "f=" << f;
+    }
+  }
+}
+
+TEST(OverlapCoefficientPredicateTest, SubsetAlwaysMatches) {
+  RecordSet set;
+  set.Add(Record::FromTokens({1, 2, 3}));
+  set.Add(Record::FromTokens({1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  OverlapCoefficientPredicate pred(1.0);
+  pred.Prepare(&set);
+  EXPECT_TRUE(pred.Matches(set, 0, 1));  // full containment of smaller
+}
+
+TEST(OverlapCoefficientPredicateTest, EmptyRecordsMatchNothing) {
+  RecordSet set;
+  set.Add(Record());
+  set.Add(Record::FromTokens({1}));
+  set.Add(Record());
+  OverlapCoefficientPredicate pred(0.5);
+  pred.Prepare(&set);
+  EXPECT_FALSE(pred.Matches(set, 0, 1));
+  EXPECT_FALSE(pred.Matches(set, 0, 2));  // both empty
+}
+
+TEST(HammingPredicateTest, MatchesDefinition) {
+  for (int trial = 0; trial < 100; ++trial) {
+    RecordSet set = testing_util::MakeRandomRecordSet(
+        {.num_records = 2, .vocabulary = 20, .min_tokens = 1}, 6000 + trial);
+    for (double k : {2.0, 5.0, 10.0}) {
+      HammingPredicate pred(k);
+      pred.Prepare(&set);
+      const Record& a = set.record(0);
+      const Record& b = set.record(1);
+      size_t inter = a.IntersectionSize(b);
+      size_t sym_diff = a.size() + b.size() - 2 * inter;
+      EXPECT_EQ(pred.Matches(set, 0, 1),
+                static_cast<double>(sym_diff) <= k)
+          << "k=" << k;
+    }
+  }
+}
+
+TEST(HammingPredicateTest, FilterAndShortBound) {
+  HammingPredicate pred(3);
+  EXPECT_TRUE(pred.NormFilter(10, 13));
+  EXPECT_FALSE(pred.NormFilter(10, 14));
+  // Two disjoint sets of total size <= k match with zero overlap; both
+  // endpoints of such a pair sit below k + 1.
+  EXPECT_DOUBLE_EQ(pred.ShortRecordNormBound(), 4.0);
+}
+
+TEST(PredicateDefaultTest, MatchesUsesThresholdAndFilter) {
+  RecordSet set = TwoRecords({1, 2, 3}, {1, 2, 9});
+  OverlapPredicate pred(2);
+  pred.Prepare(&set);
+  EXPECT_TRUE(pred.Matches(set, 0, 1));
+  EXPECT_TRUE(pred.Matches(set, 1, 0));  // symmetric
+}
+
+}  // namespace
+}  // namespace ssjoin

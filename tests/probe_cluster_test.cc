@@ -1,0 +1,191 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/join.h"
+#include "core/overlap_predicate.h"
+#include "core/probe_cluster.h"
+#include "test_util.h"
+
+namespace ssjoin {
+namespace {
+
+RecordSet PreparedRandomSet(uint64_t seed, const OverlapPredicate& pred,
+                            uint32_t num_records = 120) {
+  RecordSet set = testing_util::MakeRandomRecordSet(
+      {.num_records = num_records, .vocabulary = 50}, seed);
+  pred.Prepare(&set);
+  return set;
+}
+
+TEST(ClusterSetTest, FirstRecordCreatesCluster) {
+  OverlapPredicate pred(3);
+  RecordSet set = PreparedRandomSet(1, pred, 5);
+  ClusterSet clusters(pred, {});
+  MergeStats stats;
+  ClusterSet::ProbeResult result =
+      clusters.ProbeAndAssign(set.record(0), &stats);
+  EXPECT_TRUE(result.created);
+  EXPECT_EQ(result.home, 0u);
+  EXPECT_TRUE(result.joins.empty());
+  EXPECT_EQ(clusters.num_clusters(), 1u);
+  EXPECT_EQ(clusters.cluster_size(0), 1u);
+}
+
+TEST(ClusterSetTest, IdenticalRecordsShareCluster) {
+  OverlapPredicate pred(2);
+  RecordSet set;
+  for (int i = 0; i < 6; ++i) set.Add(Record::FromTokens({1, 2, 3, 4}));
+  pred.Prepare(&set);
+  ClusterSet clusters(pred, {});
+  MergeStats stats;
+  for (RecordId id = 0; id < set.size(); ++id) {
+    clusters.ProbeAndAssign(set.record(id), &stats);
+  }
+  EXPECT_EQ(clusters.num_clusters(), 1u);
+  EXPECT_EQ(clusters.cluster_size(0), 6u);
+}
+
+TEST(ClusterSetTest, DisjointRecordsSplitClusters) {
+  OverlapPredicate pred(2);
+  RecordSet set;
+  set.Add(Record::FromTokens({1, 2, 3}));
+  set.Add(Record::FromTokens({10, 11, 12}));
+  pred.Prepare(&set);
+  ClusterSet clusters(pred, {});
+  MergeStats stats;
+  clusters.ProbeAndAssign(set.record(0), &stats);
+  ClusterSet::ProbeResult second =
+      clusters.ProbeAndAssign(set.record(1), &stats);
+  EXPECT_TRUE(second.created);
+  EXPECT_EQ(clusters.num_clusters(), 2u);
+}
+
+TEST(ClusterSetTest, JoinsReportClustersAboveThreshold) {
+  OverlapPredicate pred(3);
+  RecordSet set;
+  set.Add(Record::FromTokens({1, 2, 3, 4}));  // cluster 0
+  set.Add(Record::FromTokens({1, 2, 3, 9}));  // overlaps 3 with cluster 0
+  pred.Prepare(&set);
+  ClusterSet clusters(pred, {});
+  MergeStats stats;
+  clusters.ProbeAndAssign(set.record(0), &stats);
+  ClusterSet::ProbeResult result =
+      clusters.ProbeAndAssign(set.record(1), &stats);
+  ASSERT_EQ(result.joins.size(), 1u);
+  EXPECT_EQ(result.joins[0], 0u);
+}
+
+TEST(ClusterSetTest, MaxClustersForcesFallbackAssignment) {
+  OverlapPredicate pred(2);
+  RecordSet set;
+  set.Add(Record::FromTokens({1, 2}));
+  set.Add(Record::FromTokens({10, 11}));
+  set.Add(Record::FromTokens({20, 21}));  // disjoint from both clusters
+  pred.Prepare(&set);
+  ClusterSetOptions options;
+  options.max_clusters = 2;
+  ClusterSet clusters(pred, options);
+  MergeStats stats;
+  clusters.ProbeAndAssign(set.record(0), &stats);
+  clusters.ProbeAndAssign(set.record(1), &stats);
+  ClusterSet::ProbeResult third =
+      clusters.ProbeAndAssign(set.record(2), &stats);
+  EXPECT_FALSE(third.created);
+  EXPECT_LT(third.home, 2u);
+  EXPECT_EQ(clusters.num_clusters(), 2u);
+}
+
+TEST(ClusterSetTest, MaxClusterSizeSpillsToNewCluster) {
+  OverlapPredicate pred(2);
+  RecordSet set;
+  for (int i = 0; i < 5; ++i) set.Add(Record::FromTokens({1, 2, 3}));
+  pred.Prepare(&set);
+  ClusterSetOptions options;
+  options.max_cluster_size = 2;
+  ClusterSet clusters(pred, options);
+  MergeStats stats;
+  for (RecordId id = 0; id < set.size(); ++id) {
+    clusters.ProbeAndAssign(set.record(id), &stats);
+  }
+  EXPECT_GE(clusters.num_clusters(), 2u);
+  for (ClusterId c = 0; c < clusters.num_clusters(); ++c) {
+    EXPECT_LE(clusters.cluster_size(c), 2u);
+  }
+}
+
+TEST(ClusterSetTest, MemberPostingsTracksInsertedSizes) {
+  OverlapPredicate pred(2);
+  RecordSet set;
+  set.Add(Record::FromTokens({1, 2, 3}));
+  set.Add(Record::FromTokens({1, 2, 3, 4}));
+  pred.Prepare(&set);
+  ClusterSet clusters(pred, {});
+  MergeStats stats;
+  clusters.ProbeAndAssign(set.record(0), &stats);
+  clusters.ProbeAndAssign(set.record(1), &stats);
+  ASSERT_EQ(clusters.num_clusters(), 1u);
+  EXPECT_EQ(clusters.cluster_member_postings(0), 7u);
+}
+
+TEST(ProbeClusterJoinTest, FewerIndexPostingsOnDuplicateHeavyData) {
+  // Probe-Cluster's point: highly overlapping records share cluster-level
+  // postings, shrinking the top index relative to one posting per record.
+  OverlapPredicate pred(4);
+  RecordSet set = testing_util::MakeRandomRecordSet(
+      {.num_records = 200, .vocabulary = 80, .duplicate_fraction = 0.7}, 31);
+  pred.Prepare(&set);
+
+  uint64_t record_level_postings = set.total_token_occurrences();
+  Result<JoinStats> result =
+      ProbeClusterJoin(set, pred, {}, [](RecordId, RecordId) {});
+  ASSERT_TRUE(result.ok());
+  // Total = cluster-level + member-level; the cluster level must compress.
+  EXPECT_LT(result.value().index_postings, 2 * record_level_postings);
+  EXPECT_GT(result.value().pairs, 0u);
+}
+
+TEST(ProbeClusterJoinTest, PresortOffStillExact) {
+  OverlapPredicate pred(3);
+  RecordSet set = PreparedRandomSet(17, pred);
+  std::vector<std::pair<RecordId, RecordId>> expected;
+  BruteForceJoin(set, pred, [&expected](RecordId a, RecordId b) {
+    expected.emplace_back(a, b);
+  });
+  std::sort(expected.begin(), expected.end());
+
+  ProbeClusterOptions options;
+  options.presort = false;
+  std::vector<std::pair<RecordId, RecordId>> actual;
+  Result<JoinStats> result = ProbeClusterJoin(
+      set, pred, options,
+      [&actual](RecordId a, RecordId b) { actual.emplace_back(a, b); });
+  ASSERT_TRUE(result.ok());
+  std::sort(actual.begin(), actual.end());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(ProbeClusterJoinTest, TightSimilarityThresholdStillExact) {
+  OverlapPredicate pred(3);
+  RecordSet set = PreparedRandomSet(18, pred);
+  std::vector<std::pair<RecordId, RecordId>> expected;
+  BruteForceJoin(set, pred, [&expected](RecordId a, RecordId b) {
+    expected.emplace_back(a, b);
+  });
+  std::sort(expected.begin(), expected.end());
+
+  for (double assign : {0.05, 0.9}) {
+    ProbeClusterOptions options;
+    options.cluster.assign_similarity_threshold = assign;
+    std::vector<std::pair<RecordId, RecordId>> actual;
+    Result<JoinStats> result = ProbeClusterJoin(
+        set, pred, options,
+        [&actual](RecordId a, RecordId b) { actual.emplace_back(a, b); });
+    ASSERT_TRUE(result.ok());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected) << "assign_similarity=" << assign;
+  }
+}
+
+}  // namespace
+}  // namespace ssjoin

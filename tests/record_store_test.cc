@@ -1,0 +1,139 @@
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/record_store.h"
+#include "test_util.h"
+
+namespace ssjoin {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+RecordSet MakeSet() {
+  RecordSet set;
+  Record a = Record::FromWeightedTokens({{1, 0.5}, {7, 2.25}});
+  a.set_norm(2.75);
+  a.set_text_length(11);
+  set.Add(std::move(a), "first text!");
+  Record b;  // empty record
+  set.Add(std::move(b), "");
+  Record c = Record::FromTokens({0, 1000000});
+  c.set_norm(2);
+  set.Add(std::move(c), "third");
+  return set;
+}
+
+TEST(RecordSerializationTest, RoundTrip) {
+  RecordSet set = MakeSet();
+  std::string buffer;
+  SerializeRecord(set.record(0), set.text(0), &buffer);
+  size_t offset = 0;
+  Record decoded;
+  std::string text;
+  ASSERT_TRUE(DeserializeRecord(buffer, &offset, &decoded, &text));
+  EXPECT_EQ(offset, buffer.size());
+  EXPECT_EQ(decoded.tokens(), set.record(0).tokens());
+  EXPECT_EQ(decoded.scores(), set.record(0).scores());
+  EXPECT_DOUBLE_EQ(decoded.norm(), set.record(0).norm());
+  EXPECT_EQ(decoded.text_length(), set.record(0).text_length());
+  EXPECT_EQ(text, "first text!");
+}
+
+TEST(RecordSerializationTest, NullTextSkipsCopy) {
+  RecordSet set = MakeSet();
+  std::string buffer;
+  SerializeRecord(set.record(0), set.text(0), &buffer);
+  size_t offset = 0;
+  Record decoded;
+  ASSERT_TRUE(DeserializeRecord(buffer, &offset, &decoded, nullptr));
+  EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(RecordSerializationTest, RejectsTruncation) {
+  RecordSet set = MakeSet();
+  std::string buffer;
+  SerializeRecord(set.record(0), set.text(0), &buffer);
+  for (size_t cut = 1; cut < buffer.size(); cut += 3) {
+    std::string truncated = buffer.substr(0, buffer.size() - cut);
+    size_t offset = 0;
+    Record decoded;
+    std::string text;
+    EXPECT_FALSE(DeserializeRecord(truncated, &offset, &decoded, &text))
+        << "cut=" << cut;
+  }
+}
+
+TEST(RecordStoreTest, CreateAndFetch) {
+  RecordSet set = MakeSet();
+  std::string path = TempPath("store_create.dat");
+  Result<RecordStore> store = RecordStore::Create(path, set);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store.value().size(), set.size());
+
+  for (RecordId id = 0; id < set.size(); ++id) {
+    Record record;
+    std::string text;
+    ASSERT_TRUE(store.value().Fetch(id, &record, &text).ok());
+    EXPECT_EQ(record.tokens(), set.record(id).tokens());
+    EXPECT_EQ(text, set.text(id));
+  }
+}
+
+TEST(RecordStoreTest, OpenRebuildsOffsets) {
+  RecordSet set = MakeSet();
+  std::string path = TempPath("store_open.dat");
+  ASSERT_TRUE(RecordStore::Create(path, set).ok());
+
+  Result<RecordStore> reopened = RecordStore::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().size(), set.size());
+  Record record;
+  std::string text;
+  ASSERT_TRUE(reopened.value().Fetch(2, &record, &text).ok());
+  EXPECT_EQ(text, "third");
+}
+
+TEST(RecordStoreTest, FetchOutOfRange) {
+  RecordSet set = MakeSet();
+  std::string path = TempPath("store_range.dat");
+  Result<RecordStore> store = RecordStore::Create(path, set);
+  ASSERT_TRUE(store.ok());
+  Record record;
+  EXPECT_EQ(store.value().Fetch(99, &record, nullptr).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(RecordStoreTest, OpenMissingFile) {
+  Result<RecordStore> store = RecordStore::Open(TempPath("nonexistent.dat"));
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kIOError);
+}
+
+TEST(RecordStoreTest, OpenRejectsBadMagic) {
+  std::string path = TempPath("store_badmagic.dat");
+  std::ofstream(path) << "not a record store";
+  Result<RecordStore> store = RecordStore::Open(path);
+  EXPECT_FALSE(store.ok());
+}
+
+TEST(RecordStoreTest, LargeRandomSetRoundTrips) {
+  RecordSet set =
+      testing_util::MakeRandomRecordSet({.num_records = 300}, 42);
+  std::string path = TempPath("store_large.dat");
+  Result<RecordStore> store = RecordStore::Create(path, set);
+  ASSERT_TRUE(store.ok());
+  for (RecordId id = 0; id < set.size(); id += 17) {
+    Record record;
+    std::string text;
+    ASSERT_TRUE(store.value().Fetch(id, &record, &text).ok());
+    EXPECT_EQ(record.tokens(), set.record(id).tokens());
+    EXPECT_EQ(text, set.text(id));
+  }
+}
+
+}  // namespace
+}  // namespace ssjoin

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "data/record.h"
+#include "data/record_set.h"
+
+namespace ssjoin {
+namespace {
+
+TEST(RecordTest, FromTokensSortsAndDedups) {
+  Record r = Record::FromTokens({5, 1, 3, 1, 5, 5});
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.token(0), 1u);
+  EXPECT_EQ(r.token(1), 3u);
+  EXPECT_EQ(r.token(2), 5u);
+  for (size_t i = 0; i < r.size(); ++i) EXPECT_EQ(r.score(i), 1.0);
+}
+
+TEST(RecordTest, FromWeightedTokensSorts) {
+  Record r = Record::FromWeightedTokens({{9, 0.5}, {2, 2.0}, {4, 1.5}});
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.token(0), 2u);
+  EXPECT_EQ(r.score(0), 2.0);
+  EXPECT_EQ(r.token(2), 9u);
+  EXPECT_EQ(r.score(2), 0.5);
+}
+
+TEST(RecordTest, FindAndContains) {
+  Record r = Record::FromTokens({2, 4, 8});
+  EXPECT_EQ(r.Find(4), 1u);
+  EXPECT_EQ(r.Find(5), SIZE_MAX);
+  EXPECT_TRUE(r.Contains(8));
+  EXPECT_FALSE(r.Contains(1));
+  EXPECT_FALSE(r.Contains(100));
+}
+
+TEST(RecordTest, OverlapWithSumsProducts) {
+  Record a = Record::FromWeightedTokens({{1, 2.0}, {2, 3.0}, {5, 1.0}});
+  Record b = Record::FromWeightedTokens({{2, 4.0}, {5, 2.0}, {7, 9.0}});
+  EXPECT_DOUBLE_EQ(a.OverlapWith(b), 3.0 * 4.0 + 1.0 * 2.0);
+  EXPECT_DOUBLE_EQ(b.OverlapWith(a), a.OverlapWith(b));
+}
+
+TEST(RecordTest, OverlapWithDisjoint) {
+  Record a = Record::FromTokens({1, 2});
+  Record b = Record::FromTokens({3, 4});
+  EXPECT_DOUBLE_EQ(a.OverlapWith(b), 0.0);
+  Record empty;
+  EXPECT_DOUBLE_EQ(a.OverlapWith(empty), 0.0);
+}
+
+TEST(RecordTest, IntersectionSize) {
+  Record a = Record::FromTokens({1, 2, 3, 4});
+  Record b = Record::FromTokens({2, 4, 6});
+  EXPECT_EQ(a.IntersectionSize(b), 2u);
+  EXPECT_EQ(a.IntersectionSize(a), 4u);
+}
+
+TEST(RecordTest, UnionMaxTakesMaxScores) {
+  Record a = Record::FromWeightedTokens({{1, 2.0}, {3, 1.0}});
+  a.set_norm(5.0);
+  a.set_text_length(10);
+  Record b = Record::FromWeightedTokens({{1, 1.0}, {2, 4.0}, {3, 3.0}});
+  b.set_norm(3.0);
+  b.set_text_length(20);
+  Record u = Record::UnionMax(a, b);
+  ASSERT_EQ(u.size(), 3u);
+  EXPECT_EQ(u.token(0), 1u);
+  EXPECT_DOUBLE_EQ(u.score(0), 2.0);  // max(2, 1)
+  EXPECT_EQ(u.token(1), 2u);
+  EXPECT_DOUBLE_EQ(u.score(1), 4.0);
+  EXPECT_DOUBLE_EQ(u.score(2), 3.0);  // max(1, 3)
+  EXPECT_DOUBLE_EQ(u.norm(), 3.0);    // min member norm
+  EXPECT_EQ(u.text_length(), 10u);    // min text length
+}
+
+TEST(RecordTest, UnionMaxSupersetInvariant) {
+  // overlap(probe, UnionMax(a, b)) >= max(overlap(probe, a),
+  // overlap(probe, b)) — the property that makes J(r) a safe superset.
+  Record a = Record::FromWeightedTokens({{1, 2.0}, {4, 1.0}, {6, 3.0}});
+  Record b = Record::FromWeightedTokens({{2, 5.0}, {4, 2.0}});
+  Record probe = Record::FromWeightedTokens({{1, 1.0}, {2, 1.0}, {4, 1.0}});
+  Record u = Record::UnionMax(a, b);
+  EXPECT_GE(probe.OverlapWith(u), probe.OverlapWith(a));
+  EXPECT_GE(probe.OverlapWith(u), probe.OverlapWith(b));
+}
+
+TEST(RecordSetTest, TracksFrequencies) {
+  RecordSet set;
+  set.Add(Record::FromTokens({1, 2}));
+  set.Add(Record::FromTokens({2, 3}));
+  set.Add(Record::FromTokens({2}));
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.doc_frequency(2), 3u);
+  EXPECT_EQ(set.doc_frequency(1), 1u);
+  EXPECT_EQ(set.doc_frequency(99), 0u);
+  EXPECT_EQ(set.total_token_occurrences(), 5u);
+  EXPECT_DOUBLE_EQ(set.average_record_size(), 5.0 / 3.0);
+  EXPECT_EQ(set.vocabulary_size(), 4u);  // ids 0..3 allocated
+}
+
+TEST(RecordSetTest, KeepsText) {
+  RecordSet set;
+  RecordId id = set.Add(Record::FromTokens({1}), "hello world");
+  EXPECT_EQ(set.text(id), "hello world");
+}
+
+TEST(RecordSetTest, IdsByDecreasingSize) {
+  RecordSet set;
+  set.Add(Record::FromTokens({1}));
+  set.Add(Record::FromTokens({1, 2, 3}));
+  set.Add(Record::FromTokens({1, 2}));
+  std::vector<RecordId> order = set.IdsByDecreasingSize();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(RecordSetTest, IdsByDecreasingNormStableOnTies) {
+  RecordSet set;
+  for (int i = 0; i < 4; ++i) {
+    Record r = Record::FromTokens({static_cast<TokenId>(i)});
+    r.set_norm(1.0);
+    set.Add(std::move(r));
+  }
+  std::vector<RecordId> order = set.IdsByDecreasingNorm();
+  EXPECT_EQ(order, (std::vector<RecordId>{0, 1, 2, 3}));
+}
+
+TEST(RecordSetTest, EmptySet) {
+  RecordSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_DOUBLE_EQ(set.average_record_size(), 0.0);
+  EXPECT_TRUE(set.IdsByDecreasingSize().empty());
+}
+
+}  // namespace
+}  // namespace ssjoin

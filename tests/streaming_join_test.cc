@@ -1,0 +1,117 @@
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/edit_distance_predicate.h"
+#include "core/hamming_predicate.h"
+#include "core/jaccard_predicate.h"
+#include "core/join.h"
+#include "core/overlap_predicate.h"
+#include "core/streaming_join.h"
+#include "data/corpus_builder.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ssjoin {
+namespace {
+
+using PairVector = std::vector<std::pair<RecordId, RecordId>>;
+
+/// Streams every record of `base` through a StreamingJoin and collects
+/// the incremental matches as canonical pairs.
+PairVector StreamAll(const RecordSet& base, const Predicate& pred) {
+  StreamingJoin stream(pred);
+  PairVector pairs;
+  for (RecordId id = 0; id < base.size(); ++id) {
+    RecordId assigned = stream.Add(
+        base.record(id), base.text(id), [&pairs, id](RecordId earlier) {
+          pairs.emplace_back(std::min(earlier, id),
+                             std::max(earlier, id));
+        });
+    EXPECT_EQ(assigned, id);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+PairVector Reference(RecordSet base, const Predicate& pred) {
+  pred.Prepare(&base);
+  PairVector pairs;
+  BruteForceJoin(base, pred, [&pairs](RecordId a, RecordId b) {
+    pairs.emplace_back(a, b);
+  });
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+TEST(StreamingJoinTest, MatchesBatchJoinOverlap) {
+  RecordSet base = testing_util::MakeRandomRecordSet(
+      {.num_records = 150, .vocabulary = 70}, 41);
+  OverlapPredicate pred(3);
+  EXPECT_EQ(StreamAll(base, pred), Reference(base, pred));
+}
+
+TEST(StreamingJoinTest, MatchesBatchJoinJaccard) {
+  RecordSet base = testing_util::MakeRandomRecordSet(
+      {.num_records = 120, .vocabulary = 60}, 42);
+  JaccardPredicate pred(0.6);
+  EXPECT_EQ(StreamAll(base, pred), Reference(base, pred));
+}
+
+TEST(StreamingJoinTest, MatchesBatchJoinEditDistance) {
+  Rng rng(43);
+  std::vector<std::string> texts;
+  for (int i = 0; i < 90; ++i) {
+    texts.push_back(testing_util::RandomAsciiString(rng, 0, 14));
+  }
+  TokenDictionary dict;
+  CorpusBuilderOptions copts;
+  copts.normalize = false;
+  RecordSet base = BuildQGramCorpus(texts, 3, &dict, copts);
+  EditDistancePredicate pred(2, 3);
+  EXPECT_EQ(StreamAll(base, pred), Reference(base, pred));
+}
+
+TEST(StreamingJoinTest, MatchesBatchJoinHammingTinySets) {
+  RecordSet base = testing_util::MakeRandomRecordSet(
+      {.num_records = 100, .vocabulary = 30, .min_tokens = 1,
+       .max_tokens = 5},
+      44);
+  HammingPredicate pred(4);
+  EXPECT_EQ(StreamAll(base, pred), Reference(base, pred));
+}
+
+TEST(StreamingJoinTest, MatchesArriveIncrementally) {
+  OverlapPredicate pred(2);
+  StreamingJoin stream(pred);
+  int matches = 0;
+  stream.Add(Record::FromTokens({1, 2, 3}), "",
+             [&](RecordId) { ++matches; });
+  EXPECT_EQ(matches, 0);  // nothing earlier
+  stream.Add(Record::FromTokens({1, 2, 9}), "",
+             [&](RecordId earlier) {
+               EXPECT_EQ(earlier, 0u);
+               ++matches;
+             });
+  EXPECT_EQ(matches, 1);
+  stream.Add(Record::FromTokens({50, 51}), "", [&](RecordId) { ++matches; });
+  EXPECT_EQ(matches, 1);  // disjoint record matches nothing
+  EXPECT_EQ(stream.size(), 3u);
+  EXPECT_EQ(stream.stats().pairs, 1u);
+}
+
+TEST(StreamingJoinTest, StatsAccumulate) {
+  OverlapPredicate pred(2);
+  StreamingJoin stream(pred);
+  for (int i = 0; i < 10; ++i) {
+    stream.Add(Record::FromTokens({1, 2, 3, static_cast<TokenId>(10 + i)}),
+               "", [](RecordId) {});
+  }
+  EXPECT_EQ(stream.stats().pairs, 45u);  // all pairs share {1,2,3}
+  EXPECT_GT(stream.stats().index_postings, 0u);
+}
+
+}  // namespace
+}  // namespace ssjoin

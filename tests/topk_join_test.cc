@@ -1,0 +1,136 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/join_common.h"
+#include "core/topk_join.h"
+#include "test_util.h"
+
+namespace ssjoin {
+namespace {
+
+std::vector<TopKMatch> BruteForceTopK(RecordSet records, TopKMetric metric,
+                                      size_t k) {
+  // Reuse the library's own preparation so scores are computed on the
+  // same weights, then rank all positive pairs.
+  JoinStats stats;
+  Result<std::vector<TopKMatch>> prepared =
+      TopKJoin(&records, metric, 0, &stats);  // k=0: prepare only
+  EXPECT_TRUE(prepared.ok());
+
+  std::vector<TopKMatch> all;
+  for (RecordId a = 0; a < records.size(); ++a) {
+    for (RecordId b = a + 1; b < records.size(); ++b) {
+      const Record& ra = records.record(a);
+      const Record& rb = records.record(b);
+      double overlap = ra.OverlapWith(rb);
+      if (overlap <= 0) continue;
+      double score = 0;
+      switch (metric) {
+        case TopKMetric::kOverlap:
+        case TopKMetric::kCosine:
+          score = overlap;
+          break;
+        case TopKMetric::kJaccard:
+          score = overlap / (ra.norm() + rb.norm() - overlap);
+          break;
+        case TopKMetric::kDice:
+          score = 2 * overlap / (ra.norm() + rb.norm());
+          break;
+      }
+      if (score > 0) all.push_back({a, b, score});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const TopKMatch& x,
+                                       const TopKMatch& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return PairKey(x.a, x.b) < PairKey(y.a, y.b);
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+void ExpectTopKMatches(const RecordSet& base, TopKMetric metric, size_t k) {
+  std::vector<TopKMatch> expected = BruteForceTopK(base, metric, k);
+  RecordSet working = base;
+  Result<std::vector<TopKMatch>> actual = TopKJoin(&working, metric, k);
+  ASSERT_TRUE(actual.ok());
+  ASSERT_EQ(actual.value().size(), expected.size())
+      << TopKMetricName(metric) << " k=" << k;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual.value()[i].a, expected[i].a) << i;
+    EXPECT_EQ(actual.value()[i].b, expected[i].b) << i;
+    EXPECT_DOUBLE_EQ(actual.value()[i].score, expected[i].score) << i;
+  }
+}
+
+class TopKJoinTest : public ::testing::TestWithParam<TopKMetric> {};
+
+TEST_P(TopKJoinTest, MatchesBruteForceAcrossKs) {
+  RecordSet base = testing_util::MakeRandomRecordSet(
+      {.num_records = 120, .vocabulary = 60}, 31);
+  for (size_t k : {1u, 5u, 25u, 100u, 100000u}) {
+    ExpectTopKMatches(base, GetParam(), k);
+  }
+}
+
+TEST_P(TopKJoinTest, SparseData) {
+  RecordSet base = testing_util::MakeRandomRecordSet(
+      {.num_records = 100, .vocabulary = 700, .duplicate_fraction = 0.05},
+      32);
+  ExpectTopKMatches(base, GetParam(), 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, TopKJoinTest,
+                         ::testing::Values(TopKMetric::kOverlap,
+                                           TopKMetric::kJaccard,
+                                           TopKMetric::kCosine,
+                                           TopKMetric::kDice),
+                         [](const auto& info) {
+                           return TopKMetricName(info.param);
+                         });
+
+TEST(TopKJoinEdgeTest, KZeroReturnsNothing) {
+  RecordSet base = testing_util::MakeRandomRecordSet({.num_records = 20}, 33);
+  Result<std::vector<TopKMatch>> result =
+      TopKJoin(&base, TopKMetric::kJaccard, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST(TopKJoinEdgeTest, EmptyCorpus) {
+  RecordSet base;
+  Result<std::vector<TopKMatch>> result =
+      TopKJoin(&base, TopKMetric::kOverlap, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST(TopKJoinEdgeTest, DuplicatesRankFirstUnderJaccard) {
+  RecordSet base;
+  base.Add(Record::FromTokens({1, 2, 3, 4}));
+  base.Add(Record::FromTokens({1, 2, 3, 4}));  // exact duplicate
+  base.Add(Record::FromTokens({1, 2, 9, 10}));
+  Result<std::vector<TopKMatch>> result =
+      TopKJoin(&base, TopKMetric::kJaccard, 1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_EQ(result.value()[0].a, 0u);
+  EXPECT_EQ(result.value()[0].b, 1u);
+  EXPECT_DOUBLE_EQ(result.value()[0].score, 1.0);
+}
+
+TEST(TopKJoinEdgeTest, ScoresAreDescending) {
+  RecordSet base = testing_util::MakeRandomRecordSet(
+      {.num_records = 80, .vocabulary = 40}, 34);
+  Result<std::vector<TopKMatch>> result =
+      TopKJoin(&base, TopKMetric::kDice, 20);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result.value().size(); ++i) {
+    EXPECT_GE(result.value()[i - 1].score, result.value()[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace ssjoin

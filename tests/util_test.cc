@@ -1,0 +1,212 @@
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/varint.h"
+
+namespace ssjoin {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IOError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kIOError, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(VarintTest, RoundTrips32) {
+  for (uint32_t v : {0u, 1u, 127u, 128u, 16383u, 16384u, 1u << 20,
+                     0xFFFFFFFFu}) {
+    std::string buf;
+    PutVarint32(&buf, v);
+    EXPECT_EQ(buf.size(), Varint32Size(v));
+    size_t offset = 0;
+    uint32_t decoded = 0;
+    ASSERT_TRUE(GetVarint32(buf, &offset, &decoded)) << v;
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(offset, buf.size());
+  }
+}
+
+TEST(VarintTest, RoundTrips64) {
+  for (uint64_t v :
+       {uint64_t{0}, uint64_t{127}, uint64_t{128}, uint64_t{1} << 35,
+        ~uint64_t{0}}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    size_t offset = 0;
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint64(buf, &offset, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(VarintTest, RejectsTruncatedInput) {
+  std::string buf;
+  PutVarint32(&buf, 300000);
+  buf.pop_back();
+  size_t offset = 0;
+  uint32_t decoded = 0;
+  EXPECT_FALSE(GetVarint32(buf, &offset, &decoded));
+}
+
+TEST(VarintTest, RejectsOverlongEncoding) {
+  std::string buf(6, static_cast<char>(0x80));  // 6 continuation bytes
+  size_t offset = 0;
+  uint32_t decoded = 0;
+  EXPECT_FALSE(GetVarint32(buf, &offset, &decoded));
+}
+
+TEST(VarintTest, DeltaListRoundTrip) {
+  std::vector<uint32_t> ids = {0, 0, 3, 3, 10, 500000, 500001};
+  std::string encoded = EncodeDeltaList(ids);
+  std::vector<uint32_t> decoded;
+  ASSERT_TRUE(DecodeDeltaList(encoded, &decoded));
+  EXPECT_EQ(decoded, ids);
+}
+
+TEST(VarintTest, DeltaListRejectsTrailingGarbage) {
+  std::string encoded = EncodeDeltaList({1, 2, 3});
+  encoded.push_back('\0');
+  std::vector<uint32_t> decoded;
+  EXPECT_FALSE(DecodeDeltaList(encoded, &decoded));
+}
+
+TEST(VarintTest, RandomDeltaListsRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint32_t> ids;
+    uint32_t v = 0;
+    int n = rng.UniformInt(0, 200);
+    for (int i = 0; i < n; ++i) {
+      v += rng.UniformU32(1000);
+      ids.push_back(v);
+    }
+    std::vector<uint32_t> decoded;
+    ASSERT_TRUE(DecodeDeltaList(EncodeDeltaList(ids), &decoded));
+    EXPECT_EQ(decoded, ids);
+  }
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU32(), b.NextU32());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformU32(17), 17u);
+    int v = rng.UniformInt(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.UniformU32(8)];
+  for (int c : counts) EXPECT_GT(c, 700);  // ~1000 expected each
+}
+
+TEST(ZipfTest, RankZeroMostFrequent) {
+  Rng rng(5);
+  ZipfTable zipf(50, 1.2);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[49]);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniformish) {
+  Rng rng(6);
+  ZipfTable zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(StringUtilTest, SplitAndTrim) {
+  auto pieces = SplitAndTrim("  foo  bar\tbaz\n");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "foo");
+  EXPECT_EQ(pieces[1], "bar");
+  EXPECT_EQ(pieces[2], "baz");
+  EXPECT_TRUE(SplitAndTrim("").empty());
+  EXPECT_TRUE(SplitAndTrim("   ").empty());
+}
+
+TEST(StringUtilTest, AsciiToLower) {
+  EXPECT_EQ(AsciiToLower("AbC 123 xYz"), "abc 123 xyz");
+}
+
+TEST(StringUtilTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace ssjoin
