@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_citations.dir/dedup_citations.cpp.o"
+  "CMakeFiles/dedup_citations.dir/dedup_citations.cpp.o.d"
+  "dedup_citations"
+  "dedup_citations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_citations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

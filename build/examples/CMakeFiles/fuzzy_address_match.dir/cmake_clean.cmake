@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzy_address_match.dir/fuzzy_address_match.cpp.o"
+  "CMakeFiles/fuzzy_address_match.dir/fuzzy_address_match.cpp.o.d"
+  "fuzzy_address_match"
+  "fuzzy_address_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzy_address_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

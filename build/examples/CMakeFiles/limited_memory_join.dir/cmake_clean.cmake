@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limited_memory_join.dir/limited_memory_join.cpp.o"
+  "CMakeFiles/limited_memory_join.dir/limited_memory_join.cpp.o.d"
+  "limited_memory_join"
+  "limited_memory_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limited_memory_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

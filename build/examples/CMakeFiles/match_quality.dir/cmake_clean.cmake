@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_quality.dir/match_quality.cpp.o"
+  "CMakeFiles/match_quality.dir/match_quality.cpp.o.d"
+  "match_quality"
+  "match_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

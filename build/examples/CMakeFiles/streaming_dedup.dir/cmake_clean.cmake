@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_dedup.dir/streaming_dedup.cpp.o"
+  "CMakeFiles/streaming_dedup.dir/streaming_dedup.cpp.o.d"
+  "streaming_dedup"
+  "streaming_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/band_partition.cc" "src/CMakeFiles/ssjoin.dir/core/band_partition.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/band_partition.cc.o.d"
+  "/root/repo/src/core/cluster_mem.cc" "src/CMakeFiles/ssjoin.dir/core/cluster_mem.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/cluster_mem.cc.o.d"
+  "/root/repo/src/core/cosine_predicate.cc" "src/CMakeFiles/ssjoin.dir/core/cosine_predicate.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/cosine_predicate.cc.o.d"
+  "/root/repo/src/core/dice_predicate.cc" "src/CMakeFiles/ssjoin.dir/core/dice_predicate.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/dice_predicate.cc.o.d"
+  "/root/repo/src/core/edit_distance_predicate.cc" "src/CMakeFiles/ssjoin.dir/core/edit_distance_predicate.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/edit_distance_predicate.cc.o.d"
+  "/root/repo/src/core/foreign_join.cc" "src/CMakeFiles/ssjoin.dir/core/foreign_join.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/foreign_join.cc.o.d"
+  "/root/repo/src/core/hamming_predicate.cc" "src/CMakeFiles/ssjoin.dir/core/hamming_predicate.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/hamming_predicate.cc.o.d"
+  "/root/repo/src/core/jaccard_predicate.cc" "src/CMakeFiles/ssjoin.dir/core/jaccard_predicate.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/jaccard_predicate.cc.o.d"
+  "/root/repo/src/core/join.cc" "src/CMakeFiles/ssjoin.dir/core/join.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/join.cc.o.d"
+  "/root/repo/src/core/merge_opt.cc" "src/CMakeFiles/ssjoin.dir/core/merge_opt.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/merge_opt.cc.o.d"
+  "/root/repo/src/core/overlap_coefficient_predicate.cc" "src/CMakeFiles/ssjoin.dir/core/overlap_coefficient_predicate.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/overlap_coefficient_predicate.cc.o.d"
+  "/root/repo/src/core/overlap_predicate.cc" "src/CMakeFiles/ssjoin.dir/core/overlap_predicate.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/overlap_predicate.cc.o.d"
+  "/root/repo/src/core/pair_count.cc" "src/CMakeFiles/ssjoin.dir/core/pair_count.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/pair_count.cc.o.d"
+  "/root/repo/src/core/predicate.cc" "src/CMakeFiles/ssjoin.dir/core/predicate.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/predicate.cc.o.d"
+  "/root/repo/src/core/prefix_filter_join.cc" "src/CMakeFiles/ssjoin.dir/core/prefix_filter_join.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/prefix_filter_join.cc.o.d"
+  "/root/repo/src/core/probe_cluster.cc" "src/CMakeFiles/ssjoin.dir/core/probe_cluster.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/probe_cluster.cc.o.d"
+  "/root/repo/src/core/probe_join.cc" "src/CMakeFiles/ssjoin.dir/core/probe_join.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/probe_join.cc.o.d"
+  "/root/repo/src/core/streaming_join.cc" "src/CMakeFiles/ssjoin.dir/core/streaming_join.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/streaming_join.cc.o.d"
+  "/root/repo/src/core/topk_join.cc" "src/CMakeFiles/ssjoin.dir/core/topk_join.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/topk_join.cc.o.d"
+  "/root/repo/src/core/word_groups.cc" "src/CMakeFiles/ssjoin.dir/core/word_groups.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/core/word_groups.cc.o.d"
+  "/root/repo/src/data/address_generator.cc" "src/CMakeFiles/ssjoin.dir/data/address_generator.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/data/address_generator.cc.o.d"
+  "/root/repo/src/data/citation_generator.cc" "src/CMakeFiles/ssjoin.dir/data/citation_generator.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/data/citation_generator.cc.o.d"
+  "/root/repo/src/data/corpus_builder.cc" "src/CMakeFiles/ssjoin.dir/data/corpus_builder.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/data/corpus_builder.cc.o.d"
+  "/root/repo/src/data/corpus_stats.cc" "src/CMakeFiles/ssjoin.dir/data/corpus_stats.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/data/corpus_stats.cc.o.d"
+  "/root/repo/src/data/record.cc" "src/CMakeFiles/ssjoin.dir/data/record.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/data/record.cc.o.d"
+  "/root/repo/src/data/record_set.cc" "src/CMakeFiles/ssjoin.dir/data/record_set.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/data/record_set.cc.o.d"
+  "/root/repo/src/data/record_store.cc" "src/CMakeFiles/ssjoin.dir/data/record_store.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/data/record_store.cc.o.d"
+  "/root/repo/src/data/synth_text.cc" "src/CMakeFiles/ssjoin.dir/data/synth_text.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/data/synth_text.cc.o.d"
+  "/root/repo/src/index/compressed_postings.cc" "src/CMakeFiles/ssjoin.dir/index/compressed_postings.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/index/compressed_postings.cc.o.d"
+  "/root/repo/src/index/index_io.cc" "src/CMakeFiles/ssjoin.dir/index/index_io.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/index/index_io.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/CMakeFiles/ssjoin.dir/index/inverted_index.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/index/inverted_index.cc.o.d"
+  "/root/repo/src/index/posting_list.cc" "src/CMakeFiles/ssjoin.dir/index/posting_list.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/index/posting_list.cc.o.d"
+  "/root/repo/src/minhash/minhash.cc" "src/CMakeFiles/ssjoin.dir/minhash/minhash.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/minhash/minhash.cc.o.d"
+  "/root/repo/src/mining/apriori.cc" "src/CMakeFiles/ssjoin.dir/mining/apriori.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/mining/apriori.cc.o.d"
+  "/root/repo/src/mining/dfs_miner.cc" "src/CMakeFiles/ssjoin.dir/mining/dfs_miner.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/mining/dfs_miner.cc.o.d"
+  "/root/repo/src/text/edit_distance.cc" "src/CMakeFiles/ssjoin.dir/text/edit_distance.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/text/edit_distance.cc.o.d"
+  "/root/repo/src/text/normalizer.cc" "src/CMakeFiles/ssjoin.dir/text/normalizer.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/text/normalizer.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/CMakeFiles/ssjoin.dir/text/tfidf.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/text/tfidf.cc.o.d"
+  "/root/repo/src/text/token_dictionary.cc" "src/CMakeFiles/ssjoin.dir/text/token_dictionary.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/text/token_dictionary.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/ssjoin.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/ssjoin.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/ssjoin.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/ssjoin.dir/util/status.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/ssjoin.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/varint.cc" "src/CMakeFiles/ssjoin.dir/util/varint.cc.o" "gcc" "src/CMakeFiles/ssjoin.dir/util/varint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/band_partition_test.dir/band_partition_test.cc.o"
+  "CMakeFiles/band_partition_test.dir/band_partition_test.cc.o.d"
+  "band_partition_test"
+  "band_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/band_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

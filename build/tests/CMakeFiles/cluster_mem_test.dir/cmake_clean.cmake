@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_mem_test.dir/cluster_mem_test.cc.o"
+  "CMakeFiles/cluster_mem_test.dir/cluster_mem_test.cc.o.d"
+  "cluster_mem_test"
+  "cluster_mem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_miner_test.dir/dfs_miner_test.cc.o"
+  "CMakeFiles/dfs_miner_test.dir/dfs_miner_test.cc.o.d"
+  "dfs_miner_test"
+  "dfs_miner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foreign_join_test.dir/foreign_join_test.cc.o"
+  "CMakeFiles/foreign_join_test.dir/foreign_join_test.cc.o.d"
+  "foreign_join_test"
+  "foreign_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foreign_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

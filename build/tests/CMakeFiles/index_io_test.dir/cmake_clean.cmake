@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_io_test.dir/index_io_test.cc.o"
+  "CMakeFiles/index_io_test.dir/index_io_test.cc.o.d"
+  "index_io_test"
+  "index_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_equivalence_test.dir/join_equivalence_test.cc.o"
+  "CMakeFiles/join_equivalence_test.dir/join_equivalence_test.cc.o.d"
+  "join_equivalence_test"
+  "join_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

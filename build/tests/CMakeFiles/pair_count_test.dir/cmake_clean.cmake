@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_count_test.dir/pair_count_test.cc.o"
+  "CMakeFiles/pair_count_test.dir/pair_count_test.cc.o.d"
+  "pair_count_test"
+  "pair_count_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_count_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

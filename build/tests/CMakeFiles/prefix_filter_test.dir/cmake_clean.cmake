@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefix_filter_test.dir/prefix_filter_test.cc.o"
+  "CMakeFiles/prefix_filter_test.dir/prefix_filter_test.cc.o.d"
+  "prefix_filter_test"
+  "prefix_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefix_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

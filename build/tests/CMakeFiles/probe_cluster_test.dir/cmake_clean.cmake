@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_cluster_test.dir/probe_cluster_test.cc.o"
+  "CMakeFiles/probe_cluster_test.dir/probe_cluster_test.cc.o.d"
+  "probe_cluster_test"
+  "probe_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_join_test.dir/streaming_join_test.cc.o"
+  "CMakeFiles/streaming_join_test.dir/streaming_join_test.cc.o.d"
+  "streaming_join_test"
+  "streaming_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

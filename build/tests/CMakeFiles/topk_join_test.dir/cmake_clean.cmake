@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_join_test.dir/topk_join_test.cc.o"
+  "CMakeFiles/topk_join_test.dir/topk_join_test.cc.o.d"
+  "topk_join_test"
+  "topk_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

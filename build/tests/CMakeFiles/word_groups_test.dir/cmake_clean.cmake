@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_groups_test.dir/word_groups_test.cc.o"
+  "CMakeFiles/word_groups_test.dir/word_groups_test.cc.o.d"
+  "word_groups_test"
+  "word_groups_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_groups_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
