@@ -30,6 +30,8 @@ const JoinAlgorithm kAlgorithms[] = {
 
 int main(int argc, char** argv) {
   double scale = ParseScale(argc, argv);
+  JoinOptions join_options;
+  join_options.num_threads = ParseThreads(argc, argv);
   // The unoptimized Probe baseline is quadratic-ish; sizes stay modest.
   std::vector<uint32_t> sizes;
   for (uint32_t n : {1000, 2000, 3000, 4500, 6000}) {
@@ -51,7 +53,7 @@ int main(int argc, char** argv) {
       double total = 0;
       for (double t : thresholds) {
         OverlapPredicate pred(t);
-        total += TimeJoin(corpus, pred, algorithm).seconds;
+        total += TimeJoin(corpus, pred, algorithm, join_options).seconds;
       }
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%.3f", total / thresholds.size());
@@ -71,7 +73,7 @@ int main(int argc, char** argv) {
       OverlapPredicate pred(t);
       std::vector<std::string> row = {std::to_string((int)t)};
       for (JoinAlgorithm algorithm : kAlgorithms) {
-        row.push_back(Cell(TimeJoin(corpus, pred, algorithm)));
+        row.push_back(Cell(TimeJoin(corpus, pred, algorithm, join_options)));
       }
       PrintRow(row);
     }

@@ -1,0 +1,107 @@
+// Parallel probe scaling: serial vs multi-threaded wall clock for the
+// probe-family and prefix-filter joins on the citation corpus. Not a
+// paper figure (the paper's experiments are single-threaded); this
+// validates that ParallelProbeDriver turns cores into speedup while the
+// output stays byte-identical to serial.
+//
+//   bench_parallel [--scale=X] [--threads=N ...]
+//
+// With no --threads flags, measures 1, 2, 4 and the hardware default.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/jaccard_predicate.h"
+#include "core/overlap_predicate.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace ssjoin;
+using namespace ssjoin::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = ParseScale(argc, argv);
+  std::vector<int> thread_counts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      int threads = std::atoi(argv[i] + 10);
+      if (threads >= 1) thread_counts.push_back(threads);
+    }
+  }
+  if (thread_counts.empty()) {
+    thread_counts = {1, 2, 4};
+    int hw = ThreadPool::DefaultNumThreads();
+    if (std::find(thread_counts.begin(), thread_counts.end(), hw) ==
+        thread_counts.end()) {
+      thread_counts.push_back(hw);
+    }
+  }
+
+  uint32_t n = Scaled(12000, scale);
+  std::vector<std::string> texts = CitationTexts(n);
+  TokenDictionary dict;
+  RecordSet corpus = WordCorpusPrefix(texts, n, &dict);
+
+  struct Case {
+    const char* label;
+    JoinAlgorithm algorithm;
+  };
+  const Case cases[] = {
+      {"Probe-optMerge", JoinAlgorithm::kProbeOptMerge},
+      {"Probe", JoinAlgorithm::kProbeCount},
+      {"PrefixFilter", JoinAlgorithm::kPrefixFilter},
+  };
+
+  std::printf("# Parallel probe scaling, %u records (citation All-words), "
+              "overlap T=9 / jaccard f=0.6\n",
+              n);
+  PrintRow({"algorithm", "predicate", "threads", "seconds", "speedup",
+            "pairs"});
+  for (const Case& c : cases) {
+    OverlapPredicate overlap(9);
+    JaccardPredicate jaccard(0.6);
+    const Predicate* predicates[] = {
+        static_cast<const Predicate*>(&overlap),
+        static_cast<const Predicate*>(&jaccard)};
+    for (const Predicate* pred : predicates) {
+      double serial_seconds = 0;
+      uint64_t serial_pairs = 0;
+      for (int threads : thread_counts) {
+        JoinOptions options;
+        options.num_threads = threads;
+        RunResult result = TimeJoin(corpus, *pred, c.algorithm, options);
+        if (!result.completed) {
+          PrintRow({c.label, pred->name(), std::to_string(threads), "dnf",
+                    "-", "-"});
+          continue;
+        }
+        if (threads == thread_counts.front()) {
+          serial_seconds = result.seconds;
+          serial_pairs = result.pairs;
+        } else if (result.pairs != serial_pairs) {
+          std::fprintf(stderr,
+                       "MISMATCH: %s/%s at %d threads emitted %llu pairs, "
+                       "serial emitted %llu\n",
+                       c.label, pred->name().c_str(), threads,
+                       static_cast<unsigned long long>(result.pairs),
+                       static_cast<unsigned long long>(serial_pairs));
+          return 1;
+        }
+        char seconds_buf[32], speedup_buf[32];
+        std::snprintf(seconds_buf, sizeof(seconds_buf), "%.3f",
+                      result.seconds);
+        std::snprintf(speedup_buf, sizeof(speedup_buf), "%.2fx",
+                      serial_seconds / std::max(result.seconds, 1e-9));
+        PrintRow({c.label, pred->name(), std::to_string(threads),
+                  seconds_buf, speedup_buf, std::to_string(result.pairs)});
+      }
+    }
+  }
+  return 0;
+}

@@ -105,6 +105,19 @@ inline uint32_t Scaled(uint32_t n, double scale) {
   return static_cast<uint32_t>(std::max(1.0, n * scale));
 }
 
+/// --threads=<N> sets JoinOptions::num_threads for benches that support
+/// parallel probing (default 1 = serial, matching the paper's setup).
+inline int ParseThreads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      int threads = std::atoi(argv[i] + 10);
+      if (threads >= 1) return threads;
+      std::fprintf(stderr, "ignoring invalid %s\n", argv[i]);
+    }
+  }
+  return 1;
+}
+
 /// Prints a CSV header + rows helper.
 inline void PrintRow(const std::vector<std::string>& cells) {
   for (size_t i = 0; i < cells.size(); ++i) {

@@ -1,5 +1,7 @@
 #include "core/cluster_mem.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -105,9 +107,12 @@ class SpillFile {
 };
 
 std::string UniqueTempPath(const std::string& dir, const std::string& stem) {
+  // The pid keeps concurrent processes sharing a temp_dir (e.g. test
+  // binaries under `ctest -j`) from clobbering each other's spill files.
   static std::atomic<uint64_t> counter{0};
   uint64_t n = counter.fetch_add(1);
-  return dir + "/" + stem + "." + std::to_string(n) + ".tmp";
+  return dir + "/" + stem + "." + std::to_string(::getpid()) + "." +
+         std::to_string(n) + ".tmp";
 }
 
 }  // namespace

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
+#include "core/parallel_probe.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace ssjoin {
 
@@ -119,7 +123,12 @@ Result<JoinStats> RunJoin(RecordSet* records, const Predicate& pred,
       probe.online = algorithm == JoinAlgorithm::kProbeOnline ||
                      algorithm == JoinAlgorithm::kProbeSort;
       probe.presort = algorithm == JoinAlgorithm::kProbeSort;
-      result = ProbeJoin(*records, pred, probe, wrapped_sink);
+      if (options.num_threads > 1) {
+        result = ParallelProbeJoin(*records, pred, probe,
+                                   options.num_threads, wrapped_sink);
+      } else {
+        result = ProbeJoin(*records, pred, probe, wrapped_sink);
+      }
       break;
     }
     case JoinAlgorithm::kProbeCluster: {
@@ -148,8 +157,14 @@ Result<JoinStats> RunJoin(RecordSet* records, const Predicate& pred,
       break;
     }
     case JoinAlgorithm::kPrefixFilter: {
-      result = PrefixFilterJoin(*records, pred, options.prefix_filter,
-                                wrapped_sink);
+      if (options.num_threads > 1) {
+        result = ParallelPrefixFilterJoin(*records, pred,
+                                          options.prefix_filter,
+                                          options.num_threads, wrapped_sink);
+      } else {
+        result = PrefixFilterJoin(*records, pred, options.prefix_filter,
+                                  wrapped_sink);
+      }
       break;
     }
   }
@@ -178,14 +193,26 @@ Result<std::vector<std::pair<RecordId, RecordId>>> JoinToPairs(
 Result<JoinStats> BandPartitionedJoin(RecordSet* records,
                                       const Predicate& pred, double k,
                                       BandStrategy strategy,
-                                      const PairSink& sink) {
+                                      const PairSink& sink,
+                                      int num_threads) {
   pred.Prepare(records);
-  JoinStats stats;
-  std::unordered_set<uint64_t> emitted;
 
   std::vector<std::vector<RecordId>> partitions =
       BandPartitionByNorm(*records, k, strategy);
-  for (const std::vector<RecordId>& partition : partitions) {
+
+  // Each partition joins into a private buffer (global ids, partition-local
+  // emission order preserved), so partitions can run on any thread while
+  // the cross-partition dedup below stays strictly in partition order.
+  struct PartitionResult {
+    std::vector<std::pair<RecordId, RecordId>> pairs;
+    JoinStats stats;
+    Status status = Status::OK();
+  };
+  std::vector<PartitionResult> results(partitions.size());
+
+  auto run_partition = [&](size_t p) {
+    const std::vector<RecordId>& partition = partitions[p];
+    PartitionResult& out = results[p];
     // Materialize the partition as its own (already prepared) record set.
     RecordSet subset;
     for (RecordId id : partition) {
@@ -197,13 +224,39 @@ Result<JoinStats> BandPartitionedJoin(RecordSet* records,
         [&](RecordId local_a, RecordId local_b) {
           RecordId a = partition[local_a];
           RecordId b = partition[local_b];
-          if (!emitted.insert(PairKey(a, b)).second) return;
-          ++stats.pairs;
-          sink(std::min(a, b), std::max(a, b));
+          out.pairs.emplace_back(std::min(a, b), std::max(a, b));
         });
-    if (!sub.ok()) return sub.status();
-    stats.candidates_verified += sub.value().candidates_verified;
-    stats.merge += sub.value().merge;
+    if (!sub.ok()) {
+      out.status = sub.status();
+      return;
+    }
+    out.stats = sub.value();
+  };
+
+  if (num_threads > 1 && partitions.size() > 1) {
+    ThreadPool pool(num_threads);
+    pool.ParallelFor(partitions.size(), /*chunk=*/1,
+                     [&](size_t begin, size_t end, int /*worker*/) {
+                       for (size_t p = begin; p < end; ++p) run_partition(p);
+                     });
+  } else {
+    for (size_t p = 0; p < partitions.size(); ++p) run_partition(p);
+  }
+
+  // Partitions are disjoint joins over overlapping record subsets: their
+  // counters (including per-partition index peaks) add, while `pairs` is
+  // re-counted after cross-partition deduplication.
+  JoinStats stats;
+  std::unordered_set<uint64_t> emitted;
+  for (PartitionResult& result : results) {
+    if (!result.status.ok()) return result.status;
+    result.stats.pairs = 0;
+    stats.MergePartition(result.stats);
+    for (const auto& [a, b] : result.pairs) {
+      if (!emitted.insert(PairKey(a, b)).second) continue;
+      ++stats.pairs;
+      sink(a, b);
+    }
   }
 
   ShortRecordFallback(*records, pred, emitted, &stats, sink);

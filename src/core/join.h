@@ -47,6 +47,16 @@ struct JoinOptions {
   PairCountOptions pair_count;
   WordGroupsOptions word_groups;
   PrefixFilterJoinOptions prefix_filter;
+
+  /// Worker threads for the index-probe algorithms (the Probe-Count
+  /// family and PrefixFilter): the read-only index is built once and
+  /// record probes fan out across this many workers, with output merged
+  /// deterministically (sorted pairs, partition-summed stats) so results
+  /// are identical to the serial path at any thread count. <= 1 keeps
+  /// the serial path. Algorithms whose probe loop mutates shared state
+  /// (Probe-Cluster, ClusterMem, Pair-Count, Word-Groups) ignore this
+  /// and run sequentially; see DESIGN.md "Threading model".
+  int num_threads = 1;
 };
 
 /// Runs `algorithm` over `records` under `pred`:
@@ -73,10 +83,15 @@ JoinStats BruteForceJoin(const RecordSet& records, const Predicate& pred,
 /// records on their norm with range `k`, run the Probe-Cluster join inside
 /// every partition, and deduplicate the output. Exact for predicates whose
 /// filter is |norm_r - norm_s| <= k (edit distance with k = max edits).
+/// With num_threads > 1 the partitions run concurrently (each partition's
+/// join stays sequential inside); per-partition pair buffers are replayed
+/// in partition order through the shared dedup, so output and stats are
+/// byte-identical to the serial run.
 Result<JoinStats> BandPartitionedJoin(RecordSet* records,
                                       const Predicate& pred, double k,
                                       BandStrategy strategy,
-                                      const PairSink& sink);
+                                      const PairSink& sink,
+                                      int num_threads = 1);
 
 }  // namespace ssjoin
 

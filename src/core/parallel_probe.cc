@@ -1,0 +1,314 @@
+#include "core/parallel_probe.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/merge_opt.h"
+#include "core/probe_common.h"
+#include "index/inverted_index.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace ssjoin {
+
+namespace {
+
+using probe_internal::BuildStopwordPlan;
+using probe_internal::ReducedThreshold;
+using probe_internal::StopwordPlan;
+using probe_internal::StripStopwords;
+
+/// Positions per work chunk: small enough to balance skewed probe costs,
+/// large enough to amortize the chunk-claim atomic.
+size_t ChunkSize(size_t n, int threads) {
+  size_t chunk = n / (8 * static_cast<size_t>(std::max(1, threads)));
+  return std::clamp<size_t>(chunk, 1, 256);
+}
+
+}  // namespace
+
+JoinStats ParallelProbeDriver::Run(size_t n, int num_threads,
+                                   const ProbeFn& probe,
+                                   const PairSink& sink) {
+  int requested = std::max(1, num_threads);
+  ThreadPool pool(requested);
+  const int threads = pool.num_threads();
+
+  std::vector<JoinStats> worker_stats(threads);
+  std::vector<std::vector<std::pair<RecordId, RecordId>>> worker_pairs(
+      threads);
+
+  pool.ParallelFor(
+      n, ChunkSize(n, threads), [&](size_t begin, size_t end, int worker) {
+        JoinStats* stats = &worker_stats[worker];
+        std::vector<std::pair<RecordId, RecordId>>& buffer =
+            worker_pairs[worker];
+        PairSink emit = [&buffer](RecordId a, RecordId b) {
+          buffer.emplace_back(a, b);
+        };
+        for (size_t pos = begin; pos < end; ++pos) {
+          probe(static_cast<uint32_t>(pos), worker, stats, emit);
+        }
+      });
+
+  // Deterministic reduction: stats counters are sums over a fixed set of
+  // per-position contributions, so worker order does not matter; pairs
+  // are globally sorted before emission, erasing scheduling order.
+  JoinStats stats;
+  size_t total_pairs = 0;
+  for (int w = 0; w < threads; ++w) {
+    stats.MergePartition(worker_stats[w]);
+    total_pairs += worker_pairs[w].size();
+  }
+  std::vector<std::pair<RecordId, RecordId>> merged;
+  merged.reserve(total_pairs);
+  for (int w = 0; w < threads; ++w) {
+    merged.insert(merged.end(), worker_pairs[w].begin(),
+                  worker_pairs[w].end());
+  }
+  std::sort(merged.begin(), merged.end());
+  for (const auto& [a, b] : merged) sink(a, b);
+  return stats;
+}
+
+Result<JoinStats> ParallelProbeJoin(const RecordSet& records,
+                                    const Predicate& pred,
+                                    const ProbeJoinOptions& options,
+                                    int num_threads, const PairSink& sink) {
+  const size_t n = records.size();
+
+  std::vector<RecordId> order;
+  if (options.presort) {
+    order = records.IdsByDecreasingNorm();
+  } else {
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0);
+  }
+
+  StopwordPlan stop_plan;
+  if (options.stopwords) {
+    std::optional<double> constant = pred.ConstantThreshold();
+    if (!constant.has_value()) {
+      return Status::InvalidArgument(
+          "Probe-stopWords requires a constant-threshold predicate; '" +
+          pred.name() + "' has a pair-dependent threshold");
+    }
+    stop_plan = BuildStopwordPlan(records, *constant);
+  }
+
+  std::vector<Record> stripped;  // stopword mode only
+  if (options.stopwords) {
+    stripped.reserve(n);
+    for (RecordId id = 0; id < n; ++id) {
+      stripped.push_back(StripStopwords(records.record(id), stop_plan));
+    }
+  }
+  auto record_for_index = [&](RecordId id) -> const Record& {
+    return options.stopwords ? stripped[id] : records.record(id);
+  };
+
+  // Freeze the full index before any probing; from here on every worker
+  // only reads it (InvertedIndex::list, PostingList search methods and
+  // CollectProbeLists are const and touch no shared mutable state).
+  InvertedIndex index;
+  for (uint32_t pos = 0; pos < n; ++pos) {
+    index.Insert(pos, record_for_index(order[pos]));
+  }
+
+  MergeOptions merge_options;
+  merge_options.split_lists = options.optimized_merge;
+  merge_options.apply_filter = options.apply_filter;
+
+  struct Scratch {
+    std::vector<const PostingList*> lists;
+    std::vector<double> probe_scores;
+  };
+  int requested = std::max(1, num_threads);
+  std::vector<Scratch> scratch(requested);
+
+  auto probe_one = [&](uint32_t pos, int worker, JoinStats* stats,
+                       const PairSink& emit) {
+    RecordId probe_id = order[pos];
+    const Record& probe_full = records.record(probe_id);
+    const Record& probe = record_for_index(probe_id);
+
+    auto verify_and_emit = [&](RecordId a, RecordId b) {
+      ++stats->candidates_verified;
+      if (pred.Matches(records, a, b)) {
+        ++stats->pairs;
+        emit(std::min(a, b), std::max(a, b));
+      }
+    };
+
+    double floor;
+    std::function<double(RecordId)> required;
+    if (options.stopwords) {
+      double reduced = ReducedThreshold(probe_full, stop_plan);
+      if (reduced <= 0) {
+        // Degenerate probe: its own stopwords could carry the whole
+        // threshold, so every earlier record is a candidate.
+        for (uint32_t m = 0; m < pos; ++m) {
+          verify_and_emit(order[m], probe_id);
+        }
+        return;
+      }
+      floor = reduced;
+    } else {
+      floor = pred.ThresholdForNorms(probe_full.norm(), index.min_norm());
+      required = [&](RecordId m) {
+        return pred.ThresholdForNorms(probe_full.norm(),
+                                      records.record(order[m]).norm());
+      };
+    }
+    std::function<bool(RecordId)> filter;
+    if (options.apply_filter && pred.has_norm_filter()) {
+      filter = [&](RecordId m) {
+        return pred.NormFilter(probe_full.norm(),
+                               records.record(order[m]).norm());
+      };
+    }
+    Scratch& s = scratch[worker];
+    CollectProbeLists(index, probe, &s.lists, &s.probe_scores);
+    ListMerger merger(std::move(s.lists), std::move(s.probe_scores), floor,
+                      required, filter, merge_options, &stats->merge);
+    MergeCandidate candidate;
+    while (merger.Next(&candidate)) {
+      // Every record is indexed: skip self matches and emit each
+      // unordered pair from its later endpoint only.
+      if (candidate.id >= pos) continue;
+      verify_and_emit(order[candidate.id], probe_id);
+    }
+    s.lists.clear();
+    s.probe_scores.clear();
+  };
+
+  JoinStats stats =
+      ParallelProbeDriver::Run(n, num_threads, probe_one, sink);
+  stats.index_postings = index.total_postings();
+  return stats;
+}
+
+Result<JoinStats> ParallelPrefixFilterJoin(
+    const RecordSet& records, const Predicate& pred,
+    const PrefixFilterJoinOptions& options, int num_threads,
+    const PairSink& sink) {
+  if (pred.MinMatchOverlap(1e18) <= 0) {
+    return Status::InvalidArgument(
+        "prefix filtering needs a positive MinMatchOverlap bound; '" +
+        pred.name() + "' does not provide one");
+  }
+  const size_t n = records.size();
+
+  // Global token order: increasing document frequency, rare tokens first
+  // (identical to the serial PrefixFilterJoin).
+  std::vector<uint32_t> rank(records.vocabulary_size());
+  {
+    std::vector<TokenId> by_df(records.vocabulary_size());
+    std::iota(by_df.begin(), by_df.end(), 0);
+    std::stable_sort(by_df.begin(), by_df.end(),
+                     [&records](TokenId a, TokenId b) {
+                       return records.doc_frequency(a) <
+                              records.doc_frequency(b);
+                     });
+    for (uint32_t i = 0; i < by_df.size(); ++i) rank[by_df[i]] = i;
+  }
+
+  std::vector<double> gmax(records.vocabulary_size(), 0.0);
+  for (const Record& r : records.records()) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      gmax[r.token(i)] = std::max(gmax[r.token(i)], r.score(i));
+    }
+  }
+
+  std::vector<RecordId> order;
+  if (options.presort) {
+    order = records.IdsByDecreasingNorm();
+  } else {
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0);
+  }
+
+  // Freeze the whole prefix index up front, keyed by processing position
+  // (lists stay position-sorted because positions are inserted in order).
+  // A probe at position p then considers list entries < p — exactly the
+  // records that were already indexed when the serial form probed p.
+  std::unordered_map<TokenId, std::vector<uint32_t>> prefix_index;
+  uint64_t prefix_postings = 0;
+  {
+    std::vector<std::pair<uint32_t, size_t>> ordered;  // (rank, token pos)
+    for (uint32_t pos = 0; pos < n; ++pos) {
+      const Record& r = records.record(order[pos]);
+      double alpha = pred.MinMatchOverlap(r.norm());
+      ordered.clear();
+      for (size_t i = 0; i < r.size(); ++i) {
+        ordered.emplace_back(rank[r.token(i)], i);
+      }
+      std::sort(ordered.begin(), ordered.end());
+      size_t prefix_len = ordered.size();
+      if (alpha > 0) {
+        double suffix_potential = 0;
+        while (prefix_len > 0) {
+          size_t token_pos = ordered[prefix_len - 1].second;
+          double contribution =
+              r.score(token_pos) * gmax[r.token(token_pos)];
+          if (suffix_potential + contribution >= PruneBound(alpha)) break;
+          suffix_potential += contribution;
+          --prefix_len;
+        }
+      }
+      for (size_t i = 0; i < prefix_len; ++i) {
+        prefix_index[r.token(ordered[i].second)].push_back(pos);
+        ++prefix_postings;
+      }
+    }
+  }
+
+  struct Scratch {
+    std::vector<uint32_t> candidates;  // candidate positions, probe-local
+    std::vector<uint32_t> last_seen;   // per-position dedup stamp
+  };
+  int requested = std::max(1, num_threads);
+  std::vector<Scratch> scratch(requested);
+  for (Scratch& s : scratch) s.last_seen.assign(n, UINT32_MAX);
+
+  auto probe_one = [&](uint32_t pos, int worker, JoinStats* stats,
+                       const PairSink& emit) {
+    RecordId id = order[pos];
+    const Record& r = records.record(id);
+    Scratch& s = scratch[worker];
+    s.candidates.clear();
+    for (size_t i = 0; i < r.size(); ++i) {
+      auto it = prefix_index.find(r.token(i));
+      if (it == prefix_index.end()) continue;
+      for (uint32_t other_pos : it->second) {
+        if (other_pos >= pos) break;  // positions ascend within a list
+        if (s.last_seen[other_pos] == pos) continue;
+        s.last_seen[other_pos] = pos;
+        if (options.apply_filter && pred.has_norm_filter() &&
+            !pred.NormFilter(r.norm(),
+                             records.record(order[other_pos]).norm())) {
+          continue;
+        }
+        s.candidates.push_back(other_pos);
+      }
+    }
+    for (uint32_t other_pos : s.candidates) {
+      RecordId other = order[other_pos];
+      ++stats->candidates_verified;
+      if (pred.Matches(records, other, id)) {
+        ++stats->pairs;
+        emit(std::min(other, id), std::max(other, id));
+      }
+    }
+  };
+
+  JoinStats stats =
+      ParallelProbeDriver::Run(n, num_threads, probe_one, sink);
+  stats.index_postings = prefix_postings;
+  return stats;
+}
+
+}  // namespace ssjoin

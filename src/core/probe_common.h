@@ -1,0 +1,86 @@
+#ifndef SSJOIN_CORE_PROBE_COMMON_H_
+#define SSJOIN_CORE_PROBE_COMMON_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/predicate.h"
+#include "data/corpus_stats.h"
+#include "data/record.h"
+#include "data/record_set.h"
+
+namespace ssjoin {
+namespace probe_internal {
+
+/// Shared plumbing of the Probe-Count family, used by both the serial
+/// ProbeJoin and the parallel probe driver so the two paths cannot drift.
+
+/// Per-token upper bound on what a single shared occurrence of the token
+/// can contribute to any pair's overlap: (max_r score(t, r))^2.
+inline std::vector<double> MaxTokenScores(const RecordSet& records) {
+  std::vector<double> max_score(records.vocabulary_size(), 0.0);
+  for (const Record& r : records.records()) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      max_score[r.token(i)] = std::max(max_score[r.token(i)], r.score(i));
+    }
+  }
+  return max_score;
+}
+
+struct StopwordPlan {
+  std::vector<bool> is_stop;       // per token
+  std::vector<double> max_score;   // per token
+  double threshold = 0;            // the predicate's constant T
+};
+
+/// Picks the maximal prefix of the most document-frequent tokens whose
+/// total potential contribution stays below T (the paper's "top T-1
+/// highest frequency words" generalized to weighted scores).
+inline StopwordPlan BuildStopwordPlan(const RecordSet& records,
+                                      double threshold) {
+  StopwordPlan plan;
+  plan.threshold = threshold;
+  plan.max_score = MaxTokenScores(records);
+  plan.is_stop.assign(records.vocabulary_size(), false);
+  std::vector<TokenId> by_frequency =
+      TopFrequentTokens(records, records.vocabulary_size());
+  double sum = 0;
+  for (TokenId t : by_frequency) {
+    double contribution = plan.max_score[t] * plan.max_score[t];
+    if (sum + contribution >= threshold) break;
+    sum += contribution;
+    plan.is_stop[t] = true;
+  }
+  return plan;
+}
+
+/// The record with stopword tokens removed, keeping the original norm and
+/// text_length so index statistics and thresholds stay correct.
+inline Record StripStopwords(const Record& r, const StopwordPlan& plan) {
+  std::vector<std::pair<TokenId, double>> kept;
+  kept.reserve(r.size());
+  for (size_t i = 0; i < r.size(); ++i) {
+    if (!plan.is_stop[r.token(i)]) kept.emplace_back(r.token(i), r.score(i));
+  }
+  Record out = Record::FromWeightedTokens(std::move(kept));
+  out.set_norm(r.norm());
+  out.set_text_length(r.text_length());
+  return out;
+}
+
+/// Reduced threshold for probe r: T minus the potential carried by r's own
+/// stopwords (Section 3.1).
+inline double ReducedThreshold(const Record& r, const StopwordPlan& plan) {
+  double reduction = 0;
+  for (size_t i = 0; i < r.size(); ++i) {
+    TokenId t = r.token(i);
+    if (plan.is_stop[t]) reduction += r.score(i) * plan.max_score[t];
+  }
+  return plan.threshold - reduction;
+}
+
+}  // namespace probe_internal
+}  // namespace ssjoin
+
+#endif  // SSJOIN_CORE_PROBE_COMMON_H_

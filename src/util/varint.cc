@@ -26,7 +26,14 @@ bool GetVarint32(const std::string& data, size_t* offset, uint32_t* value) {
     if (*offset >= data.size()) return false;
     uint8_t byte = static_cast<uint8_t>(data[*offset]);
     ++*offset;
-    result |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    uint32_t payload = byte & 0x7F;
+    // The 5th byte has 4 value bits left (32 - 28); anything above would
+    // shift past the width and silently wrap. Reject instead.
+    if (shift == 28 && (payload >> 4) != 0) return false;
+    // A zero continuation byte means the value was already complete: an
+    // overlong (non-canonical) encoding PutVarint32 never produces.
+    if (shift > 0 && byte == 0) return false;
+    result |= payload << shift;
     if ((byte & 0x80) == 0) {
       *value = result;
       return true;
@@ -41,13 +48,17 @@ bool GetVarint64(const std::string& data, size_t* offset, uint64_t* value) {
     if (*offset >= data.size()) return false;
     uint8_t byte = static_cast<uint8_t>(data[*offset]);
     ++*offset;
-    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    uint64_t payload = byte & 0x7F;
+    // The 10th byte has a single value bit left (64 - 63).
+    if (shift == 63 && (payload >> 1) != 0) return false;
+    if (shift > 0 && byte == 0) return false;
+    result |= payload << shift;
     if ((byte & 0x80) == 0) {
       *value = result;
       return true;
     }
   }
-  return false;
+  return false;  // more than 10 bytes: malformed
 }
 
 size_t Varint32Size(uint32_t value) {
@@ -76,6 +87,10 @@ bool DecodeDeltaList(const std::string& encoded, std::vector<uint32_t>* ids) {
   size_t offset = 0;
   uint32_t count = 0;
   if (!GetVarint32(encoded, &offset, &count)) return false;
+  // Every delta takes at least one byte; a count beyond the remaining
+  // bytes is corrupt — reject before reserve() turns it into a huge
+  // allocation.
+  if (count > encoded.size() - offset) return false;
   ids->reserve(count);
   uint32_t prev = 0;
   for (uint32_t i = 0; i < count; ++i) {

@@ -1,0 +1,107 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ssjoin {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kTotal = 1000;
+  std::vector<std::atomic<int>> hits(kTotal);
+  pool.ParallelFor(kTotal, /*chunk=*/7,
+                   [&](size_t begin, size_t end, int /*worker*/) {
+                     for (size_t i = begin; i < end; ++i) {
+                       hits[i].fetch_add(1, std::memory_order_relaxed);
+                     }
+                   });
+  for (size_t i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroTotalRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 16, [&](size_t, size_t, int) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, SmallTotalRunsInlineOnCaller) {
+  ThreadPool pool(4);
+  std::vector<int> workers;
+  // total <= chunk: a single inline call on the caller as worker 0.
+  pool.ParallelFor(5, 16, [&](size_t begin, size_t end, int worker) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 5u);
+    workers.push_back(worker);
+  });
+  ASSERT_EQ(workers.size(), 1u);
+  EXPECT_EQ(workers[0], 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  uint64_t sum = 0;  // no synchronization: everything runs on the caller
+  pool.ParallelFor(100, 8, [&](size_t begin, size_t end, int worker) {
+    EXPECT_EQ(worker, 0);
+    for (size_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<uint64_t> sum{0};
+    size_t total = 128 + static_cast<size_t>(round) * 13;
+    pool.ParallelFor(total, 5, [&](size_t begin, size_t end, int /*worker*/) {
+      uint64_t local = 0;
+      for (size_t i = begin; i < end; ++i) local += i;
+      sum.fetch_add(local, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), total * (total - 1) / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanItems) {
+  ThreadPool pool(8);
+  std::mutex mu;
+  std::set<size_t> seen;
+  pool.ParallelFor(3, 1, [&](size_t begin, size_t end, int /*worker*/) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (size_t i = begin; i < end; ++i) seen.insert(i);
+  });
+  EXPECT_EQ(seen, (std::set<size_t>{0, 1, 2}));
+}
+
+TEST(ThreadPoolTest, WorkerIdsStayInRange) {
+  ThreadPool pool(4);
+  std::atomic<bool> in_range{true};
+  pool.ParallelFor(500, 3, [&](size_t, size_t, int worker) {
+    if (worker < 0 || worker >= 4) in_range = false;
+  });
+  EXPECT_TRUE(in_range.load());
+}
+
+TEST(ThreadPoolTest, ClampsNonPositiveThreadCounts) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultNumThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+}
+
+}  // namespace
+}  // namespace ssjoin

@@ -98,12 +98,79 @@ TEST(VarintTest, RejectsOverlongEncoding) {
   EXPECT_FALSE(GetVarint32(buf, &offset, &decoded));
 }
 
+TEST(VarintTest, Rejects32BitOverflowInFinalByte) {
+  // Five bytes whose last payload exceeds the 4 bits that remain at
+  // shift 28: accepting it would silently wrap the shifted value.
+  std::string buf = {'\x80', '\x80', '\x80', '\x80', '\x7F'};
+  size_t offset = 0;
+  uint32_t decoded = 0;
+  EXPECT_FALSE(GetVarint32(buf, &offset, &decoded));
+
+  // The largest canonical final byte (0x0F -> value 0xFFFFFFFF) decodes.
+  std::string max = {'\xFF', '\xFF', '\xFF', '\xFF', '\x0F'};
+  offset = 0;
+  ASSERT_TRUE(GetVarint32(max, &offset, &decoded));
+  EXPECT_EQ(decoded, 0xFFFFFFFFu);
+
+  // One payload bit more does not.
+  std::string over = {'\xFF', '\xFF', '\xFF', '\xFF', '\x10'};
+  offset = 0;
+  EXPECT_FALSE(GetVarint32(over, &offset, &decoded));
+}
+
+TEST(VarintTest, Rejects64BitOverflowInFinalByte) {
+  // Ten bytes with more than the single bit that remains at shift 63.
+  std::string buf(9, static_cast<char>(0xFF));
+  buf.push_back('\x7F');
+  size_t offset = 0;
+  uint64_t decoded = 0;
+  EXPECT_FALSE(GetVarint64(buf, &offset, &decoded));
+
+  // The canonical encoding of ~0 (final byte 0x01) still decodes.
+  std::string max(9, static_cast<char>(0xFF));
+  max.push_back('\x01');
+  offset = 0;
+  ASSERT_TRUE(GetVarint64(max, &offset, &decoded));
+  EXPECT_EQ(decoded, ~uint64_t{0});
+}
+
+TEST(VarintTest, RejectsNonCanonicalZeroTail) {
+  // {0x80, 0x00} is an overlong encoding of 0; PutVarint never emits a
+  // zero byte after a continuation byte.
+  std::string buf = {'\x80', '\x00'};
+  size_t offset = 0;
+  uint32_t decoded32 = 0;
+  EXPECT_FALSE(GetVarint32(buf, &offset, &decoded32));
+  offset = 0;
+  uint64_t decoded64 = 0;
+  EXPECT_FALSE(GetVarint64(buf, &offset, &decoded64));
+}
+
+TEST(VarintTest, RejectsTruncated64BitInput) {
+  std::string buf;
+  PutVarint64(&buf, uint64_t{1} << 40);
+  buf.pop_back();
+  size_t offset = 0;
+  uint64_t decoded = 0;
+  EXPECT_FALSE(GetVarint64(buf, &offset, &decoded));
+}
+
 TEST(VarintTest, DeltaListRoundTrip) {
   std::vector<uint32_t> ids = {0, 0, 3, 3, 10, 500000, 500001};
   std::string encoded = EncodeDeltaList(ids);
   std::vector<uint32_t> decoded;
   ASSERT_TRUE(DecodeDeltaList(encoded, &decoded));
   EXPECT_EQ(decoded, ids);
+}
+
+TEST(VarintTest, DeltaListRejectsOversizedCount) {
+  // A header claiming far more deltas than there are bytes left must be
+  // rejected up front, not after reserving a huge vector.
+  std::string encoded;
+  PutVarint32(&encoded, 0xFFFFFFFFu);
+  encoded.push_back('\x01');
+  std::vector<uint32_t> decoded;
+  EXPECT_FALSE(DecodeDeltaList(encoded, &decoded));
 }
 
 TEST(VarintTest, DeltaListRejectsTrailingGarbage) {

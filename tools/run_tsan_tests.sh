@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Builds the ThreadSanitizer configuration and runs the concurrency test
+# suite (thread pool + parallel joins) under it.
+#
+#   tools/run_tsan_tests.sh [build-dir]
+#
+# The TSan build lives in its own directory (default build-tsan) so the
+# regular build stays untouched.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-tsan"}
+
+cmake -B "$build_dir" -S "$repo_root" -DSSJOIN_TSAN=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j --target thread_pool_test parallel_join_test
+ctest --test-dir "$build_dir" -R '(thread_pool|parallel_join)' \
+      --output-on-failure

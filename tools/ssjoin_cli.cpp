@@ -2,27 +2,12 @@
 // from the command line. One record per line.
 //
 //   ssjoin_cli --input=records.txt --predicate=jaccard --threshold=0.8
-//   ssjoin_cli --input=a.txt --right=b.txt --predicate=edit-distance \
+//   ssjoin_cli --input=a.txt --right=b.txt --predicate=edit-distance
 //              --threshold=2 --tokens=3gram
 //   ssjoin_cli --input=records.txt --topk=20 --predicate=cosine
-//
-// Flags:
-//   --input=FILE        left (or only) input file, one record per line
-//   --right=FILE        optional right side: cross join instead of self
-//   --predicate=NAME    overlap | jaccard | cosine | dice | hamming |
-//                       overlap-coefficient | edit-distance
-//   --threshold=X       predicate threshold (T, f or k)
-//   --tokens=MODE       words (default) | 3gram | 2gram | 4gram
-//   --algorithm=NAME    cluster (default) | optmerge | online | sort |
-//                       probe | stopwords | paircount | wordgroups |
-//                       clustermem | prefix
-//   --memory=N          ClusterMem posting budget (implies clustermem)
-//   --topk=K            rank the K most similar pairs instead of
-//                       thresholding (predicate must be overlap, jaccard,
-//                       cosine or dice; self-join only)
-//   --show-text         print record texts instead of line numbers
-//   --stats             print join statistics to stderr
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +36,26 @@ namespace {
 
 using namespace ssjoin;
 
+constexpr const char kUsage[] =
+    "usage: ssjoin_cli --input=FILE [flags]\n"
+    "  --input=FILE        left (or only) input file, one record per line\n"
+    "  --right=FILE        optional right side: cross join instead of self\n"
+    "  --predicate=NAME    overlap | jaccard | cosine | dice | hamming |\n"
+    "                      overlap-coefficient | edit-distance\n"
+    "  --threshold=X       predicate threshold (T, f or k); must be > 0\n"
+    "  --tokens=MODE       words (default) | 2gram | 3gram | 4gram\n"
+    "  --algorithm=NAME    cluster (default) | optmerge | online | sort |\n"
+    "                      probe | stopwords | paircount | wordgroups |\n"
+    "                      clustermem | prefix\n"
+    "  --threads=N         probe with N worker threads (default 1; output\n"
+    "                      is identical to the serial join)\n"
+    "  --memory=N          ClusterMem posting budget (implies clustermem)\n"
+    "  --topk=K            rank the K most similar pairs instead of\n"
+    "                      thresholding (predicate must be overlap,\n"
+    "                      jaccard, cosine or dice; self-join only)\n"
+    "  --show-text         print record texts instead of line numbers\n"
+    "  --stats             print join statistics to stderr\n";
+
 struct CliOptions {
   std::string input;
   std::string right;
@@ -58,8 +63,9 @@ struct CliOptions {
   double threshold = 0.8;
   std::string tokens = "words";
   std::string algorithm = "cluster";
+  int threads = 1;
   uint64_t memory = 0;
-  size_t topk = 0;
+  uint64_t topk = 0;
   bool show_text = false;
   bool show_stats = false;
 };
@@ -71,6 +77,57 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
   return true;
 }
 
+/// Strict double parse: the whole string must be consumed and the value
+/// finite. `atof`-style silent zeros are how "--threshold=O.8" typos turn
+/// into empty join results.
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  if (!std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseUint64(const std::string& text, uint64_t* out) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool KnownPredicate(const std::string& name) {
+  return name == "overlap" || name == "jaccard" || name == "cosine" ||
+         name == "dice" || name == "hamming" ||
+         name == "overlap-coefficient" || name == "edit-distance";
+}
+
+bool KnownTokens(const std::string& mode) {
+  return mode == "words" || mode == "2gram" || mode == "3gram" ||
+         mode == "4gram";
+}
+
+std::optional<JoinAlgorithm> AlgorithmByName(const std::string& name) {
+  if (name == "cluster") return JoinAlgorithm::kProbeCluster;
+  if (name == "optmerge") return JoinAlgorithm::kProbeOptMerge;
+  if (name == "online") return JoinAlgorithm::kProbeOnline;
+  if (name == "sort") return JoinAlgorithm::kProbeSort;
+  if (name == "probe") return JoinAlgorithm::kProbeCount;
+  if (name == "stopwords") return JoinAlgorithm::kProbeStopwords;
+  if (name == "paircount") return JoinAlgorithm::kPairCountOptMerge;
+  if (name == "wordgroups") return JoinAlgorithm::kWordGroupsOptMerge;
+  if (name == "clustermem") return JoinAlgorithm::kClusterMem;
+  if (name == "prefix") return JoinAlgorithm::kPrefixFilter;
+  return std::nullopt;
+}
+
+/// Parses and validates every flag before any file is opened. Returns
+/// nullopt after printing a specific error; main adds the usage text.
 std::optional<CliOptions> ParseArgs(int argc, char** argv) {
   CliOptions options;
   for (int i = 1; i < argc; ++i) {
@@ -82,16 +139,38 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--predicate", &value)) {
       options.predicate = value;
     } else if (ParseFlag(argv[i], "--threshold", &value)) {
-      options.threshold = std::atof(value.c_str());
+      if (!ParseDouble(value, &options.threshold) ||
+          options.threshold <= 0) {
+        std::fprintf(stderr, "invalid --threshold=%s (need a number > 0)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
     } else if (ParseFlag(argv[i], "--tokens", &value)) {
       options.tokens = value;
     } else if (ParseFlag(argv[i], "--algorithm", &value)) {
       options.algorithm = value;
+    } else if (ParseFlag(argv[i], "--threads", &value)) {
+      uint64_t threads = 0;
+      if (!ParseUint64(value, &threads) || threads == 0 ||
+          threads > 1024) {
+        std::fprintf(stderr, "invalid --threads=%s (need 1..1024)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.threads = static_cast<int>(threads);
     } else if (ParseFlag(argv[i], "--memory", &value)) {
-      options.memory = std::strtoull(value.c_str(), nullptr, 10);
+      if (!ParseUint64(value, &options.memory) || options.memory == 0) {
+        std::fprintf(stderr, "invalid --memory=%s (need an integer > 0)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
       options.algorithm = "clustermem";
     } else if (ParseFlag(argv[i], "--topk", &value)) {
-      options.topk = std::strtoull(value.c_str(), nullptr, 10);
+      if (!ParseUint64(value, &options.topk) || options.topk == 0) {
+        std::fprintf(stderr, "invalid --topk=%s (need an integer > 0)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
     } else if (std::strcmp(argv[i], "--show-text") == 0) {
       options.show_text = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
@@ -103,6 +182,21 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
   }
   if (options.input.empty()) {
     std::fprintf(stderr, "--input=FILE is required\n");
+    return std::nullopt;
+  }
+  if (!KnownPredicate(options.predicate)) {
+    std::fprintf(stderr, "unknown predicate: %s\n",
+                 options.predicate.c_str());
+    return std::nullopt;
+  }
+  if (!KnownTokens(options.tokens)) {
+    std::fprintf(stderr, "unknown tokens mode: %s\n",
+                 options.tokens.c_str());
+    return std::nullopt;
+  }
+  if (!AlgorithmByName(options.algorithm).has_value()) {
+    std::fprintf(stderr, "unknown algorithm: %s\n",
+                 options.algorithm.c_str());
     return std::nullopt;
   }
   return options;
@@ -131,26 +225,7 @@ std::unique_ptr<Predicate> MakePredicate(const CliOptions& options, int q) {
   if (name == "overlap-coefficient") {
     return std::make_unique<OverlapCoefficientPredicate>(t);
   }
-  if (name == "edit-distance") {
-    return std::make_unique<EditDistancePredicate>(static_cast<int>(t), q);
-  }
-  std::fprintf(stderr, "unknown predicate: %s\n", name.c_str());
-  return nullptr;
-}
-
-std::optional<JoinAlgorithm> MakeAlgorithm(const std::string& name) {
-  if (name == "cluster") return JoinAlgorithm::kProbeCluster;
-  if (name == "optmerge") return JoinAlgorithm::kProbeOptMerge;
-  if (name == "online") return JoinAlgorithm::kProbeOnline;
-  if (name == "sort") return JoinAlgorithm::kProbeSort;
-  if (name == "probe") return JoinAlgorithm::kProbeCount;
-  if (name == "stopwords") return JoinAlgorithm::kProbeStopwords;
-  if (name == "paircount") return JoinAlgorithm::kPairCountOptMerge;
-  if (name == "wordgroups") return JoinAlgorithm::kWordGroupsOptMerge;
-  if (name == "clustermem") return JoinAlgorithm::kClusterMem;
-  if (name == "prefix") return JoinAlgorithm::kPrefixFilter;
-  std::fprintf(stderr, "unknown algorithm: %s\n", name.c_str());
-  return std::nullopt;
+  return std::make_unique<EditDistancePredicate>(static_cast<int>(t), q);
 }
 
 RecordSet BuildCorpus(const std::vector<std::string>& lines,
@@ -191,7 +266,10 @@ void PrintStats(const CliOptions& options, const JoinStats& stats,
 
 int main(int argc, char** argv) {
   std::optional<CliOptions> options = ParseArgs(argc, argv);
-  if (!options.has_value()) return 2;
+  if (!options.has_value()) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
 
   std::optional<std::vector<std::string>> left_lines =
       ReadLines(options->input);
@@ -237,7 +315,6 @@ int main(int argc, char** argv) {
   }
 
   std::unique_ptr<Predicate> pred = MakePredicate(*options, q);
-  if (pred == nullptr) return 2;
 
   if (!options->right.empty()) {
     std::optional<std::vector<std::string>> right_lines =
@@ -256,16 +333,16 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::optional<JoinAlgorithm> algorithm = MakeAlgorithm(options->algorithm);
-  if (!algorithm.has_value()) return 2;
+  JoinAlgorithm algorithm = *AlgorithmByName(options->algorithm);
   JoinOptions join_options;
+  join_options.num_threads = options->threads;
   join_options.cluster_mem.memory_budget_postings =
       options->memory > 0 ? options->memory : 100000;
   join_options.cluster_mem.temp_dir = "/tmp";
 
   Timer timer;
   Result<JoinStats> stats = RunJoin(
-      &left, *pred, *algorithm, join_options,
+      &left, *pred, algorithm, join_options,
       [&](RecordId a, RecordId b) { PrintPair(*options, left, left, a, b); });
   if (!stats.ok()) {
     std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
