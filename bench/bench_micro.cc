@@ -1,20 +1,48 @@
 // Substrate microbenchmarks (google-benchmark): the primitives whose
 // constants drive the figure-level results — heap merge vs MergeOpt,
 // galloping search, MinHash signatures, varint coding, banded vs full
-// edit distance.
+// edit distance — plus the storage-layout benches (index build and probe
+// throughput with heap-allocation counters) that track the CSR arena.
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "core/merge_opt.h"
+#include "core/overlap_predicate.h"
+#include "data/record_set.h"
 #include "index/compressed_postings.h"
+#include "index/inverted_index.h"
 #include "index/posting_list.h"
 #include "minhash/minhash.h"
 #include "text/edit_distance.h"
 #include "util/rng.h"
 #include "util/varint.h"
+
+// Global allocation counter: every operator new in the process bumps it,
+// so a delta across a timed region counts heap allocations exactly. Used
+// by the layout benches to verify the probe loop performs zero per-record
+// allocations.
+static std::atomic<uint64_t> g_alloc_calls{0};
+
+void* operator new(std::size_t size) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace ssjoin {
 namespace {
@@ -36,12 +64,12 @@ std::vector<PostingList> SkewedLists(int num_lists, uint32_t universe,
 
 void BM_MergePlain(benchmark::State& state) {
   std::vector<PostingList> lists = SkewedLists(8, 20000, 1);
-  std::vector<const PostingList*> ptrs;
-  for (const auto& l : lists) ptrs.push_back(&l);
+  std::vector<PostingListView> views;
+  for (const auto& l : lists) views.push_back(l.view());
   std::vector<double> scores(lists.size(), 1.0);
   double threshold = static_cast<double>(state.range(0));
   for (auto _ : state) {
-    ListMerger merger(ptrs, scores, threshold, nullptr, nullptr,
+    ListMerger merger(views, scores, threshold, nullptr, nullptr,
                       {.split_lists = false}, nullptr);
     MergeCandidate c;
     uint64_t count = 0;
@@ -53,12 +81,12 @@ BENCHMARK(BM_MergePlain)->Arg(3)->Arg(5)->Arg(7);
 
 void BM_MergeOpt(benchmark::State& state) {
   std::vector<PostingList> lists = SkewedLists(8, 20000, 1);
-  std::vector<const PostingList*> ptrs;
-  for (const auto& l : lists) ptrs.push_back(&l);
+  std::vector<PostingListView> views;
+  for (const auto& l : lists) views.push_back(l.view());
   std::vector<double> scores(lists.size(), 1.0);
   double threshold = static_cast<double>(state.range(0));
   for (auto _ : state) {
-    ListMerger merger(ptrs, scores, threshold, nullptr, nullptr,
+    ListMerger merger(views, scores, threshold, nullptr, nullptr,
                       {.split_lists = true}, nullptr);
     MergeCandidate c;
     uint64_t count = 0;
@@ -133,6 +161,97 @@ void BM_EditDistanceBanded(benchmark::State& state) {
 }
 BENCHMARK(BM_EditDistanceBanded)->Arg(2)->Arg(4);
 
+// ---- Storage-layout benches (BENCH_layout.json before/after) -----------
+
+RecordSet MakeLayoutBenchSet(uint32_t num_records, uint32_t vocab,
+                             uint64_t seed) {
+  Rng rng(seed);
+  ZipfTable zipf(vocab, 0.9);
+  RecordSet set;
+  for (uint32_t i = 0; i < num_records; ++i) {
+    std::vector<TokenId> tokens;
+    int count = rng.UniformInt(4, 24);
+    for (int t = 0; t < count; ++t) tokens.push_back(zipf.Sample(rng));
+    set.Add(Record::FromTokens(tokens), "");
+  }
+  return set;
+}
+
+void BM_LayoutIndexBuild(benchmark::State& state) {
+  RecordSet set =
+      MakeLayoutBenchSet(static_cast<uint32_t>(state.range(0)), 600, 21);
+  OverlapPredicate pred(4.0);
+  pred.Prepare(&set);
+  uint64_t postings = set.total_token_occurrences();
+  for (auto _ : state) {
+    InvertedIndex index;
+    index.PlanFromRecords(set);
+    for (RecordId id = 0; id < set.size(); ++id) {
+      index.Insert(id, set.record(id));
+    }
+    benchmark::DoNotOptimize(index.total_postings());
+  }
+  state.SetItemsProcessed(state.iterations() * set.size());  // records/s
+  state.counters["postings/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * postings),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LayoutIndexBuild)->Arg(2000)->Arg(10000);
+
+void BM_LayoutProbe(benchmark::State& state) {
+  RecordSet set =
+      MakeLayoutBenchSet(static_cast<uint32_t>(state.range(0)), 600, 22);
+  OverlapPredicate pred(4.0);
+  pred.Prepare(&set);
+  InvertedIndex index;
+  index.PlanFromRecords(set);
+  for (RecordId id = 0; id < set.size(); ++id) {
+    index.Insert(id, set.record(id));
+  }
+  const uint32_t n = set.size();
+  std::vector<PostingListView> lists;
+  std::vector<double> probe_scores;
+  ListMerger merger;
+  MergeStats merge_stats;
+  uint64_t candidates = 0;
+  uint64_t allocs = 0;
+  // Untimed warm-up pass: grows the scratch buffers to steady-state
+  // capacity so the timed counter isolates per-probe allocations.
+  for (RecordId id = 0; id < n; ++id) {
+    const RecordView probe = set.record(id);
+    double floor = pred.ThresholdForNorms(probe.norm(), index.min_norm());
+    CollectProbeLists(index, probe, &lists, &probe_scores);
+    merger.Reset(lists, probe_scores, floor, nullptr, nullptr,
+                 {.split_lists = true}, &merge_stats);
+    MergeCandidate candidate;
+    while (merger.Next(&candidate)) {
+    }
+  }
+  merge_stats = MergeStats();
+  for (auto _ : state) {
+    uint64_t alloc_start = g_alloc_calls.load(std::memory_order_relaxed);
+    for (RecordId id = 0; id < n; ++id) {
+      const RecordView probe = set.record(id);
+      double floor = pred.ThresholdForNorms(probe.norm(), index.min_norm());
+      CollectProbeLists(index, probe, &lists, &probe_scores);
+      merger.Reset(lists, probe_scores, floor, nullptr, nullptr,
+                   {.split_lists = true}, &merge_stats);
+      MergeCandidate candidate;
+      while (merger.Next(&candidate)) ++candidates;
+    }
+    allocs += g_alloc_calls.load(std::memory_order_relaxed) - alloc_start;
+  }
+  benchmark::DoNotOptimize(candidates);
+  state.SetItemsProcessed(state.iterations() * n);  // probes/s
+  state.counters["postings/s"] = benchmark::Counter(
+      static_cast<double>(merge_stats.heap_pops + merge_stats.gallop_probes),
+      benchmark::Counter::kIsRate);
+  state.counters["allocs_per_probe"] =
+      static_cast<double>(allocs) /
+      static_cast<double>(state.iterations() * n);
+}
+BENCHMARK(BM_LayoutProbe)->Arg(2000)->Arg(10000);
+
 void BM_CompressPostingList(benchmark::State& state) {
   PostingList list;
   Rng rng(15);
@@ -142,7 +261,8 @@ void BM_CompressPostingList(benchmark::State& state) {
     list.Append(id, 1.0);
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(CompressedPostingList::FromPostingList(list));
+    benchmark::DoNotOptimize(
+        CompressedPostingList::FromPostingList(list.view()));
   }
 }
 BENCHMARK(BM_CompressPostingList);

@@ -238,7 +238,7 @@ Result<JoinStats> ClusterMemJoin(const RecordSet& records,
   uint64_t peak_batch_postings = 0;
   for (uint32_t b = 0; b < num_batches; ++b) {
     std::unordered_map<ClusterId, std::vector<RecordId>> members;
-    std::unordered_map<ClusterId, InvertedIndex> member_index;
+    std::unordered_map<ClusterId, DynamicIndex> member_index;
     Record fetched;
     std::string text;
     Status status = Status::OK();
@@ -253,13 +253,14 @@ Result<JoinStats> ClusterMemJoin(const RecordSet& records,
       for (ClusterId c : e.joins) {
         auto it = member_index.find(c);
         if (it == member_index.end()) continue;  // no members yet
-        ProbeMemberIndex(records, pred, fetched, e.rid, members[c],
+        ProbeMemberIndex(records, pred, fetched.view(), e.rid, members[c],
                          it->second, options.apply_filter, &stats, sink);
       }
       if (e.home != kNoCluster) {
-        InvertedIndex& index = member_index[e.home];
+        DynamicIndex& index = member_index[e.home];
         std::vector<RecordId>& member_list = members[e.home];
-        index.Insert(static_cast<RecordId>(member_list.size()), fetched);
+        index.Insert(static_cast<RecordId>(member_list.size()),
+                     fetched.view());
         member_list.push_back(e.rid);
         batch_postings += fetched.size();
       }

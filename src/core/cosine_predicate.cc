@@ -36,25 +36,29 @@ void CosinePredicate::PrepareForJoin(RecordSet* left,
 namespace {
 
 void ApplyWeights(RecordSet* records, const TfIdfWeighter& weighter) {
+  // Normalization is staged in a scratch buffer so the arena only ever
+  // receives final values: a repeated Prepare writes each score slot once
+  // with an identical value, which RecordSet recognizes as a no-op and
+  // the cached TokenStats stay warm.
+  std::vector<double> weights;
   for (RecordId id = 0; id < records->size(); ++id) {
-    Record& r = records->mutable_record(id);
+    const RecordView r = records->record(id);
+    weights.resize(r.size());
     double squared = 0;
     for (size_t i = 0; i < r.size(); ++i) {
       double w = weighter.Weight(r.token(i), /*tf=*/1);
-      r.set_score(i, w);
+      weights[i] = w;
       squared += w * w;
     }
     double l2 = std::sqrt(squared);
-    if (l2 > 0) {
-      for (size_t i = 0; i < r.size(); ++i) {
-        r.set_score(i, r.score(i) / l2);
-      }
+    for (size_t i = 0; i < r.size(); ++i) {
+      records->set_score(id, i, l2 > 0 ? weights[i] / l2 : weights[i]);
     }
     // Unit vectors make Equation 1's record score identically 1, which
     // would defeat the pre-sort heuristic; record size is the natural
     // proxy (longer records produce longer lists). The threshold is
     // norm-independent, so this choice has no correctness impact.
-    r.set_norm(static_cast<double>(r.size()));
+    records->set_norm(id, static_cast<double>(r.size()));
   }
 }
 

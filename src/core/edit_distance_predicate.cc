@@ -15,9 +15,9 @@ EditDistancePredicate::EditDistancePredicate(int k, int q) : k_(k), q_(q) {
 
 void EditDistancePredicate::Prepare(RecordSet* records) const {
   for (RecordId id = 0; id < records->size(); ++id) {
-    Record& r = records->mutable_record(id);
-    for (size_t i = 0; i < r.size(); ++i) r.set_score(i, 1.0);
-    r.set_norm(static_cast<double>(r.text_length()));
+    const RecordView r = records->record(id);
+    for (size_t i = 0; i < r.size(); ++i) records->set_score(id, i, 1.0);
+    records->set_norm(id, static_cast<double>(r.text_length()));
   }
 }
 

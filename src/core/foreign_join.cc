@@ -6,6 +6,7 @@
 
 #include "core/merge_opt.h"
 #include "index/inverted_index.h"
+#include "util/function_ref.h"
 #include "util/logging.h"
 
 namespace ssjoin {
@@ -18,6 +19,7 @@ Result<JoinStats> ForeignProbeJoin(RecordSet* left, RecordSet* right,
   JoinStats stats;
 
   InvertedIndex index;
+  index.PlanFromRecords(*right);
   for (RecordId id = 0; id < right->size(); ++id) {
     index.Insert(id, right->record(id));
   }
@@ -49,25 +51,29 @@ Result<JoinStats> ForeignProbeJoin(RecordSet* left, RecordSet* right,
   merge_options.split_lists = options.optimized_merge;
   merge_options.apply_filter = options.apply_filter;
 
-  std::vector<const PostingList*> lists;
+  // Probe-loop scratch, allocated once and reused across probes.
+  std::vector<PostingListView> lists;
   std::vector<double> probe_scores;
+  ListMerger merger;
   if (index.num_entities() > 0) {
     for (RecordId left_id : order) {
-      const Record& probe = left->record(left_id);
+      const RecordView probe = left->record(left_id);
       double floor = pred.ThresholdForNorms(probe.norm(), index.min_norm());
-      std::function<double(RecordId)> required = [&](RecordId m) {
+      auto required_fn = [&](RecordId m) {
         return pred.ThresholdForNorms(probe.norm(),
                                       right->record(m).norm());
       };
-      std::function<bool(RecordId)> filter;
+      FunctionRef<double(RecordId)> required = required_fn;
+      auto filter_fn = [&](RecordId m) {
+        return pred.NormFilter(probe.norm(), right->record(m).norm());
+      };
+      FunctionRef<bool(RecordId)> filter;
       if (options.apply_filter && pred.has_norm_filter()) {
-        filter = [&](RecordId m) {
-          return pred.NormFilter(probe.norm(), right->record(m).norm());
-        };
+        filter = filter_fn;
       }
       CollectProbeLists(index, probe, &lists, &probe_scores);
-      ListMerger merger(std::move(lists), std::move(probe_scores), floor,
-                        required, filter, merge_options, &stats.merge);
+      merger.Reset(lists, probe_scores, floor, required, filter,
+                   merge_options, &stats.merge);
       MergeCandidate candidate;
       while (merger.Next(&candidate)) {
         verify_and_emit(left_id, candidate.id);

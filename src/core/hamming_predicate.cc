@@ -12,9 +12,9 @@ HammingPredicate::HammingPredicate(double k) : k_(k) {
 
 void HammingPredicate::Prepare(RecordSet* records) const {
   for (RecordId id = 0; id < records->size(); ++id) {
-    Record& r = records->mutable_record(id);
-    for (size_t i = 0; i < r.size(); ++i) r.set_score(i, 1.0);
-    r.set_norm(static_cast<double>(r.size()));
+    size_t size = records->record_size(id);
+    for (size_t i = 0; i < size; ++i) records->set_score(id, i, 1.0);
+    records->set_norm(id, static_cast<double>(size));
   }
 }
 

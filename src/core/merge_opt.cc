@@ -21,49 +21,45 @@ double PruneBound(double bound) {
   return bound - 1e-7 * std::max(1.0, std::fabs(bound));
 }
 
-ListMerger::ListMerger(std::vector<const PostingList*> lists,
-                       std::vector<double> probe_scores, double floor,
-                       std::function<double(RecordId)> required,
-                       std::function<bool(RecordId)> filter,
-                       MergeOptions options, MergeStats* stats)
-    : lists_(std::move(lists)),
-      probe_scores_(std::move(probe_scores)),
-      floor_(floor),
-      required_(std::move(required)),
-      filter_(std::move(filter)),
-      options_(options),
-      stats_(stats) {
-  SSJOIN_CHECK(lists_.size() == probe_scores_.size());
+void ListMerger::Reset(const std::vector<PostingListView>& lists,
+                       const std::vector<double>& probe_scores, double floor,
+                       FunctionRef<double(RecordId)> required,
+                       FunctionRef<bool(RecordId)> filter,
+                       MergeOptions options, MergeStats* stats) {
+  SSJOIN_CHECK(lists.size() == probe_scores.size());
+  floor_ = floor;
+  required_ = required;
+  filter_ = filter;
+  options_ = options;
+  stats_ = stats;
+  split_k_ = 0;
+  heap_.clear();
   if (stats_ != nullptr) ++stats_->merges;
 
-  // Order lists by decreasing length (step 1 of Algorithm 1). The caller
-  // usually already did this via CollectProbeLists; re-sorting keeps the
-  // contract local.
-  std::vector<uint32_t> order(lists_.size());
-  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
-  // Ties broken by position: deterministic without stable_sort's buffer
-  // allocation (this constructor runs once per probe).
-  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
-    if (lists_[a]->size() != lists_[b]->size()) {
-      return lists_[a]->size() > lists_[b]->size();
+  // Order lists by decreasing length (step 1 of Algorithm 1), ties broken
+  // by input position: deterministic without stable_sort's buffer
+  // allocation (this runs once per probe).
+  order_.resize(lists.size());
+  for (uint32_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  std::sort(order_.begin(), order_.end(), [&lists](uint32_t a, uint32_t b) {
+    if (lists[a].size() != lists[b].size()) {
+      return lists[a].size() > lists[b].size();
     }
     return a < b;
   });
-  std::vector<const PostingList*> sorted_lists(lists_.size());
-  std::vector<double> sorted_scores(lists_.size());
-  for (uint32_t i = 0; i < order.size(); ++i) {
-    sorted_lists[i] = lists_[order[i]];
-    sorted_scores[i] = probe_scores_[order[i]];
+  lists_.resize(lists.size());
+  probe_scores_.resize(lists.size());
+  for (uint32_t i = 0; i < order_.size(); ++i) {
+    lists_[i] = lists[order_[i]];
+    probe_scores_[i] = probe_scores[order_[i]];
   }
-  lists_ = std::move(sorted_lists);
-  probe_scores_ = std::move(sorted_scores);
 
   // cumulativeWt(l_i) = sum_{j<=i} score(w_j, r) * score(w_j, I): the
   // maximum overlap obtainable from lists l_1..l_i (step 2).
   cumulative_weight_.resize(lists_.size());
   double running = 0;
   for (size_t i = 0; i < lists_.size(); ++i) {
-    running += probe_scores_[i] * lists_[i]->max_score();
+    running += probe_scores_[i] * lists_[i].max_score();
     cumulative_weight_[i] = running;
   }
 
@@ -107,7 +103,7 @@ void ListMerger::RaiseFloor(double floor) {
 }
 
 void ListMerger::PushFrontier(uint32_t i) {
-  const PostingList& list = *lists_[i];
+  const PostingListView& list = lists_[i];
   size_t& pos = frontier_[i];
   bool filtering = options_.apply_filter && filter_ != nullptr;
   while (pos < list.size()) {
@@ -135,7 +131,7 @@ bool ListMerger::Next(MergeCandidate* out) {
       uint32_t i = heap_.back().list;
       heap_.pop_back();
       if (direct_[i]) continue;  // migrated by RaiseFloor; frontier kept
-      const Posting& p = (*lists_[i])[frontier_[i]];
+      const Posting& p = lists_[i][frontier_[i]];
       SSJOIN_DCHECK(p.id == id);
       overlap += probe_scores_[i] * p.score;
       ++frontier_[i];
@@ -158,10 +154,10 @@ bool ListMerger::Next(MergeCandidate* out) {
         break;
       }
       uint64_t* cost = stats_ != nullptr ? &stats_->gallop_probes : nullptr;
-      size_t pos = lists_[i]->GallopLowerBound(id, search_pos_[i], cost);
+      size_t pos = lists_[i].GallopLowerBound(id, search_pos_[i], cost);
       search_pos_[i] = pos;  // candidates arrive in increasing id order
-      if (pos < lists_[i]->size() && (*lists_[i])[pos].id == id) {
-        overlap += probe_scores_[i] * (*lists_[i])[pos].score;
+      if (pos < lists_[i].size() && lists_[i][pos].id == id) {
+        overlap += probe_scores_[i] * lists_[i][pos].score;
       }
     }
     if (!viable) continue;
@@ -175,15 +171,28 @@ bool ListMerger::Next(MergeCandidate* out) {
   return false;
 }
 
-void CollectProbeLists(const InvertedIndex& index, const Record& probe,
-                       std::vector<const PostingList*>* lists,
+void CollectProbeLists(const InvertedIndex& index, RecordView probe,
+                       std::vector<PostingListView>* lists,
+                       std::vector<double>* probe_scores) {
+  lists->clear();
+  probe_scores->clear();
+  for (size_t i = 0; i < probe.size(); ++i) {
+    PostingListView list = index.list(probe.token(i));
+    if (list.empty()) continue;
+    lists->push_back(list);
+    probe_scores->push_back(probe.score(i));
+  }
+}
+
+void CollectProbeLists(const DynamicIndex& index, RecordView probe,
+                       std::vector<PostingListView>* lists,
                        std::vector<double>* probe_scores) {
   lists->clear();
   probe_scores->clear();
   for (size_t i = 0; i < probe.size(); ++i) {
     const PostingList* list = index.list(probe.token(i));
-    if (list == nullptr) continue;
-    lists->push_back(list);
+    if (list == nullptr || list->empty()) continue;
+    lists->push_back(list->view());
     probe_scores->push_back(probe.score(i));
   }
 }

@@ -2,12 +2,13 @@
 #define SSJOIN_CORE_MERGE_OPT_H_
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
-#include "data/record.h"
+#include "data/record_view.h"
+#include "index/dynamic_index.h"
 #include "index/inverted_index.h"
 #include "index/posting_list.h"
+#include "util/function_ref.h"
 
 namespace ssjoin {
 
@@ -56,23 +57,41 @@ double PruneBound(double bound);
 /// binary search) and S (heap-merged). Candidates stream out of Next() in
 /// increasing id order.
 ///
+/// The merger is reusable: default-construct it once outside the probe
+/// loop and Reset() it per probe — internal buffers keep their capacity,
+/// so steady-state probes perform no heap allocations.
+///
 /// Contracts:
 ///   * `required` may be null; candidates are then held only to the floor.
 ///     When supplied it must satisfy required(id) >= any floor ever set
 ///     (join mode: required = T(r, m) and floor = T(r, I) <= T(r, m)).
+///   * `required` and `filter` are non-owning references; the underlying
+///     callables must outlive every Next() call of the current merge.
 ///   * RaiseFloor only increases the floor, and the caller must keep it
 ///     <= min over ids of the emit bound it still cares about (cluster
 ///     mode caps raises at T(r, I)).
 class ListMerger {
  public:
-  ListMerger(std::vector<const PostingList*> lists,
-             std::vector<double> probe_scores, double floor,
-             std::function<double(RecordId)> required,
-             std::function<bool(RecordId)> filter, MergeOptions options,
-             MergeStats* stats);
+  ListMerger() = default;
+
+  /// Convenience for one-shot merges (tests, benches).
+  ListMerger(const std::vector<PostingListView>& lists,
+             const std::vector<double>& probe_scores, double floor,
+             FunctionRef<double(RecordId)> required,
+             FunctionRef<bool(RecordId)> filter, MergeOptions options,
+             MergeStats* stats) {
+    Reset(lists, probe_scores, floor, required, filter, options, stats);
+  }
 
   ListMerger(const ListMerger&) = delete;
   ListMerger& operator=(const ListMerger&) = delete;
+
+  /// Re-arms the merger for a new probe, reusing internal buffer capacity.
+  void Reset(const std::vector<PostingListView>& lists,
+             const std::vector<double>& probe_scores, double floor,
+             FunctionRef<double(RecordId)> required,
+             FunctionRef<bool(RecordId)> filter, MergeOptions options,
+             MergeStats* stats);
 
   /// Produces the next candidate; returns false when the merge is done.
   bool Next(MergeCandidate* out);
@@ -94,26 +113,32 @@ class ListMerger {
   void PushFrontier(uint32_t i);
   void RecomputeSplit();
 
-  std::vector<const PostingList*> lists_;   // decreasing length order
+  std::vector<PostingListView> lists_;      // decreasing length order
   std::vector<double> probe_scores_;        // parallel to lists_
+  std::vector<uint32_t> order_;             // sort scratch (reused)
   std::vector<double> cumulative_weight_;   // prefix sums of potential
   std::vector<size_t> frontier_;            // next unconsumed posting (S)
   std::vector<size_t> search_pos_;          // rolling gallop hint (L)
   std::vector<bool> direct_;                // list is in L
   size_t split_k_ = 0;                      // |L| under the current floor
-  double floor_;
-  std::function<double(RecordId)> required_;
-  std::function<bool(RecordId)> filter_;
+  double floor_ = 0;
+  FunctionRef<double(RecordId)> required_;
+  FunctionRef<bool(RecordId)> filter_;
   MergeOptions options_;
-  MergeStats* stats_;
+  MergeStats* stats_ = nullptr;
   std::vector<HeapEntry> heap_;  // min-heap on id via std::*_heap
 };
 
 /// Gathers the posting lists for `probe`'s tokens from `index`, paired
-/// with the probe-side scores, ordered by decreasing list length as
-/// MergeOpt requires. Tokens absent from the index are skipped.
-void CollectProbeLists(const InvertedIndex& index, const Record& probe,
-                       std::vector<const PostingList*>* lists,
+/// with the probe-side scores, in probe token order (ListMerger re-sorts
+/// by decreasing list length as MergeOpt requires). Tokens with empty or
+/// absent lists are skipped. Overloads cover the flat batch index and the
+/// dynamic (cluster/streaming) index so both share one probe path.
+void CollectProbeLists(const InvertedIndex& index, RecordView probe,
+                       std::vector<PostingListView>* lists,
+                       std::vector<double>* probe_scores);
+void CollectProbeLists(const DynamicIndex& index, RecordView probe,
+                       std::vector<PostingListView>* lists,
                        std::vector<double>* probe_scores);
 
 }  // namespace ssjoin

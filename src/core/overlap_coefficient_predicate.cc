@@ -13,9 +13,9 @@ OverlapCoefficientPredicate::OverlapCoefficientPredicate(double fraction)
 
 void OverlapCoefficientPredicate::Prepare(RecordSet* records) const {
   for (RecordId id = 0; id < records->size(); ++id) {
-    Record& r = records->mutable_record(id);
-    for (size_t i = 0; i < r.size(); ++i) r.set_score(i, 1.0);
-    r.set_norm(static_cast<double>(r.size()));
+    size_t size = records->record_size(id);
+    for (size_t i = 0; i < size; ++i) records->set_score(id, i, 1.0);
+    records->set_norm(id, static_cast<double>(size));
   }
 }
 
@@ -28,8 +28,8 @@ bool OverlapCoefficientPredicate::MatchesCross(const RecordSet& set_a,
                                                RecordId a,
                                                const RecordSet& set_b,
                                                RecordId b) const {
-  const Record& ra = set_a.record(a);
-  const Record& rb = set_b.record(b);
+  const RecordView ra = set_a.record(a);
+  const RecordView rb = set_b.record(b);
   // 0/0 guard: an empty record matches nothing. Without this, the default
   // overlap >= T comparison would accept 0 >= 0 — a pair the index-based
   // algorithms can never surface (no shared token).

@@ -22,14 +22,14 @@ std::string OverlapPredicate::name() const {
 
 void OverlapPredicate::Prepare(RecordSet* records) const {
   for (RecordId id = 0; id < records->size(); ++id) {
-    Record& r = records->mutable_record(id);
+    const RecordView r = records->record(id);
     double norm = 0;
     for (size_t i = 0; i < r.size(); ++i) {
       double weight = StaticTokenWeight(r.token(i));
-      r.set_score(i, std::sqrt(weight));
+      records->set_score(id, i, std::sqrt(weight));
       norm += weight;
     }
-    r.set_norm(norm);
+    records->set_norm(id, norm);
   }
 }
 

@@ -15,26 +15,28 @@ Result<JoinStats> PairCountJoin(const RecordSet& records,
                                 const PairSink& sink) {
   JoinStats stats;
   InvertedIndex index;
+  index.PlanFromRecords(records);
   for (RecordId id = 0; id < records.size(); ++id) {
     index.Insert(id, records.record(id));
   }
   stats.index_postings = index.total_postings();
 
-  // Gather the live lists, largest first (for the L/S split). Sorting
-  // ties by token id keeps the split deterministic despite the hash-map
-  // iteration order.
-  std::vector<std::pair<TokenId, const PostingList*>> token_lists;
-  index.ForEachList([&token_lists](TokenId t, const PostingList& list) {
-    token_lists.emplace_back(t, &list);
+  // Gather the live lists, largest first (for the L/S split), ties broken
+  // by token id (ForEachList already yields ascending tokens, so a stable
+  // sort on length alone would do; the explicit tie-break keeps the intent
+  // obvious).
+  std::vector<std::pair<TokenId, PostingListView>> token_lists;
+  index.ForEachList([&token_lists](TokenId t, PostingListView list) {
+    token_lists.emplace_back(t, list);
   });
   std::sort(token_lists.begin(), token_lists.end(),
             [](const auto& a, const auto& b) {
-              if (a.second->size() != b.second->size()) {
-                return a.second->size() > b.second->size();
+              if (a.second.size() != b.second.size()) {
+                return a.second.size() > b.second.size();
               }
               return a.first < b.first;
             });
-  std::vector<const PostingList*> lists;
+  std::vector<PostingListView> lists;
   lists.reserve(token_lists.size());
   for (const auto& [t, list] : token_lists) lists.push_back(list);
 
@@ -47,7 +49,7 @@ Result<JoinStats> PairCountJoin(const RecordSet& records,
   std::vector<double> cumulative(lists.size(), 0);
   double running = 0;
   for (size_t i = 0; i < lists.size(); ++i) {
-    running += lists[i]->max_score() * lists[i]->max_score();
+    running += lists[i].max_score() * lists[i].max_score();
     cumulative[i] = running;
   }
   size_t split_k = 0;
@@ -63,7 +65,7 @@ Result<JoinStats> PairCountJoin(const RecordSet& records,
   // Aggregate every pair from the S lists.
   std::unordered_map<uint64_t, double> pair_weight;
   for (size_t i = split_k; i < lists.size(); ++i) {
-    const PostingList& list = *lists[i];
+    const PostingListView list = lists[i];
     for (size_t a = 0; a < list.size(); ++a) {
       for (size_t b = a + 1; b < list.size(); ++b) {
         pair_weight[PairKey(list[a].id, list[b].id)] +=
@@ -97,11 +99,11 @@ Result<JoinStats> PairCountJoin(const RecordSet& records,
         break;
       }
       uint64_t* cost = &stats.merge.gallop_probes;
-      size_t pos_a = lists[i]->GallopFind(a, 0, cost);
+      size_t pos_a = lists[i].GallopFind(a, 0, cost);
       if (pos_a == SIZE_MAX) continue;
-      size_t pos_b = lists[i]->GallopFind(b, pos_a + 1, cost);
+      size_t pos_b = lists[i].GallopFind(b, pos_a + 1, cost);
       if (pos_b == SIZE_MAX) continue;
-      weight += (*lists[i])[pos_a].score * (*lists[i])[pos_b].score;
+      weight += lists[i][pos_a].score * lists[i][pos_b].score;
     }
     if (!viable || weight < PruneBound(required)) continue;
     ++stats.candidates_verified;

@@ -9,6 +9,7 @@
 #include "core/merge_opt.h"
 #include "core/probe_common.h"
 #include "index/inverted_index.h"
+#include "util/function_ref.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -19,7 +20,6 @@ namespace {
 using probe_internal::BuildStopwordPlan;
 using probe_internal::ReducedThreshold;
 using probe_internal::StopwordPlan;
-using probe_internal::StripStopwords;
 
 /// Positions per work chunk: small enough to balance skewed probe costs,
 /// large enough to amortize the chunk-claim atomic.
@@ -98,33 +98,28 @@ Result<JoinStats> ParallelProbeJoin(const RecordSet& records,
     }
     stop_plan = BuildStopwordPlan(records, *constant);
   }
-
-  std::vector<Record> stripped;  // stopword mode only
-  if (options.stopwords) {
-    stripped.reserve(n);
-    for (RecordId id = 0; id < n; ++id) {
-      stripped.push_back(StripStopwords(records.record(id), stop_plan));
-    }
-  }
-  auto record_for_index = [&](RecordId id) -> const Record& {
-    return options.stopwords ? stripped[id] : records.record(id);
-  };
+  const std::vector<bool>* skip =
+      options.stopwords ? &stop_plan.is_stop : nullptr;
 
   // Freeze the full index before any probing; from here on every worker
-  // only reads it (InvertedIndex::list, PostingList search methods and
+  // only reads it (InvertedIndex::list, PostingListView searches and
   // CollectProbeLists are const and touch no shared mutable state).
   InvertedIndex index;
+  index.PlanFromRecords(records);
   for (uint32_t pos = 0; pos < n; ++pos) {
-    index.Insert(pos, record_for_index(order[pos]));
+    index.Insert(pos, records.record(order[pos]), skip);
   }
 
   MergeOptions merge_options;
   merge_options.split_lists = options.optimized_merge;
   merge_options.apply_filter = options.apply_filter;
 
+  // Per-worker probe scratch, allocated once: no per-record heap
+  // allocations inside the probe loop.
   struct Scratch {
-    std::vector<const PostingList*> lists;
+    std::vector<PostingListView> lists;
     std::vector<double> probe_scores;
+    ListMerger merger;
   };
   int requested = std::max(1, num_threads);
   std::vector<Scratch> scratch(requested);
@@ -132,8 +127,7 @@ Result<JoinStats> ParallelProbeJoin(const RecordSet& records,
   auto probe_one = [&](uint32_t pos, int worker, JoinStats* stats,
                        const PairSink& emit) {
     RecordId probe_id = order[pos];
-    const Record& probe_full = records.record(probe_id);
-    const Record& probe = record_for_index(probe_id);
+    const RecordView probe = records.record(probe_id);
 
     auto verify_and_emit = [&](RecordId a, RecordId b) {
       ++stats->candidates_verified;
@@ -144,9 +138,13 @@ Result<JoinStats> ParallelProbeJoin(const RecordSet& records,
     };
 
     double floor;
-    std::function<double(RecordId)> required;
+    auto required_fn = [&](RecordId m) {
+      return pred.ThresholdForNorms(probe.norm(),
+                                    records.record(order[m]).norm());
+    };
+    FunctionRef<double(RecordId)> required;
     if (options.stopwords) {
-      double reduced = ReducedThreshold(probe_full, stop_plan);
+      double reduced = ReducedThreshold(probe, stop_plan);
       if (reduced <= 0) {
         // Degenerate probe: its own stopwords could carry the whole
         // threshold, so every earlier record is a candidate.
@@ -157,32 +155,27 @@ Result<JoinStats> ParallelProbeJoin(const RecordSet& records,
       }
       floor = reduced;
     } else {
-      floor = pred.ThresholdForNorms(probe_full.norm(), index.min_norm());
-      required = [&](RecordId m) {
-        return pred.ThresholdForNorms(probe_full.norm(),
-                                      records.record(order[m]).norm());
-      };
+      floor = pred.ThresholdForNorms(probe.norm(), index.min_norm());
+      required = required_fn;
     }
-    std::function<bool(RecordId)> filter;
+    auto filter_fn = [&](RecordId m) {
+      return pred.NormFilter(probe.norm(), records.record(order[m]).norm());
+    };
+    FunctionRef<bool(RecordId)> filter;
     if (options.apply_filter && pred.has_norm_filter()) {
-      filter = [&](RecordId m) {
-        return pred.NormFilter(probe_full.norm(),
-                               records.record(order[m]).norm());
-      };
+      filter = filter_fn;
     }
     Scratch& s = scratch[worker];
     CollectProbeLists(index, probe, &s.lists, &s.probe_scores);
-    ListMerger merger(std::move(s.lists), std::move(s.probe_scores), floor,
-                      required, filter, merge_options, &stats->merge);
+    s.merger.Reset(s.lists, s.probe_scores, floor, required, filter,
+                   merge_options, &stats->merge);
     MergeCandidate candidate;
-    while (merger.Next(&candidate)) {
+    while (s.merger.Next(&candidate)) {
       // Every record is indexed: skip self matches and emit each
       // unordered pair from its later endpoint only.
       if (candidate.id >= pos) continue;
       verify_and_emit(order[candidate.id], probe_id);
     }
-    s.lists.clear();
-    s.probe_scores.clear();
   };
 
   JoinStats stats =
@@ -216,12 +209,9 @@ Result<JoinStats> ParallelPrefixFilterJoin(
     for (uint32_t i = 0; i < by_df.size(); ++i) rank[by_df[i]] = i;
   }
 
-  std::vector<double> gmax(records.vocabulary_size(), 0.0);
-  for (const Record& r : records.records()) {
-    for (size_t i = 0; i < r.size(); ++i) {
-      gmax[r.token(i)] = std::max(gmax[r.token(i)], r.score(i));
-    }
-  }
+  // Per-token corpus score maxima, from the RecordSet's cached TokenStats
+  // (no corpus rescan per join call).
+  const std::vector<double>& gmax = records.token_stats().max_token_scores;
 
   std::vector<RecordId> order;
   if (options.presort) {
@@ -240,7 +230,7 @@ Result<JoinStats> ParallelPrefixFilterJoin(
   {
     std::vector<std::pair<uint32_t, size_t>> ordered;  // (rank, token pos)
     for (uint32_t pos = 0; pos < n; ++pos) {
-      const Record& r = records.record(order[pos]);
+      const RecordView r = records.record(order[pos]);
       double alpha = pred.MinMatchOverlap(r.norm());
       ordered.clear();
       for (size_t i = 0; i < r.size(); ++i) {
@@ -277,7 +267,7 @@ Result<JoinStats> ParallelPrefixFilterJoin(
   auto probe_one = [&](uint32_t pos, int worker, JoinStats* stats,
                        const PairSink& emit) {
     RecordId id = order[pos];
-    const Record& r = records.record(id);
+    const RecordView r = records.record(id);
     Scratch& s = scratch[worker];
     s.candidates.clear();
     for (size_t i = 0; i < r.size(); ++i) {

@@ -13,8 +13,8 @@ void Predicate::PrepareForJoin(RecordSet* left, RecordSet* right) const {
 
 bool Predicate::MatchesCross(const RecordSet& set_a, RecordId a,
                              const RecordSet& set_b, RecordId b) const {
-  const Record& ra = set_a.record(a);
-  const Record& rb = set_b.record(b);
+  const RecordView ra = set_a.record(a);
+  const RecordView rb = set_b.record(b);
   if (!NormFilter(ra.norm(), rb.norm())) return false;
   return ra.OverlapWith(rb) >= ThresholdForNorms(ra.norm(), rb.norm());
 }

@@ -36,13 +36,9 @@ Result<JoinStats> PrefixFilterJoin(const RecordSet& records,
     for (uint32_t i = 0; i < by_df.size(); ++i) rank[by_df[i]] = i;
   }
 
-  // Corpus-wide max score per token (the gmax of the suffix bound).
-  std::vector<double> gmax(records.vocabulary_size(), 0.0);
-  for (const Record& r : records.records()) {
-    for (size_t i = 0; i < r.size(); ++i) {
-      gmax[r.token(i)] = std::max(gmax[r.token(i)], r.score(i));
-    }
-  }
+  // Corpus-wide max score per token (the gmax of the suffix bound), from
+  // the RecordSet's cached TokenStats — no corpus rescan per join call.
+  const std::vector<double>& gmax = records.token_stats().max_token_scores;
 
   std::vector<RecordId> order;
   if (options.presort) {
@@ -59,7 +55,7 @@ Result<JoinStats> PrefixFilterJoin(const RecordSet& records,
 
   for (uint32_t pos = 0; pos < n; ++pos) {
     RecordId id = order[pos];
-    const Record& r = records.record(id);
+    const RecordView r = records.record(id);
 
     // Probe: every token of r against the prefix index of earlier records.
     candidates.clear();

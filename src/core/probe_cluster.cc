@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/function_ref.h"
 #include "util/logging.h"
 
 namespace ssjoin {
@@ -14,10 +15,10 @@ ClusterSet::ClusterSet(const Predicate& pred, ClusterSetOptions options)
                options_.initial_floor_fraction <= 1);
 }
 
-ClusterId ClusterSet::CreateCluster(const Record& record) {
+ClusterId ClusterSet::CreateCluster(RecordView record) {
   ClusterId id = static_cast<ClusterId>(clusters_.size());
   Cluster cluster;
-  cluster.summary = record;
+  cluster.summary = Record::FromView(record);
   cluster.norm = record.norm();
   cluster.total_weight = 0;
   for (size_t i = 0; i < record.size(); ++i) {
@@ -30,9 +31,9 @@ ClusterId ClusterSet::CreateCluster(const Record& record) {
   return id;
 }
 
-void ClusterSet::AddToCluster(ClusterId c, const Record& record) {
+void ClusterSet::AddToCluster(ClusterId c, RecordView record) {
   Cluster& cluster = clusters_[c];
-  cluster.summary = Record::UnionMax(cluster.summary, record);
+  cluster.summary = Record::UnionMax(cluster.summary.view(), record);
   cluster.norm = std::min(cluster.norm, record.norm());
   cluster.total_weight = 0;
   for (size_t i = 0; i < cluster.summary.size(); ++i) {
@@ -44,7 +45,7 @@ void ClusterSet::AddToCluster(ClusterId c, const Record& record) {
   index_.InsertOrUpdateMax(c, record, record.norm());
 }
 
-ClusterSet::ProbeResult ClusterSet::ProbeAndAssign(const Record& record,
+ClusterSet::ProbeResult ClusterSet::ProbeAndAssign(RecordView record,
                                                    MergeStats* stats) {
   ProbeResult result;
   double record_weight = 0;
@@ -80,14 +81,15 @@ ClusterSet::ProbeResult ClusterSet::ProbeAndAssign(const Record& record,
       // Scaling a negative threshold would move the floor above T(r, I).
       floor = options_.initial_floor_fraction * t_index;
     }
-    std::function<double(RecordId)> required;
+    auto required_fn = [this, &record](RecordId c) {
+      return pred_.ThresholdForNorms(record.norm(), clusters_[c].norm);
+    };
+    FunctionRef<double(RecordId)> required;
     if (!low_floor) {
-      required = [this, &record](RecordId c) {
-        return pred_.ThresholdForNorms(record.norm(), clusters_[c].norm);
-      };
+      required = required_fn;
     }
 
-    std::vector<const PostingList*> lists;
+    std::vector<PostingListView> lists;
     std::vector<double> scores;
     CollectProbeLists(index_, record, &lists, &scores);
     MergeOptions merge_options;
@@ -95,7 +97,7 @@ ClusterSet::ProbeResult ClusterSet::ProbeAndAssign(const Record& record,
     merge_options.apply_filter = false;  // cluster norms aggregate members;
                                          // pair filters apply at the
                                          // member level only
-    ListMerger merger(std::move(lists), std::move(scores), floor, required,
+    ListMerger merger(lists, scores, floor, required,
                       /*filter=*/nullptr, merge_options, stats);
 
     MergeCandidate candidate;
@@ -160,31 +162,33 @@ ClusterSet::ProbeResult ClusterSet::ProbeAndAssign(const Record& record,
 }
 
 void ProbeMemberIndex(const RecordSet& records, const Predicate& pred,
-                      const Record& record, RecordId record_id,
+                      RecordView record, RecordId record_id,
                       const std::vector<RecordId>& members,
-                      const InvertedIndex& index, bool apply_filter,
+                      const DynamicIndex& index, bool apply_filter,
                       JoinStats* stats, const PairSink& sink) {
   if (index.num_entities() == 0) return;
   double floor = pred.ThresholdForNorms(record.norm(), index.min_norm());
-  std::function<double(RecordId)> required = [&](RecordId local) {
+  auto required_fn = [&](RecordId local) {
     return pred.ThresholdForNorms(record.norm(),
                                   records.record(members[local]).norm());
   };
-  std::function<bool(RecordId)> filter;
+  FunctionRef<double(RecordId)> required = required_fn;
+  auto filter_fn = [&](RecordId local) {
+    return pred.NormFilter(record.norm(),
+                           records.record(members[local]).norm());
+  };
+  FunctionRef<bool(RecordId)> filter;
   if (apply_filter && pred.has_norm_filter()) {
-    filter = [&](RecordId local) {
-      return pred.NormFilter(record.norm(),
-                             records.record(members[local]).norm());
-    };
+    filter = filter_fn;
   }
-  std::vector<const PostingList*> lists;
+  std::vector<PostingListView> lists;
   std::vector<double> scores;
   CollectProbeLists(index, record, &lists, &scores);
   MergeOptions merge_options;
   merge_options.split_lists = true;
   merge_options.apply_filter = apply_filter;
-  ListMerger merger(std::move(lists), std::move(scores), floor, required,
-                    filter, merge_options, &stats->merge);
+  ListMerger merger(lists, scores, floor, required, filter, merge_options,
+                    &stats->merge);
   MergeCandidate candidate;
   while (merger.Next(&candidate)) {
     RecordId other = members[candidate.id];
@@ -214,13 +218,13 @@ Result<JoinStats> ProbeClusterJoin(const RecordSet& records,
   ClusterSet cluster_set(pred, options.cluster);
   // Per-cluster member structures: a local-id -> RecordId map and a
   // member-level inverted index (local ids keep posting ids increasing
-  // under any processing order).
+  // under any processing order; dynamic because membership grows online).
   std::vector<std::vector<RecordId>> members;
-  std::vector<InvertedIndex> member_index;
+  std::vector<DynamicIndex> member_index;
 
   for (uint32_t pos = 0; pos < n; ++pos) {
     RecordId id = order[pos];
-    const Record& record = records.record(id);
+    const RecordView record = records.record(id);
 
     ClusterSet::ProbeResult probe =
         cluster_set.ProbeAndAssign(record, &stats.merge);
@@ -254,7 +258,7 @@ Result<JoinStats> ProbeClusterJoin(const RecordSet& records,
     ClusterId home = probe.home;
     members[home].push_back(id);
     if (members[home].size() >= 2) {
-      InvertedIndex& index = member_index[home];
+      DynamicIndex& index = member_index[home];
       for (size_t local = index.num_entities();
            local < members[home].size(); ++local) {
         index.Insert(static_cast<RecordId>(local),
@@ -264,7 +268,7 @@ Result<JoinStats> ProbeClusterJoin(const RecordSet& records,
   }
 
   stats.index_postings = cluster_set.index_postings();
-  for (const InvertedIndex& index : member_index) {
+  for (const DynamicIndex& index : member_index) {
     stats.index_postings += index.total_postings();
   }
   return stats;

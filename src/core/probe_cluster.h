@@ -7,7 +7,8 @@
 #include "core/join_common.h"
 #include "core/predicate.h"
 #include "data/record_set.h"
-#include "index/inverted_index.h"
+#include "data/record_view.h"
+#include "index/dynamic_index.h"
 #include "util/status.h"
 
 namespace ssjoin {
@@ -59,6 +60,10 @@ struct ClusterSetOptions {
 ///     located with the increasing-threshold MergeOpt adaptation of
 ///     Section 4.1.1, or a freshly created cluster.
 ///
+/// The cluster-level index is a DynamicIndex: cluster membership is not
+/// known up front and an old cluster acquires new tokens whenever a member
+/// brings them, so flat CSR extents cannot be pre-carved.
+///
 /// The caller owns whatever per-cluster structures it needs (member
 /// indexes for Probe-Cluster, partition bookkeeping for ClusterMem).
 class ClusterSet {
@@ -76,7 +81,7 @@ class ClusterSet {
 
   /// Probes the current clusters with `record`, then assigns it to a home
   /// cluster (updating the summaries and the cluster-level index).
-  ProbeResult ProbeAndAssign(const Record& record, MergeStats* stats);
+  ProbeResult ProbeAndAssign(RecordView record, MergeStats* stats);
 
   size_t num_clusters() const { return clusters_.size(); }
   uint32_t cluster_size(ClusterId c) const { return clusters_[c].size; }
@@ -97,12 +102,12 @@ class ClusterSet {
     uint64_t member_postings = 0;
   };
 
-  ClusterId CreateCluster(const Record& record);
-  void AddToCluster(ClusterId c, const Record& record);
+  ClusterId CreateCluster(RecordView record);
+  void AddToCluster(ClusterId c, RecordView record);
 
   const Predicate& pred_;
   ClusterSetOptions options_;
-  InvertedIndex index_;  // cluster-level
+  DynamicIndex index_;  // cluster-level
   std::vector<Cluster> clusters_;
 };
 
@@ -127,9 +132,9 @@ Result<JoinStats> ProbeClusterJoin(const RecordSet& records,
 /// matching pairs. `members` maps the index's local ids back to RecordIds.
 /// Shared by Probe-Cluster and ClusterMem's second phase.
 void ProbeMemberIndex(const RecordSet& records, const Predicate& pred,
-                      const Record& record, RecordId record_id,
+                      RecordView record, RecordId record_id,
                       const std::vector<RecordId>& members,
-                      const InvertedIndex& index, bool apply_filter,
+                      const DynamicIndex& index, bool apply_filter,
                       JoinStats* stats, const PairSink& sink);
 
 }  // namespace ssjoin

@@ -7,26 +7,14 @@
 
 #include "core/predicate.h"
 #include "data/corpus_stats.h"
-#include "data/record.h"
 #include "data/record_set.h"
+#include "data/record_view.h"
 
 namespace ssjoin {
 namespace probe_internal {
 
 /// Shared plumbing of the Probe-Count family, used by both the serial
 /// ProbeJoin and the parallel probe driver so the two paths cannot drift.
-
-/// Per-token upper bound on what a single shared occurrence of the token
-/// can contribute to any pair's overlap: (max_r score(t, r))^2.
-inline std::vector<double> MaxTokenScores(const RecordSet& records) {
-  std::vector<double> max_score(records.vocabulary_size(), 0.0);
-  for (const Record& r : records.records()) {
-    for (size_t i = 0; i < r.size(); ++i) {
-      max_score[r.token(i)] = std::max(max_score[r.token(i)], r.score(i));
-    }
-  }
-  return max_score;
-}
 
 struct StopwordPlan {
   std::vector<bool> is_stop;       // per token
@@ -36,17 +24,18 @@ struct StopwordPlan {
 
 /// Picks the maximal prefix of the most document-frequent tokens whose
 /// total potential contribution stays below T (the paper's "top T-1
-/// highest frequency words" generalized to weighted scores).
+/// highest frequency words" generalized to weighted scores). Reads the
+/// per-token maxima and the frequency order from the RecordSet's cached
+/// TokenStats instead of rescanning the corpus per join call.
 inline StopwordPlan BuildStopwordPlan(const RecordSet& records,
                                       double threshold) {
+  const TokenStats& stats = records.token_stats();
   StopwordPlan plan;
   plan.threshold = threshold;
-  plan.max_score = MaxTokenScores(records);
+  plan.max_score = stats.max_token_scores;
   plan.is_stop.assign(records.vocabulary_size(), false);
-  std::vector<TokenId> by_frequency =
-      TopFrequentTokens(records, records.vocabulary_size());
   double sum = 0;
-  for (TokenId t : by_frequency) {
+  for (TokenId t : stats.tokens_by_frequency) {
     double contribution = plan.max_score[t] * plan.max_score[t];
     if (sum + contribution >= threshold) break;
     sum += contribution;
@@ -55,23 +44,15 @@ inline StopwordPlan BuildStopwordPlan(const RecordSet& records,
   return plan;
 }
 
-/// The record with stopword tokens removed, keeping the original norm and
-/// text_length so index statistics and thresholds stay correct.
-inline Record StripStopwords(const Record& r, const StopwordPlan& plan) {
-  std::vector<std::pair<TokenId, double>> kept;
-  kept.reserve(r.size());
-  for (size_t i = 0; i < r.size(); ++i) {
-    if (!plan.is_stop[r.token(i)]) kept.emplace_back(r.token(i), r.score(i));
-  }
-  Record out = Record::FromWeightedTokens(std::move(kept));
-  out.set_norm(r.norm());
-  out.set_text_length(r.text_length());
-  return out;
-}
-
 /// Reduced threshold for probe r: T minus the potential carried by r's own
 /// stopwords (Section 3.1).
-inline double ReducedThreshold(const Record& r, const StopwordPlan& plan) {
+///
+/// Stopword handling never copies records: stop tokens are skipped at
+/// index insertion (InvertedIndex::Insert's skip mask), and probing with
+/// the FULL record is byte-identical to probing with a stripped copy
+/// because every stop token's posting list is empty and CollectProbeLists
+/// drops empty lists — same lists, same relative order, same merge.
+inline double ReducedThreshold(RecordView r, const StopwordPlan& plan) {
   double reduction = 0;
   for (size_t i = 0; i < r.size(); ++i) {
     TokenId t = r.token(i);

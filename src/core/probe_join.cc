@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/probe_common.h"
+#include "util/function_ref.h"
 #include "util/logging.h"
 
 namespace ssjoin {
@@ -12,7 +13,6 @@ namespace ssjoin {
 using probe_internal::BuildStopwordPlan;
 using probe_internal::ReducedThreshold;
 using probe_internal::StopwordPlan;
-using probe_internal::StripStopwords;
 
 Result<JoinStats> ProbeJoin(const RecordSet& records, const Predicate& pred,
                             const ProbeJoinOptions& options,
@@ -38,24 +38,19 @@ Result<JoinStats> ProbeJoin(const RecordSet& records, const Predicate& pred,
     }
     stop_plan = BuildStopwordPlan(records, *constant);
   }
+  const std::vector<bool>* skip =
+      options.stopwords ? &stop_plan.is_stop : nullptr;
 
   // The index is keyed by processing position so posting ids stay strictly
   // increasing under any processing order; `order` maps back to RecordIds.
+  // Every record is inserted exactly once in both two-pass and online
+  // mode, so the corpus document frequencies bound each token's extent.
   InvertedIndex index;
-  std::vector<Record> stripped;  // stopword mode only
-  if (options.stopwords) {
-    stripped.reserve(n);
-    for (RecordId id = 0; id < n; ++id) {
-      stripped.push_back(StripStopwords(records.record(id), stop_plan));
-    }
-  }
-  auto record_for_index = [&](RecordId id) -> const Record& {
-    return options.stopwords ? stripped[id] : records.record(id);
-  };
+  index.PlanFromRecords(records);
 
   if (!options.online) {
     for (uint32_t pos = 0; pos < n; ++pos) {
-      index.Insert(pos, record_for_index(order[pos]));
+      index.Insert(pos, records.record(order[pos]), skip);
     }
   }
 
@@ -71,19 +66,25 @@ Result<JoinStats> ProbeJoin(const RecordSet& records, const Predicate& pred,
   merge_options.split_lists = options.optimized_merge;
   merge_options.apply_filter = options.apply_filter;
 
-  std::vector<const PostingList*> lists;
+  // Probe-loop scratch, allocated once and reused: no per-record heap
+  // allocations inside the loop.
+  std::vector<PostingListView> lists;
   std::vector<double> probe_scores;
+  ListMerger merger;
 
   for (uint32_t pos = 0; pos < n; ++pos) {
     RecordId probe_id = order[pos];
-    const Record& probe_full = records.record(probe_id);
-    const Record& probe = record_for_index(probe_id);
+    const RecordView probe = records.record(probe_id);
 
     if (index.num_entities() > 0) {
       double floor;
-      std::function<double(RecordId)> required;
+      auto required_fn = [&](RecordId m) {
+        return pred.ThresholdForNorms(probe.norm(),
+                                      records.record(order[m]).norm());
+      };
+      FunctionRef<double(RecordId)> required;
       if (options.stopwords) {
-        double reduced = ReducedThreshold(probe_full, stop_plan);
+        double reduced = ReducedThreshold(probe, stop_plan);
         if (reduced <= 0) {
           // Degenerate probe: its own stopwords could carry the whole
           // threshold, so every indexed record is a candidate.
@@ -92,27 +93,25 @@ Result<JoinStats> ProbeJoin(const RecordSet& records, const Predicate& pred,
             if (!options.online && m >= pos) break;
             verify_and_emit(order[m], probe_id);
           }
-          if (options.online) index.Insert(pos, probe);
+          if (options.online) index.Insert(pos, probe, skip);
           continue;
         }
         floor = reduced;
       } else {
-        floor = pred.ThresholdForNorms(probe_full.norm(), index.min_norm());
-        required = [&](RecordId m) {
-          return pred.ThresholdForNorms(probe_full.norm(),
-                                        records.record(order[m]).norm());
-        };
+        floor = pred.ThresholdForNorms(probe.norm(), index.min_norm());
+        required = required_fn;
       }
-      std::function<bool(RecordId)> filter;
+      auto filter_fn = [&](RecordId m) {
+        return pred.NormFilter(probe.norm(),
+                               records.record(order[m]).norm());
+      };
+      FunctionRef<bool(RecordId)> filter;
       if (options.apply_filter && pred.has_norm_filter()) {
-        filter = [&](RecordId m) {
-          return pred.NormFilter(probe_full.norm(),
-                                 records.record(order[m]).norm());
-        };
+        filter = filter_fn;
       }
       CollectProbeLists(index, probe, &lists, &probe_scores);
-      ListMerger merger(std::move(lists), std::move(probe_scores), floor,
-                        required, filter, merge_options, &stats.merge);
+      merger.Reset(lists, probe_scores, floor, required, filter,
+                   merge_options, &stats.merge);
       MergeCandidate candidate;
       while (merger.Next(&candidate)) {
         if (!options.online && candidate.id >= pos) {
@@ -122,11 +121,9 @@ Result<JoinStats> ProbeJoin(const RecordSet& records, const Predicate& pred,
         }
         verify_and_emit(order[candidate.id], probe_id);
       }
-      lists.clear();
-      probe_scores.clear();
     }
 
-    if (options.online) index.Insert(pos, probe);
+    if (options.online) index.Insert(pos, probe, skip);
   }
 
   stats.index_postings = index.total_postings();

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "core/merge_opt.h"
+#include "util/function_ref.h"
 #include "util/logging.h"
 
 namespace ssjoin {
@@ -15,13 +16,13 @@ StreamingJoin::StreamingJoin(const Predicate& pred, Options options)
 }
 
 RecordId StreamingJoin::Add(
-    Record record, std::string text,
+    RecordView record, std::string text,
     const std::function<void(RecordId earlier)>& on_match) {
   // Single-record preparation: installs score(w, r) and the norm.
   RecordSet staging;
-  staging.Add(std::move(record), std::move(text));
+  staging.Add(record, std::move(text));
   pred_.Prepare(&staging);
-  const Record& probe = staging.record(0);
+  const RecordView probe = staging.record(0);
 
   double short_bound = pred_.ShortRecordNormBound();
   bool probe_is_short = short_bound > 0 && probe.norm() < short_bound;
@@ -29,21 +30,23 @@ RecordId StreamingJoin::Add(
 
   if (index_.num_entities() > 0 && !probe.empty()) {
     double floor = pred_.ThresholdForNorms(probe.norm(), index_.min_norm());
-    std::function<double(RecordId)> required = [&](RecordId m) {
+    auto required_fn = [&](RecordId m) {
       return pred_.ThresholdForNorms(probe.norm(),
                                      records_.record(m).norm());
     };
-    std::function<bool(RecordId)> filter;
+    FunctionRef<double(RecordId)> required = required_fn;
+    auto filter_fn = [&](RecordId m) {
+      return pred_.NormFilter(probe.norm(), records_.record(m).norm());
+    };
+    FunctionRef<bool(RecordId)> filter;
     if (options_.apply_filter && pred_.has_norm_filter()) {
-      filter = [&](RecordId m) {
-        return pred_.NormFilter(probe.norm(), records_.record(m).norm());
-      };
+      filter = filter_fn;
     }
-    std::vector<const PostingList*> lists;
+    std::vector<PostingListView> lists;
     std::vector<double> probe_scores;
     CollectProbeLists(index_, probe, &lists, &probe_scores);
-    ListMerger merger(std::move(lists), std::move(probe_scores), floor,
-                      required, filter, {}, &stats_.merge);
+    ListMerger merger(lists, probe_scores, floor, required, filter, {},
+                      &stats_.merge);
     MergeCandidate candidate;
     while (merger.Next(&candidate)) {
       ++stats_.candidates_verified;

@@ -8,7 +8,7 @@
 #include "core/predicate.h"
 #include "data/record.h"
 #include "data/record_set.h"
-#include "index/inverted_index.h"
+#include "index/dynamic_index.h"
 
 namespace ssjoin {
 
@@ -40,8 +40,10 @@ class StreamingJoin {
 
   /// Adds a record (with optional original text, needed by edit
   /// distance), invoking `on_match` once per earlier record it matches.
-  /// Returns the id assigned to the record (its arrival position).
-  RecordId Add(Record record, std::string text,
+  /// Returns the id assigned to the record (its arrival position). The
+  /// view is copied into the internal record set; it only needs to stay
+  /// valid for the duration of the call.
+  RecordId Add(RecordView record, std::string text,
                const std::function<void(RecordId earlier)>& on_match);
 
   /// Number of records ingested so far.
@@ -56,7 +58,7 @@ class StreamingJoin {
   const Predicate& pred_;
   Options options_;
   RecordSet records_;
-  InvertedIndex index_;
+  DynamicIndex index_;  // grows with the stream; membership unknown up front
   JoinStats stats_;
   // Scratch for the short-record fallback (edit distance / Hamming):
   // ids of past records below the predicate's short bound.

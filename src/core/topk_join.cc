@@ -7,6 +7,7 @@
 #include "core/merge_opt.h"
 #include "core/overlap_predicate.h"
 #include "index/inverted_index.h"
+#include "util/function_ref.h"
 #include "util/logging.h"
 
 namespace ssjoin {
@@ -25,9 +26,9 @@ struct MetricPlan {
 
 void PrepareUnit(RecordSet* records) {
   for (RecordId id = 0; id < records->size(); ++id) {
-    Record& r = records->mutable_record(id);
-    for (size_t i = 0; i < r.size(); ++i) r.set_score(i, 1.0);
-    r.set_norm(static_cast<double>(r.size()));
+    size_t size = records->record_size(id);
+    for (size_t i = 0; i < size; ++i) records->set_score(id, i, 1.0);
+    records->set_norm(id, static_cast<double>(size));
   }
 }
 
@@ -106,31 +107,33 @@ Result<std::vector<TopKMatch>> TopKJoin(RecordSet* records,
 
   std::vector<RecordId> order = records->IdsByDecreasingNorm();
   InvertedIndex index;  // keyed by processing position
-  std::vector<const PostingList*> lists;
+  index.PlanFromRecords(*records);
+  std::vector<PostingListView> lists;
   std::vector<double> probe_scores;
+  ListMerger merger;
 
   if (k > 0) {
     for (uint32_t pos = 0; pos < order.size(); ++pos) {
       RecordId id = order[pos];
-      const Record& probe = records->record(id);
+      const RecordView probe = records->record(id);
       if (index.num_entities() > 0 && !probe.empty()) {
         // The merge floor ratchets with the k-th best score; per-candidate
         // bounds sharpen it with the candidate's own norm.
-        std::function<double(RecordId)> required = [&](RecordId m) {
+        auto required_fn = [&](RecordId m) {
           return plan.required_overlap(
               bound(), probe.norm(), records->record(order[m]).norm());
         };
+        FunctionRef<double(RecordId)> required = required_fn;
         double floor =
             plan.required_overlap(bound(), probe.norm(), index.min_norm());
         CollectProbeLists(index, probe, &lists, &probe_scores);
-        ListMerger merger(std::move(lists), std::move(probe_scores),
-                          std::max(floor, 0.0), required, nullptr, {},
-                          &stats.merge);
+        merger.Reset(lists, probe_scores, std::max(floor, 0.0), required,
+                     nullptr, {}, &stats.merge);
         MergeCandidate candidate;
         while (merger.Next(&candidate)) {
           RecordId other = order[candidate.id];
           ++stats.candidates_verified;
-          const Record& rec_other = records->record(other);
+          const RecordView rec_other = records->record(other);
           // Canonical overlap recomputation keeps scores bit-identical to
           // the brute-force reference.
           double overlap = probe.OverlapWith(rec_other);
@@ -150,8 +153,6 @@ Result<std::vector<TopKMatch>> TopKJoin(RecordSet* records,
                 bound(), probe.norm(), index.min_norm()));
           }
         }
-        lists.clear();
-        probe_scores.clear();
       }
       index.Insert(pos, probe);
     }

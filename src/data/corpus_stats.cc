@@ -25,9 +25,10 @@ CorpusStats ComputeCorpusStats(const RecordSet& records) {
 
   uint64_t min_size = UINT64_MAX;
   uint64_t max_size = 0;
-  for (const Record& r : records.records()) {
-    min_size = std::min<uint64_t>(min_size, r.size());
-    max_size = std::max<uint64_t>(max_size, r.size());
+  for (RecordId id = 0; id < records.size(); ++id) {
+    uint64_t size = records.record_size(id);
+    min_size = std::min(min_size, size);
+    max_size = std::max(max_size, size);
   }
   stats.min_set_size = records.empty() ? 0 : min_size;
   stats.max_set_size = max_size;
@@ -62,14 +63,13 @@ std::vector<uint64_t> SortedDocFrequencies(const RecordSet& records) {
 
 std::vector<TokenId> TopFrequentTokens(const RecordSet& records,
                                        size_t count) {
-  std::vector<TokenId> tokens(records.vocabulary_size());
-  std::iota(tokens.begin(), tokens.end(), 0);
-  std::stable_sort(tokens.begin(), tokens.end(),
-                   [&records](TokenId a, TokenId b) {
-                     return records.doc_frequency(a) > records.doc_frequency(b);
-                   });
-  if (tokens.size() > count) tokens.resize(count);
-  return tokens;
+  // The frequency order lives in the RecordSet's cached TokenStats (same
+  // tie-break: descending df, ascending token id); just take the prefix.
+  const std::vector<TokenId>& by_frequency =
+      records.token_stats().tokens_by_frequency;
+  if (by_frequency.size() <= count) return by_frequency;
+  return std::vector<TokenId>(by_frequency.begin(),
+                              by_frequency.begin() + count);
 }
 
 }  // namespace ssjoin

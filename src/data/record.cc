@@ -29,31 +29,16 @@ Record Record::FromWeightedTokens(
   return r;
 }
 
-size_t Record::Find(TokenId t) const {
-  auto it = std::lower_bound(tokens_.begin(), tokens_.end(), t);
-  if (it == tokens_.end() || *it != t) return SIZE_MAX;
-  return static_cast<size_t>(it - tokens_.begin());
+Record Record::FromView(RecordView view) {
+  Record r;
+  r.tokens_.assign(view.tokens().begin(), view.tokens().end());
+  r.scores_.assign(view.scores().begin(), view.scores().end());
+  r.norm_ = view.norm();
+  r.text_length_ = view.text_length();
+  return r;
 }
 
-double Record::OverlapWith(const Record& other) const {
-  double total = 0;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < tokens_.size() && j < other.tokens_.size()) {
-    if (tokens_[i] < other.tokens_[j]) {
-      ++i;
-    } else if (tokens_[i] > other.tokens_[j]) {
-      ++j;
-    } else {
-      total += scores_[i] * other.scores_[j];
-      ++i;
-      ++j;
-    }
-  }
-  return total;
-}
-
-Record Record::UnionMax(const Record& a, const Record& b) {
+Record Record::UnionMax(RecordView a, RecordView b) {
   Record out;
   out.tokens_.reserve(a.size() + b.size());
   out.scores_.reserve(a.size() + b.size());
@@ -75,27 +60,9 @@ Record Record::UnionMax(const Record& a, const Record& b) {
       ++j;
     }
   }
-  out.norm_ = std::min(a.norm_, b.norm_);
-  out.text_length_ = std::min(a.text_length_, b.text_length_);
+  out.norm_ = std::min(a.norm(), b.norm());
+  out.text_length_ = std::min(a.text_length(), b.text_length());
   return out;
-}
-
-size_t Record::IntersectionSize(const Record& other) const {
-  size_t count = 0;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < tokens_.size() && j < other.tokens_.size()) {
-    if (tokens_[i] < other.tokens_[j]) {
-      ++i;
-    } else if (tokens_[i] > other.tokens_[j]) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
 }
 
 }  // namespace ssjoin

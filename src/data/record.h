@@ -5,20 +5,20 @@
 #include <utility>
 #include <vector>
 
+#include "data/record_view.h"
 #include "text/token_dictionary.h"
 
 namespace ssjoin {
 
-/// Dense record identifier: position of the record in its RecordSet.
-using RecordId = uint32_t;
-
-/// A set-valued attribute value: the sorted set of its tokens, each with a
-/// score. Scores are what the general framework of Section 5 calls
-/// score(w, r); they default to 1 and are overwritten by weighted
-/// predicates (e.g. the cosine predicate installs unit-normalized TF-IDF
-/// weights). `norm` caches the predicate-defined record score ||r||
-/// (Equation 1) and `text_length` carries the original string length used
-/// by the edit-distance threshold.
+/// Builder for one set-valued attribute value: the sorted set of its
+/// tokens, each with a score. Scores are what the general framework of
+/// Section 5 calls score(w, r); they default to 1. `norm` caches the
+/// predicate-defined record score ||r|| (Equation 1) and `text_length`
+/// carries the original string length used by the edit-distance threshold.
+///
+/// Records only exist at corpus-construction and deserialization
+/// boundaries; once Add()ed to a RecordSet the tokens and scores live in
+/// the set's columnar arena, and all hot paths operate on RecordView.
 class Record {
  public:
   Record() = default;
@@ -30,6 +30,27 @@ class Record {
   /// Builds a record from (token, score) pairs; tokens must be distinct.
   static Record FromWeightedTokens(
       std::vector<std::pair<TokenId, double>> weighted);
+
+  /// Deep-copies a view back into an owning builder (cluster summaries).
+  static Record FromView(RecordView view);
+
+  /// Token-set union of `a` and `b` with per-token score = max of the two:
+  /// the cluster summary of Section 5.1.3 (score(w, C) = max over members).
+  /// The result's norm is min(a.norm, b.norm) (= ||C||) and text_length is
+  /// min of the two (the shortest member drives the edit-distance bound).
+  static Record UnionMax(RecordView a, RecordView b);
+
+  /// Non-owning view over the builder's storage; valid while the Record
+  /// is alive and unmodified.
+  RecordView view() const {
+    return RecordView(tokens_.data(), scores_.data(),
+                      static_cast<uint32_t>(tokens_.size()), norm_,
+                      text_length_);
+  }
+
+  /// Implicit view conversion (std::string -> std::string_view style), so
+  /// builders flow into RecordView-taking APIs without boilerplate.
+  operator RecordView() const { return view(); }  // NOLINT
 
   /// Number of distinct tokens.
   size_t size() const { return tokens_.size(); }
@@ -44,10 +65,10 @@ class Record {
   double score(size_t i) const { return scores_[i]; }
 
   /// Binary-searches for `t`; returns its position or SIZE_MAX.
-  size_t Find(TokenId t) const;
-  bool Contains(TokenId t) const { return Find(t) != SIZE_MAX; }
+  size_t Find(TokenId t) const { return view().Find(t); }
+  bool Contains(TokenId t) const { return view().Contains(t); }
 
-  /// Rewrites the score of tokens()[i]; used by Predicate::Prepare.
+  /// Rewrites the score of tokens()[i].
   void set_score(size_t i, double score) { scores_[i] = score; }
 
   double norm() const { return norm_; }
@@ -56,18 +77,15 @@ class Record {
   uint32_t text_length() const { return text_length_; }
   void set_text_length(uint32_t len) { text_length_ = len; }
 
-  /// Sum over common tokens of score(w, r) * score(w, s): the match amount
-  /// of the general framework. Linear in size() + other.size().
-  double OverlapWith(const Record& other) const;
+  /// Sum over common tokens of score(w, r) * score(w, s).
+  double OverlapWith(const Record& other) const {
+    return view().OverlapWith(other.view());
+  }
 
   /// Number of common tokens, ignoring scores.
-  size_t IntersectionSize(const Record& other) const;
-
-  /// Token-set union of `a` and `b` with per-token score = max of the two:
-  /// the cluster summary of Section 5.1.3 (score(w, C) = max over members).
-  /// The result's norm is min(a.norm, b.norm) (= ||C||) and text_length is
-  /// min of the two (the shortest member drives the edit-distance bound).
-  static Record UnionMax(const Record& a, const Record& b);
+  size_t IntersectionSize(const Record& other) const {
+    return view().IntersectionSize(other.view());
+  }
 
  private:
   std::vector<TokenId> tokens_;

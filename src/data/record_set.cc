@@ -7,10 +7,11 @@
 
 namespace ssjoin {
 
-RecordId RecordSet::Add(Record record, std::string text) {
-  RecordId id = static_cast<RecordId>(records_.size());
+RecordId RecordSet::Add(RecordView record, std::string text) {
+  RecordId id = static_cast<RecordId>(size());
   for (size_t i = 0; i < record.size(); ++i) {
     TokenId t = record.token(i);
+    SSJOIN_DCHECK(i == 0 || record.token(i - 1) < t);
     if (t >= doc_frequency_.size()) {
       doc_frequency_.resize(t + 1, 0);
       term_frequency_.resize(t + 1, 0);
@@ -18,9 +19,34 @@ RecordId RecordSet::Add(Record record, std::string text) {
     ++doc_frequency_[t];
     ++term_frequency_[t];
   }
-  total_occurrences_ += record.size();
-  records_.push_back(std::move(record));
+  // Self-insertion safety: `record` may view this set's own arena, whose
+  // buffers can move when they grow. Resolve such views to an index first
+  // and re-read through the (content-preserving) resized vectors.
+  const size_t count = record.size();
+  const size_t old_size = token_arena_.size();
+  size_t self_offset = SIZE_MAX;
+  if (count > 0 && !token_arena_.empty() &&
+      record.tokens().data() >= token_arena_.data() &&
+      record.tokens().data() + count <= token_arena_.data() + old_size) {
+    self_offset = static_cast<size_t>(record.tokens().data() -
+                                      token_arena_.data());
+  }
+  token_arena_.resize(old_size + count);
+  score_arena_.resize(old_size + count);
+  const TokenId* src_tokens = self_offset != SIZE_MAX
+                                  ? token_arena_.data() + self_offset
+                                  : record.tokens().data();
+  const double* src_scores = self_offset != SIZE_MAX
+                                 ? score_arena_.data() + self_offset
+                                 : record.scores().data();
+  std::copy(src_tokens, src_tokens + count, token_arena_.begin() + old_size);
+  std::copy(src_scores, src_scores + count, score_arena_.begin() + old_size);
+  offsets_.push_back(offsets_.back() + count);
+  norms_.push_back(record.norm());
+  text_lengths_.push_back(record.text_length());
   texts_.push_back(std::move(text));
+  total_occurrences_ += count;
+  ++structure_version_;
   return id;
 }
 
@@ -33,27 +59,51 @@ uint64_t RecordSet::term_frequency(TokenId t) const {
 }
 
 double RecordSet::average_record_size() const {
-  if (records_.empty()) return 0;
+  if (empty()) return 0;
   return static_cast<double>(total_occurrences_) /
-         static_cast<double>(records_.size());
+         static_cast<double>(size());
 }
 
 std::vector<RecordId> RecordSet::IdsByDecreasingSize() const {
-  std::vector<RecordId> ids(records_.size());
+  std::vector<RecordId> ids(size());
   std::iota(ids.begin(), ids.end(), 0);
   std::stable_sort(ids.begin(), ids.end(), [this](RecordId a, RecordId b) {
-    return records_[a].size() > records_[b].size();
+    return record_size(a) > record_size(b);
   });
   return ids;
 }
 
 std::vector<RecordId> RecordSet::IdsByDecreasingNorm() const {
-  std::vector<RecordId> ids(records_.size());
+  std::vector<RecordId> ids(size());
   std::iota(ids.begin(), ids.end(), 0);
   std::stable_sort(ids.begin(), ids.end(), [this](RecordId a, RecordId b) {
-    return records_[a].norm() > records_[b].norm();
+    return norms_[a] > norms_[b];
   });
   return ids;
+}
+
+const TokenStats& RecordSet::token_stats() const {
+  if (stats_structure_version_ == structure_version_ &&
+      stats_score_version_ == score_version_) {
+    return token_stats_;
+  }
+  TokenStats& stats = token_stats_;
+  stats.max_token_scores.assign(vocabulary_size(), 0.0);
+  for (size_t i = 0; i < token_arena_.size(); ++i) {
+    double& slot = stats.max_token_scores[token_arena_[i]];
+    slot = std::max(slot, score_arena_[i]);
+  }
+  stats.tokens_by_frequency.resize(vocabulary_size());
+  std::iota(stats.tokens_by_frequency.begin(),
+            stats.tokens_by_frequency.end(), 0);
+  std::stable_sort(stats.tokens_by_frequency.begin(),
+                   stats.tokens_by_frequency.end(),
+                   [this](TokenId a, TokenId b) {
+                     return doc_frequency_[a] > doc_frequency_[b];
+                   });
+  stats_structure_version_ = structure_version_;
+  stats_score_version_ = score_version_;
+  return token_stats_;
 }
 
 }  // namespace ssjoin

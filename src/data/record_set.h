@@ -2,19 +2,45 @@
 #define SSJOIN_DATA_RECORD_SET_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "data/record.h"
+#include "data/record_view.h"
 #include "text/token_dictionary.h"
 
 namespace ssjoin {
 
-/// The join input: an ordered collection of Records plus the corpus-level
+/// Corpus-level per-token statistics derived from the records, cached on
+/// the RecordSet so join planning (stopword selection, prefix filtering,
+/// Word-Groups) does not rescan the whole corpus per join call.
+struct TokenStats {
+  /// max_token_scores[t] = max over records r of score(t, r); 0 for tokens
+  /// absent from the corpus.
+  std::vector<double> max_token_scores;
+  /// All token ids ordered by decreasing document frequency, ties broken
+  /// by increasing token id.
+  std::vector<TokenId> tokens_by_frequency;
+};
+
+/// The join input: a columnar CSR arena of records plus the corpus-level
 /// token statistics the algorithms and weighting schemes need (document
 /// frequency for stopword selection and list-length estimates, total term
 /// frequency for TF-IDF). Optionally retains the original text of each
 /// record for edit-distance verification and for human-readable output.
+///
+/// Storage layout (the memory spine every hot loop streams over; see
+/// DESIGN.md "Memory layout"):
+///
+///   token_arena_  [t t t | t t | t t t t | ...]   one flat TokenId array
+///   score_arena_  [s s s | s s | s s s s | ...]   parallel double array
+///   offsets_      [0, 3, 5, 9, ...]               n + 1, monotone
+///
+/// record(id) materializes a trivially-copyable RecordView over the slice
+/// [offsets_[id], offsets_[id+1]); no per-record heap allocations exist.
+/// Invariants: tokens within a record are strictly increasing; offsets_
+/// is non-decreasing with offsets_[0] == 0 and offsets_[n] == arena size.
 class RecordSet {
  public:
   RecordSet() = default;
@@ -24,16 +50,45 @@ class RecordSet {
   RecordSet(RecordSet&&) = default;
   RecordSet& operator=(RecordSet&&) = default;
 
-  /// Appends `record` and returns its RecordId. `text` may be empty.
-  RecordId Add(Record record, std::string text = {});
+  /// Appends the builder's tokens/scores to the arena and returns the new
+  /// RecordId. `text` may be empty.
+  RecordId Add(const Record& record, std::string text = {}) {
+    return Add(record.view(), std::move(text));
+  }
 
-  size_t size() const { return records_.size(); }
-  bool empty() const { return records_.empty(); }
+  /// Appends a copy of `record` (e.g. a view into another RecordSet).
+  RecordId Add(RecordView record, std::string text = {});
 
-  const Record& record(RecordId id) const { return records_[id]; }
-  Record& mutable_record(RecordId id) { return records_[id]; }
+  size_t size() const { return norms_.size(); }
+  bool empty() const { return norms_.empty(); }
 
-  const std::vector<Record>& records() const { return records_; }
+  /// View of record `id`; valid until the next Add (the arena may move).
+  RecordView record(RecordId id) const {
+    size_t begin = offsets_[id];
+    return RecordView(token_arena_.data() + begin,
+                      score_arena_.data() + begin,
+                      static_cast<uint32_t>(offsets_[id + 1] - begin),
+                      norms_[id], text_lengths_[id]);
+  }
+
+  /// Number of tokens of record `id` (without materializing a view).
+  size_t record_size(RecordId id) const {
+    return offsets_[id + 1] - offsets_[id];
+  }
+
+  /// Rewrites score(token i, record id); used by Predicate::Prepare.
+  /// Value-change detection keeps the token-stats cache warm across
+  /// idempotent re-Prepares with the same predicate.
+  void set_score(RecordId id, size_t i, double score) {
+    double& slot = score_arena_[offsets_[id] + i];
+    if (slot != score) {
+      slot = score;
+      ++score_version_;
+    }
+  }
+
+  void set_norm(RecordId id, double norm) { norms_[id] = norm; }
+  void set_text_length(RecordId id, uint32_t len) { text_lengths_[id] = len; }
 
   /// Original text of record `id`; empty if not retained.
   const std::string& text(RecordId id) const { return texts_[id]; }
@@ -43,6 +98,9 @@ class RecordSet {
 
   /// Number of records containing token `t` (0 for unseen tokens).
   uint64_t doc_frequency(TokenId t) const;
+  const std::vector<uint64_t>& doc_frequencies() const {
+    return doc_frequency_;
+  }
 
   /// Total occurrences of token `t` over all records, counting within-record
   /// multiplicity recorded at tokenization time. With set semantics this
@@ -66,12 +124,35 @@ class RecordSet {
   /// pre-sort order of Section 5.1.2.
   std::vector<RecordId> IdsByDecreasingNorm() const;
 
+  /// Cached per-token statistics, recomputed lazily when records were
+  /// added or scores changed since the last call. Not thread-safe: call
+  /// once from the serial planning phase before any parallel fan-out
+  /// (every join driver does this before spawning workers).
+  const TokenStats& token_stats() const;
+
  private:
-  std::vector<Record> records_;
+  // Columnar CSR arena (see class comment).
+  std::vector<TokenId> token_arena_;
+  std::vector<double> score_arena_;
+  std::vector<size_t> offsets_{0};  // offsets_[n] == arena size
+  std::vector<double> norms_;
+  std::vector<uint32_t> text_lengths_;
   std::vector<std::string> texts_;
+
   std::vector<uint64_t> doc_frequency_;
   std::vector<uint64_t> term_frequency_;
   uint64_t total_occurrences_ = 0;
+
+  // Token-stats cache, keyed on the two version counters: Add bumps the
+  // structure version, set_score bumps the score version only on actual
+  // value changes.
+  uint64_t structure_version_ = 0;
+  uint64_t score_version_ = 0;
+  mutable TokenStats token_stats_;
+  mutable uint64_t stats_structure_version_ =
+      std::numeric_limits<uint64_t>::max();
+  mutable uint64_t stats_score_version_ =
+      std::numeric_limits<uint64_t>::max();
 };
 
 }  // namespace ssjoin

@@ -29,7 +29,7 @@ bool GetDouble(const std::string& data, size_t* offset, double* v) {
 
 }  // namespace
 
-void SerializeRecord(const Record& record, const std::string& text,
+void SerializeRecord(RecordView record, const std::string& text,
                      std::string* out) {
   PutVarint32(out, static_cast<uint32_t>(record.size()));
   uint32_t prev = 0;

@@ -50,7 +50,7 @@ class RecordStore {
 
 /// Serializes one record (tokens delta-coded, scores as IEEE doubles,
 /// norm, text_length and raw text) into `out`.
-void SerializeRecord(const Record& record, const std::string& text,
+void SerializeRecord(RecordView record, const std::string& text,
                      std::string* out);
 
 /// Deserializes a record starting at data[*offset]; advances *offset.

@@ -1,0 +1,109 @@
+#ifndef SSJOIN_DATA_RECORD_VIEW_H_
+#define SSJOIN_DATA_RECORD_VIEW_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "text/token_dictionary.h"
+
+namespace ssjoin {
+
+/// Dense record identifier: position of the record in its RecordSet.
+using RecordId = uint32_t;
+
+/// A non-owning view of one record inside the columnar corpus arena (or a
+/// Record builder): a span of sorted tokens, the parallel span of scores,
+/// and the cached norm / text length. Trivially copyable — this is what
+/// every probe loop, predicate and index passes by value instead of
+/// chasing per-record heap vectors.
+///
+/// Invariants (guaranteed by RecordSet/Record construction):
+///   * tokens are strictly increasing;
+///   * scores has the same extent as tokens (scores[i] = score(tokens[i], r)).
+class RecordView {
+ public:
+  constexpr RecordView() = default;
+  constexpr RecordView(const TokenId* tokens, const double* scores,
+                       uint32_t size, double norm, uint32_t text_length)
+      : tokens_(tokens),
+        scores_(scores),
+        size_(size),
+        norm_(norm),
+        text_length_(text_length) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Tokens in strictly increasing order.
+  std::span<const TokenId> tokens() const { return {tokens_, size_}; }
+  /// scores()[i] is the score of tokens()[i].
+  std::span<const double> scores() const { return {scores_, size_}; }
+
+  TokenId token(size_t i) const { return tokens_[i]; }
+  double score(size_t i) const { return scores_[i]; }
+
+  double norm() const { return norm_; }
+  uint32_t text_length() const { return text_length_; }
+
+  /// Binary-searches for `t`; returns its position or SIZE_MAX.
+  size_t Find(TokenId t) const {
+    const TokenId* end = tokens_ + size_;
+    const TokenId* it = std::lower_bound(tokens_, end, t);
+    if (it == end || *it != t) return SIZE_MAX;
+    return static_cast<size_t>(it - tokens_);
+  }
+  bool Contains(TokenId t) const { return Find(t) != SIZE_MAX; }
+
+  /// Sum over common tokens of score(w, r) * score(w, s): the match amount
+  /// of the general framework. Linear in size() + other.size().
+  double OverlapWith(RecordView other) const {
+    double total = 0;
+    size_t i = 0;
+    size_t j = 0;
+    while (i < size_ && j < other.size_) {
+      if (tokens_[i] < other.tokens_[j]) {
+        ++i;
+      } else if (tokens_[i] > other.tokens_[j]) {
+        ++j;
+      } else {
+        total += scores_[i] * other.scores_[j];
+        ++i;
+        ++j;
+      }
+    }
+    return total;
+  }
+
+  /// Number of common tokens, ignoring scores.
+  size_t IntersectionSize(RecordView other) const {
+    size_t count = 0;
+    size_t i = 0;
+    size_t j = 0;
+    while (i < size_ && j < other.size_) {
+      if (tokens_[i] < other.tokens_[j]) {
+        ++i;
+      } else if (tokens_[i] > other.tokens_[j]) {
+        ++j;
+      } else {
+        ++count;
+        ++i;
+        ++j;
+      }
+    }
+    return count;
+  }
+
+ private:
+  const TokenId* tokens_ = nullptr;
+  const double* scores_ = nullptr;
+  uint32_t size_ = 0;
+  double norm_ = 0;
+  uint32_t text_length_ = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<RecordView>);
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_DATA_RECORD_VIEW_H_

@@ -6,7 +6,7 @@
 namespace ssjoin {
 
 CompressedPostingList CompressedPostingList::FromPostingList(
-    const PostingList& list) {
+    PostingListView list) {
   CompressedPostingList out;
   out.num_postings_ = list.size();
   out.scores_.reserve(list.size());
@@ -39,7 +39,7 @@ PostingList CompressedPostingList::Decode() const {
 
 IndexCompressionStats CompressIndex(const InvertedIndex& index) {
   IndexCompressionStats stats;
-  index.ForEachList([&stats](TokenId /*t*/, const PostingList& list) {
+  index.ForEachList([&stats](TokenId /*t*/, PostingListView list) {
     CompressedPostingList compressed =
         CompressedPostingList::FromPostingList(list);
     stats.total_postings += compressed.num_postings();

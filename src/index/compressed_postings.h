@@ -21,7 +21,10 @@ class CompressedPostingList {
   CompressedPostingList() = default;
 
   /// Compresses `list`. Scores are quantized to float32.
-  static CompressedPostingList FromPostingList(const PostingList& list);
+  static CompressedPostingList FromPostingList(PostingListView list);
+  static CompressedPostingList FromPostingList(const PostingList& list) {
+    return FromPostingList(list.view());
+  }
 
   /// Decompresses into a PostingList (scores widened back to double).
   PostingList Decode() const;

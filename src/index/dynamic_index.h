@@ -1,0 +1,86 @@
+#ifndef SSJOIN_INDEX_DYNAMIC_INDEX_H_
+#define SSJOIN_INDEX_DYNAMIC_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "data/record_view.h"
+#include "index/posting_list.h"
+#include "text/token_dictionary.h"
+
+namespace ssjoin {
+
+/// Token -> posting-list index for entity populations that are NOT known
+/// up front, where the flat CSR InvertedIndex cannot pre-carve extents:
+///
+///   * cluster-level: InsertOrUpdateMax() keeps one posting per cluster
+///     with score(w, C) = max over member records (Section 5.1.3), and an
+///     old cluster can acquire new tokens at any time;
+///   * member-level: Probe-Cluster / ClusterMem grow one small index per
+///     cluster as members arrive;
+///   * streaming: records are indexed as they stream in.
+///
+/// Storage is sparse (hash map of growable lists): the cluster workloads
+/// keep many small indexes over a large shared token space, where dense
+/// per-token arrays would cost O(vocabulary) memory per index.
+class DynamicIndex {
+ public:
+  DynamicIndex() = default;
+
+  DynamicIndex(const DynamicIndex&) = delete;
+  DynamicIndex& operator=(const DynamicIndex&) = delete;
+  DynamicIndex(DynamicIndex&&) = default;
+  DynamicIndex& operator=(DynamicIndex&&) = default;
+
+  /// Appends all postings of `record` under id `id`. Requires `id` to be
+  /// strictly greater than any previously inserted id.
+  void Insert(RecordId id, RecordView record);
+
+  /// Cluster-mode insertion: merges `record`'s tokens into entity `id`'s
+  /// postings, raising existing scores to the max. `norm` is the entity's
+  /// current norm (||C|| = min member norm, supplied by the caller).
+  void InsertOrUpdateMax(RecordId id, RecordView record, double norm);
+
+  /// The posting list of token `t`, or nullptr if no record contains it.
+  const PostingList* list(TokenId t) const {
+    auto it = lists_.find(t);
+    return it == lists_.end() ? nullptr : &it->second;
+  }
+
+  /// Invokes `fn(token, list)` for every non-empty list, in unspecified
+  /// order.
+  void ForEachList(
+      const std::function<void(TokenId, const PostingList&)>& fn) const {
+    for (const auto& [token, list] : lists_) fn(token, list);
+  }
+
+  /// Number of distinct tokens with a posting list.
+  size_t num_tokens() const { return lists_.size(); }
+
+  /// Number of Insert/InsertOrUpdateMax target entities seen (records or
+  /// clusters).
+  size_t num_entities() const { return num_entities_; }
+
+  /// Minimum norm over all inserted records; +inf when empty. This is the
+  /// minS of Section 5.1.1.
+  double min_norm() const { return min_norm_; }
+
+  /// Total postings currently stored (index size in word occurrences).
+  uint64_t total_postings() const { return total_postings_; }
+
+ private:
+  void TrackEntity(RecordId id, double norm);
+
+  std::unordered_map<TokenId, PostingList> lists_;
+  size_t num_entities_ = 0;
+  RecordId max_entity_id_ = std::numeric_limits<RecordId>::max();  // none yet
+  double min_norm_ = std::numeric_limits<double>::infinity();
+  uint64_t total_postings_ = 0;
+};
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_INDEX_DYNAMIC_INDEX_H_

@@ -52,26 +52,21 @@ Status SaveIndex(const InvertedIndex& index, const std::string& path) {
   // min_norm may be +inf for an empty index; encode the raw double bits.
   PutDouble(&buffer, index.min_norm());
 
-  // Token order from the hash map is unspecified; sort for a canonical
-  // file (byte-identical across runs).
-  std::vector<std::pair<TokenId, const PostingList*>> lists;
-  index.ForEachList([&lists](TokenId t, const PostingList& list) {
-    lists.emplace_back(t, &list);
-  });
-  std::sort(lists.begin(), lists.end());
-  PutVarint64(&buffer, lists.size());
-  for (const auto& [token, list] : lists) {
+  // The flat layout iterates tokens in increasing order, which is already
+  // the canonical file order (byte-identical across runs).
+  PutVarint64(&buffer, index.num_tokens());
+  index.ForEachList([&buffer](TokenId token, PostingListView list) {
     PutVarint32(&buffer, token);
-    PutVarint32(&buffer, static_cast<uint32_t>(list->size()));
+    PutVarint32(&buffer, static_cast<uint32_t>(list.size()));
     uint32_t prev = 0;
-    for (size_t i = 0; i < list->size(); ++i) {
-      PutVarint32(&buffer, (*list)[i].id - prev);
-      prev = (*list)[i].id;
+    for (size_t i = 0; i < list.size(); ++i) {
+      PutVarint32(&buffer, list[i].id - prev);
+      prev = list[i].id;
     }
-    for (size_t i = 0; i < list->size(); ++i) {
-      PutFloat(&buffer, static_cast<float>((*list)[i].score));
+    for (size_t i = 0; i < list.size(); ++i) {
+      PutFloat(&buffer, static_cast<float>(list[i].score));
     }
-  }
+  });
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open for write: " + path);
@@ -100,7 +95,10 @@ Result<InvertedIndex> LoadIndex(const std::string& path) {
     return Status::IOError("truncated index header: " + path);
   }
 
-  InvertedIndex index;
+  // Pass 1: collect per-token posting counts so the flat index can carve
+  // its extents before any posting lands.
+  const size_t lists_offset = offset;
+  std::vector<uint64_t> counts;
   for (uint64_t l = 0; l < num_lists; ++l) {
     uint32_t token = 0;
     uint32_t count = 0;
@@ -108,7 +106,39 @@ Result<InvertedIndex> LoadIndex(const std::string& path) {
         !GetVarint32(data, &offset, &count)) {
       return Status::IOError("truncated list header: " + path);
     }
-    std::vector<uint32_t> ids(count);
+    if (token >= counts.size()) counts.resize(token + 1, 0);
+    if (counts[token] != 0) {
+      return Status::IOError("duplicate posting list in index file: " + path);
+    }
+    counts[token] = count;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t delta = 0;
+      if (!GetVarint32(data, &offset, &delta)) {
+        return Status::IOError("truncated posting ids: " + path);
+      }
+    }
+    if (offset + count * sizeof(uint32_t) > data.size()) {
+      return Status::IOError("truncated posting scores: " + path);
+    }
+    offset += count * sizeof(uint32_t);
+  }
+  if (offset != data.size()) {
+    return Status::IOError("trailing bytes in index file: " + path);
+  }
+
+  // Pass 2: decode postings straight into the planned extents.
+  InvertedIndex index;
+  index.Plan(counts);
+  offset = lists_offset;
+  std::vector<uint32_t> ids;
+  for (uint64_t l = 0; l < num_lists; ++l) {
+    uint32_t token = 0;
+    uint32_t count = 0;
+    if (!GetVarint32(data, &offset, &token) ||
+        !GetVarint32(data, &offset, &count)) {
+      return Status::IOError("truncated list header: " + path);
+    }
+    ids.assign(count, 0);
     uint32_t prev = 0;
     for (uint32_t i = 0; i < count; ++i) {
       uint32_t delta = 0;
@@ -118,18 +148,13 @@ Result<InvertedIndex> LoadIndex(const std::string& path) {
       prev += delta;
       ids[i] = prev;
     }
-    PostingList list;
     for (uint32_t i = 0; i < count; ++i) {
       float score = 0;
       if (!GetFloat(data, &offset, &score)) {
         return Status::IOError("truncated posting scores: " + path);
       }
-      list.Append(ids[i], score);
+      index.AppendPosting(token, ids[i], score);
     }
-    index.RestoreList(token, std::move(list));
-  }
-  if (offset != data.size()) {
-    return Status::IOError("trailing bytes in index file: " + path);
   }
   index.RestoreStats(num_entities, min_norm);
   return index;

@@ -6,6 +6,21 @@
 
 namespace ssjoin {
 
+void InvertedIndex::Plan(const std::vector<uint64_t>& counts) {
+  SSJOIN_CHECK(!planned_) << "InvertedIndex::Plan called twice";
+  planned_ = true;
+  begin_.resize(counts.size() + 1);
+  size_t total = 0;
+  for (size_t t = 0; t < counts.size(); ++t) {
+    begin_[t] = total;
+    total += counts[t];
+  }
+  begin_[counts.size()] = total;
+  postings_.resize(total);
+  size_.assign(counts.size(), 0);
+  max_score_.assign(counts.size(), 0.0);
+}
+
 void InvertedIndex::TrackEntity(RecordId id, double norm) {
   if (max_entity_id_ == std::numeric_limits<RecordId>::max() ||
       id > max_entity_id_) {
@@ -15,24 +30,26 @@ void InvertedIndex::TrackEntity(RecordId id, double norm) {
   min_norm_ = std::min(min_norm_, norm);
 }
 
-void InvertedIndex::Insert(RecordId id, const Record& record) {
-  TrackEntity(id, record.norm());
-  for (size_t i = 0; i < record.size(); ++i) {
-    lists_[record.token(i)].Append(id, record.score(i));
-    ++total_postings_;
-  }
+void InvertedIndex::AppendPosting(TokenId t, RecordId id, double score) {
+  SSJOIN_DCHECK(planned_ && t < size_.size());
+  size_t pos = begin_[t] + size_[t];
+  SSJOIN_DCHECK(pos < begin_[t + 1]) << "extent overflow for token " << t;
+  SSJOIN_DCHECK(size_[t] == 0 || postings_[pos - 1].id < id);
+  postings_[pos] = {id, score};
+  if (size_[t] == 0) ++num_nonempty_tokens_;
+  ++size_[t];
+  max_score_[t] = std::max(max_score_[t], score);
+  ++total_postings_;
 }
 
-void InvertedIndex::RestoreList(TokenId t, PostingList list) {
-  auto it = lists_.find(t);
-  if (it != lists_.end()) {
-    total_postings_ -= it->second.size();
-    it->second = std::move(list);
-    total_postings_ += it->second.size();
-    return;
+void InvertedIndex::Insert(RecordId id, RecordView record,
+                           const std::vector<bool>* skip_token) {
+  TrackEntity(id, record.norm());
+  for (size_t i = 0; i < record.size(); ++i) {
+    TokenId t = record.token(i);
+    if (skip_token != nullptr && (*skip_token)[t]) continue;
+    AppendPosting(t, id, record.score(i));
   }
-  total_postings_ += list.size();
-  lists_.emplace(t, std::move(list));
 }
 
 void InvertedIndex::RestoreStats(size_t num_entities, double min_norm) {
@@ -41,16 +58,6 @@ void InvertedIndex::RestoreStats(size_t num_entities, double min_norm) {
     max_entity_id_ = static_cast<RecordId>(num_entities - 1);
   }
   min_norm_ = min_norm;
-}
-
-void InvertedIndex::InsertOrUpdateMax(RecordId id, const Record& record,
-                                      double norm) {
-  TrackEntity(id, norm);
-  for (size_t i = 0; i < record.size(); ++i) {
-    if (lists_[record.token(i)].InsertOrUpdateMax(id, record.score(i))) {
-      ++total_postings_;
-    }
-  }
 }
 
 }  // namespace ssjoin

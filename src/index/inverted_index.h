@@ -2,28 +2,39 @@
 #define SSJOIN_INDEX_INVERTED_INDEX_H_
 
 #include <cstdint>
-#include <functional>
 #include <limits>
-#include <unordered_map>
 #include <vector>
 
-#include "data/record.h"
+#include "data/record_set.h"
+#include "data/record_view.h"
 #include "index/posting_list.h"
 #include "text/token_dictionary.h"
 
 namespace ssjoin {
 
-/// Token -> posting-list inverted index, the central data structure of
-/// every algorithm in the paper (Section 2.1). Supports both usage modes:
+/// Token -> posting-list inverted index over a known record population,
+/// the central data structure of every batch algorithm in the paper
+/// (Section 2.1). Postings live in ONE contiguous buffer with per-token
+/// extents (a CSR layout over tokens), so whole-index scans and probe
+/// loops stream flat memory instead of chasing a hash map of vectors.
 ///
-///   * record-level: Insert() appends each record's postings in scan
-///     order (ids strictly increasing within each list);
-///   * cluster-level: InsertOrUpdateMax() keeps one posting per cluster
-///     with score(w, C) = max over member records (Section 5.1.3).
+/// Usage protocol:
+///   1. Plan() once with per-token posting counts (usually the corpus
+///      document frequencies via PlanFromRecords) — this carves the
+///      extents. Counts may overestimate (e.g. stopword-skipped inserts);
+///      unfilled capacity is wasted space, never an error.
+///   2. Insert() each record with strictly increasing entity id. Both
+///      two-pass (index everything, then probe) and online (probe, then
+///      insert) construction work, because every record is known up
+///      front even when insertion is interleaved with probing.
 ///
 /// It also maintains the aggregate statistics the generalized MergeOpt
 /// needs: the minimum record norm in the index (for T(r, I)) and the
 /// total number of postings (the W of Section 4's memory model).
+///
+/// For indexes whose membership is NOT known up front (cluster summaries
+/// under InsertOrUpdateMax, lazily grown member indexes, streaming
+/// insertion) use DynamicIndex instead.
 class InvertedIndex {
  public:
   InvertedIndex() = default;
@@ -33,36 +44,55 @@ class InvertedIndex {
   InvertedIndex(InvertedIndex&&) = default;
   InvertedIndex& operator=(InvertedIndex&&) = default;
 
+  /// Carves the per-token extents: token t gets counts[t] posting slots.
+  /// Must be called exactly once, before any insertion.
+  void Plan(const std::vector<uint64_t>& counts);
+
+  /// Plans from the document frequencies of `records` — exact when every
+  /// record is inserted exactly once (any order), an upper bound when
+  /// some tokens are skipped (stopword mode).
+  void PlanFromRecords(const RecordSet& records) {
+    Plan(records.doc_frequencies());
+  }
+
   /// Appends all postings of `record` under id `id`. Requires `id` to be
-  /// strictly greater than any previously inserted id.
-  void Insert(RecordId id, const Record& record);
+  /// strictly greater than any previously inserted id. When `skip_token`
+  /// is non-null, tokens with skip_token[t] set are not indexed (the
+  /// stopword filter applied at insertion instead of record copies).
+  void Insert(RecordId id, RecordView record,
+              const std::vector<bool>* skip_token = nullptr);
 
-  /// Cluster-mode insertion: merges `record`'s tokens into entity `id`'s
-  /// postings, raising existing scores to the max. `norm` is the entity's
-  /// current norm (||C|| = min member norm, supplied by the caller).
-  void InsertOrUpdateMax(RecordId id, const Record& record, double norm);
+  /// Appends one posting to token `t`'s extent (ids strictly increasing
+  /// within the extent). Low-level primitive for Insert and restoration.
+  void AppendPosting(TokenId t, RecordId id, double score);
 
-  /// The posting list of token `t`, or nullptr if no record contains it.
-  /// Storage is sparse (hash map): Probe-Cluster keeps one small member
-  /// index per cluster over a large shared token space, where dense
-  /// per-token arrays would cost O(vocabulary) memory per cluster.
-  const PostingList* list(TokenId t) const {
-    auto it = lists_.find(t);
-    return it == lists_.end() ? nullptr : &it->second;
+  /// The posting run of token `t`; empty view when no record contains it.
+  PostingListView list(TokenId t) const {
+    if (t >= size_.size() || size_[t] == 0) return PostingListView();
+    return PostingListView(postings_.data() + begin_[t], size_[t],
+                           max_score_[t]);
   }
 
-  /// Invokes `fn(token, list)` for every non-empty list, in unspecified
-  /// order. Used by whole-index consumers (Pair-Count, compression).
-  void ForEachList(
-      const std::function<void(TokenId, const PostingList&)>& fn) const {
-    for (const auto& [token, list] : lists_) fn(token, list);
+  /// Invokes `fn(token, list)` for every non-empty list, in increasing
+  /// token order (the natural order of the flat layout). Used by
+  /// whole-index consumers (Pair-Count, compression, serialization).
+  template <typename Fn>
+  void ForEachList(Fn&& fn) const {
+    for (TokenId t = 0; t < size_.size(); ++t) {
+      if (size_[t] > 0) {
+        fn(t, PostingListView(postings_.data() + begin_[t], size_[t],
+                              max_score_[t]));
+      }
+    }
   }
 
-  /// Number of distinct tokens with a posting list.
-  size_t num_tokens() const { return lists_.size(); }
+  /// Number of distinct tokens with a non-empty posting list.
+  size_t num_tokens() const { return num_nonempty_tokens_; }
 
-  /// Number of Insert/InsertOrUpdateMax target entities seen (records or
-  /// clusters).
+  /// Number of tokens with planned extents (the planning vocabulary).
+  size_t token_capacity() const { return size_.size(); }
+
+  /// Number of Insert target entities seen (records or positions).
   size_t num_entities() const { return num_entities_; }
 
   /// Minimum norm over all inserted records; +inf when empty. This is the
@@ -72,21 +102,22 @@ class InvertedIndex {
   /// Total postings currently stored (index size in word occurrences).
   uint64_t total_postings() const { return total_postings_; }
 
-  /// Restores a deserialized list (used by index_io); replaces any
-  /// existing list for `t` and accounts its postings.
-  void RestoreList(TokenId t, PostingList list);
-
   /// Restores the aggregate statistics a serialized index carries.
   void RestoreStats(size_t num_entities, double min_norm);
 
  private:
   void TrackEntity(RecordId id, double norm);
 
-  std::unordered_map<TokenId, PostingList> lists_;
+  std::vector<Posting> postings_;   // one flat buffer, CSR over tokens
+  std::vector<size_t> begin_;      // extent start per token (size vocab+1)
+  std::vector<uint32_t> size_;     // live postings per token
+  std::vector<double> max_score_;  // per-token max posting score
+  size_t num_nonempty_tokens_ = 0;
   size_t num_entities_ = 0;
   RecordId max_entity_id_ = std::numeric_limits<RecordId>::max();  // none yet
   double min_norm_ = std::numeric_limits<double>::infinity();
   uint64_t total_postings_ = 0;
+  bool planned_ = false;
 };
 
 }  // namespace ssjoin

@@ -6,6 +6,48 @@
 
 namespace ssjoin {
 
+size_t PostingListView::GallopFind(RecordId id, size_t start,
+                                   uint64_t* probe_cost) const {
+  size_t pos = GallopLowerBound(id, start, probe_cost);
+  if (pos < size_ && data_[pos].id == id) return pos;
+  return SIZE_MAX;
+}
+
+size_t PostingListView::GallopLowerBound(RecordId id, size_t start,
+                                         uint64_t* probe_cost) const {
+  size_t n = size_;
+  if (start >= n) return n;
+  // Gallop: find a window [lo, hi) whose upper end reaches `id`.
+  size_t lo = start;
+  size_t step = 1;
+  size_t hi = start;
+  while (hi < n && data_[hi].id < id) {
+    if (probe_cost != nullptr) ++*probe_cost;
+    lo = hi + 1;
+    hi = start + step;
+    step *= 2;
+  }
+  hi = std::min(hi, n);
+  // Binary search within [lo, hi).
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (probe_cost != nullptr) ++*probe_cost;
+    if (data_[mid].id < id) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t PostingListView::LowerBound(RecordId id) const {
+  const Posting* it = std::lower_bound(
+      data_, data_ + size_, id,
+      [](const Posting& p, RecordId target) { return p.id < target; });
+  return static_cast<size_t>(it - data_);
+}
+
 void PostingList::Append(RecordId id, double score) {
   SSJOIN_DCHECK(postings_.empty() || postings_.back().id < id);
   postings_.push_back({id, score});
@@ -27,48 +69,6 @@ bool PostingList::InsertOrUpdateMax(RecordId id, double score) {
   }
   postings_.insert(it, {id, score});
   return true;
-}
-
-size_t PostingList::GallopFind(RecordId id, size_t start,
-                               uint64_t* probe_cost) const {
-  size_t pos = GallopLowerBound(id, start, probe_cost);
-  if (pos < postings_.size() && postings_[pos].id == id) return pos;
-  return SIZE_MAX;
-}
-
-size_t PostingList::GallopLowerBound(RecordId id, size_t start,
-                                     uint64_t* probe_cost) const {
-  size_t n = postings_.size();
-  if (start >= n) return n;
-  // Gallop: find a window [lo, hi) whose upper end reaches `id`.
-  size_t lo = start;
-  size_t step = 1;
-  size_t hi = start;
-  while (hi < n && postings_[hi].id < id) {
-    if (probe_cost != nullptr) ++*probe_cost;
-    lo = hi + 1;
-    hi = start + step;
-    step *= 2;
-  }
-  hi = std::min(hi, n);
-  // Binary search within [lo, hi).
-  while (lo < hi) {
-    size_t mid = lo + (hi - lo) / 2;
-    if (probe_cost != nullptr) ++*probe_cost;
-    if (postings_[mid].id < id) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
-}
-
-size_t PostingList::LowerBound(RecordId id) const {
-  auto it = std::lower_bound(
-      postings_.begin(), postings_.end(), id,
-      [](const Posting& p, RecordId target) { return p.id < target; });
-  return static_cast<size_t>(it - postings_.begin());
 }
 
 }  // namespace ssjoin

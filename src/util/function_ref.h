@@ -1,0 +1,52 @@
+#ifndef SSJOIN_UTIL_FUNCTION_REF_H_
+#define SSJOIN_UTIL_FUNCTION_REF_H_
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace ssjoin {
+
+/// Non-owning reference to a callable, the hot-loop alternative to
+/// std::function: trivially copyable, never allocates, and costs one
+/// indirect call. The referenced callable must outlive every invocation
+/// (bind named locals, not temporaries, when the ref escapes the full
+/// expression).
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  constexpr FunctionRef() = default;
+  constexpr FunctionRef(std::nullptr_t) {}  // NOLINT: mirrors std::function
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT: implicit like std::function
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+  bool operator==(std::nullptr_t) const { return invoke_ == nullptr; }
+  bool operator!=(std::nullptr_t) const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return invoke_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_ = nullptr;
+  R (*invoke_)(void*, Args...) = nullptr;
+};
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_UTIL_FUNCTION_REF_H_

@@ -1,0 +1,321 @@
+// Arena-layout equivalence suite: every join algorithm, across predicates
+// and thread counts, must produce byte-identical output to the seed-era
+// implementation (golden FNV-1a hashes captured from the pre-arena build).
+// This pins the columnar CSR refactor to the exact pre-refactor behavior:
+// any change in pair content *or order-sensitive dedup behavior* shifts
+// the hash.
+//
+// Regenerating goldens (only legitimate after an intentional semantic
+// change): run with SSJOIN_PRINT_GOLDENS=1 and paste the printed table.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cosine_predicate.h"
+#include "core/dice_predicate.h"
+#include "core/edit_distance_predicate.h"
+#include "core/hamming_predicate.h"
+#include "core/jaccard_predicate.h"
+#include "core/join.h"
+#include "core/overlap_coefficient_predicate.h"
+#include "core/overlap_predicate.h"
+#include "data/corpus_builder.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ssjoin {
+namespace {
+
+using testing_util::MakeRandomRecordSet;
+using testing_util::RandomSetOptions;
+
+using PairVector = std::vector<std::pair<RecordId, RecordId>>;
+
+uint64_t HashPairs(const PairVector& pairs) {
+  // FNV-1a over the sorted (a, b) stream: stable across platforms.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& [a, b] : pairs) {
+    mix(a);
+    mix(b);
+  }
+  return h;
+}
+
+struct GoldenCase {
+  const char* label;
+  uint64_t hash;
+};
+
+// Captured from the seed-era (pre-arena) build; see file comment.
+const GoldenCase kGoldens[] = {
+    {"dense/overlap/brute", 10388405375568447476ull},
+    {"dense/overlap/probe", 10388405375568447476ull},
+    {"dense/overlap/probe/t4", 10388405375568447476ull},
+    {"dense/overlap/probe-optmerge", 10388405375568447476ull},
+    {"dense/overlap/probe-optmerge/t4", 10388405375568447476ull},
+    {"dense/overlap/probe-online", 10388405375568447476ull},
+    {"dense/overlap/probe-sort", 10388405375568447476ull},
+    {"dense/overlap/probe-cluster", 10388405375568447476ull},
+    {"dense/overlap/pair-count", 10388405375568447476ull},
+    {"dense/overlap/pair-count-optmerge", 10388405375568447476ull},
+    {"dense/overlap/cluster-mem", 10388405375568447476ull},
+    {"dense/overlap/probe-stopwords", 10388405375568447476ull},
+    {"dense/overlap/probe-stopwords/t4", 10388405375568447476ull},
+    {"dense/overlap/word-groups", 10388405375568447476ull},
+    {"dense/overlap/word-groups-optmerge", 10388405375568447476ull},
+    {"dense/overlap/prefix-filter", 10388405375568447476ull},
+    {"dense/overlap/prefix-filter/t4", 10388405375568447476ull},
+    {"dense/jaccard/brute", 15267942115989793231ull},
+    {"dense/jaccard/probe", 15267942115989793231ull},
+    {"dense/jaccard/probe/t4", 15267942115989793231ull},
+    {"dense/jaccard/probe-optmerge", 15267942115989793231ull},
+    {"dense/jaccard/probe-optmerge/t4", 15267942115989793231ull},
+    {"dense/jaccard/probe-online", 15267942115989793231ull},
+    {"dense/jaccard/probe-sort", 15267942115989793231ull},
+    {"dense/jaccard/probe-cluster", 15267942115989793231ull},
+    {"dense/jaccard/pair-count", 15267942115989793231ull},
+    {"dense/jaccard/pair-count-optmerge", 15267942115989793231ull},
+    {"dense/jaccard/cluster-mem", 15267942115989793231ull},
+    {"dense/jaccard/prefix-filter", 15267942115989793231ull},
+    {"dense/jaccard/prefix-filter/t4", 15267942115989793231ull},
+    {"dense/cosine/brute", 14618095315970372102ull},
+    {"dense/cosine/probe", 14618095315970372102ull},
+    {"dense/cosine/probe/t4", 14618095315970372102ull},
+    {"dense/cosine/probe-optmerge", 14618095315970372102ull},
+    {"dense/cosine/probe-optmerge/t4", 14618095315970372102ull},
+    {"dense/cosine/probe-online", 14618095315970372102ull},
+    {"dense/cosine/probe-sort", 14618095315970372102ull},
+    {"dense/cosine/probe-cluster", 14618095315970372102ull},
+    {"dense/cosine/pair-count", 14618095315970372102ull},
+    {"dense/cosine/pair-count-optmerge", 14618095315970372102ull},
+    {"dense/cosine/cluster-mem", 14618095315970372102ull},
+    {"dense/cosine/probe-stopwords", 14618095315970372102ull},
+    {"dense/cosine/probe-stopwords/t4", 14618095315970372102ull},
+    {"dense/cosine/prefix-filter", 14618095315970372102ull},
+    {"dense/cosine/prefix-filter/t4", 14618095315970372102ull},
+    {"skewed/overlap/brute", 16066056405829026878ull},
+    {"skewed/overlap/probe", 16066056405829026878ull},
+    {"skewed/overlap/probe/t4", 16066056405829026878ull},
+    {"skewed/overlap/probe-optmerge", 16066056405829026878ull},
+    {"skewed/overlap/probe-optmerge/t4", 16066056405829026878ull},
+    {"skewed/overlap/probe-online", 16066056405829026878ull},
+    {"skewed/overlap/probe-sort", 16066056405829026878ull},
+    {"skewed/overlap/probe-cluster", 16066056405829026878ull},
+    {"skewed/overlap/pair-count", 16066056405829026878ull},
+    {"skewed/overlap/pair-count-optmerge", 16066056405829026878ull},
+    {"skewed/overlap/cluster-mem", 16066056405829026878ull},
+    {"skewed/overlap/probe-stopwords", 16066056405829026878ull},
+    {"skewed/overlap/probe-stopwords/t4", 16066056405829026878ull},
+    {"skewed/overlap/word-groups", 16066056405829026878ull},
+    {"skewed/overlap/word-groups-optmerge", 16066056405829026878ull},
+    {"skewed/overlap/prefix-filter", 16066056405829026878ull},
+    {"skewed/overlap/prefix-filter/t4", 16066056405829026878ull},
+    {"skewed/dice/brute", 15189134890236523082ull},
+    {"skewed/dice/probe", 15189134890236523082ull},
+    {"skewed/dice/probe/t4", 15189134890236523082ull},
+    {"skewed/dice/probe-optmerge", 15189134890236523082ull},
+    {"skewed/dice/probe-optmerge/t4", 15189134890236523082ull},
+    {"skewed/dice/probe-online", 15189134890236523082ull},
+    {"skewed/dice/probe-sort", 15189134890236523082ull},
+    {"skewed/dice/probe-cluster", 15189134890236523082ull},
+    {"skewed/dice/pair-count", 15189134890236523082ull},
+    {"skewed/dice/pair-count-optmerge", 15189134890236523082ull},
+    {"skewed/dice/cluster-mem", 15189134890236523082ull},
+    {"skewed/dice/prefix-filter", 15189134890236523082ull},
+    {"skewed/dice/prefix-filter/t4", 15189134890236523082ull},
+    {"skewed/overlap-coefficient/brute", 14277149952392889830ull},
+    {"skewed/overlap-coefficient/probe", 14277149952392889830ull},
+    {"skewed/overlap-coefficient/probe/t4", 14277149952392889830ull},
+    {"skewed/overlap-coefficient/probe-optmerge", 14277149952392889830ull},
+    {"skewed/overlap-coefficient/probe-optmerge/t4", 14277149952392889830ull},
+    {"skewed/overlap-coefficient/probe-online", 14277149952392889830ull},
+    {"skewed/overlap-coefficient/probe-sort", 14277149952392889830ull},
+    {"skewed/overlap-coefficient/probe-cluster", 14277149952392889830ull},
+    {"skewed/overlap-coefficient/pair-count", 14277149952392889830ull},
+    {"skewed/overlap-coefficient/pair-count-optmerge", 14277149952392889830ull},
+    {"skewed/overlap-coefficient/cluster-mem", 14277149952392889830ull},
+    {"skewed/hamming/brute", 17022430018312793733ull},
+    {"skewed/hamming/probe", 17022430018312793733ull},
+    {"skewed/hamming/probe/t4", 17022430018312793733ull},
+    {"skewed/hamming/probe-optmerge", 17022430018312793733ull},
+    {"skewed/hamming/probe-optmerge/t4", 17022430018312793733ull},
+    {"skewed/hamming/probe-online", 17022430018312793733ull},
+    {"skewed/hamming/probe-sort", 17022430018312793733ull},
+    {"skewed/hamming/probe-cluster", 17022430018312793733ull},
+    {"skewed/hamming/pair-count", 17022430018312793733ull},
+    {"skewed/hamming/pair-count-optmerge", 17022430018312793733ull},
+    {"skewed/hamming/cluster-mem", 17022430018312793733ull},
+    {"skewed/hamming/prefix-filter", 17022430018312793733ull},
+    {"skewed/hamming/prefix-filter/t4", 17022430018312793733ull},
+    {"qgram/edit-distance/brute", 2522082964145004146ull},
+    {"qgram/edit-distance/probe", 2522082964145004146ull},
+    {"qgram/edit-distance/probe/t4", 2522082964145004146ull},
+    {"qgram/edit-distance/probe-optmerge", 2522082964145004146ull},
+    {"qgram/edit-distance/probe-optmerge/t4", 2522082964145004146ull},
+    {"qgram/edit-distance/probe-online", 2522082964145004146ull},
+    {"qgram/edit-distance/probe-sort", 2522082964145004146ull},
+    {"qgram/edit-distance/probe-cluster", 2522082964145004146ull},
+    {"qgram/edit-distance/pair-count", 2522082964145004146ull},
+    {"qgram/edit-distance/pair-count-optmerge", 2522082964145004146ull},
+    {"qgram/edit-distance/cluster-mem", 2522082964145004146ull},
+};
+
+bool PrintGoldens() {
+  const char* env = std::getenv("SSJOIN_PRINT_GOLDENS");
+  return env != nullptr && env[0] == '1';
+}
+
+class GoldenRecorder {
+ public:
+  void Check(const std::string& label, const PairVector& pairs) {
+    uint64_t h = HashPairs(pairs);
+    if (PrintGoldens()) {
+      std::printf("    {\"%s\", %lluull},\n", label.c_str(),
+                  static_cast<unsigned long long>(h));
+      return;
+    }
+    bool found = false;
+    for (const GoldenCase& g : kGoldens) {
+      if (label == g.label) {
+        found = true;
+        EXPECT_EQ(h, g.hash)
+            << label << ": output diverged from the seed-era golden ("
+            << pairs.size() << " pairs)";
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "no golden recorded for case: " << label;
+  }
+};
+
+JoinOptions BaseOptions() {
+  JoinOptions options;
+  options.cluster_mem.memory_budget_postings = 300;
+  options.cluster_mem.temp_dir = ::testing::TempDir();
+  return options;
+}
+
+struct AlgorithmSpec {
+  JoinAlgorithm algorithm;
+  const char* name;
+  bool threaded;  // also run with num_threads = 4
+};
+
+const AlgorithmSpec kAlgorithms[] = {
+    {JoinAlgorithm::kBruteForce, "brute", false},
+    {JoinAlgorithm::kProbeCount, "probe", true},
+    {JoinAlgorithm::kProbeOptMerge, "probe-optmerge", true},
+    {JoinAlgorithm::kProbeOnline, "probe-online", false},
+    {JoinAlgorithm::kProbeSort, "probe-sort", false},
+    {JoinAlgorithm::kProbeCluster, "probe-cluster", false},
+    {JoinAlgorithm::kPairCount, "pair-count", false},
+    {JoinAlgorithm::kPairCountOptMerge, "pair-count-optmerge", false},
+    {JoinAlgorithm::kClusterMem, "cluster-mem", false},
+};
+
+void RunSuite(GoldenRecorder* recorder, const std::string& corpus_label,
+              const RecordSet& base, const Predicate& pred,
+              bool prefix_filter) {
+  auto run_one = [&](const AlgorithmSpec& spec) {
+    for (int threads : {1, 4}) {
+      if (threads > 1 && !spec.threaded) continue;
+      JoinOptions options = BaseOptions();
+      options.num_threads = threads;
+      RecordSet working = base;
+      Result<PairVector> actual =
+          JoinToPairs(&working, pred, spec.algorithm, options);
+      ASSERT_TRUE(actual.ok()) << spec.name << ": "
+                               << actual.status().ToString();
+      std::string label = corpus_label + "/" + pred.name() + "/" + spec.name;
+      if (threads > 1) label += "/t4";
+      recorder->Check(label, actual.value());
+    }
+  };
+  for (const AlgorithmSpec& spec : kAlgorithms) run_one(spec);
+  // Probe-stopWords needs a constant threshold; Word-Groups additionally
+  // needs static token weights (only overlap qualifies).
+  if (pred.ConstantThreshold().has_value()) {
+    run_one({JoinAlgorithm::kProbeStopwords, "probe-stopwords", true});
+    if (pred.has_static_weights()) {
+      run_one({JoinAlgorithm::kWordGroups, "word-groups", false});
+      run_one({JoinAlgorithm::kWordGroupsOptMerge, "word-groups-optmerge",
+               false});
+    }
+  }
+  if (prefix_filter) {
+    run_one({JoinAlgorithm::kPrefixFilter, "prefix-filter", true});
+  }
+}
+
+TEST(ArenaEquivalence, GoldenOutputsAcrossAlgorithms) {
+  GoldenRecorder recorder;
+
+  RandomSetOptions dense;
+  dense.num_records = 150;
+  dense.vocabulary = 60;
+  RecordSet dense_set = MakeRandomRecordSet(dense, 4711);
+
+  RandomSetOptions skewed;
+  skewed.num_records = 160;
+  skewed.vocabulary = 200;
+  skewed.zipf_exponent = 1.4;
+  skewed.duplicate_fraction = 0.5;
+  RecordSet skewed_set = MakeRandomRecordSet(skewed, 4712);
+
+  RunSuite(&recorder, "dense", dense_set, OverlapPredicate(3.0),
+           /*prefix_filter=*/true);
+  RunSuite(&recorder, "dense", dense_set, JaccardPredicate(0.5),
+           /*prefix_filter=*/true);
+  RunSuite(&recorder, "dense", dense_set, CosinePredicate(0.5),
+           /*prefix_filter=*/true);
+  RunSuite(&recorder, "skewed", skewed_set, OverlapPredicate(4.0),
+           /*prefix_filter=*/true);
+  RunSuite(&recorder, "skewed", skewed_set, DicePredicate(0.6),
+           /*prefix_filter=*/true);
+  RunSuite(&recorder, "skewed", skewed_set,
+           OverlapCoefficientPredicate(0.7),
+           /*prefix_filter=*/false);
+  RunSuite(&recorder, "skewed", skewed_set, HammingPredicate(4.0),
+           /*prefix_filter=*/true);
+}
+
+TEST(ArenaEquivalence, GoldenOutputsEditDistance) {
+  GoldenRecorder recorder;
+  Rng rng(515);
+  std::vector<std::string> texts;
+  for (int i = 0; i < 110; ++i) {
+    if (!texts.empty() && rng.Bernoulli(0.5)) {
+      std::string base = texts[rng.UniformU32(texts.size())];
+      int edits = rng.UniformInt(0, 3);
+      for (int e = 0; e < edits && !base.empty(); ++e) {
+        uint32_t pos = rng.UniformU32(static_cast<uint32_t>(base.size()));
+        base[pos] = static_cast<char>('a' + rng.UniformU32(26));
+      }
+      texts.push_back(base);
+    } else {
+      texts.push_back(testing_util::RandomAsciiString(rng, 1, 22));
+    }
+  }
+  TokenDictionary dict;
+  CorpusBuilderOptions copts;
+  copts.normalize = false;
+  RecordSet base = BuildQGramCorpus(texts, /*q=*/3, &dict, copts);
+  RunSuite(&recorder, "qgram", base, EditDistancePredicate(2, 3),
+           /*prefix_filter=*/false);
+}
+
+}  // namespace
+}  // namespace ssjoin

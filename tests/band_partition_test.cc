@@ -96,8 +96,7 @@ TEST(BandPartitionByNormTest, GroupsContainAllCloseNormPairs) {
       {.num_records = 80, .vocabulary = 40}, 5);
   // Use record size as norm (unit scores; set them explicitly).
   for (RecordId id = 0; id < set.size(); ++id) {
-    set.mutable_record(id).set_norm(
-        static_cast<double>(set.record(id).size()));
+    set.set_norm(id, static_cast<double>(set.record(id).size()));
   }
   double k = 2.0;
   auto partitions = BandPartitionByNorm(set, k, BandStrategy::kOptimal);

@@ -18,6 +18,7 @@ std::string TempPath(const std::string& name) {
 
 InvertedIndex BuildIndex(const RecordSet& records) {
   InvertedIndex index;
+  index.PlanFromRecords(records);
   for (RecordId id = 0; id < records.size(); ++id) {
     index.Insert(id, records.record(id));
   }
@@ -41,16 +42,16 @@ TEST(IndexIoTest, RoundTripPreservesStructure) {
   EXPECT_EQ(loaded.value().num_tokens(), original.num_tokens());
   EXPECT_DOUBLE_EQ(loaded.value().min_norm(), original.min_norm());
 
-  original.ForEachList([&](TokenId t, const PostingList& list) {
-    const PostingList* restored = loaded.value().list(t);
-    ASSERT_NE(restored, nullptr) << "token " << t;
-    ASSERT_EQ(restored->size(), list.size());
+  original.ForEachList([&](TokenId t, PostingListView list) {
+    const PostingListView restored = loaded.value().list(t);
+    ASSERT_FALSE(restored.empty()) << "token " << t;
+    ASSERT_EQ(restored.size(), list.size());
     for (size_t i = 0; i < list.size(); ++i) {
-      EXPECT_EQ((*restored)[i].id, list[i].id);
-      EXPECT_FLOAT_EQ(static_cast<float>((*restored)[i].score),
+      EXPECT_EQ(restored[i].id, list[i].id);
+      EXPECT_FLOAT_EQ(static_cast<float>(restored[i].score),
                       static_cast<float>(list[i].score));
     }
-    EXPECT_FLOAT_EQ(static_cast<float>(restored->max_score()),
+    EXPECT_FLOAT_EQ(static_cast<float>(restored.max_score()),
                     static_cast<float>(list.max_score()));
   });
 }

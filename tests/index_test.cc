@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "index/compressed_postings.h"
+#include "index/dynamic_index.h"
 #include "index/inverted_index.h"
 #include "index/posting_list.h"
 #include "util/rng.h"
@@ -100,21 +101,36 @@ TEST(InvertedIndexTest, InsertBuildsLists) {
   r0.set_norm(3.0);
   Record r1 = Record::FromWeightedTokens({{3, 5.0}});
   r1.set_norm(5.0);
+  index.Plan({0, 1, 0, 2});  // df per token: 1 once, 3 twice
   index.Insert(0, r0);
   index.Insert(1, r1);
 
   EXPECT_EQ(index.num_entities(), 2u);
   EXPECT_EQ(index.total_postings(), 3u);
   EXPECT_DOUBLE_EQ(index.min_norm(), 3.0);
-  ASSERT_NE(index.list(3), nullptr);
-  EXPECT_EQ(index.list(3)->size(), 2u);
-  EXPECT_DOUBLE_EQ(index.list(3)->max_score(), 5.0);
-  EXPECT_EQ(index.list(2), nullptr);
-  EXPECT_EQ(index.list(1000), nullptr);
+  ASSERT_FALSE(index.list(3).empty());
+  EXPECT_EQ(index.list(3).size(), 2u);
+  EXPECT_DOUBLE_EQ(index.list(3).max_score(), 5.0);
+  EXPECT_TRUE(index.list(2).empty());
+  EXPECT_TRUE(index.list(1000).empty());
 }
 
-TEST(InvertedIndexTest, ClusterModeUpdatesInPlace) {
+TEST(InvertedIndexTest, ForEachListAscendingTokens) {
   InvertedIndex index;
+  index.Plan({1, 0, 2, 1});
+  index.Insert(0, Record::FromTokens({0, 2}));
+  index.Insert(1, Record::FromTokens({2, 3}));
+  std::vector<TokenId> seen;
+  index.ForEachList([&seen](TokenId t, PostingListView list) {
+    EXPECT_GT(list.size(), 0u);
+    seen.push_back(t);
+  });
+  EXPECT_EQ(seen, (std::vector<TokenId>{0, 2, 3}));
+  EXPECT_EQ(index.num_tokens(), 3u);
+}
+
+TEST(DynamicIndexTest, ClusterModeUpdatesInPlace) {
+  DynamicIndex index;
   Record a = Record::FromWeightedTokens({{1, 1.0}});
   Record b = Record::FromWeightedTokens({{1, 3.0}, {2, 1.0}});
   index.InsertOrUpdateMax(0, a, 10.0);
@@ -130,6 +146,15 @@ TEST(InvertedIndexTest, EmptyIndex) {
   EXPECT_EQ(index.num_entities(), 0u);
   EXPECT_EQ(index.total_postings(), 0u);
   EXPECT_TRUE(std::isinf(index.min_norm()));
+  EXPECT_TRUE(index.list(0).empty());
+}
+
+TEST(DynamicIndexTest, EmptyIndex) {
+  DynamicIndex index;
+  EXPECT_EQ(index.num_entities(), 0u);
+  EXPECT_EQ(index.total_postings(), 0u);
+  EXPECT_TRUE(std::isinf(index.min_norm()));
+  EXPECT_EQ(index.list(0), nullptr);
 }
 
 TEST(CompressedPostingsTest, RoundTrip) {
@@ -141,7 +166,7 @@ TEST(CompressedPostingsTest, RoundTrip) {
     list.Append(id, rng.NextDouble() * 4);
   }
   CompressedPostingList compressed =
-      CompressedPostingList::FromPostingList(list);
+      CompressedPostingList::FromPostingList(list.view());
   EXPECT_EQ(compressed.num_postings(), list.size());
   PostingList decoded = compressed.Decode();
   ASSERT_EQ(decoded.size(), list.size());
@@ -156,16 +181,21 @@ TEST(CompressedPostingsTest, DenseListsCompressWell) {
   PostingList list;
   for (uint32_t id = 0; id < 10000; ++id) list.Append(id, 1.0);
   CompressedPostingList compressed =
-      CompressedPostingList::FromPostingList(list);
+      CompressedPostingList::FromPostingList(list.view());
   // Dense deltas are all 1 => 1 byte id + 4 byte score vs 12 bytes raw.
   EXPECT_LT(compressed.byte_size(), compressed.uncompressed_byte_size() / 2);
 }
 
 TEST(CompressedPostingsTest, IndexCompressionStats) {
-  InvertedIndex index;
+  std::vector<Record> records;
+  std::vector<uint64_t> counts(8, 0);
   for (RecordId id = 0; id < 100; ++id) {
-    index.Insert(id, Record::FromTokens({0, 1, id % 7}));
+    records.push_back(Record::FromTokens({0, 1, id % 7}));
+    for (TokenId t : records.back().tokens()) ++counts[t];
   }
+  InvertedIndex index;
+  index.Plan(counts);
+  for (RecordId id = 0; id < 100; ++id) index.Insert(id, records[id]);
   IndexCompressionStats stats = CompressIndex(index);
   EXPECT_EQ(stats.total_postings, index.total_postings());
   EXPECT_GT(stats.compressed_bytes, 0u);
@@ -175,7 +205,7 @@ TEST(CompressedPostingsTest, IndexCompressionStats) {
 TEST(CompressedPostingsTest, EmptyList) {
   PostingList empty;
   CompressedPostingList compressed =
-      CompressedPostingList::FromPostingList(empty);
+      CompressedPostingList::FromPostingList(empty.view());
   EXPECT_EQ(compressed.num_postings(), 0u);
   EXPECT_EQ(compressed.Decode().size(), 0u);
 }

@@ -36,10 +36,9 @@ std::map<RecordId, double> NaiveOverlaps(
   return overlap;
 }
 
-std::vector<const PostingList*> Pointers(
-    const std::vector<PostingList>& lists) {
-  std::vector<const PostingList*> out;
-  for (const PostingList& list : lists) out.push_back(&list);
+std::vector<PostingListView> Views(const std::vector<PostingList>& lists) {
+  std::vector<PostingListView> out;
+  for (const PostingList& list : lists) out.push_back(list.view());
   return out;
 }
 
@@ -63,7 +62,7 @@ TEST_P(MergerThresholdTest, FindsExactlyTheIdsAboveThreshold) {
     MergeOptions options;
     options.split_lists = split;
     MergeStats stats;
-    ListMerger merger(Pointers(lists), probe_scores, threshold,
+    ListMerger merger(Views(lists), probe_scores, threshold,
                       /*required=*/nullptr, /*filter=*/nullptr, options,
                       &stats);
     std::map<RecordId, double> got;
@@ -107,7 +106,7 @@ TEST(ListMergerTest, PerCandidateRequiredBound) {
 
   auto required = [](RecordId id) { return id % 2 == 0 ? 4.0 : 2.0; };
   MergeStats stats;
-  ListMerger merger(Pointers(lists), scores, /*floor=*/2.0, required,
+  ListMerger merger(Views(lists), scores, /*floor=*/2.0, required,
                     nullptr, {}, &stats);
   MergeCandidate candidate;
   std::map<RecordId, double> got;
@@ -128,7 +127,7 @@ TEST(ListMergerTest, FilterSkipsIds) {
 
   auto filter = [](RecordId id) { return id % 3 != 0; };
   MergeStats stats;
-  ListMerger merger(Pointers(lists), scores, 2.0, nullptr, filter, {},
+  ListMerger merger(Views(lists), scores, 2.0, nullptr, filter, {},
                     &stats);
   MergeCandidate candidate;
   while (merger.Next(&candidate)) {
@@ -146,7 +145,7 @@ TEST(ListMergerTest, RaiseFloorNeverLosesAboveNewFloor) {
     std::map<RecordId, double> expected = NaiveOverlaps(lists, scores);
 
     MergeStats stats;
-    ListMerger merger(Pointers(lists), scores, 1.0, nullptr, nullptr, {},
+    ListMerger merger(Views(lists), scores, 1.0, nullptr, nullptr, {},
                       &stats);
     const double final_floor = 4.0;
     std::map<RecordId, double> got;
@@ -175,7 +174,8 @@ TEST(ListMergerTest, EmptyInputs) {
   EXPECT_FALSE(empty.Next(&candidate));
 
   PostingList list;  // empty list
-  ListMerger with_empty({&list}, {1.0}, 1.0, nullptr, nullptr, {}, &stats);
+  ListMerger with_empty({list.view()}, {1.0}, 1.0, nullptr, nullptr, {},
+                        &stats);
   EXPECT_FALSE(with_empty.Next(&candidate));
 }
 
@@ -185,7 +185,7 @@ TEST(ListMergerTest, NegativeFloorEmitsEverything) {
   std::vector<double> scores(4, 1.0);
   std::map<RecordId, double> expected = NaiveOverlaps(lists, scores);
   MergeStats stats;
-  ListMerger merger(Pointers(lists), scores, -3.0, nullptr, nullptr, {},
+  ListMerger merger(Views(lists), scores, -3.0, nullptr, nullptr, {},
                     &stats);
   size_t count = 0;
   MergeCandidate candidate;
@@ -204,7 +204,8 @@ TEST(ListMergerTest, SplitReducesHeapWork) {
     small2.Append(id, 1.0);
     small3.Append(id, 1.0);
   }
-  std::vector<const PostingList*> lists = {&huge, &small1, &small2, &small3};
+  std::vector<PostingListView> lists = {huge.view(), small1.view(),
+                                        small2.view(), small3.view()};
   std::vector<double> scores(4, 1.0);
 
   MergeStats split_stats;

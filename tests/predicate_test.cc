@@ -61,8 +61,8 @@ TEST(JaccardPredicateTest, MatchesDefinition) {
     for (double f : {0.3, 0.5, 0.8}) {
       JaccardPredicate pred(f);
       pred.Prepare(&set);
-      const Record& a = set.record(0);
-      const Record& b = set.record(1);
+      const RecordView a = set.record(0);
+      const RecordView b = set.record(1);
       size_t inter = a.IntersectionSize(b);
       size_t uni = a.size() + b.size() - inter;
       bool expected =
@@ -201,8 +201,8 @@ TEST(DicePredicateTest, MatchesDefinition) {
     for (double f : {0.3, 0.6, 0.9}) {
       DicePredicate pred(f);
       pred.Prepare(&set);
-      const Record& a = set.record(0);
-      const Record& b = set.record(1);
+      const RecordView a = set.record(0);
+      const RecordView b = set.record(1);
       size_t inter = a.IntersectionSize(b);
       double denom = static_cast<double>(a.size() + b.size());
       bool expected = denom > 0 && 2.0 * inter / denom >= f - 1e-12;
@@ -231,8 +231,8 @@ TEST(OverlapCoefficientPredicateTest, MatchesDefinition) {
     for (double f : {0.4, 0.8, 1.0}) {
       OverlapCoefficientPredicate pred(f);
       pred.Prepare(&set);
-      const Record& a = set.record(0);
-      const Record& b = set.record(1);
+      const RecordView a = set.record(0);
+      const RecordView b = set.record(1);
       size_t inter = a.IntersectionSize(b);
       double denom = static_cast<double>(std::min(a.size(), b.size()));
       bool expected = denom > 0 &&
@@ -269,8 +269,8 @@ TEST(HammingPredicateTest, MatchesDefinition) {
     for (double k : {2.0, 5.0, 10.0}) {
       HammingPredicate pred(k);
       pred.Prepare(&set);
-      const Record& a = set.record(0);
-      const Record& b = set.record(1);
+      const RecordView a = set.record(0);
+      const RecordView b = set.record(1);
       size_t inter = a.IntersectionSize(b);
       size_t sym_diff = a.size() + b.size() - 2 * inter;
       EXPECT_EQ(pred.Matches(set, 0, 1),

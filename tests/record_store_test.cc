@@ -1,5 +1,7 @@
 #include <fstream>
+#include <span>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -11,6 +13,11 @@ namespace {
 
 std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
+}
+
+template <typename T>
+std::vector<T> ToVec(std::span<const T> s) {
+  return std::vector<T>(s.begin(), s.end());
 }
 
 RecordSet MakeSet() {
@@ -36,8 +43,8 @@ TEST(RecordSerializationTest, RoundTrip) {
   std::string text;
   ASSERT_TRUE(DeserializeRecord(buffer, &offset, &decoded, &text));
   EXPECT_EQ(offset, buffer.size());
-  EXPECT_EQ(decoded.tokens(), set.record(0).tokens());
-  EXPECT_EQ(decoded.scores(), set.record(0).scores());
+  EXPECT_EQ(decoded.tokens(), ToVec(set.record(0).tokens()));
+  EXPECT_EQ(decoded.scores(), ToVec(set.record(0).scores()));
   EXPECT_DOUBLE_EQ(decoded.norm(), set.record(0).norm());
   EXPECT_EQ(decoded.text_length(), set.record(0).text_length());
   EXPECT_EQ(text, "first text!");
@@ -78,7 +85,7 @@ TEST(RecordStoreTest, CreateAndFetch) {
     Record record;
     std::string text;
     ASSERT_TRUE(store.value().Fetch(id, &record, &text).ok());
-    EXPECT_EQ(record.tokens(), set.record(id).tokens());
+    EXPECT_EQ(record.tokens(), ToVec(set.record(id).tokens()));
     EXPECT_EQ(text, set.text(id));
   }
 }
@@ -130,7 +137,7 @@ TEST(RecordStoreTest, LargeRandomSetRoundTrips) {
     Record record;
     std::string text;
     ASSERT_TRUE(store.value().Fetch(id, &record, &text).ok());
-    EXPECT_EQ(record.tokens(), set.record(id).tokens());
+    EXPECT_EQ(record.tokens(), ToVec(set.record(id).tokens()));
     EXPECT_EQ(text, set.text(id));
   }
 }

@@ -1,0 +1,140 @@
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/record.h"
+#include "data/record_set.h"
+#include "data/record_view.h"
+
+namespace ssjoin {
+namespace {
+
+TEST(RecordViewTest, IsTriviallyCopyable) {
+  static_assert(std::is_trivially_copyable_v<RecordView>);
+  static_assert(std::is_trivially_destructible_v<RecordView>);
+}
+
+TEST(RecordViewTest, EmptyRecord) {
+  RecordView view;
+  EXPECT_EQ(view.size(), 0u);
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.Find(0), SIZE_MAX);
+  EXPECT_EQ(view.Find(123), SIZE_MAX);
+  EXPECT_FALSE(view.Contains(0));
+  EXPECT_DOUBLE_EQ(view.norm(), 0.0);
+  EXPECT_EQ(view.text_length(), 0u);
+  EXPECT_TRUE(view.tokens().empty());
+  EXPECT_TRUE(view.scores().empty());
+  EXPECT_DOUBLE_EQ(view.OverlapWith(view), 0.0);
+  EXPECT_EQ(view.IntersectionSize(view), 0u);
+}
+
+TEST(RecordViewTest, EmptyRecordInArena) {
+  RecordSet set;
+  set.Add(Record::FromTokens({}), "");
+  const RecordView view = set.record(0);
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.Find(7), SIZE_MAX);
+  EXPECT_FALSE(view.Contains(7));
+}
+
+TEST(RecordViewTest, SingleTokenRecord) {
+  Record r = Record::FromWeightedTokens({{42, 1.5}});
+  r.set_norm(1.5);
+  r.set_text_length(9);
+  const RecordView view = r.view();
+  EXPECT_EQ(view.size(), 1u);
+  EXPECT_FALSE(view.empty());
+  EXPECT_EQ(view.Find(42), 0u);
+  EXPECT_TRUE(view.Contains(42));
+  EXPECT_EQ(view.Find(41), SIZE_MAX);
+  EXPECT_EQ(view.Find(43), SIZE_MAX);
+  EXPECT_FALSE(view.Contains(0));
+  EXPECT_DOUBLE_EQ(view.norm(), 1.5);
+  EXPECT_EQ(view.text_length(), 9u);
+  EXPECT_DOUBLE_EQ(view.score(0), 1.5);
+  EXPECT_DOUBLE_EQ(view.OverlapWith(view), 1.5 * 1.5);
+  EXPECT_EQ(view.IntersectionSize(view), 1u);
+}
+
+TEST(RecordViewTest, FindOnLargeRecordHitsEveryToken) {
+  // A record at the practical size ceiling: every even token up to a
+  // large vocabulary; Find must locate each member and reject each gap.
+  constexpr uint32_t kMaxTokens = 1u << 16;
+  std::vector<std::pair<TokenId, double>> weighted;
+  weighted.reserve(kMaxTokens);
+  for (uint32_t i = 0; i < kMaxTokens; ++i) {
+    weighted.push_back({2 * i, 1.0 + i * 1e-5});
+  }
+  Record r = Record::FromWeightedTokens(std::move(weighted));
+  const RecordView view = r.view();
+  ASSERT_EQ(view.size(), kMaxTokens);
+  for (uint32_t i = 0; i < kMaxTokens; i += 997) {
+    EXPECT_EQ(view.Find(2 * i), i);
+    EXPECT_TRUE(view.Contains(2 * i));
+    EXPECT_EQ(view.Find(2 * i + 1), SIZE_MAX);
+  }
+  EXPECT_EQ(view.Find(2 * kMaxTokens), SIZE_MAX);
+  EXPECT_EQ(view.IntersectionSize(view), kMaxTokens);
+}
+
+TEST(RecordViewTest, ArenaViewsMatchSourceRecords) {
+  // Views into the columnar arena must reproduce exactly what was Add()ed,
+  // across records of different shapes (including an empty one between
+  // non-empty neighbours, which exercises offset monotonicity).
+  RecordSet set;
+  Record a = Record::FromWeightedTokens({{1, 0.5}, {4, 2.0}, {9, 1.0}});
+  a.set_norm(3.5);
+  a.set_text_length(17);
+  Record b;  // empty
+  Record c = Record::FromWeightedTokens({{2, 1.0}});
+  c.set_norm(1.0);
+  set.Add(a, "a");
+  set.Add(b, "");
+  set.Add(c, "c");
+
+  ASSERT_EQ(set.size(), 3u);
+  const RecordView va = set.record(0);
+  const RecordView vb = set.record(1);
+  const RecordView vc = set.record(2);
+
+  ASSERT_EQ(va.size(), 3u);
+  EXPECT_EQ(va.token(0), 1u);
+  EXPECT_EQ(va.token(1), 4u);
+  EXPECT_EQ(va.token(2), 9u);
+  EXPECT_DOUBLE_EQ(va.score(1), 2.0);
+  EXPECT_DOUBLE_EQ(va.norm(), 3.5);
+  EXPECT_EQ(va.text_length(), 17u);
+
+  EXPECT_TRUE(vb.empty());
+
+  ASSERT_EQ(vc.size(), 1u);
+  EXPECT_EQ(vc.token(0), 2u);
+
+  // Cross-record overlap through the arena: a and c share no token.
+  EXPECT_DOUBLE_EQ(va.OverlapWith(vc), 0.0);
+  EXPECT_EQ(va.IntersectionSize(vc), 0u);
+}
+
+TEST(RecordViewTest, OverlapWithMatchesManualSum) {
+  Record a = Record::FromWeightedTokens({{1, 2.0}, {3, 1.0}, {5, 4.0}});
+  Record b = Record::FromWeightedTokens({{2, 7.0}, {3, 3.0}, {5, 0.5}});
+  EXPECT_DOUBLE_EQ(a.view().OverlapWith(b.view()), 1.0 * 3.0 + 4.0 * 0.5);
+  EXPECT_EQ(a.view().IntersectionSize(b.view()), 2u);
+}
+
+TEST(RecordViewTest, RecordConvertsImplicitly) {
+  // Record -> RecordView conversion (string -> string_view style).
+  Record r = Record::FromTokens({3, 1, 3, 2});
+  RecordView view = r;
+  EXPECT_EQ(view.size(), 3u);  // duplicates collapsed
+  EXPECT_TRUE(view.Contains(1));
+  EXPECT_TRUE(view.Contains(2));
+  EXPECT_TRUE(view.Contains(3));
+}
+
+}  // namespace
+}  // namespace ssjoin

@@ -22,8 +22,8 @@ std::vector<TopKMatch> BruteForceTopK(RecordSet records, TopKMetric metric,
   std::vector<TopKMatch> all;
   for (RecordId a = 0; a < records.size(); ++a) {
     for (RecordId b = a + 1; b < records.size(); ++b) {
-      const Record& ra = records.record(a);
-      const Record& rb = records.record(b);
+      const RecordView ra = records.record(a);
+      const RecordView rb = records.record(b);
       double overlap = ra.OverlapWith(rb);
       if (overlap <= 0) continue;
       double score = 0;

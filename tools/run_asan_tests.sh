@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Builds the AddressSanitizer+UBSan configuration and runs the memory-
+# layout test suite under it: the arena/view/index unit tests plus the
+# golden-output equivalence suite, which together walk every probe loop
+# over the CSR corpus arena and the flat postings buffer.
+#
+#   tools/run_asan_tests.sh [build-dir]
+#
+# The ASan build lives in its own directory (default build-asan) so the
+# regular build stays untouched.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-asan"}
+
+cmake -B "$build_dir" -S "$repo_root" -DSSJOIN_ASAN=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j --target \
+      record_view_test corpus_test index_test merge_opt_test \
+      arena_equivalence_test differential_test
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+ctest --test-dir "$build_dir" \
+      -R '(record_view|corpus|index_test|merge_opt|arena_equivalence|differential)' \
+      --output-on-failure
