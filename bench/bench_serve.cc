@@ -1,0 +1,81 @@
+// Serving-layer benchmark: point-lookup QPS and latency quantiles as a
+// function of memtable size, plus batched-query throughput.
+//
+// The interesting trade-off is the two-tier design: every probe pays for
+// the flat base index AND the hash-map memtable, so lookups slow down as
+// the memtable grows and recover after compaction. This bench sweeps the
+// memtable fill level on a fixed corpus and reports, per level:
+//   - point-query QPS and p50/p99/max latency (from ServiceStats)
+//   - batched-query records/sec with the service thread pool
+//   - the compaction cost to fold that memtable back into the base
+//
+// Usage: bench_serve [--scale=F | --quick] [--threads=N]
+
+#include <cinttypes>
+
+#include "bench_util.h"
+#include "core/jaccard_predicate.h"
+#include "serve/similarity_service.h"
+
+using namespace ssjoin;
+using namespace ssjoin::bench;
+
+int main(int argc, char** argv) {
+  double scale = ParseScale(argc, argv);
+  int threads = ParseThreads(argc, argv);
+
+  const uint32_t kCorpus = Scaled(20000, scale);
+  const uint32_t kQueries = Scaled(2000, scale);
+  const uint32_t kMemtableLevels[] = {0, Scaled(64, scale),
+                                      Scaled(256, scale), Scaled(1024, scale),
+                                      Scaled(4096, scale)};
+
+  std::vector<std::string> texts =
+      CitationTexts(kCorpus + kMemtableLevels[4]);
+  TokenDictionary dict;
+  RecordSet corpus = WordCorpusPrefix(texts, kCorpus, &dict);
+  // Extra records beyond the base corpus feed the memtable; queries replay
+  // a prefix of the corpus itself so every lookup does real probe work.
+  std::vector<std::string> extra(texts.begin() + kCorpus, texts.end());
+  RecordSet inserts = BuildWordCorpus(extra, &dict);
+  RecordSet queries = WordCorpusPrefix(texts, kQueries, &dict);
+
+  JaccardPredicate pred(0.6);
+
+  std::printf(
+      "memtable,point_qps,p50_us,p99_us,max_us,batch_records_per_sec,"
+      "compact_sec\n");
+  for (uint32_t level : kMemtableLevels) {
+    ServiceOptions options;
+    options.memtable_limit = 0;  // manual compaction only
+    options.num_threads = threads;
+    SimilarityService service(corpus, pred, options);
+    for (uint32_t i = 0; i < level && i < inserts.size(); ++i) {
+      service.Insert(inserts.record(i), inserts.text(i));
+    }
+
+    Timer point_timer;
+    for (RecordId q = 0; q < queries.size(); ++q) {
+      service.Query(queries.record(q), queries.text(q));
+    }
+    double point_seconds = point_timer.ElapsedSeconds();
+
+    Timer batch_timer;
+    service.BatchQuery(queries);
+    double batch_seconds = batch_timer.ElapsedSeconds();
+
+    Timer compact_timer;
+    service.Compact();
+    double compact_seconds = compact_timer.ElapsedSeconds();
+
+    ServiceStats stats = service.stats();
+    std::printf("%u,%.0f,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%.0f,%.3f\n",
+                level, queries.size() / point_seconds,
+                stats.query_latency_us.QuantileUpperBound(0.5),
+                stats.query_latency_us.QuantileUpperBound(0.99),
+                stats.query_latency_us.max_micros(),
+                queries.size() / batch_seconds, compact_seconds);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -56,10 +56,31 @@ bool DeserializeEntry(const std::string& data, size_t* offset,
 }
 
 /// Append-only spill file (the paper's pInfo): sequential writes in phase
-/// 1, sequential scan afterwards.
+/// 1, sequential scan afterwards. The file is removed when the SpillFile
+/// goes out of scope — including every early-error return — unless
+/// Keep() disarms the cleanup (keep_temp_files mode).
 class SpillFile {
  public:
   explicit SpillFile(std::string path) : path_(std::move(path)) {}
+
+  SpillFile(SpillFile&& other) noexcept
+      : path_(std::move(other.path_)),
+        out_(std::move(other.out_)),
+        buffer_(std::move(other.buffer_)),
+        owns_file_(other.owns_file_) {
+    other.owns_file_ = false;
+  }
+  SpillFile& operator=(SpillFile&&) = delete;
+
+  ~SpillFile() {
+    if (owns_file_) {
+      out_.close();
+      std::remove(path_.c_str());
+    }
+  }
+
+  /// Disarms the destructor's cleanup; the file outlives the object.
+  void Keep() { owns_file_ = false; }
 
   Status OpenForWrite() {
     out_.open(path_, std::ios::binary | std::ios::trunc);
@@ -96,14 +117,30 @@ class SpillFile {
     return Status::OK();
   }
 
-  void Remove() const { std::remove(path_.c_str()); }
-
   const std::string& path() const { return path_; }
 
  private:
   std::string path_;
   std::ofstream out_;
   std::string buffer_;
+  bool owns_file_ = true;
+};
+
+/// RAII deletion for temp files created through other APIs (the
+/// RecordStore backing file): removed on scope exit unless kept.
+class TempFileGuard {
+ public:
+  explicit TempFileGuard(std::string path) : path_(std::move(path)) {}
+  TempFileGuard(const TempFileGuard&) = delete;
+  TempFileGuard& operator=(const TempFileGuard&) = delete;
+  ~TempFileGuard() {
+    if (armed_) std::remove(path_.c_str());
+  }
+  void Keep() { armed_ = false; }
+
+ private:
+  std::string path_;
+  bool armed_ = true;
 };
 
 std::string UniqueTempPath(const std::string& dir, const std::string& stem) {
@@ -160,6 +197,7 @@ Result<JoinStats> ClusterMemJoin(const RecordSet& records,
 
   // The record store stands in for "the database" phase 2 re-fetches from.
   std::string store_path = UniqueTempPath(options.temp_dir, "ssjoin_records");
+  TempFileGuard store_guard(store_path);
   Result<RecordStore> store_result = RecordStore::Create(store_path, records);
   if (!store_result.ok()) return store_result.status();
   const RecordStore& store = store_result.value();
@@ -271,10 +309,10 @@ Result<JoinStats> ClusterMemJoin(const RecordSet& records,
   }
   stats.index_postings = std::max(stats.index_postings, peak_batch_postings);
 
-  if (!options.keep_temp_files) {
-    pinfo.Remove();
-    for (SpillFile& f : batch_files) f.Remove();
-    std::remove(store_path.c_str());
+  if (options.keep_temp_files) {
+    pinfo.Keep();
+    for (SpillFile& f : batch_files) f.Keep();
+    store_guard.Keep();
   }
   return stats;
 }

@@ -22,6 +22,11 @@ void CosinePredicate::Prepare(RecordSet* records) const {
   ApplyWeights(records, TfIdfWeighter::FromRecordSet(*records));
 }
 
+void CosinePredicate::PrepareIncremental(const RecordSet& reference,
+                                         RecordSet* staging) const {
+  ApplyWeights(staging, TfIdfWeighter::FromRecordSet(reference));
+}
+
 void CosinePredicate::PrepareForJoin(RecordSet* left,
                                      RecordSet* right) const {
   std::vector<uint64_t> combined = left->term_frequencies();

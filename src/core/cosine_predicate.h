@@ -32,6 +32,12 @@ class CosinePredicate : public Predicate {
   /// Non-self joins weight both sides against the combined corpus so a
   /// token's IDF is the same on the left and the right.
   void PrepareForJoin(RecordSet* left, RecordSet* right) const override;
+  /// Serving/incremental use: weights `staging` with the reference
+  /// corpus's IDF table frozen in place (tokens unseen there get the
+  /// maximum IDF). Re-scoring a record that is *in* the reference corpus
+  /// reproduces its in-corpus scores exactly.
+  void PrepareIncremental(const RecordSet& reference,
+                          RecordSet* staging) const override;
   double ThresholdForNorms(double norm_r, double norm_s) const override;
   std::optional<double> ConstantThreshold() const override {
     return fraction_;

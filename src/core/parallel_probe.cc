@@ -18,6 +18,8 @@ namespace ssjoin {
 namespace {
 
 using probe_internal::BuildStopwordPlan;
+using probe_internal::ProbeOne;
+using probe_internal::ProbeScratch;
 using probe_internal::ReducedThreshold;
 using probe_internal::StopwordPlan;
 
@@ -116,13 +118,8 @@ Result<JoinStats> ParallelProbeJoin(const RecordSet& records,
 
   // Per-worker probe scratch, allocated once: no per-record heap
   // allocations inside the probe loop.
-  struct Scratch {
-    std::vector<PostingListView> lists;
-    std::vector<double> probe_scores;
-    ListMerger merger;
-  };
   int requested = std::max(1, num_threads);
-  std::vector<Scratch> scratch(requested);
+  std::vector<ProbeScratch> scratch(requested);
 
   auto probe_one = [&](uint32_t pos, int worker, JoinStats* stats,
                        const PairSink& emit) {
@@ -165,17 +162,14 @@ Result<JoinStats> ParallelProbeJoin(const RecordSet& records,
     if (options.apply_filter && pred.has_norm_filter()) {
       filter = filter_fn;
     }
-    Scratch& s = scratch[worker];
-    CollectProbeLists(index, probe, &s.lists, &s.probe_scores);
-    s.merger.Reset(s.lists, s.probe_scores, floor, required, filter,
-                   merge_options, &stats->merge);
-    MergeCandidate candidate;
-    while (s.merger.Next(&candidate)) {
-      // Every record is indexed: skip self matches and emit each
-      // unordered pair from its later endpoint only.
-      if (candidate.id >= pos) continue;
-      verify_and_emit(order[candidate.id], probe_id);
-    }
+    ProbeOne(index, probe, floor, required, filter, merge_options,
+             &stats->merge, &scratch[worker],
+             [&](const MergeCandidate& candidate) {
+               // Every record is indexed: skip self matches and emit each
+               // unordered pair from its later endpoint only.
+               if (candidate.id >= pos) return;
+               verify_and_emit(order[candidate.id], probe_id);
+             });
   };
 
   JoinStats stats =

@@ -11,6 +11,11 @@ void Predicate::PrepareForJoin(RecordSet* left, RecordSet* right) const {
   Prepare(right);
 }
 
+void Predicate::PrepareIncremental(const RecordSet& /*reference*/,
+                                   RecordSet* staging) const {
+  Prepare(staging);
+}
+
 bool Predicate::MatchesCross(const RecordSet& set_a, RecordId a,
                              const RecordSet& set_b, RecordId b) const {
   const RecordView ra = set_a.record(a);

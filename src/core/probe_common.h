@@ -5,16 +5,19 @@
 #include <utility>
 #include <vector>
 
+#include "core/merge_opt.h"
 #include "core/predicate.h"
 #include "data/corpus_stats.h"
 #include "data/record_set.h"
 #include "data/record_view.h"
+#include "util/function_ref.h"
 
 namespace ssjoin {
 namespace probe_internal {
 
-/// Shared plumbing of the Probe-Count family, used by both the serial
-/// ProbeJoin and the parallel probe driver so the two paths cannot drift.
+/// Shared plumbing of the Probe-Count family, used by the serial
+/// ProbeJoin, the parallel probe driver, the streaming join and the
+/// serving layer, so the probe paths cannot drift.
 
 struct StopwordPlan {
   std::vector<bool> is_stop;       // per token
@@ -59,6 +62,40 @@ inline double ReducedThreshold(RecordView r, const StopwordPlan& plan) {
     if (plan.is_stop[t]) reduction += r.score(i) * plan.max_score[t];
   }
   return plan.threshold - reduction;
+}
+
+/// Reusable per-probe scratch for ProbeOne: posting-list collection
+/// buffers and the merger keep their capacity across probes, so
+/// steady-state probing performs no heap allocations. One instance per
+/// thread; a probe loop default-constructs it once outside the loop.
+struct ProbeScratch {
+  std::vector<PostingListView> lists;
+  std::vector<double> probe_scores;
+  ListMerger merger;
+};
+
+/// The single-record probe at the heart of every index-probe algorithm:
+/// gathers the posting lists of `probe`'s tokens from `index` (flat
+/// InvertedIndex or DynamicIndex — both CollectProbeLists overloads
+/// apply), merges them under the emit bound max(floor, required(id)),
+/// and streams each surviving candidate (indexed entity id + exact
+/// merged overlap) to `emit` in increasing id order.
+///
+/// `required` and `filter` follow the ListMerger contracts (may be
+/// null; non-owning, must outlive the call). The caller verifies
+/// candidates — ProbeOne prunes, it does not decide matches.
+template <typename IndexT>
+inline void ProbeOne(const IndexT& index, RecordView probe, double floor,
+                     FunctionRef<double(RecordId)> required,
+                     FunctionRef<bool(RecordId)> filter,
+                     const MergeOptions& options, MergeStats* stats,
+                     ProbeScratch* scratch,
+                     FunctionRef<void(const MergeCandidate&)> emit) {
+  CollectProbeLists(index, probe, &scratch->lists, &scratch->probe_scores);
+  scratch->merger.Reset(scratch->lists, scratch->probe_scores, floor,
+                        required, filter, options, stats);
+  MergeCandidate candidate;
+  while (scratch->merger.Next(&candidate)) emit(candidate);
 }
 
 }  // namespace probe_internal

@@ -11,6 +11,8 @@
 namespace ssjoin {
 
 using probe_internal::BuildStopwordPlan;
+using probe_internal::ProbeOne;
+using probe_internal::ProbeScratch;
 using probe_internal::ReducedThreshold;
 using probe_internal::StopwordPlan;
 
@@ -68,9 +70,7 @@ Result<JoinStats> ProbeJoin(const RecordSet& records, const Predicate& pred,
 
   // Probe-loop scratch, allocated once and reused: no per-record heap
   // allocations inside the loop.
-  std::vector<PostingListView> lists;
-  std::vector<double> probe_scores;
-  ListMerger merger;
+  ProbeScratch scratch;
 
   for (uint32_t pos = 0; pos < n; ++pos) {
     RecordId probe_id = order[pos];
@@ -109,18 +109,16 @@ Result<JoinStats> ProbeJoin(const RecordSet& records, const Predicate& pred,
       if (options.apply_filter && pred.has_norm_filter()) {
         filter = filter_fn;
       }
-      CollectProbeLists(index, probe, &lists, &probe_scores);
-      merger.Reset(lists, probe_scores, floor, required, filter,
-                   merge_options, &stats.merge);
-      MergeCandidate candidate;
-      while (merger.Next(&candidate)) {
-        if (!options.online && candidate.id >= pos) {
-          // Two-pass mode indexes every record: skip self matches and
-          // emit each unordered pair from its later endpoint only.
-          continue;
-        }
-        verify_and_emit(order[candidate.id], probe_id);
-      }
+      ProbeOne(index, probe, floor, required, filter, merge_options,
+               &stats.merge, &scratch, [&](const MergeCandidate& candidate) {
+                 if (!options.online && candidate.id >= pos) {
+                   // Two-pass mode indexes every record: skip self matches
+                   // and emit each unordered pair from its later endpoint
+                   // only.
+                   return;
+                 }
+                 verify_and_emit(order[candidate.id], probe_id);
+               });
     }
 
     if (options.online) index.Insert(pos, probe, skip);

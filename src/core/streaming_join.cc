@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "core/merge_opt.h"
+#include "core/probe_common.h"
 #include "util/function_ref.h"
 #include "util/logging.h"
 
@@ -42,20 +43,17 @@ RecordId StreamingJoin::Add(
     if (options_.apply_filter && pred_.has_norm_filter()) {
       filter = filter_fn;
     }
-    std::vector<PostingListView> lists;
-    std::vector<double> probe_scores;
-    CollectProbeLists(index_, probe, &lists, &probe_scores);
-    ListMerger merger(lists, probe_scores, floor, required, filter, {},
-                      &stats_.merge);
-    MergeCandidate candidate;
-    while (merger.Next(&candidate)) {
-      ++stats_.candidates_verified;
-      if (pred_.MatchesCross(records_, candidate.id, staging, 0)) {
-        ++stats_.pairs;
-        if (probe_is_short) emitted.insert(candidate.id);
-        on_match(candidate.id);
-      }
-    }
+    probe_internal::ProbeScratch scratch;
+    probe_internal::ProbeOne(
+        index_, probe, floor, required, filter, {}, &stats_.merge, &scratch,
+        [&](const MergeCandidate& candidate) {
+          ++stats_.candidates_verified;
+          if (pred_.MatchesCross(records_, candidate.id, staging, 0)) {
+            ++stats_.pairs;
+            if (probe_is_short) emitted.insert(candidate.id);
+            on_match(candidate.id);
+          }
+        });
   }
 
   if (probe_is_short) {

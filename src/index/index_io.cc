@@ -95,10 +95,22 @@ Result<InvertedIndex> LoadIndex(const std::string& path) {
     return Status::IOError("truncated index header: " + path);
   }
 
-  // Pass 1: collect per-token posting counts so the flat index can carve
-  // its extents before any posting lands.
+  // RecordIds are 32-bit; a larger entity count cannot have been written
+  // by SaveIndex and would poison the id range checks below.
+  if (num_entities > std::numeric_limits<uint32_t>::max()) {
+    return Status::IOError("implausible entity count in index file: " + path);
+  }
+  // Token ids size the counts vector directly, so an adversarial value
+  // must be rejected before it turns into a multi-gigabyte allocation.
+  constexpr uint32_t kMaxTokenId = 1u << 30;
+
+  // Pass 1: validate the full structure and collect per-token posting
+  // counts so the flat index can carve its extents before any posting
+  // lands (and before trusting the file enough to allocate for it).
   const size_t lists_offset = offset;
   std::vector<uint64_t> counts;
+  bool have_prev_token = false;
+  uint32_t prev_token = 0;
   for (uint64_t l = 0; l < num_lists; ++l) {
     uint32_t token = 0;
     uint32_t count = 0;
@@ -106,16 +118,41 @@ Result<InvertedIndex> LoadIndex(const std::string& path) {
         !GetVarint32(data, &offset, &count)) {
       return Status::IOError("truncated list header: " + path);
     }
-    if (token >= counts.size()) counts.resize(token + 1, 0);
-    if (counts[token] != 0) {
-      return Status::IOError("duplicate posting list in index file: " + path);
+    if (token > kMaxTokenId) {
+      return Status::IOError("implausible token id in index file: " + path);
     }
+    // SaveIndex emits tokens in strictly increasing order; anything else
+    // is corruption (and would also mask duplicate lists).
+    if (have_prev_token && token <= prev_token) {
+      return Status::IOError("posting lists out of order in index file: " +
+                             path);
+    }
+    prev_token = token;
+    have_prev_token = true;
+    if (count == 0) {
+      return Status::IOError("empty posting list in index file: " + path);
+    }
+    if (count > num_entities) {
+      return Status::IOError("posting count exceeds entity count: " + path);
+    }
+    if (token >= counts.size()) counts.resize(token + 1, 0);
     counts[token] = count;
+    uint64_t id = 0;
     for (uint32_t i = 0; i < count; ++i) {
       uint32_t delta = 0;
       if (!GetVarint32(data, &offset, &delta)) {
         return Status::IOError("truncated posting ids: " + path);
       }
+      // Ids are strictly increasing within a list (delta 0 after the
+      // first entry would break the galloping-search invariant).
+      if (i > 0 && delta == 0) {
+        return Status::IOError("non-monotone posting ids in index file: " +
+                               path);
+      }
+      id += delta;
+    }
+    if (id >= num_entities) {
+      return Status::IOError("posting id out of range in index file: " + path);
     }
     if (offset + count * sizeof(uint32_t) > data.size()) {
       return Status::IOError("truncated posting scores: " + path);
@@ -152,6 +189,10 @@ Result<InvertedIndex> LoadIndex(const std::string& path) {
       float score = 0;
       if (!GetFloat(data, &offset, &score)) {
         return Status::IOError("truncated posting scores: " + path);
+      }
+      if (!std::isfinite(score)) {
+        return Status::IOError("non-finite posting score in index file: " +
+                               path);
       }
       index.AppendPosting(token, ids[i], score);
     }

@@ -1,0 +1,83 @@
+#include "serve/service_stats.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace ssjoin {
+
+void LatencyHistogram::Record(uint64_t micros) {
+  size_t bucket = static_cast<size_t>(std::bit_width(micros));
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  ++buckets_[bucket];
+  ++count_;
+  if (micros > max_micros_) max_micros_ = micros;
+}
+
+uint64_t LatencyHistogram::QuantileUpperBound(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the requested quantile, 1-based and rounded UP (the nearest-
+  // rank definition): p99 of a handful of samples reports the worst one
+  // instead of silently dropping to the median.
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Bucket i holds values with bit_width == i, i.e. <= 2^i - 1.
+      uint64_t upper = i == 0 ? 0 : (uint64_t{1} << i) - 1;
+      return upper < max_micros_ ? upper : max_micros_;
+    }
+  }
+  return max_micros_;
+}
+
+namespace {
+
+void AppendField(std::string* out, const char* key, uint64_t value,
+                 bool trailing_comma = true) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "\"%s\": %llu%s", key,
+                static_cast<unsigned long long>(value),
+                trailing_comma ? ", " : "");
+  out->append(buffer);
+}
+
+}  // namespace
+
+std::string ServiceStats::ToJson() const {
+  std::string out = "{";
+  AppendField(&out, "point_queries", point_queries);
+  AppendField(&out, "batch_queries", batch_queries);
+  AppendField(&out, "batched_records", batched_records);
+  AppendField(&out, "topk_queries", topk_queries);
+  AppendField(&out, "inserts", inserts);
+  AppendField(&out, "compactions", compactions);
+  AppendField(&out, "candidates", candidates);
+  AppendField(&out, "results", results);
+  AppendField(&out, "merges", merge.merges);
+  AppendField(&out, "heap_pops", merge.heap_pops);
+  AppendField(&out, "gallop_probes", merge.gallop_probes);
+  out += "\"query_latency_us\": {";
+  AppendField(&out, "count", query_latency_us.count());
+  AppendField(&out, "p50", query_latency_us.QuantileUpperBound(0.5));
+  AppendField(&out, "p90", query_latency_us.QuantileUpperBound(0.9));
+  AppendField(&out, "p99", query_latency_us.QuantileUpperBound(0.99));
+  AppendField(&out, "max", query_latency_us.max_micros(),
+              /*trailing_comma=*/false);
+  out += "}, \"batch_latency_us\": {";
+  AppendField(&out, "count", batch_latency_us.count());
+  AppendField(&out, "p50", batch_latency_us.QuantileUpperBound(0.5));
+  AppendField(&out, "p99", batch_latency_us.QuantileUpperBound(0.99));
+  AppendField(&out, "max", batch_latency_us.max_micros(),
+              /*trailing_comma=*/false);
+  out += "}}";
+  return out;
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,62 @@
+#ifndef SSJOIN_SERVE_SERVICE_STATS_H_
+#define SSJOIN_SERVE_SERVICE_STATS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/merge_opt.h"
+
+namespace ssjoin {
+
+/// Fixed-footprint latency histogram over power-of-two microsecond
+/// buckets: bucket i holds samples in [2^(i-1), 2^i). Coarse by design —
+/// quantiles answer "what order of magnitude is p99" for the serving
+/// dashboards, not microbenchmark questions. Plain copyable value; the
+/// service snapshots it under its stats mutex.
+class LatencyHistogram {
+ public:
+  void Record(uint64_t micros);
+
+  uint64_t count() const { return count_; }
+  uint64_t max_micros() const { return max_micros_; }
+
+  /// Upper bound (in microseconds) of the bucket containing quantile
+  /// q in [0, 1], clamped to the largest sample seen. 0 when empty.
+  uint64_t QuantileUpperBound(double q) const;
+
+ private:
+  // 2^39 us ≈ 6.4 days: any conceivable single-query latency fits.
+  static constexpr size_t kBuckets = 40;
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t max_micros_ = 0;
+};
+
+/// Aggregate serving counters, recorded per query/insert/compaction by
+/// SimilarityService. A plain value: stats() hands out a copy, so readers
+/// never hold the service's stats lock while formatting.
+struct ServiceStats {
+  uint64_t point_queries = 0;   // Query() calls
+  uint64_t batch_queries = 0;   // BatchQuery() calls
+  uint64_t batched_records = 0; // records across all batches
+  uint64_t topk_queries = 0;    // QueryTopK() calls
+  uint64_t inserts = 0;
+  uint64_t compactions = 0;     // explicit + memtable-limit triggered
+  uint64_t candidates = 0;      // merge candidates reaching verification
+  uint64_t results = 0;         // matches returned to callers
+  MergeStats merge;             // the underlying ListMerger instrumentation
+
+  /// Per point/top-k query wall time.
+  LatencyHistogram query_latency_us;
+  /// Per BatchQuery() call wall time (whole batch).
+  LatencyHistogram batch_latency_us;
+
+  /// The counters and latency quantiles as one flat JSON object.
+  std::string ToJson() const;
+};
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_SERVE_SERVICE_STATS_H_

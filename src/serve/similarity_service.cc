@@ -1,0 +1,330 @@
+#include "serve/similarity_service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+#include <utility>
+
+#include "core/probe_common.h"
+#include "util/function_ref.h"
+#include "util/timer.h"
+
+namespace ssjoin {
+
+namespace {
+
+/// Per-query mutable context: scratch buffers plus the counters folded
+/// into ServiceStats afterwards. One per worker in batch mode.
+struct QueryContext {
+  probe_internal::ProbeScratch scratch;
+  MergeStats merge;
+  uint64_t candidates = 0;
+};
+
+/// Probes one tier's index for `staged.record(q)` and appends every
+/// VERIFIED match as a global-id QueryMatch. The probe mirrors the batch
+/// drivers bound-for-bound: floor = T(probe, minS of the tier), per
+/// candidate bound = T(probe, ||m||), optional norm range filter, then
+/// the predicate's canonical MatchesCross decision — so a query accepts a
+/// pair exactly when the batch join would.
+template <typename IndexT>
+void ProbeTierForMatches(const Predicate& pred, const ServiceOptions& options,
+                         const IndexT& index, const RecordSet& tier_records,
+                         RecordId id_offset, const RecordSet& staged,
+                         RecordId q, QueryContext* ctx,
+                         std::vector<QueryMatch>* out,
+                         std::unordered_set<RecordId>* matched_local) {
+  const RecordView probe = staged.record(q);
+  if (index.num_entities() == 0 || probe.empty()) return;
+  double floor = pred.ThresholdForNorms(probe.norm(), index.min_norm());
+  auto required_fn = [&](RecordId m) {
+    return pred.ThresholdForNorms(probe.norm(), tier_records.record(m).norm());
+  };
+  FunctionRef<double(RecordId)> required = required_fn;
+  auto filter_fn = [&](RecordId m) {
+    return pred.NormFilter(probe.norm(), tier_records.record(m).norm());
+  };
+  FunctionRef<bool(RecordId)> filter;
+  if (options.apply_filter && pred.has_norm_filter()) filter = filter_fn;
+  probe_internal::ProbeOne(
+      index, probe, floor, required, filter, options.merge, &ctx->merge,
+      &ctx->scratch, [&](const MergeCandidate& candidate) {
+        ++ctx->candidates;
+        if (pred.MatchesCross(tier_records, candidate.id, staged, q)) {
+          if (matched_local != nullptr) matched_local->insert(candidate.id);
+          out->push_back(
+              {id_offset + candidate.id,
+               tier_records.record(candidate.id).OverlapWith(probe)});
+        }
+      });
+}
+
+/// The short-record side pool, per tier: a short probe is checked against
+/// every short tier record the index probe did not already accept (such
+/// pairs can match with no shared token, e.g. tiny strings under the
+/// edit-distance q-gram bound). Mirrors StreamingJoin::Add.
+void ProbeTierShortPool(const Predicate& pred, const RecordSet& tier_records,
+                        const std::vector<RecordId>& short_ids,
+                        RecordId id_offset, const RecordSet& staged,
+                        RecordId q, QueryContext* ctx,
+                        std::vector<QueryMatch>* out,
+                        const std::unordered_set<RecordId>& matched_local) {
+  const RecordView probe = staged.record(q);
+  for (RecordId local : short_ids) {
+    if (matched_local.count(local) > 0) continue;
+    ++ctx->candidates;
+    if (pred.MatchesCross(tier_records, local, staged, q)) {
+      out->push_back({id_offset + local,
+                      tier_records.record(local).OverlapWith(probe)});
+    }
+  }
+}
+
+/// Full thresholded lookup of staged.record(q) against one snapshot:
+/// base tier, then delta tier (global ids offset by the base size),
+/// then id-sorted — byte-identical output for any probe interleaving.
+std::vector<QueryMatch> LookupOne(const Predicate& pred,
+                                  const ServiceOptions& options,
+                                  const IndexSnapshot& snap,
+                                  const RecordSet& staged, RecordId q,
+                                  QueryContext* ctx) {
+  std::vector<QueryMatch> out;
+  const RecordView probe = staged.record(q);
+  double short_bound = pred.ShortRecordNormBound();
+  bool probe_is_short = short_bound > 0 && probe.norm() < short_bound;
+  std::unordered_set<RecordId> matched;  // only consulted when short
+  std::unordered_set<RecordId>* matched_ptr =
+      probe_is_short ? &matched : nullptr;
+
+  const RecordId delta_offset = static_cast<RecordId>(snap.base_size());
+  ProbeTierForMatches(pred, options, snap.base->index, snap.base->records,
+                      /*id_offset=*/0, staged, q, ctx, &out, matched_ptr);
+  if (probe_is_short) {
+    ProbeTierShortPool(pred, snap.base->records, snap.base->short_ids,
+                       /*id_offset=*/0, staged, q, ctx, &out, matched);
+    matched.clear();
+  }
+  ProbeTierForMatches(pred, options, snap.delta->index, snap.delta->records,
+                      delta_offset, staged, q, ctx, &out, matched_ptr);
+  if (probe_is_short) {
+    ProbeTierShortPool(pred, snap.delta->records, snap.delta->short_ids,
+                       delta_offset, staged, q, ctx, &out, matched);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueryMatch& a, const QueryMatch& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+/// Unthresholded overlap sweep for top-k: floor 0, no per-candidate
+/// bound, no filter — every tier record sharing a token surfaces with
+/// its canonical match amount.
+template <typename IndexT>
+void SweepTierOverlaps(const IndexT& index, const RecordSet& tier_records,
+                       RecordId id_offset, RecordView probe,
+                       QueryContext* ctx, std::vector<QueryMatch>* out) {
+  if (index.num_entities() == 0 || probe.empty()) return;
+  probe_internal::ProbeOne(
+      index, probe, /*floor=*/0, /*required=*/{}, /*filter=*/{},
+      MergeOptions{}, &ctx->merge, &ctx->scratch,
+      [&](const MergeCandidate& candidate) {
+        ++ctx->candidates;
+        out->push_back({id_offset + candidate.id,
+                        tier_records.record(candidate.id).OverlapWith(probe)});
+      });
+}
+
+uint64_t ElapsedMicros(const Timer& timer) {
+  return static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+}
+
+}  // namespace
+
+SimilarityService::SimilarityService(RecordSet corpus, const Predicate& pred,
+                                     ServiceOptions options)
+    : pred_(pred),
+      options_(options),
+      pool_(std::make_unique<ThreadPool>(
+          options.num_threads > 0 ? options.num_threads
+                                  : ThreadPool::DefaultNumThreads())),
+      corpus_(std::move(corpus)) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  CompactLocked(/*count_compaction=*/false);
+}
+
+void SimilarityService::CompactLocked(bool count_compaction) {
+  std::shared_ptr<const BaseTier> base = BuildBaseTier(corpus_, pred_);
+  memtable_ = RecordSet();
+  std::shared_ptr<const DeltaTier> delta =
+      BuildDeltaTier(memtable_, pred_.ShortRecordNormBound());
+  Publish(std::move(base), std::move(delta));
+  if (count_compaction) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.compactions;
+  }
+}
+
+void SimilarityService::Publish(std::shared_ptr<const BaseTier> base,
+                                std::shared_ptr<const DeltaTier> delta) {
+  auto snap = std::make_shared<IndexSnapshot>();
+  snap->base = std::move(base);
+  snap->delta = std::move(delta);
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snap->epoch = snapshot_ == nullptr ? 0 : snapshot_->epoch + 1;
+  snapshot_ = std::move(snap);
+}
+
+std::shared_ptr<const IndexSnapshot> SimilarityService::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+RecordId SimilarityService::Insert(RecordView record, std::string text) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  std::shared_ptr<const IndexSnapshot> snap = snapshot();
+
+  // Score the newcomer against the published base statistics, then grow
+  // the memtable and publish a fresh delta image. The base tier is
+  // shared, not copied: per-insert work is O(memtable), bounded by
+  // memtable_limit.
+  RecordSet staging;
+  staging.Add(record, text);
+  pred_.PrepareIncremental(snap->base->records, &staging);
+  const RecordId id = static_cast<RecordId>(corpus_.size());
+  corpus_.Add(record, std::move(text));
+  memtable_.Add(staging.record(0), staging.text(0));
+  Publish(snap->base,
+          BuildDeltaTier(memtable_, pred_.ShortRecordNormBound()));
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.inserts;
+  }
+  if (options_.memtable_limit > 0 &&
+      memtable_.size() >= options_.memtable_limit) {
+    CompactLocked(/*count_compaction=*/true);
+  }
+  return id;
+}
+
+void SimilarityService::Compact() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  CompactLocked(/*count_compaction=*/true);
+}
+
+std::vector<QueryMatch> SimilarityService::Query(RecordView query,
+                                                 std::string text) const {
+  Timer timer;
+  std::shared_ptr<const IndexSnapshot> snap = snapshot();
+  RecordSet staged;
+  staged.Add(query, std::move(text));
+  pred_.PrepareIncremental(snap->base->records, &staged);
+  QueryContext ctx;
+  std::vector<QueryMatch> out =
+      LookupOne(pred_, options_, *snap, staged, 0, &ctx);
+  uint64_t micros = ElapsedMicros(timer);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.point_queries;
+    stats_.candidates += ctx.candidates;
+    stats_.results += out.size();
+    stats_.merge += ctx.merge;
+    stats_.query_latency_us.Record(micros);
+  }
+  return out;
+}
+
+std::vector<std::vector<QueryMatch>> SimilarityService::BatchQuery(
+    const RecordSet& queries) const {
+  Timer timer;
+  std::shared_ptr<const IndexSnapshot> snap = snapshot();
+  RecordSet staged = queries;
+  pred_.PrepareIncremental(snap->base->records, &staged);
+
+  // Slot vector indexed by query id: scheduling order cannot change the
+  // output, and per-worker contexts keep the hot path allocation-free.
+  std::vector<std::vector<QueryMatch>> results(staged.size());
+  std::vector<QueryContext> contexts(
+      static_cast<size_t>(pool_->num_threads()));
+  {
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    pool_->ParallelFor(
+        staged.size(), /*chunk=*/1, [&](size_t begin, size_t end, int worker) {
+          for (size_t i = begin; i < end; ++i) {
+            results[i] =
+                LookupOne(pred_, options_, *snap, staged,
+                          static_cast<RecordId>(i), &contexts[worker]);
+          }
+        });
+  }
+  uint64_t micros = ElapsedMicros(timer);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.batch_queries;
+    stats_.batched_records += staged.size();
+    for (const QueryContext& ctx : contexts) {
+      stats_.candidates += ctx.candidates;
+      stats_.merge += ctx.merge;
+    }
+    for (const std::vector<QueryMatch>& r : results) {
+      stats_.results += r.size();
+    }
+    stats_.batch_latency_us.Record(micros);
+  }
+  return results;
+}
+
+std::vector<QueryMatch> SimilarityService::QueryTopK(RecordView query,
+                                                     size_t k,
+                                                     std::string text) const {
+  Timer timer;
+  std::shared_ptr<const IndexSnapshot> snap = snapshot();
+  RecordSet staged;
+  staged.Add(query, std::move(text));
+  pred_.PrepareIncremental(snap->base->records, &staged);
+  const RecordView probe = staged.record(0);
+
+  QueryContext ctx;
+  std::vector<QueryMatch> out;
+  SweepTierOverlaps(snap->base->index, snap->base->records, /*id_offset=*/0,
+                    probe, &ctx, &out);
+  SweepTierOverlaps(snap->delta->index, snap->delta->records,
+                    static_cast<RecordId>(snap->base_size()), probe, &ctx,
+                    &out);
+  std::sort(out.begin(), out.end(),
+            [](const QueryMatch& a, const QueryMatch& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  if (out.size() > k) out.resize(k);
+  uint64_t micros = ElapsedMicros(timer);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.topk_queries;
+    stats_.candidates += ctx.candidates;
+    stats_.results += out.size();
+    stats_.merge += ctx.merge;
+    stats_.query_latency_us.Record(micros);
+  }
+  return out;
+}
+
+ServiceStats SimilarityService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+std::string SimilarityService::StatsJson() const {
+  std::shared_ptr<const IndexSnapshot> snap = snapshot();
+  ServiceStats copy = stats();
+  char header[160];
+  std::snprintf(header, sizeof(header),
+                "{\"epoch\": %llu, \"base_records\": %llu, "
+                "\"memtable_records\": %llu, \"stats\": ",
+                static_cast<unsigned long long>(snap->epoch),
+                static_cast<unsigned long long>(snap->base_size()),
+                static_cast<unsigned long long>(snap->delta_size()));
+  return std::string(header) + copy.ToJson() + "}";
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,150 @@
+#ifndef SSJOIN_SERVE_SIMILARITY_SERVICE_H_
+#define SSJOIN_SERVE_SIMILARITY_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/merge_opt.h"
+#include "core/predicate.h"
+#include "data/record_set.h"
+#include "data/record_view.h"
+#include "serve/service_stats.h"
+#include "serve/snapshot.h"
+#include "util/thread_pool.h"
+
+namespace ssjoin {
+
+/// One answer to a similarity lookup: a corpus record id (insertion
+/// order: construction corpus first, then Insert() order) and the
+/// canonical match amount sum over common tokens of
+/// score(w, query) * score(w, match).
+struct QueryMatch {
+  RecordId id;
+  double score;
+};
+
+struct ServiceOptions {
+  /// Apply the predicate's norm range filter during merges.
+  bool apply_filter = true;
+  /// ListMerger knobs (MergeOpt L/S split on by default).
+  MergeOptions merge;
+  /// Auto-compact when the memtable reaches this many records; 0 means
+  /// compaction only happens through explicit Compact() calls. Each
+  /// insert republishes the whole memtable image, so this bounds both
+  /// per-insert work and the delta share of every probe.
+  size_t memtable_limit = 256;
+  /// Worker threads for BatchQuery fan-out; <= 0 uses the hardware
+  /// default. Point queries run on the caller and ignore this.
+  int num_threads = 0;
+};
+
+/// A long-lived, thread-safe similarity-lookup service: owns a corpus and
+/// answers "which records match this one?" without re-running a batch
+/// join. See DESIGN.md "Serving layer".
+///
+/// Internally two-tier, LSM-style: an immutable CSR InvertedIndex over
+/// the compacted corpus (the base) plus a DynamicIndex memtable image for
+/// records Insert()ed since the last compaction. Compact() folds the
+/// memtable into a fresh base via the normal batch build (PlanFromRecords
+/// + Insert), re-running the predicate's full Prepare so corpus
+/// statistics (TF-IDF) are exact again.
+///
+/// Concurrency model (lock order: write -> snapshot; stats is a leaf):
+///   * readers copy an immutable IndexSnapshot shared_ptr under a brief
+///     mutex hold and then touch no shared mutable state — queries never
+///     block inserts or compaction, and vice versa;
+///   * writers (Insert/Compact) serialize on a write mutex, build fresh
+///     immutable tiers off to the side and publish them atomically by
+///     swapping the snapshot pointer.
+///
+/// Query answers match a fresh batch self-join over the same records
+/// exactly whenever the memtable is empty (always, for predicates with
+/// corpus-independent scores). Between compactions, TF-IDF cosine scores
+/// new records against the base corpus statistics (frozen IDF) — the
+/// standard serving-time approximation, made exact again by Compact().
+class SimilarityService {
+ public:
+  /// Takes ownership of the corpus (prepared internally; the caller need
+  /// not call Prepare). `pred` must outlive the service.
+  SimilarityService(RecordSet corpus, const Predicate& pred,
+                    ServiceOptions options = {});
+
+  SimilarityService(const SimilarityService&) = delete;
+  SimilarityService& operator=(const SimilarityService&) = delete;
+
+  /// All corpus records matching `query` under the predicate, in
+  /// increasing id order. `text` is kept for text-based verification
+  /// (edit distance); pass {} otherwise.
+  std::vector<QueryMatch> Query(RecordView query,
+                                std::string text = {}) const;
+
+  /// One result list per query record, results[i] answering
+  /// queries.record(i); identical to calling Query per record (including
+  /// order) but fanned out over the worker pool. Concurrent BatchQuery
+  /// calls serialize on the pool; point queries are unaffected.
+  std::vector<std::vector<QueryMatch>> BatchQuery(
+      const RecordSet& queries) const;
+
+  /// The k corpus records with the largest match amount against `query`
+  /// (ties broken by increasing id), ranked WITHOUT the predicate's
+  /// threshold — like TopKJoin, only records sharing at least one token
+  /// can appear. Short-record fallback pairs (edit distance) are not
+  /// ranked.
+  std::vector<QueryMatch> QueryTopK(RecordView query, size_t k,
+                                    std::string text = {}) const;
+
+  /// Adds a record to the corpus; visible to every query issued after
+  /// return. Returns its corpus id. May trigger a compaction
+  /// (ServiceOptions::memtable_limit).
+  RecordId Insert(RecordView record, std::string text = {});
+
+  /// Rebuilds the base index over the full corpus (batch Prepare +
+  /// PlanFromRecords) and empties the memtable. Queries keep running
+  /// against the previous snapshot until the new one is published.
+  void Compact();
+
+  /// Total records (base + memtable) in the current snapshot.
+  size_t size() const { return snapshot()->size(); }
+  /// Records awaiting compaction in the current snapshot.
+  size_t memtable_size() const { return snapshot()->delta_size(); }
+  /// Publication count: bumps on every insert and compaction.
+  uint64_t epoch() const { return snapshot()->epoch; }
+
+  /// Copy of the aggregate serving counters.
+  ServiceStats stats() const;
+  /// Counters, latency quantiles and snapshot shape as a JSON object.
+  std::string StatsJson() const;
+
+  /// The current immutable view; hold the pointer to pin an epoch.
+  std::shared_ptr<const IndexSnapshot> snapshot() const;
+
+ private:
+  void CompactLocked(bool count_compaction);
+  void Publish(std::shared_ptr<const BaseTier> base,
+               std::shared_ptr<const DeltaTier> delta);
+
+  const Predicate& pred_;
+  const ServiceOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  // Writer-owned authoritative state, guarded by write_mutex_: the full
+  // corpus (raw scores; re-Prepared on every compaction) and the
+  // incrementally prepared memtable records.
+  std::mutex write_mutex_;
+  RecordSet corpus_;
+  RecordSet memtable_;
+
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const IndexSnapshot> snapshot_;
+
+  mutable std::mutex stats_mutex_;
+  mutable ServiceStats stats_;
+
+  mutable std::mutex batch_mutex_;  // ParallelFor is not reentrant
+};
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_SERVE_SIMILARITY_SERVICE_H_

@@ -1,0 +1,50 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+#include "core/predicate.h"
+
+namespace ssjoin {
+
+namespace {
+
+std::vector<RecordId> CollectShortIds(const RecordSet& records,
+                                      double short_norm_bound) {
+  std::vector<RecordId> short_ids;
+  if (short_norm_bound <= 0) return short_ids;
+  for (RecordId id = 0; id < records.size(); ++id) {
+    if (records.record(id).norm() < short_norm_bound) {
+      short_ids.push_back(id);
+    }
+  }
+  return short_ids;
+}
+
+}  // namespace
+
+std::shared_ptr<const BaseTier> BuildBaseTier(RecordSet records,
+                                              const Predicate& pred) {
+  auto tier = std::make_shared<BaseTier>();
+  tier->records = std::move(records);
+  pred.Prepare(&tier->records);
+  tier->index.PlanFromRecords(tier->records);
+  for (RecordId id = 0; id < tier->records.size(); ++id) {
+    tier->index.Insert(id, tier->records.record(id));
+  }
+  tier->short_ids =
+      CollectShortIds(tier->records, pred.ShortRecordNormBound());
+  return tier;
+}
+
+std::shared_ptr<const DeltaTier> BuildDeltaTier(RecordSet records,
+                                                double short_norm_bound) {
+  auto tier = std::make_shared<DeltaTier>();
+  tier->records = std::move(records);
+  for (RecordId id = 0; id < tier->records.size(); ++id) {
+    tier->index.Insert(id, tier->records.record(id));
+  }
+  tier->short_ids = CollectShortIds(tier->records, short_norm_bound);
+  return tier;
+}
+
+}  // namespace ssjoin

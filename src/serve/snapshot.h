@@ -1,0 +1,74 @@
+#ifndef SSJOIN_SERVE_SNAPSHOT_H_
+#define SSJOIN_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/record_set.h"
+#include "index/dynamic_index.h"
+#include "index/inverted_index.h"
+
+namespace ssjoin {
+
+class Predicate;
+
+/// The compacted tier of the serving layer: the full corpus as of the
+/// last compaction, prepared by the service predicate and indexed in the
+/// flat CSR InvertedIndex (the batch-join index, reused unchanged).
+/// Immutable after construction — only ever shared as
+/// shared_ptr<const BaseTier>.
+struct BaseTier {
+  RecordSet records;
+  InvertedIndex index;
+  /// Records with norm below the predicate's ShortRecordNormBound, which
+  /// can match a short probe without sharing any token (edit distance);
+  /// queries brute-force this side pool like the batch drivers do.
+  std::vector<RecordId> short_ids;
+};
+
+/// The memtable image: records inserted since the last compaction,
+/// scored against the base corpus statistics (PrepareIncremental) and
+/// indexed in a DynamicIndex under their LOCAL ids — global id =
+/// base records + local id. Rebuilt copy-on-write on every insert
+/// (bounded by the service's memtable limit), so published images are
+/// immutable just like the base.
+struct DeltaTier {
+  RecordSet records;
+  DynamicIndex index;
+  std::vector<RecordId> short_ids;  // local ids
+};
+
+/// One epoch's immutable view of the service corpus: a shared base, a
+/// delta image and the epoch number. Readers copy the owning shared_ptr
+/// under the service's snapshot mutex and then run entirely lock-free;
+/// writers publish a NEW snapshot instead of ever mutating one, so a
+/// query keeps a consistent view for as long as it holds the pointer,
+/// across any number of concurrent inserts and compactions.
+struct IndexSnapshot {
+  std::shared_ptr<const BaseTier> base;    // never null
+  std::shared_ptr<const DeltaTier> delta;  // never null; may be empty
+  uint64_t epoch = 0;
+
+  size_t base_size() const { return base->records.size(); }
+  size_t delta_size() const { return delta->records.size(); }
+  size_t size() const { return base_size() + delta_size(); }
+};
+
+/// Builds a compacted base tier: prepares `records` with the predicate
+/// (full batch Prepare — corpus statistics recomputed over everything),
+/// plans the CSR index from the corpus document frequencies and inserts
+/// every record. This is exactly the index a batch self-join would
+/// build, which is what makes query answers equivalent to join output.
+std::shared_ptr<const BaseTier> BuildBaseTier(RecordSet records,
+                                              const Predicate& pred);
+
+/// Builds a delta image over already-prepared memtable records.
+/// `short_norm_bound` is the predicate's ShortRecordNormBound (0 for
+/// predicates without a short-record fallback).
+std::shared_ptr<const DeltaTier> BuildDeltaTier(RecordSet records,
+                                                double short_norm_bound);
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_SERVE_SNAPSHOT_H_

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
 
 #include "util/logging.h"
 
@@ -57,25 +58,45 @@ void ThreadPool::RunChunks(const RangeFn& fn, size_t total, size_t chunk,
 void ThreadPool::ParallelFor(size_t total, size_t chunk, const RangeFn& fn) {
   if (total == 0) return;
   if (chunk == 0) chunk = 1;
+
+  // Exceptions thrown by fn must not unwind through the worker loop
+  // (std::thread would std::terminate): every invocation goes through a
+  // guard that captures the first exception for rethrow on the caller.
+  // Later chunks observe the failure flag and drain without running fn.
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const RangeFn guarded = [&](size_t begin, size_t end, int worker) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    try {
+      fn(begin, end, worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (first_error == nullptr) first_error = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  };
+
   if (workers_.empty() || total <= chunk) {
-    fn(0, total, 0);
-    return;
+    guarded(0, total, 0);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      SSJOIN_CHECK(remaining_ == 0);  // ParallelFor is not reentrant
+      job_fn_ = &guarded;
+      job_total_ = total;
+      job_chunk_ = chunk;
+      next_.store(0, std::memory_order_relaxed);
+      remaining_ = static_cast<int>(workers_.size());
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    RunChunks(guarded, total, chunk, /*worker=*/0);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    job_fn_ = nullptr;
   }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    SSJOIN_CHECK(remaining_ == 0);  // ParallelFor is not reentrant
-    job_fn_ = &fn;
-    job_total_ = total;
-    job_chunk_ = chunk;
-    next_.store(0, std::memory_order_relaxed);
-    remaining_ = static_cast<int>(workers_.size());
-    ++generation_;
-  }
-  work_cv_.notify_all();
-  RunChunks(fn, total, chunk, /*worker=*/0);
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return remaining_ == 0; });
-  job_fn_ = nullptr;
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 int ThreadPool::DefaultNumThreads() {

@@ -42,6 +42,12 @@ class ThreadPool {
   /// need determinism must merge per-worker results order-independently.
   /// Writes made by fn happen-before ParallelFor's return.
   /// Not reentrant: do not call ParallelFor from inside fn.
+  ///
+  /// If fn throws, the first exception (in completion order) is captured
+  /// and rethrown on the calling thread after every worker has drained —
+  /// it never crosses the noexcept worker-thread boundary. Chunks
+  /// claimed after a failure are skipped, so items may go unprocessed;
+  /// the pool itself stays usable for subsequent ParallelFor calls.
   void ParallelFor(size_t total, size_t chunk, const RangeFn& fn);
 
   /// std::thread::hardware_concurrency with a floor of 1.

@@ -1,4 +1,5 @@
 #include <filesystem>
+#include <fstream>
 #include <utility>
 #include <vector>
 
@@ -105,6 +106,27 @@ TEST(ClusterMemTest, KeepTempFilesOption) {
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(fs::is_empty(dir));
   fs::remove_all(dir);
+}
+
+TEST(ClusterMemTest, CleanErrorWhenTempDirIsNotADirectory) {
+  namespace fs = std::filesystem;
+  // temp_dir names a regular file: every spill-file open fails with a
+  // clean Status (never a crash), and the RAII guards fire on the early
+  // return without having anything to delete.
+  std::string bogus = ::testing::TempDir() + "/ssjoin_not_a_dir";
+  { std::ofstream(bogus) << "x"; }
+  RecordSet set = testing_util::MakeRandomRecordSet({.num_records = 20}, 7);
+  OverlapPredicate pred(2);
+  pred.Prepare(&set);
+  ClusterMemOptions options;
+  options.memory_budget_postings = 50;
+  options.temp_dir = bogus;
+  Result<JoinStats> result =
+      ClusterMemJoin(set, pred, options, [](RecordId, RecordId) {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  EXPECT_TRUE(fs::is_regular_file(bogus));  // untouched by the guards
+  fs::remove(bogus);
 }
 
 TEST(ClusterMemTest, ExplicitClusterOverridesRespected) {

@@ -1,5 +1,7 @@
 #include <cmath>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -8,12 +10,42 @@
 #include "core/jaccard_predicate.h"
 #include "index/index_io.h"
 #include "test_util.h"
+#include "util/varint.h"
 
 namespace ssjoin {
 namespace {
 
 std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
+}
+
+void AppendDouble(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  out->append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+}
+
+void AppendFloat(std::string* out, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  out->append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+}
+
+/// Starts a byte-exact index file: magic, entity count, min_norm, list
+/// count. Tests append hand-crafted list payloads to probe the loader.
+std::string FileHeader(uint64_t num_entities, uint64_t num_lists) {
+  std::string bytes("SSJI", 4);
+  PutVarint64(&bytes, num_entities);
+  AppendDouble(&bytes, 1.0);
+  PutVarint64(&bytes, num_lists);
+  return bytes;
+}
+
+Status LoadBytes(const std::string& name, const std::string& bytes) {
+  std::string path = TempPath(name);
+  std::ofstream(path, std::ios::binary) << bytes;
+  Result<InvertedIndex> loaded = LoadIndex(path);
+  return loaded.ok() ? Status::OK() : loaded.status();
 }
 
 InvertedIndex BuildIndex(const RecordSet& records) {
@@ -103,6 +135,126 @@ TEST(IndexIoTest, RejectsCorruptFiles) {
         << bytes.substr(0, bytes.size() - cut);
     EXPECT_FALSE(LoadIndex(truncated_path).ok()) << "cut=" << cut;
   }
+}
+
+TEST(IndexIoTest, RejectsImplausibleEntityCount) {
+  // RecordIds are 32-bit; a larger count cannot come from SaveIndex.
+  std::string bytes =
+      FileHeader(uint64_t{std::numeric_limits<uint32_t>::max()} + 1, 0);
+  Status status = LoadBytes("index_huge_entities.idx", bytes);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("implausible entity count"),
+            std::string::npos);
+}
+
+TEST(IndexIoTest, RejectsImplausibleTokenId) {
+  // A garbage token id must be rejected before it sizes the counts
+  // vector (a naive loader would attempt a multi-gigabyte allocation).
+  std::string bytes = FileHeader(2, 1);
+  PutVarint32(&bytes, (1u << 30) + 1);  // token
+  PutVarint32(&bytes, 1);               // count
+  PutVarint32(&bytes, 0);               // id 0
+  AppendFloat(&bytes, 1.0f);
+  Status status = LoadBytes("index_huge_token.idx", bytes);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("implausible token id"),
+            std::string::npos);
+}
+
+TEST(IndexIoTest, RejectsOutOfOrderAndDuplicateLists) {
+  for (uint32_t second_token : {3u, 5u}) {  // below and equal to the first
+    std::string bytes = FileHeader(2, 2);
+    for (uint32_t token : {5u, second_token}) {
+      PutVarint32(&bytes, token);
+      PutVarint32(&bytes, 1);  // count
+      PutVarint32(&bytes, 0);  // id 0
+      AppendFloat(&bytes, 1.0f);
+    }
+    Status status = LoadBytes("index_token_order.idx", bytes);
+    ASSERT_FALSE(status.ok()) << "second token " << second_token;
+    EXPECT_NE(status.ToString().find("out of order"), std::string::npos);
+  }
+}
+
+TEST(IndexIoTest, RejectsEmptyPostingList) {
+  std::string bytes = FileHeader(2, 1);
+  PutVarint32(&bytes, 0);  // token
+  PutVarint32(&bytes, 0);  // count 0: SaveIndex never emits empty lists
+  Status status = LoadBytes("index_empty_list.idx", bytes);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("empty posting list"), std::string::npos);
+}
+
+TEST(IndexIoTest, RejectsCountExceedingEntityCount) {
+  std::string bytes = FileHeader(2, 1);
+  PutVarint32(&bytes, 0);  // token
+  PutVarint32(&bytes, 3);  // count > num_entities
+  for (int i = 0; i < 3; ++i) PutVarint32(&bytes, i == 0 ? 0 : 1);
+  for (int i = 0; i < 3; ++i) AppendFloat(&bytes, 1.0f);
+  Status status = LoadBytes("index_overfull_list.idx", bytes);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("exceeds entity count"),
+            std::string::npos);
+}
+
+TEST(IndexIoTest, RejectsNonMonotonePostingIds) {
+  std::string bytes = FileHeader(4, 1);
+  PutVarint32(&bytes, 0);  // token
+  PutVarint32(&bytes, 2);  // count
+  PutVarint32(&bytes, 1);  // id 1
+  PutVarint32(&bytes, 0);  // delta 0: id repeats
+  AppendFloat(&bytes, 1.0f);
+  AppendFloat(&bytes, 1.0f);
+  Status status = LoadBytes("index_non_monotone.idx", bytes);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("non-monotone"), std::string::npos);
+}
+
+TEST(IndexIoTest, RejectsPostingIdOutOfRange) {
+  std::string bytes = FileHeader(3, 1);
+  PutVarint32(&bytes, 0);  // token
+  PutVarint32(&bytes, 1);  // count
+  PutVarint32(&bytes, 7);  // id 7 >= num_entities 3
+  AppendFloat(&bytes, 1.0f);
+  Status status = LoadBytes("index_id_range.idx", bytes);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("out of range"), std::string::npos);
+}
+
+TEST(IndexIoTest, RejectsNonFiniteScore) {
+  std::string bytes = FileHeader(2, 1);
+  PutVarint32(&bytes, 0);  // token
+  PutVarint32(&bytes, 1);  // count
+  PutVarint32(&bytes, 0);  // id 0
+  AppendFloat(&bytes, std::numeric_limits<float>::quiet_NaN());
+  Status status = LoadBytes("index_nan_score.idx", bytes);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("non-finite"), std::string::npos);
+}
+
+TEST(IndexIoTest, HandCraftedValidFileLoads) {
+  // The rejection tests above prove the loader is strict; this proves it
+  // is not *too* strict: a minimal well-formed file still loads.
+  std::string bytes = FileHeader(3, 2);
+  PutVarint32(&bytes, 1);  // token 1
+  PutVarint32(&bytes, 2);  // count
+  PutVarint32(&bytes, 0);  // id 0
+  PutVarint32(&bytes, 2);  // id 2
+  AppendFloat(&bytes, 0.5f);
+  AppendFloat(&bytes, 0.25f);
+  PutVarint32(&bytes, 4);  // token 4
+  PutVarint32(&bytes, 1);  // count
+  PutVarint32(&bytes, 1);  // id 1
+  AppendFloat(&bytes, 1.0f);
+  std::string path = TempPath("index_handmade.idx");
+  std::ofstream(path, std::ios::binary) << bytes;
+  Result<InvertedIndex> loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_entities(), 3u);
+  EXPECT_EQ(loaded.value().total_postings(), 3u);
+  ASSERT_EQ(loaded.value().list(1).size(), 2u);
+  EXPECT_EQ(loaded.value().list(1)[1].id, 2u);
+  EXPECT_FLOAT_EQ(static_cast<float>(loaded.value().list(4)[0].score), 1.0f);
 }
 
 TEST(IndexIoTest, MissingFile) {

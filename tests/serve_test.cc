@@ -1,0 +1,379 @@
+#include "serve/similarity_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cosine_predicate.h"
+#include "core/edit_distance_predicate.h"
+#include "core/jaccard_predicate.h"
+#include "core/join.h"
+#include "core/overlap_predicate.h"
+#include "data/corpus_builder.h"
+#include "test_util.h"
+#include "text/token_dictionary.h"
+
+namespace ssjoin {
+namespace {
+
+ServiceOptions MakeOptions(size_t memtable_limit, int num_threads = 0) {
+  ServiceOptions options;
+  options.memtable_limit = memtable_limit;
+  options.num_threads = num_threads;
+  return options;
+}
+
+/// Per-record partner sets of a fresh batch self-join over `corpus`
+/// (prepared copy; the input stays raw, exactly like the service's own
+/// corpus handling).
+std::map<RecordId, std::set<RecordId>> JoinPartners(const RecordSet& corpus,
+                                                    const Predicate& pred) {
+  RecordSet prepared = corpus;
+  Result<std::vector<std::pair<RecordId, RecordId>>> pairs =
+      JoinToPairs(&prepared, pred, JoinAlgorithm::kProbeOptMerge);
+  EXPECT_TRUE(pairs.ok()) << pairs.status().ToString();
+  std::map<RecordId, std::set<RecordId>> partners;
+  for (const auto& [a, b] : pairs.value()) {
+    partners[a].insert(b);
+    partners[b].insert(a);
+  }
+  return partners;
+}
+
+/// Queries the service with every corpus record and checks the answers
+/// against the join partner sets (ignoring the self match, which a pair
+/// join never emits).
+void ExpectQueriesMatchJoin(const SimilarityService& service,
+                            const RecordSet& corpus, const Predicate& pred) {
+  std::map<RecordId, std::set<RecordId>> partners =
+      JoinPartners(corpus, pred);
+  for (RecordId r = 0; r < corpus.size(); ++r) {
+    std::set<RecordId> answered;
+    for (const QueryMatch& m :
+         service.Query(corpus.record(r), corpus.text(r))) {
+      if (m.id != r) answered.insert(m.id);
+    }
+    EXPECT_EQ(answered, partners[r]) << "record " << r;
+  }
+}
+
+RecordSet Slice(const RecordSet& corpus, RecordId begin, RecordId end) {
+  RecordSet out;
+  for (RecordId id = begin; id < end; ++id) {
+    out.Add(corpus.record(id), corpus.text(id));
+  }
+  return out;
+}
+
+TEST(SimilarityServiceTest, MatchesBatchJoinOverlap) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 150, .vocabulary = 80}, 11);
+  OverlapPredicate pred(3);
+  SimilarityService service(corpus, pred);
+  ExpectQueriesMatchJoin(service, corpus, pred);
+}
+
+TEST(SimilarityServiceTest, MatchesBatchJoinJaccard) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 150, .vocabulary = 80}, 12);
+  JaccardPredicate pred(0.5);
+  SimilarityService service(corpus, pred);
+  ExpectQueriesMatchJoin(service, corpus, pred);
+}
+
+TEST(SimilarityServiceTest, MatchesBatchJoinCosine) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 150, .vocabulary = 80}, 13);
+  CosinePredicate pred(0.6);
+  SimilarityService service(corpus, pred);
+  ExpectQueriesMatchJoin(service, corpus, pred);
+}
+
+// The before-and-after-growth acceptance check: construct the service on
+// a prefix of the corpus, Insert() the rest, Compact(), and require
+// query answers identical to a fresh batch join over the full corpus.
+// For the corpus-independent predicates the equivalence must also hold
+// BEFORE compaction, straight off the memtable.
+TEST(SimilarityServiceTest, InsertThenCompactMatchesBatchJoinAllPredicates) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 160, .vocabulary = 80}, 14);
+  const RecordId split = 110;
+  OverlapPredicate overlap(3);
+  JaccardPredicate jaccard(0.5);
+  CosinePredicate cosine(0.6);
+  struct Case {
+    const Predicate* pred;
+    bool exact_before_compaction;
+  };
+  const Case cases[] = {
+      {&overlap, true}, {&jaccard, true}, {&cosine, false}};
+  for (const Case& c : cases) {
+    SimilarityService service(Slice(corpus, 0, split), *c.pred);
+    for (RecordId id = split; id < corpus.size(); ++id) {
+      EXPECT_EQ(service.Insert(corpus.record(id)), id);
+    }
+    EXPECT_EQ(service.size(), corpus.size());
+    EXPECT_GT(service.memtable_size(), 0u);
+    if (c.exact_before_compaction) {
+      // Per-record scores do not depend on corpus statistics, so the
+      // two-tier answer is already exact with a populated memtable.
+      ExpectQueriesMatchJoin(service, corpus, *c.pred);
+    }
+    service.Compact();
+    EXPECT_EQ(service.memtable_size(), 0u);
+    // After compaction the base holds the full corpus with Prepare()
+    // re-run from scratch, so even TF-IDF cosine is exact.
+    ExpectQueriesMatchJoin(service, corpus, *c.pred);
+  }
+}
+
+TEST(SimilarityServiceTest, InsertIsVisibleImmediately) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 40, .vocabulary = 30}, 15);
+  JaccardPredicate pred(0.8);
+  SimilarityService service(Slice(corpus, 0, 39), pred);
+  const RecordView newcomer = corpus.record(39);
+  RecordId id = service.Insert(newcomer);
+  EXPECT_EQ(id, 39u);
+  // An exact duplicate always passes Jaccard: the new record must be in
+  // its own answer set without any compaction.
+  std::vector<QueryMatch> matches = service.Query(newcomer);
+  EXPECT_TRUE(std::any_of(
+      matches.begin(), matches.end(),
+      [id](const QueryMatch& m) { return m.id == id; }));
+}
+
+TEST(SimilarityServiceTest, CompactionPreservesAnswersAndBumpsEpoch) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 120, .vocabulary = 60}, 16);
+  OverlapPredicate pred(3);
+  SimilarityService service(Slice(corpus, 0, 100), pred,
+                            MakeOptions(0));
+  for (RecordId id = 100; id < corpus.size(); ++id) {
+    service.Insert(corpus.record(id));
+  }
+  std::vector<std::vector<QueryMatch>> before;
+  for (RecordId r = 0; r < corpus.size(); ++r) {
+    before.push_back(service.Query(corpus.record(r)));
+  }
+  uint64_t epoch_before = service.epoch();
+  service.Compact();
+  EXPECT_GT(service.epoch(), epoch_before);
+  EXPECT_EQ(service.memtable_size(), 0u);
+  EXPECT_EQ(service.size(), corpus.size());
+  for (RecordId r = 0; r < corpus.size(); ++r) {
+    std::vector<QueryMatch> after = service.Query(corpus.record(r));
+    ASSERT_EQ(after.size(), before[r].size()) << "record " << r;
+    for (size_t i = 0; i < after.size(); ++i) {
+      EXPECT_EQ(after[i].id, before[r][i].id);
+      EXPECT_DOUBLE_EQ(after[i].score, before[r][i].score);
+    }
+  }
+}
+
+TEST(SimilarityServiceTest, MemtableLimitTriggersAutoCompaction) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 20, .vocabulary = 30}, 17);
+  OverlapPredicate pred(2);
+  SimilarityService service(Slice(corpus, 0, 10), pred,
+                            MakeOptions(4));
+  for (RecordId id = 10; id < 18; ++id) service.Insert(corpus.record(id));
+  // 8 inserts with limit 4: two automatic compactions, memtable drained.
+  EXPECT_EQ(service.memtable_size(), 0u);
+  EXPECT_EQ(service.stats().compactions, 2u);
+  EXPECT_EQ(service.size(), 18u);
+}
+
+TEST(SimilarityServiceTest, BatchQueryEqualsPointQueries) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 130, .vocabulary = 70}, 18);
+  JaccardPredicate pred(0.5);
+  SimilarityService service(corpus, pred, MakeOptions(256, 4));
+  RecordSet queries = testing_util::MakeRandomRecordSet(
+      {.num_records = 60, .vocabulary = 70}, 19);
+  std::vector<std::vector<QueryMatch>> batched = service.BatchQuery(queries);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (RecordId q = 0; q < queries.size(); ++q) {
+    std::vector<QueryMatch> point = service.Query(queries.record(q));
+    ASSERT_EQ(batched[q].size(), point.size()) << "query " << q;
+    for (size_t i = 0; i < point.size(); ++i) {
+      EXPECT_EQ(batched[q][i].id, point[i].id);
+      EXPECT_DOUBLE_EQ(batched[q][i].score, point[i].score);
+    }
+  }
+}
+
+TEST(SimilarityServiceTest, TopKRanksByScoreAndTruncates) {
+  // Hand-built corpus with a known overlap ranking against {0, 1, 2}:
+  // r0 and r2 share 3 tokens (tie, id order), r1 shares 2, r4 shares 1,
+  // r3 shares none and must never appear.
+  RecordSet corpus;
+  corpus.Add(Record::FromTokens({0, 1, 2}));
+  corpus.Add(Record::FromTokens({0, 1}));
+  corpus.Add(Record::FromTokens({0, 1, 2, 3}));
+  corpus.Add(Record::FromTokens({7, 8}));
+  corpus.Add(Record::FromTokens({0, 9}));
+  OverlapPredicate pred(2);  // the threshold is irrelevant to top-k
+  SimilarityService service(corpus, pred);
+
+  const RecordView query = corpus.record(0);
+  std::vector<QueryMatch> top = service.QueryTopK(query, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 0u);
+  EXPECT_DOUBLE_EQ(top[0].score, 3.0);
+  EXPECT_EQ(top[1].id, 2u);
+  EXPECT_DOUBLE_EQ(top[1].score, 3.0);
+  EXPECT_EQ(top[2].id, 1u);
+  EXPECT_DOUBLE_EQ(top[2].score, 2.0);
+
+  // k beyond the candidate pool: everything sharing a token, nothing else.
+  std::vector<QueryMatch> all = service.QueryTopK(query, 10);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[3].id, 4u);
+  EXPECT_DOUBLE_EQ(all[3].score, 1.0);
+
+  // Top-k sees the memtable too: a new duplicate of the query ties the
+  // leaders and slots by id.
+  service.Insert(Record::FromTokens({0, 1, 2}));
+  std::vector<QueryMatch> grown = service.QueryTopK(query, 10);
+  ASSERT_EQ(grown.size(), 5u);
+  EXPECT_EQ(grown[2].id, 5u);
+  EXPECT_DOUBLE_EQ(grown[2].score, 3.0);
+}
+
+TEST(SimilarityServiceTest, ShortRecordFallbackServesEditDistance) {
+  // Tiny strings can be within edit distance k while sharing no q-gram;
+  // the per-tier short pools must surface them just like the batch join.
+  std::vector<std::string> texts = {"ab",   "ac",    "a",
+                                    "xyzw", "abcdefg", "b"};
+  TokenDictionary dict;
+  RecordSet corpus = BuildQGramCorpus(texts, 3, &dict);
+  EditDistancePredicate pred(1, 3);
+  SimilarityService service(corpus, pred);
+  ExpectQueriesMatchJoin(service, corpus, pred);
+
+  // Grown corpus, short record arriving through the memtable path.
+  RecordSet more = BuildQGramCorpus({"abc", "c"}, 3, &dict);
+  RecordSet full = corpus;
+  for (RecordId id = 0; id < more.size(); ++id) {
+    full.Add(more.record(id), more.text(id));
+    service.Insert(more.record(id), more.text(id));
+  }
+  ExpectQueriesMatchJoin(service, full, pred);
+}
+
+TEST(SimilarityServiceTest, StatsCountersAndJson) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 60, .vocabulary = 40}, 21);
+  JaccardPredicate pred(0.5);
+  SimilarityService service(Slice(corpus, 0, 50), pred);
+  for (RecordId r = 0; r < 10; ++r) service.Query(corpus.record(r));
+  service.QueryTopK(corpus.record(0), 3);
+  service.BatchQuery(Slice(corpus, 0, 5));
+  for (RecordId id = 50; id < 55; ++id) service.Insert(corpus.record(id));
+  service.Compact();
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.point_queries, 10u);
+  EXPECT_EQ(stats.topk_queries, 1u);
+  EXPECT_EQ(stats.batch_queries, 1u);
+  EXPECT_EQ(stats.batched_records, 5u);
+  EXPECT_EQ(stats.inserts, 5u);
+  EXPECT_EQ(stats.compactions, 1u);
+  EXPECT_GE(stats.results, 10u);  // every query matches itself at least
+  EXPECT_GE(stats.candidates, stats.results);
+  EXPECT_EQ(stats.query_latency_us.count(), 11u);
+  EXPECT_EQ(stats.batch_latency_us.count(), 1u);
+
+  std::string json = service.StatsJson();
+  for (const char* key :
+       {"\"epoch\"", "\"base_records\"", "\"memtable_records\"",
+        "\"point_queries\"", "\"compactions\"", "\"query_latency_us\"",
+        "\"p99\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+  // Balanced braces as a cheap well-formedness check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(SimilarityServiceTest, LatencyHistogramQuantiles) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.QuantileUpperBound(0.5), 0u);
+  for (uint64_t us : {1u, 2u, 3u, 100u, 200u, 5000u}) h.Record(us);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.max_micros(), 5000u);
+  EXPECT_LE(h.QuantileUpperBound(0.5), 255u);   // 3rd sample's bucket
+  EXPECT_EQ(h.QuantileUpperBound(1.0), 5000u);  // clamped to the max
+  EXPECT_GE(h.QuantileUpperBound(0.99), 4096u);
+}
+
+// The TSan acceptance test: concurrent point queries, batch queries and
+// an inserting/compacting writer over the same service. Exercises the
+// snapshot swap, the copy-on-write delta rebuild and the stats mutex.
+TEST(SimilarityServiceTest, ConcurrentReadersAndWriter) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 120, .vocabulary = 60}, 22);
+  RecordSet extra = testing_util::MakeRandomRecordSet(
+      {.num_records = 60, .vocabulary = 60}, 23);
+  JaccardPredicate pred(0.5);
+  SimilarityService service(corpus, pred,
+                            MakeOptions(16, 2));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> answered{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t local_epoch = 0;
+      for (RecordId r = 0; !stop.load(std::memory_order_relaxed);
+           r = (r + 7 + static_cast<RecordId>(t)) %
+               static_cast<RecordId>(corpus.size())) {
+        std::vector<QueryMatch> matches = service.Query(corpus.record(r));
+        // Answers are id-sorted and epochs only move forward.
+        for (size_t i = 1; i < matches.size(); ++i) {
+          ASSERT_LT(matches[i - 1].id, matches[i].id);
+        }
+        uint64_t epoch = service.epoch();
+        ASSERT_GE(epoch, local_epoch);
+        local_epoch = epoch;
+        answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread batcher([&] {
+    RecordSet queries = Slice(corpus, 0, 20);
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<std::vector<QueryMatch>> results =
+          service.BatchQuery(queries);
+      ASSERT_EQ(results.size(), queries.size());
+    }
+  });
+
+  for (RecordId id = 0; id < extra.size(); ++id) {
+    service.Insert(extra.record(id));
+    if (id % 25 == 24) service.Compact();
+  }
+  // Let the readers observe the final state for a few rounds.
+  while (answered.load(std::memory_order_relaxed) < 200) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+  batcher.join();
+
+  EXPECT_EQ(service.size(), corpus.size() + extra.size());
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.inserts, extra.size());
+  EXPECT_GE(stats.point_queries, 200u);
+}
+
+}  // namespace
+}  // namespace ssjoin

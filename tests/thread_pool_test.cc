@@ -5,6 +5,7 @@
 #include <mutex>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -90,6 +91,63 @@ TEST(ThreadPoolTest, WorkerIdsStayInRange) {
     if (worker < 0 || worker >= 4) in_range = false;
   });
   EXPECT_TRUE(in_range.load());
+}
+
+TEST(ThreadPoolTest, RethrowsWorkerExceptionOnCaller) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.ParallelFor(1000, 3, [&](size_t begin, size_t end, int /*worker*/) {
+      for (size_t i = begin; i < end; ++i) {
+        if (i == 437) throw std::runtime_error("boom at 437");
+      }
+      ran.fetch_add(static_cast<int>(end - begin),
+                    std::memory_order_relaxed);
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 437");
+  }
+  // Chunks claimed after the failure are skipped, never half-run.
+  EXPECT_LT(ran.load(), 1000);
+}
+
+TEST(ThreadPoolTest, RethrowsOnInlinePathToo) {
+  ThreadPool pool(1);  // no background workers: the guarded inline path
+  EXPECT_THROW(
+      pool.ParallelFor(10, 100,
+                       [](size_t, size_t, int) {
+                         throw std::runtime_error("inline boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, UsableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(100, 1,
+                                [](size_t, size_t, int) {
+                                  throw std::runtime_error("first job");
+                                }),
+               std::runtime_error);
+  // The pool must have fully drained the failed job and accept new work.
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(100, 4, [&](size_t begin, size_t end, int /*worker*/) {
+    uint64_t local = 0;
+    for (size_t i = begin; i < end; ++i) local += i;
+    sum.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPoolTest, FirstExceptionWinsUnderConcurrentThrows) {
+  ThreadPool pool(4);
+  // Every chunk throws; exactly one exception must surface (no terminate,
+  // no leak of the others).
+  EXPECT_THROW(pool.ParallelFor(64, 1,
+                                [](size_t begin, size_t, int) {
+                                  throw static_cast<int>(begin);
+                                }),
+               int);
 }
 
 TEST(ThreadPoolTest, ClampsNonPositiveThreadCounts) {

@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Builds the ThreadSanitizer configuration and runs the concurrency test
-# suite (thread pool + parallel joins) under it.
+# suite (thread pool, parallel joins, serving layer) under it.
 #
 #   tools/run_tsan_tests.sh [build-dir]
 #
@@ -13,6 +13,7 @@ build_dir=${1:-"$repo_root/build-tsan"}
 
 cmake -B "$build_dir" -S "$repo_root" -DSSJOIN_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build_dir" -j --target thread_pool_test parallel_join_test
-ctest --test-dir "$build_dir" -R '(thread_pool|parallel_join)' \
+cmake --build "$build_dir" -j --target \
+      thread_pool_test parallel_join_test serve_test
+ctest --test-dir "$build_dir" -R '(thread_pool|parallel_join|serve_test)' \
       --output-on-failure

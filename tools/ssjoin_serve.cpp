@@ -1,0 +1,309 @@
+// ssjoin_serve — stand up a SimilarityService over a text corpus and
+// answer lookups interactively or from a batch file. One record per line.
+//
+//   ssjoin_serve --corpus=records.txt --predicate=jaccard --threshold=0.8
+//   ssjoin_serve --corpus=records.txt --queries=queries.txt --threads=4
+//   ssjoin_serve --corpus=records.txt --topk=5 < queries.txt
+//
+// Interactive commands (stdin, one per line):
+//   <text>        look up the record; prints "id<TAB>score" per match
+//   + <text>      insert the record into the corpus
+//   ! compact     fold the memtable into the base index
+//   ? stats       print the service stats JSON
+//   (EOF quits; stats JSON also lands on stderr at exit with --stats-json)
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cosine_predicate.h"
+#include "core/dice_predicate.h"
+#include "core/edit_distance_predicate.h"
+#include "core/jaccard_predicate.h"
+#include "core/overlap_predicate.h"
+#include "data/corpus_builder.h"
+#include "serve/similarity_service.h"
+#include "text/token_dictionary.h"
+
+namespace {
+
+using namespace ssjoin;
+
+constexpr const char kUsage[] =
+    "usage: ssjoin_serve --corpus=FILE [flags]\n"
+    "  --corpus=FILE         corpus file, one record per line (required)\n"
+    "  --predicate=NAME      overlap | jaccard | cosine | dice |\n"
+    "                        edit-distance (default jaccard)\n"
+    "  --threshold=X         predicate threshold (T, f or k); must be > 0\n"
+    "  --tokens=MODE         words (default) | 2gram | 3gram | 4gram\n"
+    "  --queries=FILE        batch mode: answer every line of FILE via\n"
+    "                        BatchQuery and exit (no REPL)\n"
+    "  --topk=K              rank the K nearest records per query instead\n"
+    "                        of thresholding\n"
+    "  --threads=N           BatchQuery worker threads (default hardware)\n"
+    "  --memtable-limit=N    auto-compact at N memtable records\n"
+    "                        (default 256; 0 = only on '! compact')\n"
+    "  --stats-json          print the stats JSON to stderr at exit\n";
+
+struct ServeCliOptions {
+  std::string corpus;
+  std::string queries;
+  std::string predicate = "jaccard";
+  double threshold = 0.8;
+  std::string tokens = "words";
+  uint64_t topk = 0;
+  int threads = 0;
+  uint64_t memtable_limit = 256;
+  bool stats_json = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  if (!std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseUint64(const std::string& text, uint64_t* out) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+std::optional<ServeCliOptions> ParseArgs(int argc, char** argv) {
+  ServeCliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--corpus", &value)) {
+      options.corpus = value;
+    } else if (ParseFlag(argv[i], "--queries", &value)) {
+      options.queries = value;
+    } else if (ParseFlag(argv[i], "--predicate", &value)) {
+      options.predicate = value;
+    } else if (ParseFlag(argv[i], "--threshold", &value)) {
+      if (!ParseDouble(value, &options.threshold) ||
+          options.threshold <= 0) {
+        std::fprintf(stderr, "invalid --threshold=%s (need a number > 0)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+    } else if (ParseFlag(argv[i], "--tokens", &value)) {
+      options.tokens = value;
+    } else if (ParseFlag(argv[i], "--topk", &value)) {
+      if (!ParseUint64(value, &options.topk) || options.topk == 0) {
+        std::fprintf(stderr, "invalid --topk=%s (need an integer > 0)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+    } else if (ParseFlag(argv[i], "--threads", &value)) {
+      uint64_t threads = 0;
+      if (!ParseUint64(value, &threads) || threads == 0 || threads > 1024) {
+        std::fprintf(stderr, "invalid --threads=%s (need 1..1024)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.threads = static_cast<int>(threads);
+    } else if (ParseFlag(argv[i], "--memtable-limit", &value)) {
+      if (!ParseUint64(value, &options.memtable_limit)) {
+        std::fprintf(stderr,
+                     "invalid --memtable-limit=%s (need an integer >= 0)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+    } else if (std::strcmp(argv[i], "--stats-json") == 0) {
+      options.stats_json = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return std::nullopt;
+    }
+  }
+  if (options.corpus.empty()) {
+    std::fprintf(stderr, "--corpus=FILE is required\n");
+    return std::nullopt;
+  }
+  if (options.predicate != "overlap" && options.predicate != "jaccard" &&
+      options.predicate != "cosine" && options.predicate != "dice" &&
+      options.predicate != "edit-distance") {
+    std::fprintf(stderr, "unknown predicate: %s\n",
+                 options.predicate.c_str());
+    return std::nullopt;
+  }
+  if (options.tokens != "words" && options.tokens != "2gram" &&
+      options.tokens != "3gram" && options.tokens != "4gram") {
+    std::fprintf(stderr, "unknown tokens mode: %s\n",
+                 options.tokens.c_str());
+    return std::nullopt;
+  }
+  return options;
+}
+
+std::optional<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::unique_ptr<Predicate> MakePredicate(const ServeCliOptions& options,
+                                         int q) {
+  const std::string& name = options.predicate;
+  double t = options.threshold;
+  if (name == "overlap") return std::make_unique<OverlapPredicate>(t);
+  if (name == "jaccard") return std::make_unique<JaccardPredicate>(t);
+  if (name == "cosine") return std::make_unique<CosinePredicate>(t);
+  if (name == "dice") return std::make_unique<DicePredicate>(t);
+  return std::make_unique<EditDistancePredicate>(static_cast<int>(t), q);
+}
+
+/// Tokenizer shared by the corpus, inserts and queries: every text goes
+/// through the same builder with the same (growing) dictionary, so query
+/// tokens line up with index tokens.
+class LineTokenizer {
+ public:
+  LineTokenizer(std::string mode, TokenDictionary* dict)
+      : mode_(std::move(mode)), dict_(dict) {}
+
+  int q() const { return mode_ == "words" ? 3 : mode_[0] - '0'; }
+
+  RecordSet Build(const std::vector<std::string>& lines) const {
+    if (mode_ == "words") return BuildWordCorpus(lines, dict_);
+    return BuildQGramCorpus(lines, q(), dict_);
+  }
+
+  RecordSet BuildOne(const std::string& line) const {
+    return Build(std::vector<std::string>{line});
+  }
+
+ private:
+  std::string mode_;
+  TokenDictionary* dict_;
+};
+
+void PrintMatches(const std::vector<QueryMatch>& matches) {
+  for (const QueryMatch& m : matches) {
+    std::printf("%u\t%.6g\n", m.id, m.score);
+  }
+}
+
+std::vector<QueryMatch> Answer(const SimilarityService& service,
+                               const ServeCliOptions& options,
+                               RecordView query, std::string text) {
+  if (options.topk > 0) {
+    return service.QueryTopK(query, options.topk, std::move(text));
+  }
+  return service.Query(query, std::move(text));
+}
+
+int RunBatch(const SimilarityService& service,
+             const ServeCliOptions& options, const LineTokenizer& tokenizer) {
+  std::optional<std::vector<std::string>> lines = ReadLines(options.queries);
+  if (!lines.has_value()) return 1;
+  RecordSet queries = tokenizer.Build(*lines);
+  if (options.topk > 0) {
+    for (RecordId q = 0; q < queries.size(); ++q) {
+      for (const QueryMatch& m : service.QueryTopK(
+               queries.record(q), options.topk, queries.text(q))) {
+        std::printf("%u\t%u\t%.6g\n", q, m.id, m.score);
+      }
+    }
+    return 0;
+  }
+  std::vector<std::vector<QueryMatch>> results = service.BatchQuery(queries);
+  for (RecordId q = 0; q < results.size(); ++q) {
+    for (const QueryMatch& m : results[q]) {
+      std::printf("%u\t%u\t%.6g\n", q, m.id, m.score);
+    }
+  }
+  return 0;
+}
+
+int RunRepl(SimilarityService* service, const ServeCliOptions& options,
+            const LineTokenizer& tokenizer) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '!') {
+      service->Compact();
+      std::printf("compacted; %zu records, epoch %llu\n", service->size(),
+                  static_cast<unsigned long long>(service->epoch()));
+    } else if (line[0] == '?') {
+      std::printf("%s\n", service->StatsJson().c_str());
+    } else if (line[0] == '+') {
+      std::string text = line.substr(line.find_first_not_of(" \t", 1) ==
+                                             std::string::npos
+                                         ? 1
+                                         : line.find_first_not_of(" \t", 1));
+      RecordSet staged = tokenizer.BuildOne(text);
+      RecordId id = service->Insert(staged.record(0), staged.text(0));
+      std::printf("inserted %u\n", id);
+    } else {
+      RecordSet staged = tokenizer.BuildOne(line);
+      PrintMatches(
+          Answer(*service, options, staged.record(0), staged.text(0)));
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<ServeCliOptions> options = ParseArgs(argc, argv);
+  if (!options.has_value()) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  std::optional<std::vector<std::string>> corpus_lines =
+      ReadLines(options->corpus);
+  if (!corpus_lines.has_value()) return 1;
+
+  TokenDictionary dict;
+  LineTokenizer tokenizer(options->tokens, &dict);
+  RecordSet corpus = tokenizer.Build(*corpus_lines);
+  std::unique_ptr<Predicate> pred = MakePredicate(*options, tokenizer.q());
+
+  ServiceOptions service_options;
+  service_options.memtable_limit =
+      static_cast<size_t>(options->memtable_limit);
+  service_options.num_threads = options->threads;
+  SimilarityService service(std::move(corpus), *pred, service_options);
+  std::fprintf(stderr, "serving %zu records (%s, %s)\n", service.size(),
+               options->predicate.c_str(), options->tokens.c_str());
+
+  int rc = options->queries.empty()
+               ? RunRepl(&service, *options, tokenizer)
+               : RunBatch(service, *options, tokenizer);
+  if (options->stats_json) {
+    std::fprintf(stderr, "%s\n", service.StatsJson().c_str());
+  }
+  return rc;
+}
