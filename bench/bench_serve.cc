@@ -1,5 +1,6 @@
 // Serving-layer benchmark: point-lookup QPS and latency quantiles as a
-// function of memtable size, plus batched-query throughput.
+// function of memtable size, plus batched-query throughput, plus the
+// shard-count sweep for the token-range-sharded base tier.
 //
 // The interesting trade-off is the two-tier design: every probe pays for
 // the flat base index AND the hash-map memtable, so lookups slow down as
@@ -8,6 +9,14 @@
 //   - point-query QPS and p50/p99/max latency (from ServiceStats)
 //   - batched-query records/sec with the service thread pool
 //   - the compaction cost to fold that memtable back into the base
+//
+// The second sweep varies the shard count (answers are byte-identical;
+// sharding buys incremental compaction and probe fan-out) and reports,
+// per count:
+//   - point and batch throughput
+//   - full-compaction cost (every shard dirty after a spread of inserts)
+//   - dirty-compaction cost (ONE insert, then Compact: only one shard
+//     rebuilds) and how many shards that compaction actually rebuilt
 //
 // Usage: bench_serve [--scale=F | --quick] [--threads=N]
 
@@ -75,6 +84,60 @@ int main(int argc, char** argv) {
                 stats.query_latency_us.QuantileUpperBound(0.99),
                 stats.query_latency_us.max_micros(),
                 queries.size() / batch_seconds, compact_seconds);
+    std::fflush(stdout);
+  }
+
+  const uint32_t kShardInserts = Scaled(512, scale);
+  std::printf(
+      "\nshards,point_qps,batch_records_per_sec,full_compact_sec,"
+      "full_shards_rebuilt,dirty_compact_sec,dirty_shards_rebuilt\n");
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    ServiceOptions options;
+    options.memtable_limit = 0;
+    options.num_threads = threads;
+    options.num_shards = shards;
+    SimilarityService service(corpus, pred, options);
+
+    Timer point_timer;
+    for (RecordId q = 0; q < queries.size(); ++q) {
+      service.Query(queries.record(q), queries.text(q));
+    }
+    double point_seconds = point_timer.ElapsedSeconds();
+
+    Timer batch_timer;
+    service.BatchQuery(queries);
+    double batch_seconds = batch_timer.ElapsedSeconds();
+
+    auto total_rebuilds = [&service] {
+      uint64_t total = 0;
+      for (const ShardStats& s : service.stats().shards) total += s.rebuilds;
+      return total;
+    };
+
+    // Full compaction: inserts spread over the token space dirty every
+    // shard, so this measures the sharded rebuild of the whole base.
+    for (uint32_t i = 0; i < kShardInserts && i < inserts.size(); ++i) {
+      service.Insert(inserts.record(i), inserts.text(i));
+    }
+    uint64_t rebuilds_before = total_rebuilds();
+    Timer full_timer;
+    service.Compact();
+    double full_seconds = full_timer.ElapsedSeconds();
+    uint64_t full_rebuilt = total_rebuilds() - rebuilds_before;
+
+    // Dirty compaction: one insert dirties one shard; Compact() must
+    // rebuild only it and share the other shards' bases untouched.
+    rebuilds_before = total_rebuilds();
+    service.Insert(inserts.record(0), inserts.text(0));
+    Timer dirty_timer;
+    service.Compact();
+    double dirty_seconds = dirty_timer.ElapsedSeconds();
+    uint64_t dirty_rebuilt = total_rebuilds() - rebuilds_before;
+
+    std::printf("%zu,%.0f,%.0f,%.3f,%" PRIu64 ",%.4f,%" PRIu64 "\n", shards,
+                queries.size() / point_seconds,
+                queries.size() / batch_seconds, full_seconds, full_rebuilt,
+                dirty_seconds, dirty_rebuilt);
     std::fflush(stdout);
   }
   return 0;

@@ -98,6 +98,35 @@ inline void ProbeOne(const IndexT& index, RecordView probe, double floor,
   while (scratch->merger.Next(&candidate)) emit(candidate);
 }
 
+/// Deterministic k-way merge of per-shard probe accumulators. Each part
+/// must already be ordered under `less`, and parts must be pairwise
+/// disjoint under it — token-range shards partition the record space, so
+/// no two shards ever emit the same record. The merged order is then
+/// unique regardless of shard count or which thread probed which shard,
+/// which is what keeps sharded lookup output byte-identical to the
+/// single-shard service. Linear in total results times shard count
+/// (shard counts are small; no heap needed).
+template <typename T, typename Less>
+inline void MergeSortedParts(const std::vector<std::vector<T>>& parts,
+                             Less less, std::vector<T>* out) {
+  out->clear();
+  size_t total = 0;
+  for (const std::vector<T>& p : parts) total += p.size();
+  out->reserve(total);
+  std::vector<size_t> heads(parts.size(), 0);
+  while (out->size() < total) {
+    size_t best = parts.size();
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (heads[i] >= parts[i].size()) continue;
+      if (best == parts.size() ||
+          less(parts[i][heads[i]], parts[best][heads[best]])) {
+        best = i;
+      }
+    }
+    out->push_back(parts[best][heads[best]++]);
+  }
+}
+
 }  // namespace probe_internal
 }  // namespace ssjoin
 

@@ -21,6 +21,16 @@ void InvertedIndex::Plan(const std::vector<uint64_t>& counts) {
   max_score_.assign(counts.size(), 0.0);
 }
 
+void InvertedIndex::PlanFromRecordsSubset(
+    const RecordSet& records, const std::vector<RecordId>& member_ids) {
+  std::vector<uint64_t> counts(records.vocabulary_size(), 0);
+  for (RecordId id : member_ids) {
+    const RecordView r = records.record(id);
+    for (size_t i = 0; i < r.size(); ++i) ++counts[r.token(i)];
+  }
+  Plan(counts);
+}
+
 void InvertedIndex::TrackEntity(RecordId id, double norm) {
   if (max_entity_id_ == std::numeric_limits<RecordId>::max() ||
       id > max_entity_id_) {

@@ -55,6 +55,15 @@ class InvertedIndex {
     Plan(records.doc_frequencies());
   }
 
+  /// Plans extents for the subset `member_ids` of `records` — the shard
+  /// carving of the serving layer, where each token-range shard indexes
+  /// only the records routed to it under local ids. Extents span the full
+  /// vocabulary of `records` (tokens absent from the subset get empty
+  /// extents, which list() and probes already treat as "no postings"),
+  /// and counts are exact when every member is inserted exactly once.
+  void PlanFromRecordsSubset(const RecordSet& records,
+                             const std::vector<RecordId>& member_ids);
+
   /// Appends all postings of `record` under id `id`. Requires `id` to be
   /// strictly greater than any previously inserted id. When `skip_token`
   /// is non-null, tokens with skip_token[t] set are not indexed (the

@@ -7,7 +7,14 @@
 namespace ssjoin {
 
 void LatencyHistogram::Record(uint64_t micros) {
-  size_t bucket = static_cast<size_t>(std::bit_width(micros));
+  // Sub-microsecond samples truncate to 0 and must land in bucket 0
+  // explicitly: a query can finish in 0 ticks of the microsecond clock,
+  // and the bit-scan intrinsics behind ad-hoc log2 implementations
+  // (__builtin_clzll) are undefined at 0, so never feed 0 to one.
+  // std::bit_width(0) is well-defined (0), but the guard keeps the
+  // invariant independent of the bucket-index formula.
+  size_t bucket =
+      micros == 0 ? 0 : static_cast<size_t>(std::bit_width(micros));
   if (bucket >= kBuckets) bucket = kBuckets - 1;
   ++buckets_[bucket];
   ++count_;
@@ -63,6 +70,17 @@ std::string ServiceStats::ToJson() const {
   AppendField(&out, "merges", merge.merges);
   AppendField(&out, "heap_pops", merge.heap_pops);
   AppendField(&out, "gallop_probes", merge.gallop_probes);
+  out += "\"shards\": [";
+  for (size_t s = 0; s < shards.size(); ++s) {
+    out += "{";
+    AppendField(&out, "inserts", shards[s].inserts);
+    AppendField(&out, "candidates", shards[s].candidates);
+    AppendField(&out, "results", shards[s].results);
+    AppendField(&out, "rebuilds", shards[s].rebuilds,
+                /*trailing_comma=*/false);
+    out += s + 1 < shards.size() ? "}, " : "}";
+  }
+  out += "], ";
   out += "\"query_latency_us\": {";
   AppendField(&out, "count", query_latency_us.count());
   AppendField(&out, "p50", query_latency_us.QuantileUpperBound(0.5));

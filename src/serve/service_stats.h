@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/merge_opt.h"
 
@@ -34,6 +35,17 @@ class LatencyHistogram {
   uint64_t max_micros_ = 0;
 };
 
+/// Per-shard serving counters: one entry per token-range shard of the
+/// sharded base tier. Probe work attribution shows hot shards (skewed
+/// token ranges); rebuilds show how much of each compaction was
+/// incremental (dirty shards only) versus a full rebuild.
+struct ShardStats {
+  uint64_t inserts = 0;     // memtable inserts routed to this shard
+  uint64_t candidates = 0;  // merge candidates from this shard's tiers
+  uint64_t results = 0;     // verified matches this shard contributed
+  uint64_t rebuilds = 0;    // base rebuilds (initial build + dirty compactions)
+};
+
 /// Aggregate serving counters, recorded per query/insert/compaction by
 /// SimilarityService. A plain value: stats() hands out a copy, so readers
 /// never hold the service's stats lock while formatting.
@@ -47,6 +59,12 @@ struct ServiceStats {
   uint64_t candidates = 0;      // merge candidates reaching verification
   uint64_t results = 0;         // matches returned to callers
   MergeStats merge;             // the underlying ListMerger instrumentation
+
+  /// Per-shard counters, indexed by shard; sized by EnsureShards.
+  std::vector<ShardStats> shards;
+  void EnsureShards(size_t num_shards) {
+    if (shards.size() < num_shards) shards.resize(num_shards);
+  }
 
   /// Per point/top-k query wall time.
   LatencyHistogram query_latency_us;

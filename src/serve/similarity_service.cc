@@ -14,125 +14,188 @@ namespace ssjoin {
 namespace {
 
 /// Per-query mutable context: scratch buffers plus the counters folded
-/// into ServiceStats afterwards. One per worker in batch mode.
+/// into ServiceStats afterwards. One per worker in batch mode, one per
+/// shard in the point-query fan-out.
 struct QueryContext {
   probe_internal::ProbeScratch scratch;
   MergeStats merge;
-  uint64_t candidates = 0;
+  // Per-shard attribution; sized lazily on first use.
+  std::vector<uint64_t> shard_candidates;
+  std::vector<uint64_t> shard_results;
+
+  void EnsureShards(size_t num_shards) {
+    if (shard_candidates.size() < num_shards) {
+      shard_candidates.resize(num_shards, 0);
+      shard_results.resize(num_shards, 0);
+    }
+  }
 };
 
-/// Probes one tier's index for `staged.record(q)` and appends every
-/// VERIFIED match as a global-id QueryMatch. The probe mirrors the batch
-/// drivers bound-for-bound: floor = T(probe, minS of the tier), per
-/// candidate bound = T(probe, ||m||), optional norm range filter, then
-/// the predicate's canonical MatchesCross decision — so a query accepts a
-/// pair exactly when the batch join would.
+bool IdLess(const QueryMatch& a, const QueryMatch& b) { return a.id < b.id; }
+
+/// Probes one shard tier for `staged.record(q)` and appends every
+/// VERIFIED match as a global-id QueryMatch. The index speaks local ids;
+/// `backing_ids` maps them into `backing` (nullptr when local ids ARE
+/// backing ids, i.e. delta shards) and `global_ids` maps them to corpus
+/// ids. The probe mirrors the batch drivers bound-for-bound: floor =
+/// T(probe, minS of the shard tier) — a valid, per-shard-tighter lower
+/// bound, since every candidate bound T(probe, ||m||) dominates it — per
+/// candidate bound, optional norm range filter, then the predicate's
+/// canonical MatchesCross decision, so a sharded query accepts a pair
+/// exactly when the batch join (and the 1-shard service) would.
 template <typename IndexT>
-void ProbeTierForMatches(const Predicate& pred, const ServiceOptions& options,
-                         const IndexT& index, const RecordSet& tier_records,
-                         RecordId id_offset, const RecordSet& staged,
-                         RecordId q, QueryContext* ctx,
-                         std::vector<QueryMatch>* out,
-                         std::unordered_set<RecordId>* matched_local) {
+void ProbeShardTier(const Predicate& pred, const ServiceOptions& options,
+                    const IndexT& index, const RecordSet& backing,
+                    const std::vector<RecordId>* backing_ids,
+                    const std::vector<RecordId>& global_ids,
+                    const RecordSet& staged, RecordId q, size_t shard,
+                    QueryContext* ctx, std::vector<QueryMatch>* out,
+                    std::unordered_set<RecordId>* matched_local) {
   const RecordView probe = staged.record(q);
   if (index.num_entities() == 0 || probe.empty()) return;
+  auto to_backing = [&](RecordId local) {
+    return backing_ids != nullptr ? (*backing_ids)[local] : local;
+  };
   double floor = pred.ThresholdForNorms(probe.norm(), index.min_norm());
   auto required_fn = [&](RecordId m) {
-    return pred.ThresholdForNorms(probe.norm(), tier_records.record(m).norm());
+    return pred.ThresholdForNorms(probe.norm(),
+                                  backing.record(to_backing(m)).norm());
   };
   FunctionRef<double(RecordId)> required = required_fn;
   auto filter_fn = [&](RecordId m) {
-    return pred.NormFilter(probe.norm(), tier_records.record(m).norm());
+    return pred.NormFilter(probe.norm(),
+                           backing.record(to_backing(m)).norm());
   };
   FunctionRef<bool(RecordId)> filter;
   if (options.apply_filter && pred.has_norm_filter()) filter = filter_fn;
   probe_internal::ProbeOne(
       index, probe, floor, required, filter, options.merge, &ctx->merge,
       &ctx->scratch, [&](const MergeCandidate& candidate) {
-        ++ctx->candidates;
-        if (pred.MatchesCross(tier_records, candidate.id, staged, q)) {
+        ++ctx->shard_candidates[shard];
+        const RecordId bid = to_backing(candidate.id);
+        if (pred.MatchesCross(backing, bid, staged, q)) {
           if (matched_local != nullptr) matched_local->insert(candidate.id);
-          out->push_back(
-              {id_offset + candidate.id,
-               tier_records.record(candidate.id).OverlapWith(probe)});
+          out->push_back({global_ids[candidate.id],
+                          backing.record(bid).OverlapWith(probe)});
         }
       });
 }
 
-/// The short-record side pool, per tier: a short probe is checked against
-/// every short tier record the index probe did not already accept (such
-/// pairs can match with no shared token, e.g. tiny strings under the
-/// edit-distance q-gram bound). Mirrors StreamingJoin::Add.
-void ProbeTierShortPool(const Predicate& pred, const RecordSet& tier_records,
-                        const std::vector<RecordId>& short_ids,
-                        RecordId id_offset, const RecordSet& staged,
-                        RecordId q, QueryContext* ctx,
-                        std::vector<QueryMatch>* out,
-                        const std::unordered_set<RecordId>& matched_local) {
+/// The short-record side pool, per shard tier: a short probe is checked
+/// against every short tier record the index probe did not already
+/// accept (such pairs can match with no shared token, e.g. tiny strings
+/// under the edit-distance q-gram bound). Mirrors StreamingJoin::Add.
+void ProbeShardShortPool(const Predicate& pred, const RecordSet& backing,
+                         const std::vector<RecordId>* backing_ids,
+                         const std::vector<RecordId>& global_ids,
+                         const std::vector<RecordId>& short_ids,
+                         const RecordSet& staged, RecordId q, size_t shard,
+                         QueryContext* ctx, std::vector<QueryMatch>* out,
+                         const std::unordered_set<RecordId>& matched_local) {
   const RecordView probe = staged.record(q);
   for (RecordId local : short_ids) {
     if (matched_local.count(local) > 0) continue;
-    ++ctx->candidates;
-    if (pred.MatchesCross(tier_records, local, staged, q)) {
-      out->push_back({id_offset + local,
-                      tier_records.record(local).OverlapWith(probe)});
+    ++ctx->shard_candidates[shard];
+    const RecordId bid = backing_ids != nullptr ? (*backing_ids)[local] : local;
+    if (pred.MatchesCross(backing, bid, staged, q)) {
+      out->push_back(
+          {global_ids[local], backing.record(bid).OverlapWith(probe)});
     }
   }
 }
 
-/// Full thresholded lookup of staged.record(q) against one snapshot:
-/// base tier, then delta tier (global ids offset by the base size),
-/// then id-sorted — byte-identical output for any probe interleaving.
-std::vector<QueryMatch> LookupOne(const Predicate& pred,
-                                  const ServiceOptions& options,
-                                  const IndexSnapshot& snap,
-                                  const RecordSet& staged, RecordId q,
-                                  QueryContext* ctx) {
+/// Full thresholded lookup of staged.record(q) against ONE shard of the
+/// snapshot: the shard's base tier, then its delta tier, then id-sorted.
+/// Each record lives in exactly one shard, so per-shard outputs are
+/// disjoint and the deterministic cross-shard merge reconstructs the
+/// single-index answer byte for byte.
+std::vector<QueryMatch> LookupShard(const Predicate& pred,
+                                    const ServiceOptions& options,
+                                    const IndexSnapshot& snap, size_t shard,
+                                    const RecordSet& staged, RecordId q,
+                                    QueryContext* ctx) {
+  ctx->EnsureShards(snap.num_shards());
   std::vector<QueryMatch> out;
   const RecordView probe = staged.record(q);
   double short_bound = pred.ShortRecordNormBound();
   bool probe_is_short = short_bound > 0 && probe.norm() < short_bound;
-  std::unordered_set<RecordId> matched;  // only consulted when short
+  std::unordered_set<RecordId> matched;  // local ids; only when short
   std::unordered_set<RecordId>* matched_ptr =
       probe_is_short ? &matched : nullptr;
 
-  const RecordId delta_offset = static_cast<RecordId>(snap.base_size());
-  ProbeTierForMatches(pred, options, snap.base->index, snap.base->records,
-                      /*id_offset=*/0, staged, q, ctx, &out, matched_ptr);
+  const ShardedBaseTier& base = *snap.base[shard];
+  const RecordSet& corpus = *snap.base_records;
+  ProbeShardTier(pred, options, base.index, corpus, &base.member_ids,
+                 base.member_ids, staged, q, shard, ctx, &out, matched_ptr);
   if (probe_is_short) {
-    ProbeTierShortPool(pred, snap.base->records, snap.base->short_ids,
-                       /*id_offset=*/0, staged, q, ctx, &out, matched);
+    ProbeShardShortPool(pred, corpus, &base.member_ids, base.member_ids,
+                        base.short_ids, staged, q, shard, ctx, &out, matched);
     matched.clear();
   }
-  ProbeTierForMatches(pred, options, snap.delta->index, snap.delta->records,
-                      delta_offset, staged, q, ctx, &out, matched_ptr);
+  const DeltaShard& delta = *snap.delta[shard];
+  ProbeShardTier(pred, options, delta.index, delta.records,
+                 /*backing_ids=*/nullptr, delta.global_ids, staged, q, shard,
+                 ctx, &out, matched_ptr);
   if (probe_is_short) {
-    ProbeTierShortPool(pred, snap.delta->records, snap.delta->short_ids,
-                       delta_offset, staged, q, ctx, &out, matched);
+    ProbeShardShortPool(pred, delta.records, /*backing_ids=*/nullptr,
+                        delta.global_ids, delta.short_ids, staged, q, shard,
+                        ctx, &out, matched);
   }
-  std::sort(out.begin(), out.end(),
-            [](const QueryMatch& a, const QueryMatch& b) {
-              return a.id < b.id;
-            });
+  std::sort(out.begin(), out.end(), IdLess);
+  ctx->shard_results[shard] += out.size();
   return out;
 }
 
-/// Unthresholded overlap sweep for top-k: floor 0, no per-candidate
-/// bound, no filter — every tier record sharing a token surfaces with
-/// its canonical match amount.
-template <typename IndexT>
-void SweepTierOverlaps(const IndexT& index, const RecordSet& tier_records,
-                       RecordId id_offset, RecordView probe,
-                       QueryContext* ctx, std::vector<QueryMatch>* out) {
-  if (index.num_entities() == 0 || probe.empty()) return;
-  probe_internal::ProbeOne(
-      index, probe, /*floor=*/0, /*required=*/{}, /*filter=*/{},
-      MergeOptions{}, &ctx->merge, &ctx->scratch,
-      [&](const MergeCandidate& candidate) {
-        ++ctx->candidates;
-        out->push_back({id_offset + candidate.id,
-                        tier_records.record(candidate.id).OverlapWith(probe)});
-      });
+/// Serial all-shard lookup used by batch workers (the pool is already
+/// fanned out over queries, so shards are swept in-line). Identical
+/// output to the point-query shard fan-out: per-shard parts are sorted
+/// and disjoint, and the merge order is unique.
+std::vector<QueryMatch> LookupAllShards(const Predicate& pred,
+                                        const ServiceOptions& options,
+                                        const IndexSnapshot& snap,
+                                        const RecordSet& staged, RecordId q,
+                                        QueryContext* ctx) {
+  std::vector<std::vector<QueryMatch>> parts(snap.num_shards());
+  for (size_t s = 0; s < snap.num_shards(); ++s) {
+    parts[s] = LookupShard(pred, options, snap, s, staged, q, ctx);
+  }
+  std::vector<QueryMatch> out;
+  probe_internal::MergeSortedParts(parts, IdLess, &out);
+  return out;
+}
+
+/// Unthresholded overlap sweep of one shard for top-k: floor 0, no
+/// per-candidate bound, no filter — every shard record sharing a token
+/// surfaces with its canonical match amount.
+void SweepShardOverlaps(const IndexSnapshot& snap, size_t shard,
+                        RecordView probe, QueryContext* ctx,
+                        std::vector<QueryMatch>* out) {
+  ctx->EnsureShards(snap.num_shards());
+  if (probe.empty()) return;
+  const ShardedBaseTier& base = *snap.base[shard];
+  const RecordSet& corpus = *snap.base_records;
+  if (base.index.num_entities() > 0) {
+    probe_internal::ProbeOne(
+        base.index, probe, /*floor=*/0, /*required=*/{}, /*filter=*/{},
+        MergeOptions{}, &ctx->merge, &ctx->scratch,
+        [&](const MergeCandidate& candidate) {
+          ++ctx->shard_candidates[shard];
+          const RecordId gid = base.member_ids[candidate.id];
+          out->push_back({gid, corpus.record(gid).OverlapWith(probe)});
+        });
+  }
+  const DeltaShard& delta = *snap.delta[shard];
+  if (delta.index.num_entities() > 0) {
+    probe_internal::ProbeOne(
+        delta.index, probe, /*floor=*/0, /*required=*/{}, /*filter=*/{},
+        MergeOptions{}, &ctx->merge, &ctx->scratch,
+        [&](const MergeCandidate& candidate) {
+          ++ctx->shard_candidates[shard];
+          out->push_back(
+              {delta.global_ids[candidate.id],
+               delta.records.record(candidate.id).OverlapWith(probe)});
+        });
+  }
 }
 
 uint64_t ElapsedMicros(const Timer& timer) {
@@ -145,29 +208,120 @@ SimilarityService::SimilarityService(RecordSet corpus, const Predicate& pred,
                                      ServiceOptions options)
     : pred_(pred),
       options_(options),
+      num_shards_(options.num_shards > 1 ? options.num_shards : 1),
       pool_(std::make_unique<ThreadPool>(
           options.num_threads > 0 ? options.num_threads
                                   : ThreadPool::DefaultNumThreads())),
       corpus_(std::move(corpus)) {
   std::lock_guard<std::mutex> lock(write_mutex_);
+  shard_bounds_ = ComputeShardBounds(RoutingMassHistogram(corpus_), num_shards_);
+  base_members_.resize(num_shards_);
+  memtables_.resize(num_shards_);
+  memtable_ids_.resize(num_shards_);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    stats_.EnsureShards(num_shards_);
+  }
   CompactLocked(/*count_compaction=*/false);
 }
 
 void SimilarityService::CompactLocked(bool count_compaction) {
-  std::shared_ptr<const BaseTier> base = BuildBaseTier(corpus_, pred_);
-  memtable_ = RecordSet();
-  std::shared_ptr<const DeltaTier> delta =
-      BuildDeltaTier(memtable_, pred_.ShortRecordNormBound());
-  Publish(std::move(base), std::move(delta));
-  if (count_compaction) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.compactions;
+  std::shared_ptr<const IndexSnapshot> prev = snapshot();  // null first time
+  // Corpus-statistics predicates (TF-IDF cosine) must re-Prepare the whole
+  // corpus — every record's scores change when the statistics do — which
+  // dirties every shard. Corpus-independent predicates grow the prepared
+  // corpus by appending the (already exactly prepared) memtable records
+  // and rebuild only shards that received inserts.
+  const bool full_rebuild =
+      prev == nullptr || !pred_.corpus_independent_scores();
+  const double short_bound = pred_.ShortRecordNormBound();
+
+  std::shared_ptr<RecordSet> prepared;
+  std::vector<bool> dirty(num_shards_, false);
+  if (full_rebuild) {
+    prepared = std::make_shared<RecordSet>(corpus_);
+    pred_.Prepare(prepared.get());
+    for (std::vector<RecordId>& members : base_members_) members.clear();
+    for (RecordId id = 0; id < corpus_.size(); ++id) {
+      base_members_[RouteToShard(prepared->record(id), shard_bounds_)]
+          .push_back(id);
+    }
+    dirty.assign(num_shards_, true);
+  } else {
+    prepared = std::make_shared<RecordSet>(*prev->base_records);
+    // Append memtable records in global id order so prepared->record(id)
+    // keeps meaning corpus record id, across every shard's memtable.
+    struct Pending {
+      RecordId id;
+      size_t shard;
+      size_t local;
+    };
+    std::vector<Pending> pending;
+    for (size_t s = 0; s < num_shards_; ++s) {
+      for (size_t j = 0; j < memtable_ids_[s].size(); ++j) {
+        pending.push_back({memtable_ids_[s][j], s, j});
+      }
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const Pending& a, const Pending& b) { return a.id < b.id; });
+    for (const Pending& p : pending) {
+      prepared->Add(memtables_[p.shard].record(
+                        static_cast<RecordId>(p.local)),
+                    memtables_[p.shard].text(static_cast<RecordId>(p.local)));
+    }
+    for (size_t s = 0; s < num_shards_; ++s) {
+      if (memtable_ids_[s].empty()) continue;
+      dirty[s] = true;
+      base_members_[s].insert(base_members_[s].end(),
+                              memtable_ids_[s].begin(),
+                              memtable_ids_[s].end());
+    }
+  }
+
+  std::vector<std::shared_ptr<const ShardedBaseTier>> base(num_shards_);
+  std::vector<std::shared_ptr<const DeltaShard>> delta(num_shards_);
+  std::vector<size_t> rebuilt;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    if (dirty[s]) {
+      rebuilt.push_back(s);
+    } else {
+      base[s] = prev->base[s];
+    }
+  }
+  auto build_one = [&](size_t s) {
+    base[s] = BuildShardBase(*prepared, base_members_[s], short_bound);
+  };
+  if (rebuilt.size() > 1 && pool_->num_threads() > 1) {
+    std::lock_guard<std::mutex> pool_lock(pool_mutex_);
+    pool_->ParallelFor(rebuilt.size(), /*chunk=*/1,
+                       [&](size_t begin, size_t end, int /*worker*/) {
+                         for (size_t i = begin; i < end; ++i) {
+                           build_one(rebuilt[i]);
+                         }
+                       });
+  } else {
+    for (size_t s : rebuilt) build_one(s);
+  }
+  for (size_t s = 0; s < num_shards_; ++s) {
+    memtables_[s] = RecordSet();
+    memtable_ids_[s].clear();
+    delta[s] = BuildDeltaShard(RecordSet(), {}, short_bound);
+  }
+  memtable_total_ = 0;
+  Publish(std::move(prepared), std::move(base), std::move(delta));
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    if (count_compaction) ++stats_.compactions;
+    for (size_t s : rebuilt) ++stats_.shards[s].rebuilds;
   }
 }
 
-void SimilarityService::Publish(std::shared_ptr<const BaseTier> base,
-                                std::shared_ptr<const DeltaTier> delta) {
+void SimilarityService::Publish(
+    std::shared_ptr<const RecordSet> base_records,
+    std::vector<std::shared_ptr<const ShardedBaseTier>> base,
+    std::vector<std::shared_ptr<const DeltaShard>> delta) {
   auto snap = std::make_shared<IndexSnapshot>();
+  snap->base_records = std::move(base_records);
   snap->base = std::move(base);
   snap->delta = std::move(delta);
   std::lock_guard<std::mutex> lock(snapshot_mutex_);
@@ -180,28 +334,49 @@ std::shared_ptr<const IndexSnapshot> SimilarityService::snapshot() const {
   return snapshot_;
 }
 
+void SimilarityService::RunOverShards(size_t num_shards,
+                                      FunctionRef<void(size_t)> fn) const {
+  // Fan out only when it can help AND the pool is free: ParallelFor is
+  // not reentrant, and a point query must never wait behind a batch —
+  // the serial sweep produces the identical answer.
+  if (num_shards > 1 && pool_->num_threads() > 1 && pool_mutex_.try_lock()) {
+    std::lock_guard<std::mutex> lock(pool_mutex_, std::adopt_lock);
+    pool_->ParallelFor(num_shards, /*chunk=*/1,
+                       [&](size_t begin, size_t end, int /*worker*/) {
+                         for (size_t s = begin; s < end; ++s) fn(s);
+                       });
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) fn(s);
+  }
+}
+
 RecordId SimilarityService::Insert(RecordView record, std::string text) {
   std::lock_guard<std::mutex> lock(write_mutex_);
   std::shared_ptr<const IndexSnapshot> snap = snapshot();
 
   // Score the newcomer against the published base statistics, then grow
-  // the memtable and publish a fresh delta image. The base tier is
-  // shared, not copied: per-insert work is O(memtable), bounded by
-  // memtable_limit.
+  // ONLY the routed shard's memtable and republish that one delta image.
+  // Base shards and the other shards' deltas are shared, not copied.
   RecordSet staging;
   staging.Add(record, text);
-  pred_.PrepareIncremental(snap->base->records, &staging);
+  pred_.PrepareIncremental(*snap->base_records, &staging);
   const RecordId id = static_cast<RecordId>(corpus_.size());
   corpus_.Add(record, std::move(text));
-  memtable_.Add(staging.record(0), staging.text(0));
-  Publish(snap->base,
-          BuildDeltaTier(memtable_, pred_.ShortRecordNormBound()));
+  const size_t shard = RouteToShard(staging.record(0), shard_bounds_);
+  memtables_[shard].Add(staging.record(0), staging.text(0));
+  memtable_ids_[shard].push_back(id);
+  ++memtable_total_;
+  std::vector<std::shared_ptr<const DeltaShard>> delta = snap->delta;
+  delta[shard] = BuildDeltaShard(memtables_[shard], memtable_ids_[shard],
+                                 pred_.ShortRecordNormBound());
+  Publish(snap->base_records, snap->base, std::move(delta));
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.inserts;
+    ++stats_.shards[shard].inserts;
   }
   if (options_.memtable_limit > 0 &&
-      memtable_.size() >= options_.memtable_limit) {
+      memtable_total_ >= options_.memtable_limit) {
     CompactLocked(/*count_compaction=*/true);
   }
   return id;
@@ -218,17 +393,32 @@ std::vector<QueryMatch> SimilarityService::Query(RecordView query,
   std::shared_ptr<const IndexSnapshot> snap = snapshot();
   RecordSet staged;
   staged.Add(query, std::move(text));
-  pred_.PrepareIncremental(snap->base->records, &staged);
-  QueryContext ctx;
-  std::vector<QueryMatch> out =
-      LookupOne(pred_, options_, *snap, staged, 0, &ctx);
+  pred_.PrepareIncremental(*snap->base_records, &staged);
+
+  // One context and one result slot per shard: scheduling cannot change
+  // the output or the stats attribution.
+  std::vector<QueryContext> contexts(num_shards_);
+  std::vector<std::vector<QueryMatch>> parts(num_shards_);
+  RunOverShards(num_shards_, [&](size_t s) {
+    parts[s] = LookupShard(pred_, options_, *snap, s, staged, 0, &contexts[s]);
+  });
+  std::vector<QueryMatch> out;
+  probe_internal::MergeSortedParts(parts, IdLess, &out);
   uint64_t micros = ElapsedMicros(timer);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.point_queries;
-    stats_.candidates += ctx.candidates;
     stats_.results += out.size();
-    stats_.merge += ctx.merge;
+    stats_.EnsureShards(num_shards_);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      const QueryContext& ctx = contexts[s];
+      stats_.merge += ctx.merge;
+      for (size_t i = 0; i < ctx.shard_candidates.size(); ++i) {
+        stats_.candidates += ctx.shard_candidates[i];
+        stats_.shards[i].candidates += ctx.shard_candidates[i];
+        stats_.shards[i].results += ctx.shard_results[i];
+      }
+    }
     stats_.query_latency_us.Record(micros);
   }
   return out;
@@ -239,7 +429,7 @@ std::vector<std::vector<QueryMatch>> SimilarityService::BatchQuery(
   Timer timer;
   std::shared_ptr<const IndexSnapshot> snap = snapshot();
   RecordSet staged = queries;
-  pred_.PrepareIncremental(snap->base->records, &staged);
+  pred_.PrepareIncremental(*snap->base_records, &staged);
 
   // Slot vector indexed by query id: scheduling order cannot change the
   // output, and per-worker contexts keep the hot path allocation-free.
@@ -247,13 +437,13 @@ std::vector<std::vector<QueryMatch>> SimilarityService::BatchQuery(
   std::vector<QueryContext> contexts(
       static_cast<size_t>(pool_->num_threads()));
   {
-    std::lock_guard<std::mutex> lock(batch_mutex_);
+    std::lock_guard<std::mutex> lock(pool_mutex_);
     pool_->ParallelFor(
         staged.size(), /*chunk=*/1, [&](size_t begin, size_t end, int worker) {
           for (size_t i = begin; i < end; ++i) {
-            results[i] =
-                LookupOne(pred_, options_, *snap, staged,
-                          static_cast<RecordId>(i), &contexts[worker]);
+            results[i] = LookupAllShards(pred_, options_, *snap, staged,
+                                         static_cast<RecordId>(i),
+                                         &contexts[worker]);
           }
         });
   }
@@ -262,9 +452,14 @@ std::vector<std::vector<QueryMatch>> SimilarityService::BatchQuery(
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.batch_queries;
     stats_.batched_records += staged.size();
+    stats_.EnsureShards(num_shards_);
     for (const QueryContext& ctx : contexts) {
-      stats_.candidates += ctx.candidates;
       stats_.merge += ctx.merge;
+      for (size_t i = 0; i < ctx.shard_candidates.size(); ++i) {
+        stats_.candidates += ctx.shard_candidates[i];
+        stats_.shards[i].candidates += ctx.shard_candidates[i];
+        stats_.shards[i].results += ctx.shard_results[i];
+      }
     }
     for (const std::vector<QueryMatch>& r : results) {
       stats_.results += r.size();
@@ -281,16 +476,21 @@ std::vector<QueryMatch> SimilarityService::QueryTopK(RecordView query,
   std::shared_ptr<const IndexSnapshot> snap = snapshot();
   RecordSet staged;
   staged.Add(query, std::move(text));
-  pred_.PrepareIncremental(snap->base->records, &staged);
+  pred_.PrepareIncremental(*snap->base_records, &staged);
   const RecordView probe = staged.record(0);
 
-  QueryContext ctx;
+  std::vector<QueryContext> contexts(num_shards_);
+  std::vector<std::vector<QueryMatch>> parts(num_shards_);
+  RunOverShards(num_shards_, [&](size_t s) {
+    SweepShardOverlaps(*snap, s, probe, &contexts[s], &parts[s]);
+  });
   std::vector<QueryMatch> out;
-  SweepTierOverlaps(snap->base->index, snap->base->records, /*id_offset=*/0,
-                    probe, &ctx, &out);
-  SweepTierOverlaps(snap->delta->index, snap->delta->records,
-                    static_cast<RecordId>(snap->base_size()), probe, &ctx,
-                    &out);
+  for (const std::vector<QueryMatch>& part : parts) {
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  // Shards partition the record space, so ids are unique and the
+  // (score desc, id asc) order — hence the truncated top-k — is
+  // identical for every shard count.
   std::sort(out.begin(), out.end(),
             [](const QueryMatch& a, const QueryMatch& b) {
               if (a.score != b.score) return a.score > b.score;
@@ -301,9 +501,16 @@ std::vector<QueryMatch> SimilarityService::QueryTopK(RecordView query,
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.topk_queries;
-    stats_.candidates += ctx.candidates;
     stats_.results += out.size();
-    stats_.merge += ctx.merge;
+    stats_.EnsureShards(num_shards_);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      const QueryContext& ctx = contexts[s];
+      stats_.merge += ctx.merge;
+      for (size_t i = 0; i < ctx.shard_candidates.size(); ++i) {
+        stats_.candidates += ctx.shard_candidates[i];
+        stats_.shards[i].candidates += ctx.shard_candidates[i];
+      }
+    }
     stats_.query_latency_us.Record(micros);
   }
   return out;
@@ -317,11 +524,13 @@ ServiceStats SimilarityService::stats() const {
 std::string SimilarityService::StatsJson() const {
   std::shared_ptr<const IndexSnapshot> snap = snapshot();
   ServiceStats copy = stats();
-  char header[160];
+  char header[192];
   std::snprintf(header, sizeof(header),
-                "{\"epoch\": %llu, \"base_records\": %llu, "
+                "{\"epoch\": %llu, \"num_shards\": %llu, "
+                "\"base_records\": %llu, "
                 "\"memtable_records\": %llu, \"stats\": ",
                 static_cast<unsigned long long>(snap->epoch),
+                static_cast<unsigned long long>(snap->num_shards()),
                 static_cast<unsigned long long>(snap->base_size()),
                 static_cast<unsigned long long>(snap->delta_size()));
   return std::string(header) + copy.ToJson() + "}";

@@ -12,6 +12,7 @@
 #include "data/record_view.h"
 #include "serve/service_stats.h"
 #include "serve/snapshot.h"
+#include "util/function_ref.h"
 #include "util/thread_pool.h"
 
 namespace ssjoin {
@@ -30,34 +31,47 @@ struct ServiceOptions {
   bool apply_filter = true;
   /// ListMerger knobs (MergeOpt L/S split on by default).
   MergeOptions merge;
-  /// Auto-compact when the memtable reaches this many records; 0 means
-  /// compaction only happens through explicit Compact() calls. Each
-  /// insert republishes the whole memtable image, so this bounds both
-  /// per-insert work and the delta share of every probe.
+  /// Auto-compact when the total memtable (across shards) reaches this
+  /// many records; 0 means compaction only happens through explicit
+  /// Compact() calls. Each insert republishes only the routed shard's
+  /// memtable image, so per-insert work is bounded by that shard's share.
   size_t memtable_limit = 256;
-  /// Worker threads for BatchQuery fan-out; <= 0 uses the hardware
-  /// default. Point queries run on the caller and ignore this.
+  /// Worker threads for BatchQuery fan-out, sharded point-query fan-out
+  /// and parallel shard rebuilds; <= 0 uses the hardware default.
   int num_threads = 0;
+  /// Token-range shards for the base tier and memtable. Each shard owns a
+  /// contiguous token range (records route by their largest token) with
+  /// its own memtable, so Compact() rebuilds only shards that received
+  /// inserts and probes fan out across shards. 0 or 1 disables sharding.
+  /// Query/BatchQuery/QueryTopK answers are byte-identical for every
+  /// value — sharding is purely a throughput/compaction-cost knob.
+  size_t num_shards = 1;
 };
 
 /// A long-lived, thread-safe similarity-lookup service: owns a corpus and
 /// answers "which records match this one?" without re-running a batch
-/// join. See DESIGN.md "Serving layer".
+/// join. See DESIGN.md "Serving layer" and "Sharded serving".
 ///
-/// Internally two-tier, LSM-style: an immutable CSR InvertedIndex over
-/// the compacted corpus (the base) plus a DynamicIndex memtable image for
-/// records Insert()ed since the last compaction. Compact() folds the
-/// memtable into a fresh base via the normal batch build (PlanFromRecords
-/// + Insert), re-running the predicate's full Prepare so corpus
-/// statistics (TF-IDF) are exact again.
+/// Internally LSM-style and sharded by token range: the base tier is a
+/// vector of ShardedBaseTier, each owning the CSR index slice for the
+/// records whose routing token falls in its range, all referencing one
+/// shared prepared corpus. Each shard has its own memtable image, so
+/// Insert touches one shard and Compact() rebuilds only shards whose
+/// memtable is non-empty (corpus-statistics predicates force a full
+/// rebuild — their scores change globally).
 ///
-/// Concurrency model (lock order: write -> snapshot; stats is a leaf):
+/// Concurrency model (lock order: write -> batch -> snapshot; stats is a
+/// leaf):
 ///   * readers copy an immutable IndexSnapshot shared_ptr under a brief
 ///     mutex hold and then touch no shared mutable state — queries never
 ///     block inserts or compaction, and vice versa;
 ///   * writers (Insert/Compact) serialize on a write mutex, build fresh
 ///     immutable tiers off to the side and publish them atomically by
-///     swapping the snapshot pointer.
+///     swapping the snapshot pointer;
+///   * the worker pool is shared (and not reentrant), so batch fan-out,
+///     sharded point-query fan-out and parallel shard rebuilds serialize
+///     on a pool mutex; point queries fall back to a serial shard sweep
+///     (same output) when the pool is busy.
 ///
 /// Query answers match a fresh batch self-join over the same records
 /// exactly whenever the memtable is empty (always, for predicates with
@@ -83,7 +97,7 @@ class SimilarityService {
   /// One result list per query record, results[i] answering
   /// queries.record(i); identical to calling Query per record (including
   /// order) but fanned out over the worker pool. Concurrent BatchQuery
-  /// calls serialize on the pool; point queries are unaffected.
+  /// calls serialize on the pool.
   std::vector<std::vector<QueryMatch>> BatchQuery(
       const RecordSet& queries) const;
 
@@ -100,17 +114,21 @@ class SimilarityService {
   /// (ServiceOptions::memtable_limit).
   RecordId Insert(RecordView record, std::string text = {});
 
-  /// Rebuilds the base index over the full corpus (batch Prepare +
-  /// PlanFromRecords) and empties the memtable. Queries keep running
-  /// against the previous snapshot until the new one is published.
+  /// Folds the memtables into the base shards and empties them. Only
+  /// shards with a non-empty memtable are rebuilt (all shards, when the
+  /// predicate's scores depend on corpus statistics). Queries keep
+  /// running against the previous snapshot until the new one is
+  /// published.
   void Compact();
 
   /// Total records (base + memtable) in the current snapshot.
   size_t size() const { return snapshot()->size(); }
-  /// Records awaiting compaction in the current snapshot.
+  /// Records awaiting compaction in the current snapshot (all shards).
   size_t memtable_size() const { return snapshot()->delta_size(); }
   /// Publication count: bumps on every insert and compaction.
   uint64_t epoch() const { return snapshot()->epoch; }
+  /// Token-range shard count (fixed at construction).
+  size_t num_shards() const { return num_shards_; }
 
   /// Copy of the aggregate serving counters.
   ServiceStats stats() const;
@@ -122,19 +140,29 @@ class SimilarityService {
 
  private:
   void CompactLocked(bool count_compaction);
-  void Publish(std::shared_ptr<const BaseTier> base,
-               std::shared_ptr<const DeltaTier> delta);
+  void Publish(std::shared_ptr<const RecordSet> base_records,
+               std::vector<std::shared_ptr<const ShardedBaseTier>> base,
+               std::vector<std::shared_ptr<const DeltaShard>> delta);
+  /// Runs fn(shard) for every shard — on the worker pool when it is free
+  /// and the fan-out is worth it, serially otherwise. Output written to
+  /// per-shard slots is deterministic either way.
+  void RunOverShards(size_t num_shards, FunctionRef<void(size_t)> fn) const;
 
   const Predicate& pred_;
   const ServiceOptions options_;
+  const size_t num_shards_;
   std::unique_ptr<ThreadPool> pool_;
 
   // Writer-owned authoritative state, guarded by write_mutex_: the full
-  // corpus (raw scores; re-Prepared on every compaction) and the
-  // incrementally prepared memtable records.
+  // raw corpus (re-Prepared on full rebuilds), the fixed token-range
+  // bounds, per-shard base membership and per-shard memtables.
   std::mutex write_mutex_;
   RecordSet corpus_;
-  RecordSet memtable_;
+  std::vector<TokenId> shard_bounds_;
+  std::vector<std::vector<RecordId>> base_members_;
+  std::vector<RecordSet> memtables_;
+  std::vector<std::vector<RecordId>> memtable_ids_;
+  size_t memtable_total_ = 0;
 
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const IndexSnapshot> snapshot_;
@@ -142,7 +170,7 @@ class SimilarityService {
   mutable std::mutex stats_mutex_;
   mutable ServiceStats stats_;
 
-  mutable std::mutex batch_mutex_;  // ParallelFor is not reentrant
+  mutable std::mutex pool_mutex_;  // ParallelFor is not reentrant
 };
 
 }  // namespace ssjoin

@@ -1,50 +1,94 @@
 #include "serve/snapshot.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/predicate.h"
 
 namespace ssjoin {
 
-namespace {
-
-std::vector<RecordId> CollectShortIds(const RecordSet& records,
-                                      double short_norm_bound) {
-  std::vector<RecordId> short_ids;
-  if (short_norm_bound <= 0) return short_ids;
-  for (RecordId id = 0; id < records.size(); ++id) {
-    if (records.record(id).norm() < short_norm_bound) {
-      short_ids.push_back(id);
+std::vector<TokenId> ComputeShardBounds(const std::vector<uint64_t>& mass,
+                                        size_t num_shards) {
+  std::vector<TokenId> bounds;
+  if (num_shards <= 1) return bounds;
+  uint64_t total = 0;
+  for (uint64_t m : mass) total += m;
+  // Walk tokens in id order and cut whenever the cumulative mass crosses
+  // the next 1/num_shards fraction — the CSR analogue of range
+  // partitioning by key with a known histogram.
+  uint64_t cumulative = 0;
+  size_t next_cut = 1;
+  for (TokenId t = 0; t < mass.size() && next_cut < num_shards; ++t) {
+    cumulative += mass[t];
+    if (total > 0 && cumulative * num_shards >= next_cut * total) {
+      bounds.push_back(t + 1);
+      ++next_cut;
     }
   }
-  return short_ids;
+  // Degenerate vocabularies (fewer mass steps than shards, or an empty
+  // corpus) pad with the vocabulary end: trailing shards own no initial
+  // tokens but still receive future out-of-vocabulary inserts' overflow
+  // through the "last shard" rule in RouteToShard.
+  while (bounds.size() + 1 < num_shards) {
+    bounds.push_back(static_cast<TokenId>(mass.size()));
+  }
+  return bounds;
 }
 
-}  // namespace
-
-std::shared_ptr<const BaseTier> BuildBaseTier(RecordSet records,
-                                              const Predicate& pred) {
-  auto tier = std::make_shared<BaseTier>();
-  tier->records = std::move(records);
-  pred.Prepare(&tier->records);
-  tier->index.PlanFromRecords(tier->records);
-  for (RecordId id = 0; id < tier->records.size(); ++id) {
-    tier->index.Insert(id, tier->records.record(id));
+std::vector<uint64_t> RoutingMassHistogram(const RecordSet& records) {
+  std::vector<uint64_t> mass(records.vocabulary_size(), 0);
+  for (RecordId id = 0; id < records.size(); ++id) {
+    const RecordView r = records.record(id);
+    if (r.empty()) continue;
+    mass[r.token(r.size() - 1)] += r.size();
   }
-  tier->short_ids =
-      CollectShortIds(tier->records, pred.ShortRecordNormBound());
-  return tier;
+  return mass;
 }
 
-std::shared_ptr<const DeltaTier> BuildDeltaTier(RecordSet records,
-                                                double short_norm_bound) {
-  auto tier = std::make_shared<DeltaTier>();
-  tier->records = std::move(records);
-  for (RecordId id = 0; id < tier->records.size(); ++id) {
-    tier->index.Insert(id, tier->records.record(id));
+size_t RouteToShard(RecordView record, const std::vector<TokenId>& bounds) {
+  if (bounds.empty() || record.empty()) return 0;
+  TokenId key = record.token(record.size() - 1);
+  return static_cast<size_t>(
+      std::upper_bound(bounds.begin(), bounds.end(), key) - bounds.begin());
+}
+
+std::shared_ptr<const ShardedBaseTier> BuildShardBase(
+    const RecordSet& corpus, std::vector<RecordId> member_ids,
+    double short_norm_bound) {
+  auto shard = std::make_shared<ShardedBaseTier>();
+  shard->member_ids = std::move(member_ids);
+  shard->index.PlanFromRecordsSubset(corpus, shard->member_ids);
+  for (size_t local = 0; local < shard->member_ids.size(); ++local) {
+    shard->index.Insert(static_cast<RecordId>(local),
+                        corpus.record(shard->member_ids[local]));
   }
-  tier->short_ids = CollectShortIds(tier->records, short_norm_bound);
-  return tier;
+  if (short_norm_bound > 0) {
+    for (size_t local = 0; local < shard->member_ids.size(); ++local) {
+      if (corpus.record(shard->member_ids[local]).norm() < short_norm_bound) {
+        shard->short_ids.push_back(static_cast<RecordId>(local));
+      }
+    }
+  }
+  return shard;
+}
+
+std::shared_ptr<const DeltaShard> BuildDeltaShard(
+    RecordSet records, std::vector<RecordId> global_ids,
+    double short_norm_bound) {
+  auto shard = std::make_shared<DeltaShard>();
+  shard->records = std::move(records);
+  shard->global_ids = std::move(global_ids);
+  for (RecordId id = 0; id < shard->records.size(); ++id) {
+    shard->index.Insert(id, shard->records.record(id));
+  }
+  if (short_norm_bound > 0) {
+    for (RecordId id = 0; id < shard->records.size(); ++id) {
+      if (shard->records.record(id).norm() < short_norm_bound) {
+        shard->short_ids.push_back(id);
+      }
+    }
+  }
+  return shard;
 }
 
 }  // namespace ssjoin

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/record_set.h"
+#include "data/record_view.h"
 #include "index/dynamic_index.h"
 #include "index/inverted_index.h"
 
@@ -13,61 +14,107 @@ namespace ssjoin {
 
 class Predicate;
 
-/// The compacted tier of the serving layer: the full corpus as of the
-/// last compaction, prepared by the service predicate and indexed in the
-/// flat CSR InvertedIndex (the batch-join index, reused unchanged).
-/// Immutable after construction — only ever shared as
-/// shared_ptr<const BaseTier>.
-struct BaseTier {
-  RecordSet records;
+/// One token-range shard of the compacted tier. A shard owns the records
+/// whose routing token falls in its contiguous token range (see
+/// RouteToShard) — complete records, not split posting runs, so each
+/// shard can be probed independently and the union of per-shard answers
+/// is exactly the single-index answer. Immutable after construction and
+/// shared across snapshots until a compaction finds its memtable dirty.
+struct ShardedBaseTier {
+  /// Global corpus ids of the shard's records, strictly increasing. The
+  /// index speaks LOCAL ids (positions in this vector); this is the
+  /// record-id remap: global id = member_ids[local].
+  std::vector<RecordId> member_ids;
+  /// Flat CSR index over the members under local ids, extent-carved by
+  /// InvertedIndex::PlanFromRecordsSubset. Records themselves live in the
+  /// snapshot's shared base_records — shards never copy the corpus.
   InvertedIndex index;
-  /// Records with norm below the predicate's ShortRecordNormBound, which
-  /// can match a short probe without sharing any token (edit distance);
-  /// queries brute-force this side pool like the batch drivers do.
+  /// Local ids of members with norm below the predicate's
+  /// ShortRecordNormBound (the edit-distance brute-force side pool).
   std::vector<RecordId> short_ids;
 };
 
-/// The memtable image: records inserted since the last compaction,
-/// scored against the base corpus statistics (PrepareIncremental) and
-/// indexed in a DynamicIndex under their LOCAL ids — global id =
-/// base records + local id. Rebuilt copy-on-write on every insert
-/// (bounded by the service's memtable limit), so published images are
-/// immutable just like the base.
-struct DeltaTier {
-  RecordSet records;
-  DynamicIndex index;
-  std::vector<RecordId> short_ids;  // local ids
+/// One shard's memtable image: records inserted since the last compaction
+/// whose routing token landed in this shard, scored against the base
+/// corpus statistics (PrepareIncremental) and indexed in a DynamicIndex
+/// under local ids. Rebuilt copy-on-write on every insert routed here —
+/// other shards' images are shared untouched, so per-insert work is
+/// O(this shard's memtable), not O(total memtable).
+struct DeltaShard {
+  RecordSet records;                 // prepared, with texts
+  std::vector<RecordId> global_ids;  // local -> global corpus id, increasing
+  DynamicIndex index;                // local ids
+  std::vector<RecordId> short_ids;   // local ids
 };
 
-/// One epoch's immutable view of the service corpus: a shared base, a
-/// delta image and the epoch number. Readers copy the owning shared_ptr
-/// under the service's snapshot mutex and then run entirely lock-free;
-/// writers publish a NEW snapshot instead of ever mutating one, so a
-/// query keeps a consistent view for as long as it holds the pointer,
-/// across any number of concurrent inserts and compactions.
+/// One epoch's immutable view of the service corpus: the shared prepared
+/// corpus, one base and one delta shard per token range, and the epoch
+/// number. Readers copy the owning shared_ptr under the service's
+/// snapshot mutex and then run entirely lock-free; writers publish a NEW
+/// snapshot instead of ever mutating one, so a query keeps a consistent
+/// view for as long as it holds the pointer, across any number of
+/// concurrent inserts and compactions.
 struct IndexSnapshot {
-  std::shared_ptr<const BaseTier> base;    // never null
-  std::shared_ptr<const DeltaTier> delta;  // never null; may be empty
+  /// The full prepared corpus as of the last compaction. Base shards
+  /// reference it by global id, and it is the PrepareIncremental
+  /// reference for query and insert staging.
+  std::shared_ptr<const RecordSet> base_records;  // never null
+  std::vector<std::shared_ptr<const ShardedBaseTier>> base;  // per shard
+  std::vector<std::shared_ptr<const DeltaShard>> delta;      // per shard
   uint64_t epoch = 0;
 
-  size_t base_size() const { return base->records.size(); }
-  size_t delta_size() const { return delta->records.size(); }
+  size_t num_shards() const { return base.size(); }
+  size_t base_size() const { return base_records->size(); }
+  size_t delta_size() const {
+    size_t n = 0;
+    for (const std::shared_ptr<const DeltaShard>& d : delta) {
+      n += d->records.size();
+    }
+    return n;
+  }
   size_t size() const { return base_size() + delta_size(); }
 };
 
-/// Builds a compacted base tier: prepares `records` with the predicate
-/// (full batch Prepare — corpus statistics recomputed over everything),
-/// plans the CSR index from the corpus document frequencies and inserts
-/// every record. This is exactly the index a batch self-join would
-/// build, which is what makes query answers equivalent to join output.
-std::shared_ptr<const BaseTier> BuildBaseTier(RecordSet records,
-                                              const Predicate& pred);
+/// Carves the vocabulary into `num_shards` contiguous token ranges
+/// balanced by the given per-token mass, returning the num_shards - 1
+/// exclusive upper bounds. Tokens beyond the planning vocabulary fall
+/// into the last shard. Empty for num_shards <= 1.
+std::vector<TokenId> ComputeShardBounds(const std::vector<uint64_t>& mass,
+                                        size_t num_shards);
 
-/// Builds a delta image over already-prepared memtable records.
+/// Per-token routing mass of a record set: each record contributes its
+/// token count at its routing token (see RouteToShard). Feeding this to
+/// ComputeShardBounds balances the indexed posting volume across shards.
+/// (Balancing on raw document frequencies would not: the routing token is
+/// one specific token per record, so the bounds must weigh the mass where
+/// records actually land.)
+std::vector<uint64_t> RoutingMassHistogram(const RecordSet& records);
+
+/// The routing rule: a record belongs to the shard whose token range
+/// contains its LARGEST token (tokens are strictly increasing within a
+/// record, so that is the last one). With frequency-ordered token ids the
+/// maximum is a record's rarest token, which spreads records far more
+/// evenly than the minimum — the min is almost always a stopword-like
+/// token near id 0, which would funnel the whole corpus into one shard.
+/// Empty records go to shard 0. Any deterministic key preserves
+/// correctness; the choice only affects balance.
+size_t RouteToShard(RecordView record, const std::vector<TokenId>& bounds);
+
+/// Builds one compacted shard over the already-prepared `corpus`:
+/// extent-carves the CSR index from the member subset's document
+/// frequencies and inserts every member under its local id. Preparation
+/// is NOT run here — the service prepares the corpus once globally, so
+/// corpus-statistics weights are identical across shard counts.
+std::shared_ptr<const ShardedBaseTier> BuildShardBase(
+    const RecordSet& corpus, std::vector<RecordId> member_ids,
+    double short_norm_bound);
+
+/// Builds one shard's delta image over already-prepared memtable records.
 /// `short_norm_bound` is the predicate's ShortRecordNormBound (0 for
 /// predicates without a short-record fallback).
-std::shared_ptr<const DeltaTier> BuildDeltaTier(RecordSet records,
-                                                double short_norm_bound);
+std::shared_ptr<const DeltaShard> BuildDeltaShard(
+    RecordSet records, std::vector<RecordId> global_ids,
+    double short_norm_bound);
 
 }  // namespace ssjoin
 

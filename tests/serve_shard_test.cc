@@ -1,0 +1,441 @@
+// Differential tests for the sharded serving tier: a SimilarityService
+// with ANY shard count must answer Query/BatchQuery/QueryTopK
+// byte-identically to the 1-shard service, and — at every compaction
+// point — identically to a fresh batch self-join over the same records.
+//
+// The main harness is randomized: a PCG32-scripted schedule of
+// Insert/Query/Compact steps driven across shard counts {1, 2, 7}
+// simultaneously, for several seeds and predicates. Nightly CI widens
+// the sweep via SSJOIN_DIFF_SEEDS (and SSJOIN_DIFF_PREDICATES filters
+// by predicate name for matrix jobs).
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cosine_predicate.h"
+#include "core/jaccard_predicate.h"
+#include "core/join.h"
+#include "core/overlap_predicate.h"
+#include "serve/similarity_service.h"
+#include "serve/snapshot.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ssjoin {
+namespace {
+
+constexpr size_t kShardCounts[] = {1, 2, 7};
+
+ServiceOptions ShardOptions(size_t num_shards, size_t memtable_limit = 0) {
+  ServiceOptions options;
+  options.num_shards = num_shards;
+  options.memtable_limit = memtable_limit;
+  return options;
+}
+
+/// Byte-identity over QueryMatch lists: same ids, bit-equal scores.
+void ExpectSameMatches(const std::vector<QueryMatch>& expected,
+                       const std::vector<QueryMatch>& actual,
+                       const std::string& context) {
+  ASSERT_EQ(expected.size(), actual.size()) << context;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].id, actual[i].id) << context << " position " << i;
+    EXPECT_EQ(expected[i].score, actual[i].score)
+        << context << " position " << i << " id " << actual[i].id;
+  }
+}
+
+/// Random record in the harness vocabulary, text synthesized the same
+/// way test_util does so text-based predicates stay usable.
+std::pair<Record, std::string> MakeRandomRecord(Rng& rng, ZipfTable& zipf) {
+  int count = rng.UniformInt(1, 14);
+  std::vector<TokenId> tokens;
+  for (int t = 0; t < count; ++t) tokens.push_back(zipf.Sample(rng));
+  Record record = Record::FromTokens(tokens);
+  std::string text;
+  for (size_t t = 0; t < record.size(); ++t) {
+    if (t > 0) text += ' ';
+    text += 'w' + std::to_string(record.token(t));
+  }
+  record.set_text_length(static_cast<uint32_t>(text.size()));
+  return {std::move(record), std::move(text)};
+}
+
+/// Partner sets of a fresh batch self-join (the ground truth the
+/// 1-shard service is held to at compaction points).
+std::map<RecordId, std::set<RecordId>> JoinPartners(const RecordSet& corpus,
+                                                    const Predicate& pred) {
+  RecordSet prepared = corpus;
+  Result<std::vector<std::pair<RecordId, RecordId>>> pairs =
+      JoinToPairs(&prepared, pred, JoinAlgorithm::kProbeOptMerge);
+  EXPECT_TRUE(pairs.ok()) << pairs.status().ToString();
+  std::map<RecordId, std::set<RecordId>> partners;
+  for (const auto& [a, b] : pairs.value()) {
+    partners[a].insert(b);
+    partners[b].insert(a);
+  }
+  return partners;
+}
+
+/// Full differential sweep: every corpus record queried against every
+/// service. The 1-shard reference must reproduce the batch join's
+/// partner sets; every other shard count must be byte-identical to the
+/// reference, for Query and for QueryTopK.
+void SweepAllRecords(
+    const std::vector<std::unique_ptr<SimilarityService>>& services,
+    const RecordSet& corpus, const Predicate& pred,
+    const std::string& context) {
+  std::map<RecordId, std::set<RecordId>> partners =
+      JoinPartners(corpus, pred);
+  for (RecordId r = 0; r < corpus.size(); ++r) {
+    std::vector<QueryMatch> reference =
+        services[0]->Query(corpus.record(r), corpus.text(r));
+    std::set<RecordId> answered;
+    for (const QueryMatch& m : reference) {
+      if (m.id != r) answered.insert(m.id);
+    }
+    EXPECT_EQ(answered, partners[r])
+        << context << " batch-join mismatch, record " << r;
+    std::vector<QueryMatch> topk_reference =
+        services[0]->QueryTopK(corpus.record(r), 8, corpus.text(r));
+    for (size_t i = 1; i < services.size(); ++i) {
+      ExpectSameMatches(
+          reference, services[i]->Query(corpus.record(r), corpus.text(r)),
+          context + " query shards=" +
+              std::to_string(services[i]->num_shards()));
+      ExpectSameMatches(
+          topk_reference,
+          services[i]->QueryTopK(corpus.record(r), 8, corpus.text(r)),
+          context + " topk shards=" +
+              std::to_string(services[i]->num_shards()));
+    }
+  }
+}
+
+/// One scripted run: services at every shard count fed the identical
+/// schedule of queries, inserts and compactions.
+void RunDifferential(const Predicate& pred, const std::string& pred_name,
+                     uint64_t seed) {
+  constexpr uint32_t kVocabulary = 60;
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 90, .vocabulary = kVocabulary}, seed * 3 + 1);
+  std::vector<std::unique_ptr<SimilarityService>> services;
+  for (size_t shards : kShardCounts) {
+    services.push_back(std::make_unique<SimilarityService>(
+        corpus, pred, ShardOptions(shards)));
+  }
+  Rng rng(seed * 977 + 13);
+  ZipfTable zipf(kVocabulary, 0.9);
+  const std::string tag = pred_name + " seed=" + std::to_string(seed);
+  for (int step = 0; step < 60; ++step) {
+    const std::string context = tag + " step=" + std::to_string(step);
+    uint32_t u = rng.UniformU32(100);
+    if (u < 55) {
+      // Point query (random probe, in- or out-of-corpus) + top-k,
+      // byte-compared across all shard counts.
+      auto [record, text] = MakeRandomRecord(rng, zipf);
+      std::vector<QueryMatch> reference =
+          services[0]->Query(record.view(), text);
+      std::vector<QueryMatch> topk_reference =
+          services[0]->QueryTopK(record.view(), 5, text);
+      for (size_t i = 1; i < services.size(); ++i) {
+        ExpectSameMatches(reference, services[i]->Query(record.view(), text),
+                          context + " query");
+        ExpectSameMatches(topk_reference,
+                          services[i]->QueryTopK(record.view(), 5, text),
+                          context + " topk");
+      }
+    } else if (u < 85) {
+      // Insert the same record everywhere; ids must agree.
+      auto [record, text] = MakeRandomRecord(rng, zipf);
+      corpus.Add(record, text);
+      RecordId expected_id = services[0]->Insert(record.view(), text);
+      EXPECT_EQ(expected_id, corpus.size() - 1) << context;
+      for (size_t i = 1; i < services.size(); ++i) {
+        EXPECT_EQ(expected_id, services[i]->Insert(record.view(), text))
+            << context;
+      }
+    } else {
+      // Compaction point: fold memtables everywhere, then the full
+      // differential sweep against the batch join.
+      for (auto& service : services) service->Compact();
+      SweepAllRecords(services, corpus, pred, context + " post-compact");
+    }
+  }
+  for (auto& service : services) service->Compact();
+  SweepAllRecords(services, corpus, pred, tag + " final");
+  // BatchQuery over the whole corpus must equal per-record Query.
+  std::vector<std::vector<std::vector<QueryMatch>>> batched;
+  for (auto& service : services) batched.push_back(service->BatchQuery(corpus));
+  for (RecordId r = 0; r < corpus.size(); ++r) {
+    std::vector<QueryMatch> reference =
+        services[0]->Query(corpus.record(r), corpus.text(r));
+    for (size_t i = 0; i < services.size(); ++i) {
+      ExpectSameMatches(reference, batched[i][r],
+                        tag + " batch shards=" +
+                            std::to_string(services[i]->num_shards()));
+    }
+  }
+}
+
+int SeedCount() {
+  const char* env = std::getenv("SSJOIN_DIFF_SEEDS");
+  if (env == nullptr) return 10;
+  int n = std::atoi(env);
+  return n > 0 ? n : 10;
+}
+
+bool PredicateEnabled(const std::string& name) {
+  const char* env = std::getenv("SSJOIN_DIFF_PREDICATES");
+  if (env == nullptr) return true;
+  return std::string(env).find(name) != std::string::npos;
+}
+
+TEST(ServeShardDifferentialTest, OverlapScriptedSchedule) {
+  if (!PredicateEnabled("overlap")) GTEST_SKIP();
+  OverlapPredicate pred(3);
+  for (int seed = 0; seed < SeedCount(); ++seed) {
+    RunDifferential(pred, "overlap", static_cast<uint64_t>(seed));
+  }
+}
+
+TEST(ServeShardDifferentialTest, JaccardScriptedSchedule) {
+  if (!PredicateEnabled("jaccard")) GTEST_SKIP();
+  JaccardPredicate pred(0.5);
+  for (int seed = 0; seed < SeedCount(); ++seed) {
+    RunDifferential(pred, "jaccard", static_cast<uint64_t>(seed));
+  }
+}
+
+TEST(ServeShardDifferentialTest, CosineScriptedSchedule) {
+  if (!PredicateEnabled("cosine")) GTEST_SKIP();
+  CosinePredicate pred(0.6);
+  for (int seed = 0; seed < SeedCount(); ++seed) {
+    RunDifferential(pred, "cosine", static_cast<uint64_t>(seed));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Shard routing plumbing.
+
+TEST(ShardBoundsTest, PartitionsVocabularyByPostingMass) {
+  // Heavy mass on low token ids: bounds must still produce num_shards
+  // ranges covering the whole vocabulary.
+  std::vector<uint64_t> df = {100, 80, 60, 5, 5, 5, 5, 5, 5, 5};
+  std::vector<TokenId> bounds = ComputeShardBounds(df, 4);
+  ASSERT_EQ(bounds.size(), 3u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LE(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_LE(bounds.back(), df.size());
+  // Every token routes to a shard in range.
+  for (TokenId t = 0; t < df.size(); ++t) {
+    Record r = Record::FromTokens({t});
+    EXPECT_LT(RouteToShard(r.view(), bounds), 4u);
+  }
+}
+
+TEST(ShardBoundsTest, DegenerateCases) {
+  EXPECT_TRUE(ComputeShardBounds({5, 5, 5}, 1).empty());
+  EXPECT_TRUE(ComputeShardBounds({5, 5, 5}, 0).empty());
+  // More shards than vocabulary: pads, never crashes, routing stays in
+  // range.
+  std::vector<TokenId> bounds = ComputeShardBounds({7}, 5);
+  EXPECT_EQ(bounds.size(), 4u);
+  Record r = Record::FromTokens({0});
+  EXPECT_LT(RouteToShard(r.view(), bounds), 5u);
+  // Empty corpus.
+  bounds = ComputeShardBounds({}, 3);
+  EXPECT_EQ(bounds.size(), 2u);
+  EXPECT_EQ(RouteToShard(RecordView(), bounds), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Compaction cost: only dirty shards rebuild.
+
+TEST(ShardCompactionTest, CompactRebuildsOnlyDirtyShards) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 120, .vocabulary = 100}, 21);
+  OverlapPredicate pred(3);
+  SimilarityService service(corpus, pred, ShardOptions(4));
+  ServiceStats initial = service.stats();
+  ASSERT_EQ(initial.shards.size(), 4u);
+  for (const ShardStats& s : initial.shards) {
+    EXPECT_EQ(s.rebuilds, 1u);  // the construction-time build
+  }
+
+  Record record = Record::FromTokens({1, 2, 3, 4});
+  service.Insert(record.view());
+  ServiceStats after_insert = service.stats();
+  size_t routed = 4;
+  for (size_t s = 0; s < 4; ++s) {
+    if (after_insert.shards[s].inserts == 1) {
+      ASSERT_EQ(routed, 4u) << "insert routed to more than one shard";
+      routed = s;
+    }
+  }
+  ASSERT_LT(routed, 4u) << "insert routed to no shard";
+
+  service.Compact();
+  ServiceStats after_compact = service.stats();
+  EXPECT_EQ(after_compact.compactions, 1u);
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(after_compact.shards[s].rebuilds, s == routed ? 2u : 1u)
+        << "shard " << s;
+  }
+
+  // A corpus-statistics predicate (TF-IDF cosine) cannot compact
+  // incrementally: every shard rebuilds.
+  CosinePredicate cosine(0.6);
+  SimilarityService cosine_service(corpus, cosine, ShardOptions(4));
+  cosine_service.Insert(record.view());
+  cosine_service.Compact();
+  ServiceStats cosine_stats = cosine_service.stats();
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(cosine_stats.shards[s].rebuilds, 2u) << "shard " << s;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Top-k ties: duplicate records produce equal scores; the (score desc,
+// id asc) order — and therefore the truncated result — must not depend
+// on the shard count.
+
+TEST(ShardTopKTest, TieBreaksByIdAcrossShardCounts) {
+  RecordSet corpus;
+  std::vector<TokenId> base_tokens = {2, 5, 9, 14};
+  for (int copy = 0; copy < 6; ++copy) {
+    corpus.Add(Record::FromTokens(base_tokens), {});
+  }
+  // Partial overlappers at distinct scores, plus noise sharing nothing.
+  corpus.Add(Record::FromTokens({2, 5, 9, 30}), {});
+  corpus.Add(Record::FromTokens({2, 5, 31, 32}), {});
+  corpus.Add(Record::FromTokens({40, 41, 42}), {});
+  OverlapPredicate pred(2);
+  Record probe = Record::FromTokens(base_tokens);
+
+  std::vector<QueryMatch> reference;
+  for (size_t shards : kShardCounts) {
+    SimilarityService service(corpus, pred, ShardOptions(shards));
+    std::vector<QueryMatch> got = service.QueryTopK(probe.view(), 4);
+    ASSERT_EQ(got.size(), 4u) << "shards=" << shards;
+    // The six exact duplicates tie at the top; ids 0..3 win the k=4 cut.
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, static_cast<RecordId>(i)) << "shards=" << shards;
+    }
+    if (shards == 1) {
+      reference = got;
+    } else {
+      ExpectSameMatches(reference, got,
+                        "topk ties shards=" + std::to_string(shards));
+    }
+  }
+}
+
+TEST(ShardTopKTest, RanksAboveThresholdlessTruncationAcrossShardCounts) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 80, .vocabulary = 50}, 33);
+  JaccardPredicate pred(0.5);
+  SimilarityService reference(corpus, pred, ShardOptions(1));
+  SimilarityService sharded(corpus, pred, ShardOptions(7));
+  for (RecordId r = 0; r < corpus.size(); ++r) {
+    for (size_t k : {1u, 3u, 100u}) {
+      ExpectSameMatches(
+          reference.QueryTopK(corpus.record(r), k, corpus.text(r)),
+          sharded.QueryTopK(corpus.record(r), k, corpus.text(r)),
+          "topk record " + std::to_string(r) + " k=" + std::to_string(k));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Concurrency stress for the sharded service: exercised under TSan by
+// tools/run_tsan_tests.sh. Readers (point, batch and top-k) race a
+// writer thread that interleaves inserts with explicit compactions;
+// auto-compaction is enabled too, so snapshot publication churns.
+
+TEST(ShardConcurrencyTest, ConcurrentShardedReadersAndWriter) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 150, .vocabulary = 80}, 44);
+  JaccardPredicate pred(0.5);
+  SimilarityService service(corpus, pred,
+                            ShardOptions(5, /*memtable_limit=*/16));
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> answered{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        RecordId r = rng.UniformU32(static_cast<uint32_t>(corpus.size()));
+        uint32_t mode = rng.UniformU32(3);
+        if (mode == 0) {
+          answered += service.Query(corpus.record(r), corpus.text(r)).size();
+        } else if (mode == 1) {
+          answered +=
+              service.QueryTopK(corpus.record(r), 5, corpus.text(r)).size();
+        } else {
+          RecordSet batch;
+          for (int i = 0; i < 4; ++i) {
+            RecordId id =
+                rng.UniformU32(static_cast<uint32_t>(corpus.size()));
+            batch.Add(corpus.record(id), corpus.text(id));
+          }
+          for (const auto& matches : service.BatchQuery(batch)) {
+            answered += matches.size();
+          }
+        }
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    Rng rng(99);
+    ZipfTable zipf(80, 0.9);
+    for (int i = 0; i < 120; ++i) {
+      auto [record, text] = MakeRandomRecord(rng, zipf);
+      service.Insert(record.view(), std::move(text));
+      if (i % 37 == 36) service.Compact();
+    }
+    service.Compact();
+    stop.store(true, std::memory_order_relaxed);
+  });
+
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(service.size(), corpus.size() + 120);
+  EXPECT_EQ(service.memtable_size(), 0u);
+  EXPECT_GT(answered.load(), 0u);
+
+  // After the dust settles the sharded service still answers exactly
+  // like a fresh 1-shard service over the same final corpus.
+  std::shared_ptr<const IndexSnapshot> snap = service.snapshot();
+  RecordSet final_corpus;
+  for (RecordId id = 0; id < snap->base_records->size(); ++id) {
+    final_corpus.Add(snap->base_records->record(id),
+                     snap->base_records->text(id));
+  }
+  SimilarityService reference(final_corpus, pred, ShardOptions(1));
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    RecordId r =
+        rng.UniformU32(static_cast<uint32_t>(final_corpus.size()));
+    ExpectSameMatches(
+        reference.Query(final_corpus.record(r), final_corpus.text(r)),
+        service.Query(final_corpus.record(r), final_corpus.text(r)),
+        "post-stress record " + std::to_string(r));
+  }
+}
+
+}  // namespace
+}  // namespace ssjoin

@@ -315,6 +315,24 @@ TEST(SimilarityServiceTest, LatencyHistogramQuantiles) {
   EXPECT_GE(h.QuantileUpperBound(0.99), 4096u);
 }
 
+// Regression: sub-microsecond samples truncate to 0 micros, which must
+// land in bucket 0 (a log2 bucket index computed with __builtin_clzll
+// would be undefined at 0). All-zero histograms report zero quantiles.
+TEST(SimilarityServiceTest, LatencyHistogramZeroSamples) {
+  LatencyHistogram h;
+  h.Record(0);
+  h.Record(0);
+  h.Record(0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max_micros(), 0u);
+  EXPECT_EQ(h.QuantileUpperBound(0.0), 0u);
+  EXPECT_EQ(h.QuantileUpperBound(0.5), 0u);
+  EXPECT_EQ(h.QuantileUpperBound(1.0), 0u);
+  h.Record(1);
+  EXPECT_EQ(h.QuantileUpperBound(0.5), 0u);  // 3 of 4 samples are 0
+  EXPECT_EQ(h.QuantileUpperBound(1.0), 1u);
+}
+
 // The TSan acceptance test: concurrent point queries, batch queries and
 // an inserting/compacting writer over the same service. Exercises the
 // snapshot swap, the copy-on-write delta rebuild and the stats mutex.

@@ -14,6 +14,12 @@ build_dir=${1:-"$repo_root/build-tsan"}
 cmake -B "$build_dir" -S "$repo_root" -DSSJOIN_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j --target \
-      thread_pool_test parallel_join_test serve_test
-ctest --test-dir "$build_dir" -R '(thread_pool|parallel_join|serve_test)' \
+      thread_pool_test parallel_join_test serve_test serve_shard_test
+# The differential harness is CPU-heavy under TSan; keep the sweep small
+# here (override by exporting SSJOIN_DIFF_SEEDS). The concurrency stress
+# tests run in full regardless.
+SSJOIN_DIFF_SEEDS=${SSJOIN_DIFF_SEEDS:-2}
+export SSJOIN_DIFF_SEEDS
+ctest --test-dir "$build_dir" \
+      -R '(thread_pool|parallel_join|serve_test|serve_shard_test)' \
       --output-on-failure

@@ -49,6 +49,8 @@ constexpr const char kUsage[] =
     "  --topk=K              rank the K nearest records per query instead\n"
     "                        of thresholding\n"
     "  --threads=N           BatchQuery worker threads (default hardware)\n"
+    "  --shards=N            token-range shards for the base tier; answers\n"
+    "                        are identical for every value (default 1)\n"
     "  --memtable-limit=N    auto-compact at N memtable records\n"
     "                        (default 256; 0 = only on '! compact')\n"
     "  --stats-json          print the stats JSON to stderr at exit\n";
@@ -61,6 +63,7 @@ struct ServeCliOptions {
   std::string tokens = "words";
   uint64_t topk = 0;
   int threads = 0;
+  uint64_t shards = 1;
   uint64_t memtable_limit = 256;
   bool stats_json = false;
 };
@@ -126,6 +129,13 @@ std::optional<ServeCliOptions> ParseArgs(int argc, char** argv) {
         return std::nullopt;
       }
       options.threads = static_cast<int>(threads);
+    } else if (ParseFlag(argv[i], "--shards", &value)) {
+      if (!ParseUint64(value, &options.shards) || options.shards == 0 ||
+          options.shards > 1024) {
+        std::fprintf(stderr, "invalid --shards=%s (need 1..1024)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
     } else if (ParseFlag(argv[i], "--memtable-limit", &value)) {
       if (!ParseUint64(value, &options.memtable_limit)) {
         std::fprintf(stderr,
@@ -295,9 +305,11 @@ int main(int argc, char** argv) {
   service_options.memtable_limit =
       static_cast<size_t>(options->memtable_limit);
   service_options.num_threads = options->threads;
+  service_options.num_shards = static_cast<size_t>(options->shards);
   SimilarityService service(std::move(corpus), *pred, service_options);
-  std::fprintf(stderr, "serving %zu records (%s, %s)\n", service.size(),
-               options->predicate.c_str(), options->tokens.c_str());
+  std::fprintf(stderr, "serving %zu records (%s, %s, %zu shards)\n",
+               service.size(), options->predicate.c_str(),
+               options->tokens.c_str(), service.num_shards());
 
   int rc = options->queries.empty()
                ? RunRepl(&service, *options, tokenizer)
