@@ -18,6 +18,12 @@
 //   - dirty-compaction cost (ONE insert, then Compact: only one shard
 //     rebuilds) and how many shards that compaction actually rebuilt
 //
+// The third sweep varies the DELETE rate: with a fixed fraction of the
+// corpus tombstoned (pending, uncompacted), point lookups pay the
+// per-candidate tombstone check, and the following compaction pays the
+// physical drop. Reported per rate: point QPS with tombstones pending,
+// the delete throughput itself, and the compaction cost.
+//
 // Usage: bench_serve [--scale=F | --quick] [--threads=N]
 
 #include <cinttypes>
@@ -138,6 +144,47 @@ int main(int argc, char** argv) {
                 queries.size() / point_seconds,
                 queries.size() / batch_seconds, full_seconds, full_rebuilt,
                 dirty_seconds, dirty_rebuilt);
+    std::fflush(stdout);
+  }
+
+  // Delete-rate sweep: tombstone every Nth record (a spread across all
+  // token-range shards), measure lookups against the tombstone-laden
+  // snapshot, then the compaction that drops the bodies.
+  const double kDeleteRates[] = {0.0, 0.01, 0.05, 0.20};
+  std::printf(
+      "\ndelete_rate,deletes,delete_ops_per_sec,point_qps_pending,"
+      "compact_sec\n");
+  for (double rate : kDeleteRates) {
+    ServiceOptions options;
+    options.memtable_limit = 0;
+    options.num_threads = threads;
+    options.num_shards = 4;
+    SimilarityService service(corpus, pred, options);
+
+    const uint32_t stride =
+        rate > 0 ? static_cast<uint32_t>(1.0 / rate) : 0;
+    Timer delete_timer;
+    uint64_t deletes = 0;
+    if (stride > 0) {
+      for (RecordId id = 0; id < corpus.size(); id += stride) {
+        if (service.Delete(id)) ++deletes;
+      }
+    }
+    double delete_seconds = delete_timer.ElapsedSeconds();
+
+    Timer point_timer;
+    for (RecordId q = 0; q < queries.size(); ++q) {
+      service.Query(queries.record(q), queries.text(q));
+    }
+    double point_seconds = point_timer.ElapsedSeconds();
+
+    Timer compact_timer;
+    service.Compact();
+    double compact_seconds = compact_timer.ElapsedSeconds();
+
+    std::printf("%.2f,%" PRIu64 ",%.0f,%.0f,%.3f\n", rate, deletes,
+                deletes > 0 ? deletes / delete_seconds : 0.0,
+                queries.size() / point_seconds, compact_seconds);
     std::fflush(stdout);
   }
   return 0;

@@ -98,6 +98,18 @@ inline void ProbeOne(const IndexT& index, RecordView probe, double floor,
   while (scratch->merger.Next(&candidate)) emit(candidate);
 }
 
+/// Membership test against a sorted tombstone list (the serving tier's
+/// deleted-record sets, global ids). Kept next to ProbeOne because every
+/// probe path that serves an LSM tier must apply it to candidates BEFORE
+/// verification: a tombstoned record is not a candidate at all, exactly
+/// as if compaction had already dropped its postings. The empty-list
+/// fast path keeps delete-free probing at its original cost.
+inline bool IsTombstoned(const std::vector<RecordId>& tombstones,
+                         RecordId global_id) {
+  return !tombstones.empty() &&
+         std::binary_search(tombstones.begin(), tombstones.end(), global_id);
+}
+
 /// Deterministic k-way merge of per-shard probe accumulators. Each part
 /// must already be ordered under `less`, and parts must be pairwise
 /// disjoint under it — token-range shards partition the record space, so

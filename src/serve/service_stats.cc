@@ -22,8 +22,12 @@ void LatencyHistogram::Record(uint64_t micros) {
 }
 
 uint64_t LatencyHistogram::QuantileUpperBound(double q) const {
+  // A histogram with no samples (or only zero-microsecond samples) must
+  // summarize to 0 for every quantile — never a bucket midpoint or the
+  // uninitialized-max garbage a rank walk over empty buckets would
+  // produce. The clamps also normalize NaN to 0 (NaN fails `q >= 0`).
   if (count_ == 0) return 0;
-  if (q < 0) q = 0;
+  if (!(q >= 0)) q = 0;
   if (q > 1) q = 1;
   // Rank of the requested quantile, 1-based and rounded UP (the nearest-
   // rank definition): p99 of a handful of samples reports the worst one
@@ -64,6 +68,8 @@ std::string ServiceStats::ToJson() const {
   AppendField(&out, "batched_records", batched_records);
   AppendField(&out, "topk_queries", topk_queries);
   AppendField(&out, "inserts", inserts);
+  AppendField(&out, "deletes", deletes);
+  AppendField(&out, "delete_misses", delete_misses);
   AppendField(&out, "compactions", compactions);
   AppendField(&out, "candidates", candidates);
   AppendField(&out, "results", results);
@@ -74,6 +80,7 @@ std::string ServiceStats::ToJson() const {
   for (size_t s = 0; s < shards.size(); ++s) {
     out += "{";
     AppendField(&out, "inserts", shards[s].inserts);
+    AppendField(&out, "deletes", shards[s].deletes);
     AppendField(&out, "candidates", shards[s].candidates);
     AppendField(&out, "results", shards[s].results);
     AppendField(&out, "rebuilds", shards[s].rebuilds,

@@ -41,6 +41,7 @@ class LatencyHistogram {
 /// incremental (dirty shards only) versus a full rebuild.
 struct ShardStats {
   uint64_t inserts = 0;     // memtable inserts routed to this shard
+  uint64_t deletes = 0;     // tombstones routed to this shard
   uint64_t candidates = 0;  // merge candidates from this shard's tiers
   uint64_t results = 0;     // verified matches this shard contributed
   uint64_t rebuilds = 0;    // base rebuilds (initial build + dirty compactions)
@@ -55,6 +56,8 @@ struct ServiceStats {
   uint64_t batched_records = 0; // records across all batches
   uint64_t topk_queries = 0;    // QueryTopK() calls
   uint64_t inserts = 0;
+  uint64_t deletes = 0;         // successful tombstoned deletes
+  uint64_t delete_misses = 0;   // Delete() of unknown or already-deleted ids
   uint64_t compactions = 0;     // explicit + memtable-limit triggered
   uint64_t candidates = 0;      // merge candidates reaching verification
   uint64_t results = 0;         // matches returned to callers

@@ -37,17 +37,23 @@ bool IdLess(const QueryMatch& a, const QueryMatch& b) { return a.id < b.id; }
 /// VERIFIED match as a global-id QueryMatch. The index speaks local ids;
 /// `backing_ids` maps them into `backing` (nullptr when local ids ARE
 /// backing ids, i.e. delta shards) and `global_ids` maps them to corpus
-/// ids. The probe mirrors the batch drivers bound-for-bound: floor =
-/// T(probe, minS of the shard tier) — a valid, per-shard-tighter lower
-/// bound, since every candidate bound T(probe, ||m||) dominates it — per
-/// candidate bound, optional norm range filter, then the predicate's
-/// canonical MatchesCross decision, so a sharded query accepts a pair
-/// exactly when the batch join (and the 1-shard service) would.
+/// ids. `tombstones` is the shard's pending-delete list (sorted global
+/// ids, may be null): a tombstoned candidate is dropped before
+/// verification, exactly as if compaction had already removed its
+/// postings — only base tiers need this, delta images exclude tombstoned
+/// records at build time. The probe mirrors the batch drivers
+/// bound-for-bound: floor = T(probe, minS of the shard tier) — a valid,
+/// per-shard-tighter lower bound, since every candidate bound
+/// T(probe, ||m||) dominates it — per candidate bound, optional norm
+/// range filter, then the predicate's canonical MatchesCross decision,
+/// so a sharded query accepts a pair exactly when the batch join (and
+/// the 1-shard service) would.
 template <typename IndexT>
 void ProbeShardTier(const Predicate& pred, const ServiceOptions& options,
                     const IndexT& index, const RecordSet& backing,
                     const std::vector<RecordId>* backing_ids,
                     const std::vector<RecordId>& global_ids,
+                    const std::vector<RecordId>* tombstones,
                     const RecordSet& staged, RecordId q, size_t shard,
                     QueryContext* ctx, std::vector<QueryMatch>* out,
                     std::unordered_set<RecordId>* matched_local) {
@@ -71,6 +77,11 @@ void ProbeShardTier(const Predicate& pred, const ServiceOptions& options,
   probe_internal::ProbeOne(
       index, probe, floor, required, filter, options.merge, &ctx->merge,
       &ctx->scratch, [&](const MergeCandidate& candidate) {
+        if (tombstones != nullptr &&
+            probe_internal::IsTombstoned(*tombstones,
+                                         global_ids[candidate.id])) {
+          return;
+        }
         ++ctx->shard_candidates[shard];
         const RecordId bid = to_backing(candidate.id);
         if (pred.MatchesCross(backing, bid, staged, q)) {
@@ -85,9 +96,12 @@ void ProbeShardTier(const Predicate& pred, const ServiceOptions& options,
 /// against every short tier record the index probe did not already
 /// accept (such pairs can match with no shared token, e.g. tiny strings
 /// under the edit-distance q-gram bound). Mirrors StreamingJoin::Add.
+/// Tombstoned pool members are skipped the same way as index candidates
+/// (`tombstones` null when the tier has none to filter).
 void ProbeShardShortPool(const Predicate& pred, const RecordSet& backing,
                          const std::vector<RecordId>* backing_ids,
                          const std::vector<RecordId>& global_ids,
+                         const std::vector<RecordId>* tombstones,
                          const std::vector<RecordId>& short_ids,
                          const RecordSet& staged, RecordId q, size_t shard,
                          QueryContext* ctx, std::vector<QueryMatch>* out,
@@ -95,6 +109,10 @@ void ProbeShardShortPool(const Predicate& pred, const RecordSet& backing,
   const RecordView probe = staged.record(q);
   for (RecordId local : short_ids) {
     if (matched_local.count(local) > 0) continue;
+    if (tombstones != nullptr &&
+        probe_internal::IsTombstoned(*tombstones, global_ids[local])) {
+      continue;
+    }
     ++ctx->shard_candidates[shard];
     const RecordId bid = backing_ids != nullptr ? (*backing_ids)[local] : local;
     if (pred.MatchesCross(backing, bid, staged, q)) {
@@ -123,23 +141,31 @@ std::vector<QueryMatch> LookupShard(const Predicate& pred,
   std::unordered_set<RecordId>* matched_ptr =
       probe_is_short ? &matched : nullptr;
 
+  // The shard's pending tombstones ride on its delta image; base-tier
+  // candidates are filtered against them here, delta images already
+  // exclude tombstoned records at build time.
   const ShardedBaseTier& base = *snap.base[shard];
+  const DeltaShard& delta = *snap.delta[shard];
+  const std::vector<RecordId>* tombstones =
+      delta.tombstones.empty() ? nullptr : &delta.tombstones;
   const RecordSet& corpus = *snap.base_records;
   ProbeShardTier(pred, options, base.index, corpus, &base.member_ids,
-                 base.member_ids, staged, q, shard, ctx, &out, matched_ptr);
+                 base.global_ids, tombstones, staged, q, shard, ctx, &out,
+                 matched_ptr);
   if (probe_is_short) {
-    ProbeShardShortPool(pred, corpus, &base.member_ids, base.member_ids,
-                        base.short_ids, staged, q, shard, ctx, &out, matched);
+    ProbeShardShortPool(pred, corpus, &base.member_ids, base.global_ids,
+                        tombstones, base.short_ids, staged, q, shard, ctx,
+                        &out, matched);
     matched.clear();
   }
-  const DeltaShard& delta = *snap.delta[shard];
   ProbeShardTier(pred, options, delta.index, delta.records,
-                 /*backing_ids=*/nullptr, delta.global_ids, staged, q, shard,
-                 ctx, &out, matched_ptr);
+                 /*backing_ids=*/nullptr, delta.global_ids,
+                 /*tombstones=*/nullptr, staged, q, shard, ctx, &out,
+                 matched_ptr);
   if (probe_is_short) {
     ProbeShardShortPool(pred, delta.records, /*backing_ids=*/nullptr,
-                        delta.global_ids, delta.short_ids, staged, q, shard,
-                        ctx, &out, matched);
+                        delta.global_ids, /*tombstones=*/nullptr,
+                        delta.short_ids, staged, q, shard, ctx, &out, matched);
   }
   std::sort(out.begin(), out.end(), IdLess);
   ctx->shard_results[shard] += out.size();
@@ -166,25 +192,29 @@ std::vector<QueryMatch> LookupAllShards(const Predicate& pred,
 
 /// Unthresholded overlap sweep of one shard for top-k: floor 0, no
 /// per-candidate bound, no filter — every shard record sharing a token
-/// surfaces with its canonical match amount.
+/// surfaces with its canonical match amount. Tombstoned base members are
+/// dropped before ranking, so top-k backfills to k SURVIVORS (a deleted
+/// record never displaces a live one from the truncated list).
 void SweepShardOverlaps(const IndexSnapshot& snap, size_t shard,
                         RecordView probe, QueryContext* ctx,
                         std::vector<QueryMatch>* out) {
   ctx->EnsureShards(snap.num_shards());
   if (probe.empty()) return;
   const ShardedBaseTier& base = *snap.base[shard];
+  const DeltaShard& delta = *snap.delta[shard];
   const RecordSet& corpus = *snap.base_records;
   if (base.index.num_entities() > 0) {
     probe_internal::ProbeOne(
         base.index, probe, /*floor=*/0, /*required=*/{}, /*filter=*/{},
         MergeOptions{}, &ctx->merge, &ctx->scratch,
         [&](const MergeCandidate& candidate) {
+          const RecordId gid = base.global_ids[candidate.id];
+          if (probe_internal::IsTombstoned(delta.tombstones, gid)) return;
           ++ctx->shard_candidates[shard];
-          const RecordId gid = base.member_ids[candidate.id];
-          out->push_back({gid, corpus.record(gid).OverlapWith(probe)});
+          const RecordId bid = base.member_ids[candidate.id];
+          out->push_back({gid, corpus.record(bid).OverlapWith(probe)});
         });
   }
-  const DeltaShard& delta = *snap.delta[shard];
   if (delta.index.num_entities() > 0) {
     probe_internal::ProbeOne(
         delta.index, probe, /*floor=*/0, /*required=*/{}, /*filter=*/{},
@@ -215,9 +245,12 @@ SimilarityService::SimilarityService(RecordSet corpus, const Predicate& pred,
       corpus_(std::move(corpus)) {
   std::lock_guard<std::mutex> lock(write_mutex_);
   shard_bounds_ = ComputeShardBounds(RoutingMassHistogram(corpus_), num_shards_);
+  deleted_.assign(corpus_.size(), false);
   base_members_.resize(num_shards_);
+  base_member_gids_.resize(num_shards_);
   memtables_.resize(num_shards_);
   memtable_ids_.resize(num_shards_);
+  tombstones_.resize(num_shards_);
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     stats_.EnsureShards(num_shards_);
@@ -227,11 +260,26 @@ SimilarityService::SimilarityService(RecordSet corpus, const Predicate& pred,
 
 void SimilarityService::CompactLocked(bool count_compaction) {
   std::shared_ptr<const IndexSnapshot> prev = snapshot();  // null first time
-  // Corpus-statistics predicates (TF-IDF cosine) must re-Prepare the whole
-  // corpus — every record's scores change when the statistics do — which
-  // dirties every shard. Corpus-independent predicates grow the prepared
-  // corpus by appending the (already exactly prepared) memtable records
-  // and rebuild only shards that received inserts.
+  // A compaction with nothing pending — no memtable records, no
+  // tombstones — is a counted no-op: the published snapshot already IS
+  // the compacted state, so no shard is rebuilt and no snapshot is
+  // published (in particular, cosine skips its full re-Prepare).
+  if (prev != nullptr && memtable_total_ == 0 && tombstone_total_ == 0) {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    if (count_compaction) ++stats_.compactions;
+    return;
+  }
+  // Corpus-statistics predicates (TF-IDF cosine) must re-Prepare — every
+  // record's scores change when the statistics do — which dirties every
+  // shard. The re-Prepare runs over a DENSE arena of the surviving
+  // records only, so IDF excludes deleted records and post-compaction
+  // answers coincide with a fresh batch self-join over the survivors
+  // (arena positions diverge from global ids once anything was deleted).
+  // Corpus-independent predicates grow the prepared arena by appending
+  // the (already exactly prepared) memtable records — tombstoned ones
+  // included, as dead entries, so positions keep equaling global ids and
+  // clean shards' member lists stay valid — and rebuild only dirty
+  // shards, dropping tombstoned members from their subsets.
   const bool full_rebuild =
       prev == nullptr || !pred_.corpus_independent_scores();
   const double short_bound = pred_.ShortRecordNormBound();
@@ -239,12 +287,24 @@ void SimilarityService::CompactLocked(bool count_compaction) {
   std::shared_ptr<RecordSet> prepared;
   std::vector<bool> dirty(num_shards_, false);
   if (full_rebuild) {
-    prepared = std::make_shared<RecordSet>(corpus_);
-    pred_.Prepare(prepared.get());
-    for (std::vector<RecordId>& members : base_members_) members.clear();
+    prepared = std::make_shared<RecordSet>();
+    std::vector<RecordId> pos_gids;  // arena position -> global id
+    pos_gids.reserve(corpus_.size() - deleted_total_);
     for (RecordId id = 0; id < corpus_.size(); ++id) {
-      base_members_[RouteToShard(prepared->record(id), shard_bounds_)]
-          .push_back(id);
+      if (!deleted_[id]) {
+        prepared->Add(corpus_.record(id), corpus_.text(id));
+        pos_gids.push_back(id);
+      }
+    }
+    pred_.Prepare(prepared.get());
+    for (size_t s = 0; s < num_shards_; ++s) {
+      base_members_[s].clear();
+      base_member_gids_[s].clear();
+    }
+    for (RecordId pos = 0; pos < prepared->size(); ++pos) {
+      const size_t s = RouteToShard(prepared->record(pos), shard_bounds_);
+      base_members_[s].push_back(pos);
+      base_member_gids_[s].push_back(pos_gids[pos]);
     }
     dirty.assign(num_shards_, true);
   } else {
@@ -270,11 +330,22 @@ void SimilarityService::CompactLocked(bool count_compaction) {
                     memtables_[p.shard].text(static_cast<RecordId>(p.local)));
     }
     for (size_t s = 0; s < num_shards_; ++s) {
-      if (memtable_ids_[s].empty()) continue;
+      if (memtable_ids_[s].empty() && tombstones_[s].empty()) continue;
       dirty[s] = true;
-      base_members_[s].insert(base_members_[s].end(),
-                              memtable_ids_[s].begin(),
-                              memtable_ids_[s].end());
+      std::vector<RecordId>& members = base_members_[s];
+      members.insert(members.end(), memtable_ids_[s].begin(),
+                     memtable_ids_[s].end());
+      // Physically drop tombstoned members: they leave the shard's member
+      // subset (and hence its planned postings), while their arena slots
+      // stay in place so other shards' positions never shift. Every shard
+      // holding a deleted member owns its tombstone, so filtering dirty
+      // shards only is complete.
+      members.erase(std::remove_if(members.begin(), members.end(),
+                                   [this](RecordId gid) {
+                                     return deleted_[gid];
+                                   }),
+                    members.end());
+      base_member_gids_[s] = members;  // positions == global ids here
     }
   }
 
@@ -289,7 +360,8 @@ void SimilarityService::CompactLocked(bool count_compaction) {
     }
   }
   auto build_one = [&](size_t s) {
-    base[s] = BuildShardBase(*prepared, base_members_[s], short_bound);
+    base[s] = BuildShardBase(*prepared, base_members_[s],
+                             base_member_gids_[s], short_bound);
   };
   if (rebuilt.size() > 1 && pool_->num_threads() > 1) {
     std::lock_guard<std::mutex> pool_lock(pool_mutex_);
@@ -305,9 +377,11 @@ void SimilarityService::CompactLocked(bool count_compaction) {
   for (size_t s = 0; s < num_shards_; ++s) {
     memtables_[s] = RecordSet();
     memtable_ids_[s].clear();
+    tombstones_[s].clear();
     delta[s] = BuildDeltaShard(RecordSet(), {}, short_bound);
   }
   memtable_total_ = 0;
+  tombstone_total_ = 0;
   Publish(std::move(prepared), std::move(base), std::move(delta));
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
@@ -324,6 +398,8 @@ void SimilarityService::Publish(
   snap->base_records = std::move(base_records);
   snap->base = std::move(base);
   snap->delta = std::move(delta);
+  snap->live_records = corpus_.size() - deleted_total_;
+  snap->pending_tombstones = tombstone_total_;
   std::lock_guard<std::mutex> lock(snapshot_mutex_);
   snap->epoch = snapshot_ == nullptr ? 0 : snapshot_->epoch + 1;
   snapshot_ = std::move(snap);
@@ -362,13 +438,17 @@ RecordId SimilarityService::Insert(RecordView record, std::string text) {
   pred_.PrepareIncremental(*snap->base_records, &staging);
   const RecordId id = static_cast<RecordId>(corpus_.size());
   corpus_.Add(record, std::move(text));
+  deleted_.push_back(false);
   const size_t shard = RouteToShard(staging.record(0), shard_bounds_);
   memtables_[shard].Add(staging.record(0), staging.text(0));
   memtable_ids_[shard].push_back(id);
   ++memtable_total_;
   std::vector<std::shared_ptr<const DeltaShard>> delta = snap->delta;
+  // The shard's pending tombstones ride on its delta image — republish
+  // them with the grown memtable so earlier deletes stay visible.
   delta[shard] = BuildDeltaShard(memtables_[shard], memtable_ids_[shard],
-                                 pred_.ShortRecordNormBound());
+                                 pred_.ShortRecordNormBound(),
+                                 tombstones_[shard]);
   Publish(snap->base_records, snap->base, std::move(delta));
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
@@ -376,10 +456,46 @@ RecordId SimilarityService::Insert(RecordView record, std::string text) {
     ++stats_.shards[shard].inserts;
   }
   if (options_.memtable_limit > 0 &&
-      memtable_total_ >= options_.memtable_limit) {
+      memtable_total_ + tombstone_total_ >= options_.memtable_limit) {
     CompactLocked(/*count_compaction=*/true);
   }
   return id;
+}
+
+bool SimilarityService::Delete(RecordId id) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (id >= corpus_.size() || deleted_[id]) {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.delete_misses;
+    return false;
+  }
+  deleted_[id] = true;
+  ++deleted_total_;
+  // Route by the RAW record: preparation assigns scores but never adds,
+  // drops or reorders tokens, so the largest token — and hence the owning
+  // shard — is the same one Insert/compaction routed the record by.
+  // Empty records route to shard 0, same as Insert.
+  const size_t shard = RouteToShard(corpus_.record(id), shard_bounds_);
+  std::vector<RecordId>& ts = tombstones_[shard];
+  ts.insert(std::upper_bound(ts.begin(), ts.end(), id), id);
+  ++tombstone_total_;
+  std::shared_ptr<const IndexSnapshot> snap = snapshot();
+  // Republish only the owning shard's delta image with the grown
+  // tombstone list; base shards and other deltas are shared untouched.
+  std::vector<std::shared_ptr<const DeltaShard>> delta = snap->delta;
+  delta[shard] = BuildDeltaShard(memtables_[shard], memtable_ids_[shard],
+                                 pred_.ShortRecordNormBound(), ts);
+  Publish(snap->base_records, snap->base, std::move(delta));
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.deletes;
+    ++stats_.shards[shard].deletes;
+  }
+  if (options_.memtable_limit > 0 &&
+      memtable_total_ + tombstone_total_ >= options_.memtable_limit) {
+    CompactLocked(/*count_compaction=*/true);
+  }
+  return true;
 }
 
 void SimilarityService::Compact() {
@@ -524,15 +640,18 @@ ServiceStats SimilarityService::stats() const {
 std::string SimilarityService::StatsJson() const {
   std::shared_ptr<const IndexSnapshot> snap = snapshot();
   ServiceStats copy = stats();
-  char header[192];
+  char header[256];
   std::snprintf(header, sizeof(header),
                 "{\"epoch\": %llu, \"num_shards\": %llu, "
-                "\"base_records\": %llu, "
-                "\"memtable_records\": %llu, \"stats\": ",
+                "\"live_records\": %llu, \"base_records\": %llu, "
+                "\"memtable_records\": %llu, \"tombstones\": %llu, "
+                "\"stats\": ",
                 static_cast<unsigned long long>(snap->epoch),
                 static_cast<unsigned long long>(snap->num_shards()),
+                static_cast<unsigned long long>(snap->size()),
                 static_cast<unsigned long long>(snap->base_size()),
-                static_cast<unsigned long long>(snap->delta_size()));
+                static_cast<unsigned long long>(snap->delta_size()),
+                static_cast<unsigned long long>(snap->pending_tombstones));
   return std::string(header) + copy.ToJson() + "}";
 }
 

@@ -55,10 +55,11 @@ struct ServiceOptions {
 /// Internally LSM-style and sharded by token range: the base tier is a
 /// vector of ShardedBaseTier, each owning the CSR index slice for the
 /// records whose routing token falls in its range, all referencing one
-/// shared prepared corpus. Each shard has its own memtable image, so
-/// Insert touches one shard and Compact() rebuilds only shards whose
-/// memtable is non-empty (corpus-statistics predicates force a full
-/// rebuild — their scores change globally).
+/// shared prepared corpus. Each shard has its own memtable image and
+/// tombstone set, so Insert/Delete touch one shard and Compact() rebuilds
+/// only dirty shards — non-empty memtable or tombstones
+/// (corpus-statistics predicates force a full rebuild — their scores
+/// change globally, and the re-Prepare runs over survivors only).
 ///
 /// Concurrency model (lock order: write -> batch -> snapshot; stats is a
 /// leaf):
@@ -111,21 +112,42 @@ class SimilarityService {
 
   /// Adds a record to the corpus; visible to every query issued after
   /// return. Returns its corpus id. May trigger a compaction
-  /// (ServiceOptions::memtable_limit).
+  /// (ServiceOptions::memtable_limit). Token-less (empty) records are
+  /// legal and route deterministically to shard 0.
   RecordId Insert(RecordView record, std::string text = {});
 
-  /// Folds the memtables into the base shards and empties them. Only
-  /// shards with a non-empty memtable are rebuilt (all shards, when the
-  /// predicate's scores depend on corpus statistics). Queries keep
-  /// running against the previous snapshot until the new one is
-  /// published.
+  /// Retracts record `id`: an LSM-style tombstone is recorded in the
+  /// owning token-range shard (same largest-token routing as Insert) and
+  /// published with that shard's delta image, so the record is hidden
+  /// from Query/BatchQuery/QueryTopK answers issued after return —
+  /// whether it lives in the base tier or is still memtable-resident.
+  /// The record's bytes are dropped physically at the next compaction of
+  /// the shard; its id is never reused (re-inserting the same content
+  /// yields a fresh id). Returns false (and counts a delete_miss) for an
+  /// unknown or already-deleted id. May trigger a compaction — pending
+  /// tombstones count toward ServiceOptions::memtable_limit.
+  bool Delete(RecordId id);
+
+  /// Folds the memtables into the base shards, drops tombstoned members,
+  /// and empties both. Only dirty shards — non-empty memtable OR
+  /// non-empty tombstone set — are rebuilt (all shards, when the
+  /// predicate's scores depend on corpus statistics: the full re-Prepare
+  /// recomputes them over the SURVIVING records only, so post-compaction
+  /// answers coincide with a fresh batch self-join over the survivors).
+  /// A call with nothing pending is a no-op that rebuilds no shard.
+  /// Queries keep running against the previous snapshot until the new
+  /// one is published.
   void Compact();
 
-  /// Total records (base + memtable) in the current snapshot.
+  /// Live records (base + memtable survivors) in the current snapshot.
   size_t size() const { return snapshot()->size(); }
-  /// Records awaiting compaction in the current snapshot (all shards).
+  /// Records awaiting compaction in the current snapshot (all shards),
+  /// including memtable records already tombstoned.
   size_t memtable_size() const { return snapshot()->delta_size(); }
-  /// Publication count: bumps on every insert and compaction.
+  /// Tombstones awaiting physical drop in the current snapshot.
+  size_t tombstone_count() const { return snapshot()->pending_tombstones; }
+  /// Publication count: bumps on every insert, delete and (non-no-op)
+  /// compaction.
   uint64_t epoch() const { return snapshot()->epoch; }
   /// Token-range shard count (fixed at construction).
   size_t num_shards() const { return num_shards_; }
@@ -140,6 +162,8 @@ class SimilarityService {
 
  private:
   void CompactLocked(bool count_compaction);
+  /// Swaps in a new snapshot. Must be called with write_mutex_ held: the
+  /// published live/tombstone counts are read from writer state.
   void Publish(std::shared_ptr<const RecordSet> base_records,
                std::vector<std::shared_ptr<const ShardedBaseTier>> base,
                std::vector<std::shared_ptr<const DeltaShard>> delta);
@@ -154,15 +178,23 @@ class SimilarityService {
   std::unique_ptr<ThreadPool> pool_;
 
   // Writer-owned authoritative state, guarded by write_mutex_: the full
-  // raw corpus (re-Prepared on full rebuilds), the fixed token-range
-  // bounds, per-shard base membership and per-shard memtables.
+  // raw corpus (every record ever inserted — deleted ones stay as dead
+  // entries so ids stay stable; survivor-only views are carved at
+  // compaction), the fixed token-range bounds, per-shard base membership
+  // (backing positions + parallel global ids), per-shard memtables and
+  // per-shard pending tombstones.
   std::mutex write_mutex_;
   RecordSet corpus_;
+  std::vector<bool> deleted_;  // per corpus id, sticky once set
+  size_t deleted_total_ = 0;
   std::vector<TokenId> shard_bounds_;
-  std::vector<std::vector<RecordId>> base_members_;
+  std::vector<std::vector<RecordId>> base_members_;      // backing positions
+  std::vector<std::vector<RecordId>> base_member_gids_;  // global ids
   std::vector<RecordSet> memtables_;
   std::vector<std::vector<RecordId>> memtable_ids_;
   size_t memtable_total_ = 0;
+  std::vector<std::vector<RecordId>> tombstones_;  // sorted global ids
+  size_t tombstone_total_ = 0;
 
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const IndexSnapshot> snapshot_;

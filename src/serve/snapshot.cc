@@ -54,9 +54,10 @@ size_t RouteToShard(RecordView record, const std::vector<TokenId>& bounds) {
 
 std::shared_ptr<const ShardedBaseTier> BuildShardBase(
     const RecordSet& corpus, std::vector<RecordId> member_ids,
-    double short_norm_bound) {
+    std::vector<RecordId> global_ids, double short_norm_bound) {
   auto shard = std::make_shared<ShardedBaseTier>();
   shard->member_ids = std::move(member_ids);
+  shard->global_ids = std::move(global_ids);
   shard->index.PlanFromRecordsSubset(corpus, shard->member_ids);
   for (size_t local = 0; local < shard->member_ids.size(); ++local) {
     shard->index.Insert(static_cast<RecordId>(local),
@@ -74,16 +75,29 @@ std::shared_ptr<const ShardedBaseTier> BuildShardBase(
 
 std::shared_ptr<const DeltaShard> BuildDeltaShard(
     RecordSet records, std::vector<RecordId> global_ids,
-    double short_norm_bound) {
+    double short_norm_bound, std::vector<RecordId> tombstones) {
   auto shard = std::make_shared<DeltaShard>();
   shard->records = std::move(records);
   shard->global_ids = std::move(global_ids);
+  shard->tombstones = std::move(tombstones);
+  auto is_tombstoned = [&shard](RecordId local) {
+    return std::binary_search(shard->tombstones.begin(),
+                              shard->tombstones.end(),
+                              shard->global_ids[local]);
+  };
+  // Tombstoned memtable records are dropped from the index outright (ids
+  // may gap — DynamicIndex only requires them increasing), so delta
+  // probes never surface them; only base members need probe-time
+  // filtering against the tombstone list.
   for (RecordId id = 0; id < shard->records.size(); ++id) {
-    shard->index.Insert(id, shard->records.record(id));
+    if (shard->tombstones.empty() || !is_tombstoned(id)) {
+      shard->index.Insert(id, shard->records.record(id));
+    }
   }
   if (short_norm_bound > 0) {
     for (RecordId id = 0; id < shard->records.size(); ++id) {
-      if (shard->records.record(id).norm() < short_norm_bound) {
+      if (shard->records.record(id).norm() < short_norm_bound &&
+          (shard->tombstones.empty() || !is_tombstoned(id))) {
         shard->short_ids.push_back(id);
       }
     }

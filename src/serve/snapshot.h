@@ -19,15 +19,26 @@ class Predicate;
 /// RouteToShard) — complete records, not split posting runs, so each
 /// shard can be probed independently and the union of per-shard answers
 /// is exactly the single-index answer. Immutable after construction and
-/// shared across snapshots until a compaction finds its memtable dirty.
+/// shared across snapshots until a compaction finds its memtable or
+/// tombstone set dirty.
 struct ShardedBaseTier {
-  /// Global corpus ids of the shard's records, strictly increasing. The
-  /// index speaks LOCAL ids (positions in this vector); this is the
-  /// record-id remap: global id = member_ids[local].
+  /// Backing positions of the shard's members in the snapshot's
+  /// base_records arena, strictly increasing. The index speaks LOCAL ids
+  /// (positions in this vector): backing record = member_ids[local].
+  /// For corpus-independent predicates the arena keeps every record (dead
+  /// entries stay in place between full rebuilds), so positions coincide
+  /// with global corpus ids; cosine full rebuilds compact the arena to
+  /// survivors, so positions and global ids diverge there.
   std::vector<RecordId> member_ids;
+  /// Global corpus ids of the members: global id = global_ids[local].
+  /// This is the id callers see in QueryMatch — stable across deletes and
+  /// compactions, never reused.
+  std::vector<RecordId> global_ids;
   /// Flat CSR index over the members under local ids, extent-carved by
-  /// InvertedIndex::PlanFromRecordsSubset. Records themselves live in the
-  /// snapshot's shared base_records — shards never copy the corpus.
+  /// InvertedIndex::PlanFromRecordsSubset (survivor-subset planning: a
+  /// tombstone-compacted shard plans only the surviving members' posting
+  /// mass). Records themselves live in the snapshot's shared
+  /// base_records — shards never copy the corpus.
   InvertedIndex index;
   /// Local ids of members with norm below the predicate's
   /// ShortRecordNormBound (the edit-distance brute-force side pool).
@@ -43,8 +54,15 @@ struct ShardedBaseTier {
 struct DeltaShard {
   RecordSet records;                 // prepared, with texts
   std::vector<RecordId> global_ids;  // local -> global corpus id, increasing
-  DynamicIndex index;                // local ids
-  std::vector<RecordId> short_ids;   // local ids
+  DynamicIndex index;                // local ids; tombstoned locals skipped
+  std::vector<RecordId> short_ids;   // local ids; tombstoned locals skipped
+  /// Global ids tombstoned in this shard since its last compaction,
+  /// sorted increasing. Covers both base members (filtered at probe time
+  /// against this list) and memtable residents (never indexed above).
+  /// Published with the delta image so a Delete is visible to every query
+  /// issued after it returns; Compact() drops the ids physically and
+  /// empties the list.
+  std::vector<RecordId> tombstones;
 };
 
 /// One epoch's immutable view of the service corpus: the shared prepared
@@ -55,16 +73,28 @@ struct DeltaShard {
 /// view for as long as it holds the pointer, across any number of
 /// concurrent inserts and compactions.
 struct IndexSnapshot {
-  /// The full prepared corpus as of the last compaction. Base shards
-  /// reference it by global id, and it is the PrepareIncremental
-  /// reference for query and insert staging.
+  /// The prepared backing corpus as of the last compaction. Base shards
+  /// reference it by position (ShardedBaseTier::member_ids), and it is
+  /// the PrepareIncremental reference for query and insert staging — so
+  /// for corpus-statistics predicates its statistics must cover exactly
+  /// the surviving records (cosine full rebuilds compact it to
+  /// survivors; corpus-independent predicates keep dead entries in place
+  /// because their scores never read corpus statistics).
   std::shared_ptr<const RecordSet> base_records;  // never null
   std::vector<std::shared_ptr<const ShardedBaseTier>> base;  // per shard
   std::vector<std::shared_ptr<const DeltaShard>> delta;      // per shard
   uint64_t epoch = 0;
+  /// Surviving (non-deleted) records visible to queries, base + delta.
+  size_t live_records = 0;
+  /// Tombstones awaiting physical drop at the next compaction.
+  size_t pending_tombstones = 0;
 
   size_t num_shards() const { return base.size(); }
+  /// Backing-arena size; >= live base records (dead entries linger in the
+  /// arena between full rebuilds for corpus-independent predicates).
   size_t base_size() const { return base_records->size(); }
+  /// Memtable records awaiting compaction (tombstoned ones included —
+  /// they still occupy memtable slots until folded away).
   size_t delta_size() const {
     size_t n = 0;
     for (const std::shared_ptr<const DeltaShard>& d : delta) {
@@ -72,7 +102,8 @@ struct IndexSnapshot {
     }
     return n;
   }
-  size_t size() const { return base_size() + delta_size(); }
+  /// Records a query can answer with: live base + live delta records.
+  size_t size() const { return live_records; }
 };
 
 /// Carves the vocabulary into `num_shards` contiguous token ranges
@@ -102,19 +133,25 @@ size_t RouteToShard(RecordView record, const std::vector<TokenId>& bounds);
 
 /// Builds one compacted shard over the already-prepared `corpus`:
 /// extent-carves the CSR index from the member subset's document
-/// frequencies and inserts every member under its local id. Preparation
-/// is NOT run here — the service prepares the corpus once globally, so
-/// corpus-statistics weights are identical across shard counts.
+/// frequencies and inserts every member under its local id. `member_ids`
+/// are positions into `corpus`, `global_ids` the parallel corpus ids
+/// (pass the same vector twice when positions ARE global ids — the
+/// corpus-independent layout). Preparation is NOT run here — the service
+/// prepares the corpus once globally, so corpus-statistics weights are
+/// identical across shard counts.
 std::shared_ptr<const ShardedBaseTier> BuildShardBase(
     const RecordSet& corpus, std::vector<RecordId> member_ids,
-    double short_norm_bound);
+    std::vector<RecordId> global_ids, double short_norm_bound);
 
 /// Builds one shard's delta image over already-prepared memtable records.
 /// `short_norm_bound` is the predicate's ShortRecordNormBound (0 for
-/// predicates without a short-record fallback).
+/// predicates without a short-record fallback). `tombstones` (sorted
+/// global ids) is copied into the image; memtable records whose global id
+/// is tombstoned are physically excluded from the index and short pool —
+/// only their record slots remain until compaction.
 std::shared_ptr<const DeltaShard> BuildDeltaShard(
     RecordSet records, std::vector<RecordId> global_ids,
-    double short_norm_bound);
+    double short_norm_bound, std::vector<RecordId> tombstones = {});
 
 }  // namespace ssjoin
 

@@ -1,13 +1,15 @@
 // Differential tests for the sharded serving tier: a SimilarityService
 // with ANY shard count must answer Query/BatchQuery/QueryTopK
 // byte-identically to the 1-shard service, and — at every compaction
-// point — identically to a fresh batch self-join over the same records.
+// point — identically to a fresh batch self-join over the SURVIVING
+// records (deletes are tombstoned, then physically dropped).
 //
 // The main harness is randomized: a PCG32-scripted schedule of
-// Insert/Query/Compact steps driven across shard counts {1, 2, 7}
-// simultaneously, for several seeds and predicates. Nightly CI widens
-// the sweep via SSJOIN_DIFF_SEEDS (and SSJOIN_DIFF_PREDICATES filters
-// by predicate name for matrix jobs).
+// Insert/Query/Delete/Compact steps — including delete-then-reinsert
+// and delete-of-unknown-id probes — driven across shard counts
+// {1, 2, 7} simultaneously, for several seeds and predicates. Nightly
+// CI widens the sweep via SSJOIN_DIFF_SEEDS (and
+// SSJOIN_DIFF_PREDICATES filters by predicate name for matrix jobs).
 
 #include <atomic>
 #include <cstdlib>
@@ -86,27 +88,51 @@ std::map<RecordId, std::set<RecordId>> JoinPartners(const RecordSet& corpus,
   return partners;
 }
 
-/// Full differential sweep: every corpus record queried against every
-/// service. The 1-shard reference must reproduce the batch join's
-/// partner sets; every other shard count must be byte-identical to the
-/// reference, for Query and for QueryTopK.
+/// Full differential sweep: every corpus record's CONTENT queried
+/// against every service (deleted records become out-of-corpus probes).
+/// The 1-shard reference must reproduce the partner sets of a fresh
+/// batch self-join over the survivors only — the ground truth for
+/// tombstoned deletes — and every other shard count must be
+/// byte-identical to the reference, for Query and for QueryTopK.
 void SweepAllRecords(
     const std::vector<std::unique_ptr<SimilarityService>>& services,
-    const RecordSet& corpus, const Predicate& pred,
-    const std::string& context) {
+    const RecordSet& corpus, const std::vector<bool>& alive,
+    const Predicate& pred, const std::string& context) {
+  RecordSet survivors;
+  std::vector<RecordId> gids;          // survivor local id -> global id
+  std::vector<RecordId> locals(corpus.size(), 0);  // global -> local
+  for (RecordId id = 0; id < corpus.size(); ++id) {
+    if (alive[id]) {
+      locals[id] = static_cast<RecordId>(gids.size());
+      survivors.Add(corpus.record(id), corpus.text(id));
+      gids.push_back(id);
+    }
+  }
   std::map<RecordId, std::set<RecordId>> partners =
-      JoinPartners(corpus, pred);
+      JoinPartners(survivors, pred);
   for (RecordId r = 0; r < corpus.size(); ++r) {
     std::vector<QueryMatch> reference =
         services[0]->Query(corpus.record(r), corpus.text(r));
-    std::set<RecordId> answered;
     for (const QueryMatch& m : reference) {
-      if (m.id != r) answered.insert(m.id);
+      EXPECT_TRUE(alive[m.id])
+          << context << " deleted id " << m.id << " answered";
     }
-    EXPECT_EQ(answered, partners[r])
-        << context << " batch-join mismatch, record " << r;
+    if (alive[r]) {
+      std::set<RecordId> expected;
+      for (RecordId p : partners[locals[r]]) expected.insert(gids[p]);
+      std::set<RecordId> answered;
+      for (const QueryMatch& m : reference) {
+        if (m.id != r) answered.insert(m.id);
+      }
+      EXPECT_EQ(answered, expected)
+          << context << " survivor-join mismatch, record " << r;
+    }
     std::vector<QueryMatch> topk_reference =
         services[0]->QueryTopK(corpus.record(r), 8, corpus.text(r));
+    for (const QueryMatch& m : topk_reference) {
+      EXPECT_TRUE(alive[m.id])
+          << context << " deleted id " << m.id << " in topk";
+    }
     for (size_t i = 1; i < services.size(); ++i) {
       ExpectSameMatches(
           reference, services[i]->Query(corpus.record(r), corpus.text(r)),
@@ -122,7 +148,8 @@ void SweepAllRecords(
 }
 
 /// One scripted run: services at every shard count fed the identical
-/// schedule of queries, inserts and compactions.
+/// schedule of queries, inserts, deletes (of live, already-deleted and
+/// unknown ids, plus delete-then-reinserts) and compactions.
 void RunDifferential(const Predicate& pred, const std::string& pred_name,
                      uint64_t seed) {
   constexpr uint32_t kVocabulary = 60;
@@ -133,13 +160,23 @@ void RunDifferential(const Predicate& pred, const std::string& pred_name,
     services.push_back(std::make_unique<SimilarityService>(
         corpus, pred, ShardOptions(shards)));
   }
+  std::vector<bool> alive(corpus.size(), true);
+  std::vector<RecordId> dead;  // ids whose deletes succeeded
   Rng rng(seed * 977 + 13);
   ZipfTable zipf(kVocabulary, 0.9);
   const std::string tag = pred_name + " seed=" + std::to_string(seed);
-  for (int step = 0; step < 60; ++step) {
+  // Every service must agree with the reference on a Delete's outcome.
+  auto delete_everywhere = [&](RecordId id, bool expect_hit,
+                               const std::string& context) {
+    EXPECT_EQ(services[0]->Delete(id), expect_hit) << context;
+    for (size_t i = 1; i < services.size(); ++i) {
+      EXPECT_EQ(services[i]->Delete(id), expect_hit) << context;
+    }
+  };
+  for (int step = 0; step < 70; ++step) {
     const std::string context = tag + " step=" + std::to_string(step);
     uint32_t u = rng.UniformU32(100);
-    if (u < 55) {
+    if (u < 45) {
       // Point query (random probe, in- or out-of-corpus) + top-k,
       // byte-compared across all shard counts.
       auto [record, text] = MakeRandomRecord(rng, zipf);
@@ -154,25 +191,76 @@ void RunDifferential(const Predicate& pred, const std::string& pred_name,
                           services[i]->QueryTopK(record.view(), 5, text),
                           context + " topk");
       }
-    } else if (u < 85) {
+    } else if (u < 70) {
       // Insert the same record everywhere; ids must agree.
       auto [record, text] = MakeRandomRecord(rng, zipf);
       corpus.Add(record, text);
+      alive.push_back(true);
       RecordId expected_id = services[0]->Insert(record.view(), text);
       EXPECT_EQ(expected_id, corpus.size() - 1) << context;
       for (size_t i = 1; i < services.size(); ++i) {
         EXPECT_EQ(expected_id, services[i]->Insert(record.view(), text))
             << context;
       }
+    } else if (u < 82) {
+      // Delete: a live id, an already-deleted id, or an unknown id —
+      // all three outcomes must agree across shard counts.
+      uint32_t mode = rng.UniformU32(4);
+      if (mode == 0) {
+        delete_everywhere(static_cast<RecordId>(corpus.size()) + 7, false,
+                          context + " delete-unknown");
+      } else if (mode == 1 && !dead.empty()) {
+        delete_everywhere(dead[rng.UniformU32(
+                              static_cast<uint32_t>(dead.size()))],
+                          false, context + " delete-dead");
+      } else {
+        // Linear-probe from a random start for a live victim.
+        RecordId victim =
+            rng.UniformU32(static_cast<uint32_t>(corpus.size()));
+        RecordId tried = 0;
+        while (!alive[victim] && tried < corpus.size()) {
+          victim = (victim + 1) % static_cast<RecordId>(corpus.size());
+          ++tried;
+        }
+        if (alive[victim]) {
+          delete_everywhere(victim, true, context + " delete-live");
+          alive[victim] = false;
+          dead.push_back(victim);
+        }
+      }
+    } else if (u < 88) {
+      // Delete-then-reinsert: resurrect a dead record's CONTENT under a
+      // fresh id; the old id must stay dead.
+      if (!dead.empty()) {
+        RecordId old =
+            dead[rng.UniformU32(static_cast<uint32_t>(dead.size()))];
+        // Deep-copy before the self-append: Add may grow the arena the
+        // view points into.
+        Record revived = Record::FromView(corpus.record(old));
+        std::string text = corpus.text(old);
+        corpus.Add(revived.view(), text);
+        alive.push_back(true);
+        RecordId fresh = services[0]->Insert(revived.view(), text);
+        EXPECT_EQ(fresh, corpus.size() - 1) << context;
+        for (size_t i = 1; i < services.size(); ++i) {
+          EXPECT_EQ(fresh, services[i]->Insert(revived.view(), text))
+              << context;
+        }
+      }
     } else {
-      // Compaction point: fold memtables everywhere, then the full
-      // differential sweep against the batch join.
-      for (auto& service : services) service->Compact();
-      SweepAllRecords(services, corpus, pred, context + " post-compact");
+      // Compaction point: fold memtables and drop tombstones everywhere,
+      // then the full differential sweep against the survivor join.
+      for (auto& service : services) {
+        service->Compact();
+        EXPECT_EQ(service->tombstone_count(), 0u) << context;
+        EXPECT_EQ(service->memtable_size(), 0u) << context;
+      }
+      SweepAllRecords(services, corpus, alive, pred,
+                      context + " post-compact");
     }
   }
   for (auto& service : services) service->Compact();
-  SweepAllRecords(services, corpus, pred, tag + " final");
+  SweepAllRecords(services, corpus, alive, pred, tag + " final");
   // BatchQuery over the whole corpus must equal per-record Query.
   std::vector<std::vector<std::vector<QueryMatch>>> batched;
   for (auto& service : services) batched.push_back(service->BatchQuery(corpus));
@@ -360,8 +448,9 @@ TEST(ShardTopKTest, RanksAboveThresholdlessTruncationAcrossShardCounts) {
 // ---------------------------------------------------------------------
 // Concurrency stress for the sharded service: exercised under TSan by
 // tools/run_tsan_tests.sh. Readers (point, batch and top-k) race a
-// writer thread that interleaves inserts with explicit compactions;
-// auto-compaction is enabled too, so snapshot publication churns.
+// writer thread that interleaves inserts and deletes with explicit
+// compactions; auto-compaction is enabled too, so snapshot publication
+// churns and tombstones ride delta images under load.
 
 TEST(ShardConcurrencyTest, ConcurrentShardedReadersAndWriter) {
   RecordSet corpus = testing_util::MakeRandomRecordSet(
@@ -399,12 +488,23 @@ TEST(ShardConcurrencyTest, ConcurrentShardedReadersAndWriter) {
     });
   }
 
+  // The writer's schedule is deterministic, so the survivor set is too:
+  // every 9th iteration deletes a pseudo-random id from the INITIAL
+  // corpus (some repeat — those must miss), interleaved with inserts.
+  std::vector<std::pair<Record, std::string>> inserted;
+  std::set<RecordId> writer_deleted;
   std::thread writer([&] {
     Rng rng(99);
     ZipfTable zipf(80, 0.9);
     for (int i = 0; i < 120; ++i) {
       auto [record, text] = MakeRandomRecord(rng, zipf);
+      inserted.emplace_back(record, text);
       service.Insert(record.view(), std::move(text));
+      if (i % 9 == 4) {
+        RecordId victim = static_cast<RecordId>(
+            (static_cast<size_t>(i) * 13) % corpus.size());
+        if (service.Delete(victim)) writer_deleted.insert(victim);
+      }
       if (i % 37 == 36) service.Compact();
     }
     service.Compact();
@@ -413,26 +513,39 @@ TEST(ShardConcurrencyTest, ConcurrentShardedReadersAndWriter) {
 
   writer.join();
   for (std::thread& reader : readers) reader.join();
-  EXPECT_EQ(service.size(), corpus.size() + 120);
+  EXPECT_EQ(service.size(),
+            corpus.size() + 120 - writer_deleted.size());
+  EXPECT_GT(writer_deleted.size(), 0u);
   EXPECT_EQ(service.memtable_size(), 0u);
+  EXPECT_EQ(service.tombstone_count(), 0u);
   EXPECT_GT(answered.load(), 0u);
 
   // After the dust settles the sharded service still answers exactly
-  // like a fresh 1-shard service over the same final corpus.
-  std::shared_ptr<const IndexSnapshot> snap = service.snapshot();
-  RecordSet final_corpus;
-  for (RecordId id = 0; id < snap->base_records->size(); ++id) {
-    final_corpus.Add(snap->base_records->record(id),
-                     snap->base_records->text(id));
+  // like a fresh 1-shard service over the SURVIVORS (reference ids are
+  // dense, so expectations map through the survivors' global ids).
+  RecordSet survivors;
+  std::vector<RecordId> gids;
+  for (RecordId id = 0; id < corpus.size(); ++id) {
+    if (writer_deleted.count(id) == 0) {
+      survivors.Add(corpus.record(id), corpus.text(id));
+      gids.push_back(id);
+    }
   }
-  SimilarityService reference(final_corpus, pred, ShardOptions(1));
+  for (size_t j = 0; j < inserted.size(); ++j) {
+    survivors.Add(inserted[j].first.view(), inserted[j].second);
+    gids.push_back(static_cast<RecordId>(corpus.size() + j));
+  }
+  SimilarityService reference(survivors, pred, ShardOptions(1));
   Rng rng(7);
   for (int i = 0; i < 20; ++i) {
     RecordId r =
-        rng.UniformU32(static_cast<uint32_t>(final_corpus.size()));
+        rng.UniformU32(static_cast<uint32_t>(survivors.size()));
+    std::vector<QueryMatch> expected =
+        reference.Query(survivors.record(r), survivors.text(r));
+    for (QueryMatch& m : expected) m.id = gids[m.id];
     ExpectSameMatches(
-        reference.Query(final_corpus.record(r), final_corpus.text(r)),
-        service.Query(final_corpus.record(r), final_corpus.text(r)),
+        expected,
+        service.Query(survivors.record(r), survivors.text(r)),
         "post-stress record " + std::to_string(r));
   }
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <map>
 #include <set>
 #include <string>
@@ -70,6 +71,39 @@ RecordSet Slice(const RecordSet& corpus, RecordId begin, RecordId end) {
     out.Add(corpus.record(id), corpus.text(id));
   }
   return out;
+}
+
+/// Queries the service with every SURVIVING record and checks the
+/// answers against a fresh batch self-join over the survivors only —
+/// the acceptance bar for deletes: a tombstoned (or compacted-away)
+/// record must influence nothing, not even corpus statistics. The
+/// survivor join speaks dense local ids, so expectations are mapped
+/// back through the survivors' global ids.
+void ExpectQueriesMatchSurvivorJoin(const SimilarityService& service,
+                                    const RecordSet& corpus,
+                                    const std::vector<bool>& deleted,
+                                    const Predicate& pred) {
+  RecordSet survivors;
+  std::vector<RecordId> gids;
+  for (RecordId id = 0; id < corpus.size(); ++id) {
+    if (!deleted[id]) {
+      survivors.Add(corpus.record(id), corpus.text(id));
+      gids.push_back(id);
+    }
+  }
+  std::map<RecordId, std::set<RecordId>> partners =
+      JoinPartners(survivors, pred);
+  for (RecordId local = 0; local < survivors.size(); ++local) {
+    std::set<RecordId> expected;
+    for (RecordId p : partners[local]) expected.insert(gids[p]);
+    std::set<RecordId> answered;
+    for (const QueryMatch& m :
+         service.Query(survivors.record(local), survivors.text(local))) {
+      EXPECT_FALSE(deleted[m.id]) << "deleted id " << m.id << " answered";
+      if (m.id != gids[local]) answered.insert(m.id);
+    }
+    EXPECT_EQ(answered, expected) << "record " << gids[local];
+  }
 }
 
 TEST(SimilarityServiceTest, MatchesBatchJoinOverlap) {
@@ -269,6 +303,212 @@ TEST(SimilarityServiceTest, ShortRecordFallbackServesEditDistance) {
   ExpectQueriesMatchJoin(service, full, pred);
 }
 
+// The tombstone acceptance check, corpus-independent predicates: deletes
+// are visible immediately (base and memtable residents alike), answers
+// equal a fresh self-join over the survivors both BEFORE and after
+// compaction, and compaction physically drains the tombstones.
+TEST(SimilarityServiceTest, DeleteMatchesSurvivorJoinJaccard) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 150, .vocabulary = 80}, 31);
+  JaccardPredicate pred(0.5);
+  SimilarityService service(Slice(corpus, 0, 120), pred, MakeOptions(0));
+  for (RecordId id = 120; id < corpus.size(); ++id) {
+    service.Insert(corpus.record(id));
+  }
+  std::vector<bool> deleted(corpus.size(), false);
+  // Mixed kill set: base residents and memtable residents.
+  for (RecordId id : {3u, 40u, 77u, 119u, 125u, 149u}) {
+    EXPECT_TRUE(service.Delete(id));
+    deleted[id] = true;
+  }
+  EXPECT_EQ(service.size(), corpus.size() - 6);
+  EXPECT_EQ(service.tombstone_count(), 6u);
+  ExpectQueriesMatchSurvivorJoin(service, corpus, deleted, pred);
+
+  service.Compact();
+  EXPECT_EQ(service.tombstone_count(), 0u);
+  EXPECT_EQ(service.memtable_size(), 0u);
+  EXPECT_EQ(service.size(), corpus.size() - 6);
+  ExpectQueriesMatchSurvivorJoin(service, corpus, deleted, pred);
+
+  // Ids are never reused: re-inserting deleted content mints a fresh id,
+  // and the resurrected content is live under the NEW id only.
+  EXPECT_EQ(service.Insert(corpus.record(3)), corpus.size());
+  RecordSet extended = corpus;
+  extended.Add(corpus.record(3), corpus.text(3));
+  deleted.push_back(false);
+  ExpectQueriesMatchSurvivorJoin(service, extended, deleted, pred);
+}
+
+// Same bar for TF-IDF cosine, where deletes also shift the corpus
+// statistics: after Compact() the re-Prepare must run over survivors
+// only, so IDF — and hence every score and the answer set — coincides
+// with a fresh batch self-join over the survivors.
+TEST(SimilarityServiceTest, DeleteThenCompactExactForCosine) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 150, .vocabulary = 80}, 32);
+  CosinePredicate pred(0.6);
+  SimilarityService service(corpus, pred, MakeOptions(0));
+  std::vector<bool> deleted(corpus.size(), false);
+  for (RecordId id : {0u, 10u, 60u, 61u, 148u}) {
+    EXPECT_TRUE(service.Delete(id));
+    deleted[id] = true;
+  }
+  // Pre-compaction: scores still use the stale full-corpus IDF (the
+  // serving-time approximation), but tombstoned records must already be
+  // hidden from every answer.
+  for (RecordId r = 0; r < corpus.size(); ++r) {
+    for (const QueryMatch& m : service.Query(corpus.record(r))) {
+      EXPECT_FALSE(deleted[m.id]);
+    }
+  }
+  service.Compact();
+  ExpectQueriesMatchSurvivorJoin(service, corpus, deleted, pred);
+}
+
+TEST(SimilarityServiceTest, DeleteMissesAndDoubleDeletes) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 30, .vocabulary = 30}, 33);
+  JaccardPredicate pred(0.5);
+  SimilarityService service(corpus, pred);
+  uint64_t epoch = service.epoch();
+  EXPECT_FALSE(service.Delete(30));      // out of range
+  EXPECT_FALSE(service.Delete(100000));  // far out of range
+  EXPECT_TRUE(service.Delete(7));
+  EXPECT_FALSE(service.Delete(7));  // double delete
+  service.Compact();
+  EXPECT_FALSE(service.Delete(7));  // still dead after the physical drop
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.deletes, 1u);
+  EXPECT_EQ(stats.delete_misses, 4u);
+  // Only the successful delete and the compaction published.
+  EXPECT_EQ(service.epoch(), epoch + 2);
+}
+
+// Token-less records are legal corpus members: they route to shard 0 on
+// Insert AND Delete (no largest token to route by), survive compaction,
+// and never crash the probe paths.
+TEST(SimilarityServiceTest, EmptyRecordsInsertDeleteAndCompact) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 40, .vocabulary = 30}, 34);
+  JaccardPredicate pred(0.5);
+  ServiceOptions options = MakeOptions(0);
+  options.num_shards = 7;
+  SimilarityService service(corpus, pred, options);
+  const RecordId empty_id = service.Insert(Record::FromTokens({}));
+  EXPECT_EQ(empty_id, corpus.size());
+  EXPECT_EQ(service.stats().shards[0].inserts, 1u);
+  // An empty probe matches nothing under a token-overlap predicate.
+  EXPECT_TRUE(service.Query(Record::FromTokens({})).empty());
+  service.Compact();
+  EXPECT_EQ(service.size(), corpus.size() + 1);
+  EXPECT_TRUE(service.Delete(empty_id));
+  EXPECT_EQ(service.stats().shards[0].deletes, 1u);
+  service.Compact();
+  EXPECT_EQ(service.size(), corpus.size());
+  EXPECT_FALSE(service.Delete(empty_id));
+}
+
+// Deleting a record that only ever lived in the memtable: the delta
+// image must hide it immediately and compaction must not resurrect it.
+TEST(SimilarityServiceTest, DeleteOfMemtableResident) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 50, .vocabulary = 40}, 35);
+  JaccardPredicate pred(0.5);
+  SimilarityService service(Slice(corpus, 0, 49), pred, MakeOptions(0));
+  const RecordView newcomer = corpus.record(49);
+  const RecordId id = service.Insert(newcomer);
+  EXPECT_TRUE(service.Delete(id));
+  auto self = service.Query(newcomer);
+  for (const QueryMatch& m : self) EXPECT_NE(m.id, id);
+  service.Compact();
+  self = service.Query(newcomer);
+  for (const QueryMatch& m : self) EXPECT_NE(m.id, id);
+  EXPECT_EQ(service.size(), 49u);
+}
+
+// A compaction with nothing pending must not rebuild any shard — in
+// particular cosine must skip its full re-Prepare — and must not
+// publish a new snapshot.
+TEST(SimilarityServiceTest, NoOpCompactSkipsRebuilds) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 60, .vocabulary = 40}, 36);
+  JaccardPredicate jaccard(0.5);
+  CosinePredicate cosine(0.6);
+  for (const Predicate* pred :
+       std::initializer_list<const Predicate*>{&jaccard, &cosine}) {
+    ServiceOptions options = MakeOptions(0);
+    options.num_shards = 3;
+    SimilarityService service(corpus, *pred, options);
+    auto rebuilds = [&] {
+      uint64_t n = 0;
+      for (const ShardStats& s : service.stats().shards) n += s.rebuilds;
+      return n;
+    };
+    const uint64_t built = rebuilds();  // the initial build
+    EXPECT_EQ(built, 3u);
+    const uint64_t epoch = service.epoch();
+    service.Compact();
+    service.Compact();
+    EXPECT_EQ(rebuilds(), built);
+    EXPECT_EQ(service.epoch(), epoch);
+    EXPECT_EQ(service.stats().compactions, 2u);
+    // A real delete dirties exactly the owning shard (jaccard) or all
+    // shards (cosine's statistics rebuild).
+    service.Delete(0);
+    service.Compact();
+    EXPECT_EQ(rebuilds(),
+              built + (pred == &cosine ? 3u : 1u));
+  }
+}
+
+// Top-k must backfill to k SURVIVORS: a deleted record never occupies a
+// slot, before or after compaction, and id tie-breaks are preserved.
+TEST(SimilarityServiceTest, TopKBackfillsAcrossDeletes) {
+  RecordSet corpus;
+  corpus.Add(Record::FromTokens({0, 1, 2}));
+  corpus.Add(Record::FromTokens({0, 1}));
+  corpus.Add(Record::FromTokens({0, 1, 2, 3}));
+  corpus.Add(Record::FromTokens({7, 8}));
+  corpus.Add(Record::FromTokens({0, 9}));
+  OverlapPredicate pred(2);
+  SimilarityService service(corpus, pred, MakeOptions(0));
+
+  const RecordView query = corpus.record(0);
+  ASSERT_TRUE(service.Delete(2));  // the score-3 runner-up
+  std::vector<QueryMatch> top = service.QueryTopK(query, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 0u);
+  EXPECT_DOUBLE_EQ(top[0].score, 3.0);
+  EXPECT_EQ(top[1].id, 1u);  // backfilled into the freed slot
+  EXPECT_DOUBLE_EQ(top[1].score, 2.0);
+  EXPECT_EQ(top[2].id, 4u);
+  EXPECT_DOUBLE_EQ(top[2].score, 1.0);
+  service.Compact();
+  std::vector<QueryMatch> after = service.QueryTopK(query, 3);
+  ASSERT_EQ(after.size(), top.size());
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(after[i].id, top[i].id);
+    EXPECT_DOUBLE_EQ(after[i].score, top[i].score);
+  }
+}
+
+// Deletes hide short-pool records too (edit distance): tombstoned tiny
+// strings must leave both the q-gram index and the brute-force pool.
+TEST(SimilarityServiceTest, DeleteHidesShortRecords) {
+  std::vector<std::string> texts = {"ab", "ac", "a", "xyzw", "abcdefg", "b"};
+  TokenDictionary dict;
+  RecordSet corpus = BuildQGramCorpus(texts, 3, &dict);
+  EditDistancePredicate pred(1, 3);
+  SimilarityService service(corpus, pred, MakeOptions(0));
+  std::vector<bool> deleted(corpus.size(), false);
+  ASSERT_TRUE(service.Delete(2));  // "a", inside everyone's short pool
+  deleted[2] = true;
+  ExpectQueriesMatchSurvivorJoin(service, corpus, deleted, pred);
+  service.Compact();
+  ExpectQueriesMatchSurvivorJoin(service, corpus, deleted, pred);
+}
+
 TEST(SimilarityServiceTest, StatsCountersAndJson) {
   RecordSet corpus = testing_util::MakeRandomRecordSet(
       {.num_records = 60, .vocabulary = 40}, 21);
@@ -278,6 +518,8 @@ TEST(SimilarityServiceTest, StatsCountersAndJson) {
   service.QueryTopK(corpus.record(0), 3);
   service.BatchQuery(Slice(corpus, 0, 5));
   for (RecordId id = 50; id < 55; ++id) service.Insert(corpus.record(id));
+  service.Delete(0);
+  service.Delete(0);  // a miss
   service.Compact();
 
   ServiceStats stats = service.stats();
@@ -286,6 +528,8 @@ TEST(SimilarityServiceTest, StatsCountersAndJson) {
   EXPECT_EQ(stats.batch_queries, 1u);
   EXPECT_EQ(stats.batched_records, 5u);
   EXPECT_EQ(stats.inserts, 5u);
+  EXPECT_EQ(stats.deletes, 1u);
+  EXPECT_EQ(stats.delete_misses, 1u);
   EXPECT_EQ(stats.compactions, 1u);
   EXPECT_GE(stats.results, 10u);  // every query matches itself at least
   EXPECT_GE(stats.candidates, stats.results);
@@ -295,8 +539,9 @@ TEST(SimilarityServiceTest, StatsCountersAndJson) {
   std::string json = service.StatsJson();
   for (const char* key :
        {"\"epoch\"", "\"base_records\"", "\"memtable_records\"",
-        "\"point_queries\"", "\"compactions\"", "\"query_latency_us\"",
-        "\"p99\""}) {
+        "\"live_records\"", "\"tombstones\"", "\"deletes\"",
+        "\"delete_misses\"", "\"point_queries\"", "\"compactions\"",
+        "\"query_latency_us\"", "\"p99\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
   // Balanced braces as a cheap well-formedness check.
@@ -331,6 +576,25 @@ TEST(SimilarityServiceTest, LatencyHistogramZeroSamples) {
   h.Record(1);
   EXPECT_EQ(h.QuantileUpperBound(0.5), 0u);  // 3 of 4 samples are 0
   EXPECT_EQ(h.QuantileUpperBound(1.0), 1u);
+}
+
+// Regression alongside the bucket-0 guard: a histogram that never saw a
+// sample must summarize to 0 for EVERY quantile, including the ones an
+// unchecked rank walk would mangle — out-of-range and NaN inputs clamp
+// instead of reading uninitialized bucket state.
+TEST(SimilarityServiceTest, LatencyHistogramNoSamplesReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_micros(), 0u);
+  for (double q : {0.0, 0.5, 0.99, 1.0, -3.0, 42.0}) {
+    EXPECT_EQ(h.QuantileUpperBound(q), 0u) << "q=" << q;
+  }
+  EXPECT_EQ(h.QuantileUpperBound(std::nan("")), 0u);
+  // With samples, out-of-range quantiles clamp to the endpoints.
+  h.Record(8);
+  EXPECT_EQ(h.QuantileUpperBound(-1.0), h.QuantileUpperBound(0.0));
+  EXPECT_EQ(h.QuantileUpperBound(2.0), h.QuantileUpperBound(1.0));
+  EXPECT_EQ(h.QuantileUpperBound(std::nan("")), h.QuantileUpperBound(0.0));
 }
 
 // The TSan acceptance test: concurrent point queries, batch queries and

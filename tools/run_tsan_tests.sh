@@ -15,9 +15,11 @@ cmake -B "$build_dir" -S "$repo_root" -DSSJOIN_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j --target \
       thread_pool_test parallel_join_test serve_test serve_shard_test
-# The differential harness is CPU-heavy under TSan; keep the sweep small
-# here (override by exporting SSJOIN_DIFF_SEEDS). The concurrency stress
-# tests run in full regardless.
+# The differential harness — including its scripted Delete schedules
+# (tombstones riding delta images under concurrent readers) — is
+# CPU-heavy under TSan; keep the sweep small here (override by exporting
+# SSJOIN_DIFF_SEEDS). The concurrency stress tests, whose writers
+# interleave inserts, deletes and compactions, run in full regardless.
 SSJOIN_DIFF_SEEDS=${SSJOIN_DIFF_SEEDS:-2}
 export SSJOIN_DIFF_SEEDS
 ctest --test-dir "$build_dir" \

@@ -7,13 +7,20 @@
 //
 // Interactive commands (stdin, one per line):
 //   <text>        look up the record; prints "id<TAB>score" per match
-//   + <text>      insert the record into the corpus
+//   + <text>      insert the record into the corpus (empty text is legal)
+//   - <id>        delete record <id> (tombstoned; dropped at compaction)
 //   ! compact     fold the memtable into the base index
 //   ? stats       print the service stats JSON
-//   (EOF quits; stats JSON also lands on stderr at exit with --stats-json)
+// A malformed or unknown command prints one "ERR ..." line; when stdin is
+// not a terminal (a scripted pipe or file), any ERR also makes the
+// process exit nonzero, so driver scripts cannot silently lose commands.
+// (EOF quits; stats JSON also lands on stderr at exit with --stats-json)
+
+#include <unistd.h>
 
 #include <cerrno>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -255,25 +262,60 @@ int RunBatch(const SimilarityService& service,
   return 0;
 }
 
+std::string Trim(const std::string& text) {
+  size_t begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  size_t end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
 int RunRepl(SimilarityService* service, const ServeCliOptions& options,
             const LineTokenizer& tokenizer) {
+  // A non-tty stdin means a script is driving the REPL: every ERR line
+  // then also fails the exit code, so a typo in a command file cannot be
+  // silently ignored. At a terminal the ERR line alone is the feedback.
+  const bool scripted = isatty(fileno(stdin)) == 0;
+  int rc = 0;
+  auto err = [&](const std::string& detail) {
+    std::printf("ERR %s\n", detail.c_str());
+    if (scripted) rc = 1;
+  };
   std::string line;
   while (std::getline(std::cin, line)) {
-    if (line.empty()) continue;
-    if (line[0] == '!') {
-      service->Compact();
-      std::printf("compacted; %zu records, epoch %llu\n", service->size(),
-                  static_cast<unsigned long long>(service->epoch()));
-    } else if (line[0] == '?') {
-      std::printf("%s\n", service->StatsJson().c_str());
-    } else if (line[0] == '+') {
-      std::string text = line.substr(line.find_first_not_of(" \t", 1) ==
-                                             std::string::npos
-                                         ? 1
-                                         : line.find_first_not_of(" \t", 1));
-      RecordSet staged = tokenizer.BuildOne(text);
+    if (Trim(line).empty()) continue;
+    const char op = line[0];
+    if (op == '!') {
+      const std::string arg = Trim(line.substr(1));
+      if (!arg.empty() && arg != "compact") {
+        err("unknown command '" + line + "' (want '! compact')");
+      } else {
+        service->Compact();
+        std::printf("compacted; %zu records, epoch %llu\n", service->size(),
+                    static_cast<unsigned long long>(service->epoch()));
+      }
+    } else if (op == '?') {
+      const std::string arg = Trim(line.substr(1));
+      if (!arg.empty() && arg != "stats") {
+        err("unknown command '" + line + "' (want '? stats')");
+      } else {
+        std::printf("%s\n", service->StatsJson().c_str());
+      }
+    } else if (op == '+') {
+      // Empty text is legal: token-less records route to shard 0 and can
+      // only be found by short-record predicates (edit distance).
+      RecordSet staged = tokenizer.BuildOne(Trim(line.substr(1)));
       RecordId id = service->Insert(staged.record(0), staged.text(0));
       std::printf("inserted %u\n", id);
+    } else if (op == '-') {
+      const std::string arg = Trim(line.substr(1));
+      uint64_t id = 0;
+      if (!ParseUint64(arg, &id) || id > UINT32_MAX) {
+        err("malformed delete '" + line + "' (want '- <id>')");
+      } else if (service->Delete(static_cast<RecordId>(id))) {
+        std::printf("deleted %llu\n", static_cast<unsigned long long>(id));
+      } else {
+        err("no live record with id " + arg);
+      }
     } else {
       RecordSet staged = tokenizer.BuildOne(line);
       PrintMatches(
@@ -281,7 +323,7 @@ int RunRepl(SimilarityService* service, const ServeCliOptions& options,
     }
     std::fflush(stdout);
   }
-  return 0;
+  return rc;
 }
 
 }  // namespace
