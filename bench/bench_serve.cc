@@ -24,12 +24,22 @@
 // physical drop. Reported per rate: point QPS with tombstones pending,
 // the delete throughput itself, and the compaction cost.
 //
+// The fourth sweep prices durability: insert throughput with every op
+// framed into the write-ahead log (both fsync policies) against the
+// memory-only baseline, the compaction cost including the checkpoint it
+// now writes, the checkpoint size, and the Open() restore time
+// (checkpoint load + WAL-tail replay).
+//
 // Usage: bench_serve [--scale=F | --quick] [--threads=N]
+
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <cinttypes>
 
 #include "bench_util.h"
 #include "core/jaccard_predicate.h"
+#include "serve/checkpoint.h"
 #include "serve/similarity_service.h"
 
 using namespace ssjoin;
@@ -185,6 +195,78 @@ int main(int argc, char** argv) {
     std::printf("%.2f,%" PRIu64 ",%.0f,%.0f,%.3f\n", rate, deletes,
                 deletes > 0 ? deletes / delete_seconds : 0.0,
                 queries.size() / point_seconds, compact_seconds);
+    std::fflush(stdout);
+  }
+
+  // Durability sweep: the same insert workload memory-only, WAL'd to the
+  // page cache, and WAL'd with per-op fsync; then the checkpointing
+  // compaction and a full restore.
+  const uint32_t kDurableInserts = Scaled(2048, scale);
+  std::printf(
+      "\ndurability,insert_ops_per_sec,compact_sec,checkpoint_bytes,"
+      "open_sec\n");
+  struct DurabilityMode {
+    const char* name;
+    bool durable;
+    WalSyncPolicy sync;
+  };
+  const DurabilityMode kModes[] = {
+      {"none", false, WalSyncPolicy::kNever},
+      {"wal_never", true, WalSyncPolicy::kNever},
+      {"wal_always", true, WalSyncPolicy::kAlways},
+  };
+  for (const DurabilityMode& mode : kModes) {
+    ServiceOptions options;
+    options.memtable_limit = 0;
+    options.num_threads = threads;
+    options.num_shards = 4;
+    const std::string dir = "bench_serve_durability";
+    if (mode.durable) {
+      options.data_dir = dir;
+      options.wal_sync = mode.sync;
+    }
+    SimilarityService service(corpus, pred, options);
+
+    Timer insert_timer;
+    uint32_t inserted = 0;
+    for (; inserted < kDurableInserts && inserted < inserts.size();
+         ++inserted) {
+      service.Insert(inserts.record(inserted), inserts.text(inserted));
+    }
+    double insert_seconds = insert_timer.ElapsedSeconds();
+
+    Timer compact_timer;
+    service.Compact();
+    double compact_seconds = compact_timer.ElapsedSeconds();
+
+    uint64_t checkpoint_bytes = 0;
+    double open_seconds = 0;
+    if (mode.durable) {
+      if (!service.durability_status().ok()) {
+        std::fprintf(stderr, "durability degraded: %s\n",
+                     service.durability_status().ToString().c_str());
+        return 1;
+      }
+      struct stat st;
+      if (::stat(CheckpointFilePath(dir).c_str(), &st) == 0) {
+        checkpoint_bytes = static_cast<uint64_t>(st.st_size);
+      }
+      Timer open_timer;
+      Result<std::unique_ptr<SimilarityService>> restored =
+          SimilarityService::Open(pred, options);
+      open_seconds = open_timer.ElapsedSeconds();
+      if (!restored.ok() || restored.value()->size() != service.size() ||
+          restored.value()->epoch() != service.epoch()) {
+        std::fprintf(stderr, "restore mismatch\n");
+        return 1;
+      }
+      ::unlink(CheckpointFilePath(dir).c_str());
+      ::unlink(WalFilePath(dir).c_str());
+      ::rmdir(dir.c_str());
+    }
+    std::printf("%s,%.0f,%.3f,%" PRIu64 ",%.3f\n", mode.name,
+                inserted / insert_seconds, compact_seconds, checkpoint_bytes,
+                open_seconds);
     std::fflush(stdout);
   }
   return 0;

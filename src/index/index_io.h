@@ -1,6 +1,7 @@
 #ifndef SSJOIN_INDEX_INDEX_IO_H_
 #define SSJOIN_INDEX_INDEX_IO_H_
 
+#include <cstdint>
 #include <string>
 
 #include "index/inverted_index.h"
@@ -19,11 +20,64 @@ namespace ssjoin {
 /// ones; candidate generation tolerates this through the standard prune
 /// slack, and verification always recomputes on full-precision records.
 
-/// Writes `index` to `path`, replacing any existing file.
+/// Writes `index` to `path`, replacing any existing file. The write is
+/// atomic and durable: bytes land in `<path>.tmp`, are fsynced, and the
+/// tmp file is renamed over `path` — a crash or full disk mid-save leaves
+/// any previous index file untouched.
 Status SaveIndex(const InvertedIndex& index, const std::string& path);
 
 /// Reads an index previously written by SaveIndex.
 Result<InvertedIndex> LoadIndex(const std::string& path);
+
+// ---------------------------------------------------------------------
+// Shared binary-framing helpers. index_io established the serialization
+// idiom (varint ids, fixed-width IEEE floats); the serving tier's
+// write-ahead log and checkpoint files (src/serve/wal, src/serve/
+// checkpoint) reuse these exact encoders so every on-disk artifact in
+// the system frames bytes the same way.
+
+/// Appends the IEEE-754 bits of `v` (4 bytes, host endian).
+void PutFloat(std::string* out, float v);
+/// Decodes a float at data[*offset]; advances *offset. False if short.
+bool GetFloat(const std::string& data, size_t* offset, float* v);
+
+/// Appends the IEEE-754 bits of `v` (8 bytes, host endian).
+void PutDouble(std::string* out, double v);
+/// Decodes a double at data[*offset]; advances *offset. False if short.
+bool GetDouble(const std::string& data, size_t* offset, double* v);
+
+/// Appends `v` as 4 little-endian-ordered raw bytes (host endian).
+void PutFixed32(std::string* out, uint32_t v);
+/// Decodes a fixed32 at data[*offset]; advances *offset. False if short.
+bool GetFixed32(const std::string& data, size_t* offset, uint32_t* v);
+
+/// CRC-32 (IEEE 802.3 polynomial) of `n` bytes — the frame checksum of
+/// the WAL and checkpoint formats. `seed` chains incremental updates
+/// (pass a previous return value to continue a running checksum).
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+// ---------------------------------------------------------------------
+// Shared file-I/O helpers with crash-safety and errno context.
+
+/// IOError carrying strerror(errno) context, so operators can tell
+/// ENOSPC from EACCES: "<what>: <path>: <strerror>". Capture errno
+/// immediately after the failing call.
+Status ErrnoIOError(const std::string& what, const std::string& path);
+
+/// Writes `bytes` to `path` all-or-nothing: the data goes to
+/// `<path>.tmp`, is fsynced, atomically renamed over `path`, and the
+/// parent directory is fsynced so the rename itself is durable. On any
+/// failure the previous content of `path` is untouched and the tmp file
+/// is removed.
+Status WriteFileAtomic(const std::string& path, const std::string& bytes);
+
+/// Reads the whole of `path` into a string (errno-context errors).
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// fsyncs the directory containing `path` (making a rename/create of
+/// `path` durable). No-op-equivalent on filesystems that do not support
+/// directory fsync.
+Status SyncParentDirectory(const std::string& path);
 
 }  // namespace ssjoin
 

@@ -1,0 +1,416 @@
+#include "serve/checkpoint.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "index/index_io.h"
+#include "util/varint.h"
+
+namespace ssjoin {
+
+namespace {
+
+constexpr char kCheckpointMagic[4] = {'S', 'S', 'C', 'P'};
+constexpr uint32_t kCheckpointVersion = 1;
+constexpr char kCheckpointFile[] = "checkpoint.ssc";
+constexpr char kWalFile[] = "wal.log";
+
+Status Corrupt(const std::string& what, const std::string& path) {
+  return Status::IOError("corrupt checkpoint (" + what + "): " + path);
+}
+
+/// varint64 count + delta varints. Requires non-decreasing ids (every id
+/// table in a checkpoint — members, globals, shorts, tombstones — is).
+void PutIdList(std::string* out, const std::vector<RecordId>& ids) {
+  PutVarint64(out, ids.size());
+  RecordId prev = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    PutVarint32(out, ids[i] - prev);
+    prev = ids[i];
+  }
+}
+
+bool GetIdList(const std::string& data, size_t* offset,
+               std::vector<RecordId>* ids) {
+  uint64_t count = 0;
+  if (!GetVarint64(data, offset, &count)) return false;
+  if (count > data.size()) return false;  // >= 1 byte per encoded id
+  ids->clear();
+  ids->reserve(count);
+  RecordId prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t delta = 0;
+    if (!GetVarint32(data, offset, &delta)) return false;
+    prev += delta;
+    ids->push_back(prev);
+  }
+  return true;
+}
+
+/// Same index layout as SaveIndex but with full double posting scores:
+/// restored probes must prune on byte-identical score values.
+void PutIndex(std::string* out, const InvertedIndex& index) {
+  PutVarint64(out, index.num_entities());
+  PutDouble(out, index.min_norm());
+  PutVarint64(out, index.num_tokens());
+  index.ForEachList([out](TokenId token, PostingListView list) {
+    PutVarint32(out, token);
+    PutVarint32(out, static_cast<uint32_t>(list.size()));
+    RecordId prev = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+      PutVarint32(out, list[i].id - prev);
+      prev = list[i].id;
+    }
+    for (size_t i = 0; i < list.size(); ++i) {
+      PutDouble(out, list[i].score);
+    }
+  });
+}
+
+bool GetIndex(const std::string& data, size_t* offset, InvertedIndex* out) {
+  uint64_t num_entities = 0;
+  double min_norm = std::numeric_limits<double>::infinity();
+  uint64_t num_lists = 0;
+  if (!GetVarint64(data, offset, &num_entities) ||
+      !GetDouble(data, offset, &min_norm) ||
+      !GetVarint64(data, offset, &num_lists)) {
+    return false;
+  }
+  if (num_entities > std::numeric_limits<RecordId>::max()) return false;
+  if (num_lists > data.size()) return false;
+
+  // Two passes, like LoadIndex: collect counts to carve extents, then
+  // decode postings straight into them.
+  const size_t lists_offset = *offset;
+  std::vector<uint64_t> counts;
+  for (uint64_t l = 0; l < num_lists; ++l) {
+    uint32_t token = 0;
+    uint32_t count = 0;
+    if (!GetVarint32(data, offset, &token) ||
+        !GetVarint32(data, offset, &count)) {
+      return false;
+    }
+    if (token > (1u << 30) || count == 0 || count > num_entities) return false;
+    if (token >= counts.size()) counts.resize(token + 1, 0);
+    if (counts[token] != 0) return false;  // duplicate list
+    counts[token] = count;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t delta = 0;
+      if (!GetVarint32(data, offset, &delta)) return false;
+    }
+    const size_t score_bytes = static_cast<size_t>(count) * sizeof(double);
+    if (*offset + score_bytes > data.size()) return false;
+    *offset += score_bytes;
+  }
+
+  InvertedIndex index;
+  index.Plan(counts);
+  size_t pos = lists_offset;
+  for (uint64_t l = 0; l < num_lists; ++l) {
+    uint32_t token = 0;
+    uint32_t count = 0;
+    if (!GetVarint32(data, &pos, &token) ||
+        !GetVarint32(data, &pos, &count)) {
+      return false;
+    }
+    std::vector<RecordId> ids(count);
+    RecordId prev = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t delta = 0;
+      if (!GetVarint32(data, &pos, &delta)) return false;
+      if (i > 0 && delta == 0) return false;
+      prev += delta;
+      if (prev >= num_entities) return false;
+      ids[i] = prev;
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      double score = 0;
+      if (!GetDouble(data, &pos, &score)) return false;
+      if (!std::isfinite(score)) return false;
+      index.AppendPosting(token, ids[i], score);
+    }
+  }
+  index.RestoreStats(num_entities, min_norm);
+  *out = std::move(index);
+  return true;
+}
+
+void PutBitVector(std::string* out, const std::vector<bool>& bits) {
+  PutVarint64(out, bits.size());
+  uint8_t byte = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) byte |= static_cast<uint8_t>(1u << (i % 8));
+    if (i % 8 == 7) {
+      out->push_back(static_cast<char>(byte));
+      byte = 0;
+    }
+  }
+  if (bits.size() % 8 != 0) out->push_back(static_cast<char>(byte));
+}
+
+bool GetBitVector(const std::string& data, size_t* offset,
+                  std::vector<bool>* bits) {
+  uint64_t count = 0;
+  if (!GetVarint64(data, offset, &count)) return false;
+  const size_t bytes = static_cast<size_t>((count + 7) / 8);
+  if (*offset + bytes > data.size()) return false;
+  bits->assign(count, false);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint8_t byte =
+        static_cast<uint8_t>(data[*offset + i / 8]);
+    (*bits)[i] = (byte >> (i % 8)) & 1u;
+  }
+  *offset += bytes;
+  return true;
+}
+
+}  // namespace
+
+std::string CheckpointFilePath(const std::string& data_dir) {
+  return data_dir + "/" + kCheckpointFile;
+}
+
+std::string WalFilePath(const std::string& data_dir) {
+  return data_dir + "/" + kWalFile;
+}
+
+Status EnsureDataDir(const std::string& data_dir) {
+  if (data_dir.empty()) {
+    return Status::InvalidArgument("data_dir must not be empty");
+  }
+  // mkdir -p: create each missing component in turn.
+  for (size_t pos = 0; pos != std::string::npos;) {
+    pos = data_dir.find('/', pos + 1);
+    const std::string prefix =
+        pos == std::string::npos ? data_dir : data_dir.substr(0, pos);
+    if (prefix.empty()) continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoIOError("cannot create data directory", prefix);
+    }
+  }
+  return Status::OK();
+}
+
+bool CheckpointExists(const std::string& data_dir) {
+  return ::access(CheckpointFilePath(data_dir).c_str(), F_OK) == 0;
+}
+
+void EncodeRecordSet(const RecordSet& records, std::string* out) {
+  PutVarint64(out, records.size());
+  for (RecordId id = 0; id < records.size(); ++id) {
+    const RecordView record = records.record(id);
+    PutVarint32(out, static_cast<uint32_t>(record.size()));
+    TokenId prev = 0;
+    for (size_t i = 0; i < record.size(); ++i) {
+      PutVarint32(out, record.token(i) - prev);
+      prev = record.token(i);
+    }
+    for (size_t i = 0; i < record.size(); ++i) {
+      PutDouble(out, record.score(i));
+    }
+    PutDouble(out, record.norm());
+    PutVarint32(out, record.text_length());
+    const std::string& text = records.text(id);
+    PutVarint64(out, text.size());
+    out->append(text);
+  }
+}
+
+Result<RecordSet> DecodeRecordSet(const std::string& data, size_t* offset) {
+  uint64_t count = 0;
+  if (!GetVarint64(data, offset, &count)) {
+    return Status::IOError("truncated record-set count");
+  }
+  if (count > data.size()) {
+    return Status::IOError("implausible record-set count");
+  }
+  RecordSet records;
+  std::vector<TokenId> tokens;
+  std::vector<double> scores;
+  for (uint64_t r = 0; r < count; ++r) {
+    uint32_t num_tokens = 0;
+    if (!GetVarint32(data, offset, &num_tokens) ||
+        num_tokens > data.size()) {
+      return Status::IOError("truncated record header");
+    }
+    tokens.assign(num_tokens, 0);
+    scores.assign(num_tokens, 0);
+    TokenId prev = 0;
+    for (uint32_t i = 0; i < num_tokens; ++i) {
+      uint32_t delta = 0;
+      if (!GetVarint32(data, offset, &delta)) {
+        return Status::IOError("truncated record tokens");
+      }
+      if (i > 0 && delta == 0) {
+        return Status::IOError("non-monotone record tokens");
+      }
+      prev = i == 0 ? delta : prev + delta;
+      tokens[i] = prev;
+    }
+    for (uint32_t i = 0; i < num_tokens; ++i) {
+      if (!GetDouble(data, offset, &scores[i])) {
+        return Status::IOError("truncated record scores");
+      }
+    }
+    double norm = 0;
+    uint32_t text_length = 0;
+    uint64_t text_size = 0;
+    if (!GetDouble(data, offset, &norm) ||
+        !GetVarint32(data, offset, &text_length) ||
+        !GetVarint64(data, offset, &text_size)) {
+      return Status::IOError("truncated record trailer");
+    }
+    if (*offset + text_size > data.size()) {
+      return Status::IOError("truncated record text");
+    }
+    std::string text(data, *offset, text_size);
+    *offset += text_size;
+    // Add() recounts doc/term frequencies exactly as the live insertion
+    // did, so the decoded set's statistics match the encoded one's.
+    records.Add(RecordView(tokens.data(), scores.data(), num_tokens, norm,
+                           text_length),
+                std::move(text));
+  }
+  return records;
+}
+
+Status SaveCheckpoint(const std::string& data_dir,
+                      const CheckpointState& state) {
+  if (state.corpus == nullptr || state.deleted == nullptr ||
+      state.base_records == nullptr ||
+      state.shards.size() != state.tombstones.size()) {
+    return Status::InvalidArgument("incomplete checkpoint state");
+  }
+  std::string buffer(kCheckpointMagic, sizeof(kCheckpointMagic));
+  PutFixed32(&buffer, kCheckpointVersion);
+  PutVarint64(&buffer, state.epoch);
+  PutVarint64(&buffer, state.wal_seq);
+  PutVarint64(&buffer, state.predicate.size());
+  buffer += state.predicate;
+  PutVarint64(&buffer, state.shards.size());
+  PutIdList(&buffer, state.shard_bounds);
+  EncodeRecordSet(*state.corpus, &buffer);
+  PutBitVector(&buffer, *state.deleted);
+  EncodeRecordSet(*state.base_records, &buffer);
+  for (size_t s = 0; s < state.shards.size(); ++s) {
+    const ShardedBaseTier& shard = *state.shards[s];
+    PutIdList(&buffer, shard.member_ids);
+    PutIdList(&buffer, shard.global_ids);
+    PutIdList(&buffer, shard.short_ids);
+    PutIdList(&buffer, *state.tombstones[s]);
+    PutIndex(&buffer, shard.index);
+  }
+  // Whole-file trailing checksum: a checkpoint either verifies end to end
+  // or is rejected — there is no partially-trusted checkpoint.
+  PutFixed32(&buffer, Crc32(buffer.data(), buffer.size()));
+  return WriteFileAtomic(CheckpointFilePath(data_dir), buffer);
+}
+
+Result<ServiceCheckpoint> LoadCheckpoint(const std::string& data_dir) {
+  const std::string path = CheckpointFilePath(data_dir);
+  Result<std::string> read = ReadFileToString(path);
+  if (!read.ok()) return read.status();
+  const std::string data = std::move(read).value();
+  if (data.size() < sizeof(kCheckpointMagic) + 2 * sizeof(uint32_t) ||
+      std::memcmp(data.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) !=
+          0) {
+    return Corrupt("bad magic", path);
+  }
+  const size_t body_size = data.size() - sizeof(uint32_t);
+  size_t crc_offset = body_size;
+  uint32_t stored_crc = 0;
+  GetFixed32(data, &crc_offset, &stored_crc);
+  if (Crc32(data.data(), body_size) != stored_crc) {
+    return Corrupt("checksum mismatch", path);
+  }
+
+  size_t offset = sizeof(kCheckpointMagic);
+  uint32_t version = 0;
+  GetFixed32(data, &offset, &version);
+  if (version != kCheckpointVersion) {
+    return Status::IOError("unsupported checkpoint version: " + path);
+  }
+
+  // The payload (between header and trailing CRC) decodes as a plain
+  // string slice; every Get* below is bounded by body_size via `body`.
+  const std::string body = data.substr(0, body_size);
+  ServiceCheckpoint cp;
+  uint64_t pred_size = 0;
+  uint64_t num_shards = 0;
+  if (!GetVarint64(body, &offset, &cp.epoch) ||
+      !GetVarint64(body, &offset, &cp.wal_seq) ||
+      !GetVarint64(body, &offset, &pred_size) ||
+      pred_size > body.size() - offset) {
+    return Corrupt("truncated header", path);
+  }
+  cp.predicate.assign(body, offset, pred_size);
+  offset += pred_size;
+  if (!GetVarint64(body, &offset, &num_shards) || num_shards == 0 ||
+      num_shards > body.size()) {
+    return Corrupt("bad shard count", path);
+  }
+  if (!GetIdList(body, &offset, &cp.shard_bounds) ||
+      cp.shard_bounds.size() + 1 != num_shards) {
+    return Corrupt("bad shard bounds", path);
+  }
+  Result<RecordSet> corpus = DecodeRecordSet(body, &offset);
+  if (!corpus.ok()) {
+    return Corrupt(corpus.status().message() + " [corpus]", path);
+  }
+  cp.corpus = std::move(corpus).value();
+  if (!GetBitVector(body, &offset, &cp.deleted) ||
+      cp.deleted.size() != cp.corpus.size()) {
+    return Corrupt("bad deleted bitmap", path);
+  }
+  Result<RecordSet> base = DecodeRecordSet(body, &offset);
+  if (!base.ok()) {
+    return Corrupt(base.status().message() + " [base arena]", path);
+  }
+  cp.base_records = std::move(base).value();
+  cp.shards.reserve(num_shards);
+  cp.tombstones.resize(num_shards);
+  for (uint64_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_shared<ShardedBaseTier>();
+    if (!GetIdList(body, &offset, &shard->member_ids) ||
+        !GetIdList(body, &offset, &shard->global_ids) ||
+        !GetIdList(body, &offset, &shard->short_ids) ||
+        !GetIdList(body, &offset, &cp.tombstones[s])) {
+      return Corrupt("truncated shard tables", path);
+    }
+    if (shard->member_ids.size() != shard->global_ids.size()) {
+      return Corrupt("shard id tables disagree", path);
+    }
+    for (RecordId pos : shard->member_ids) {
+      if (pos >= cp.base_records.size()) {
+        return Corrupt("shard member out of range", path);
+      }
+    }
+    for (RecordId gid : shard->global_ids) {
+      if (gid >= cp.corpus.size()) {
+        return Corrupt("shard global id out of range", path);
+      }
+    }
+    if (!GetIndex(body, &offset, &shard->index) ||
+        shard->index.num_entities() != shard->member_ids.size()) {
+      return Corrupt("bad shard index", path);
+    }
+    for (RecordId local : shard->short_ids) {
+      if (local >= shard->member_ids.size()) {
+        return Corrupt("shard short id out of range", path);
+      }
+    }
+    cp.shards.push_back(std::move(shard));
+  }
+  if (offset != body.size()) {
+    return Corrupt("trailing bytes", path);
+  }
+  return cp;
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,100 @@
+#ifndef SSJOIN_SERVE_CHECKPOINT_H_
+#define SSJOIN_SERVE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/record_set.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace ssjoin {
+
+/// Checkpoint save/load of SimilarityService's durable state: the raw
+/// corpus (every record ever inserted, with texts), the deleted bitmap,
+/// the prepared base arena, and every base shard's member/global id
+/// tables, CSR index extents and pending tombstones, under one versioned,
+/// CRC32-checksummed file written tmp-then-rename — a checkpoint on disk
+/// is always whole. See DESIGN.md "Durability & recovery".
+///
+/// Unlike SaveIndex (which quantizes posting scores to float32 — fine for
+/// batch candidate generation, where verification recomputes on full
+/// records), checkpointed shard indexes keep full double scores: the
+/// recovery contract is BYTE-identical query answers, and probe pruning
+/// reads posting scores directly.
+
+/// Paths of the two durable artifacts inside a service data directory.
+std::string CheckpointFilePath(const std::string& data_dir);
+std::string WalFilePath(const std::string& data_dir);
+
+/// mkdir -p for `data_dir` (each missing component, 0755).
+Status EnsureDataDir(const std::string& data_dir);
+
+/// Whether `data_dir` holds a checkpoint file.
+bool CheckpointExists(const std::string& data_dir);
+
+/// Borrowed view of the service state a checkpoint covers — Save never
+/// copies the corpus or indexes. `shards` and `tombstones` are parallel,
+/// one entry per token-range shard (tombstone lists are empty at
+/// compaction-point checkpoints, but the format carries them so the
+/// on-disk state is self-contained).
+struct CheckpointState {
+  uint64_t epoch = 0;
+  /// Last WAL seq this checkpoint covers: replay skips frames at or below
+  /// it, so a crash between checkpoint rename and WAL reset never
+  /// double-applies an operation.
+  uint64_t wal_seq = 0;
+  /// Predicate fingerprint (Predicate::name()); Open refuses to restore
+  /// under a different predicate, whose scores/thresholds would silently
+  /// disagree with the serialized prepared arena.
+  std::string predicate;
+  std::vector<TokenId> shard_bounds;
+  const RecordSet* corpus = nullptr;
+  const std::vector<bool>* deleted = nullptr;
+  const RecordSet* base_records = nullptr;
+  std::vector<const ShardedBaseTier*> shards;
+  std::vector<const std::vector<RecordId>*> tombstones;
+};
+
+/// Owned counterpart produced by LoadCheckpoint.
+struct ServiceCheckpoint {
+  uint64_t epoch = 0;
+  uint64_t wal_seq = 0;
+  std::string predicate;
+  std::vector<TokenId> shard_bounds;
+  RecordSet corpus;
+  std::vector<bool> deleted;
+  RecordSet base_records;
+  std::vector<std::shared_ptr<ShardedBaseTier>> shards;
+  std::vector<std::vector<RecordId>> tombstones;
+
+  size_t num_shards() const { return shards.size(); }
+};
+
+/// Writes the checkpoint file for `state` into `data_dir`, atomically
+/// replacing any previous checkpoint (tmp + fsync + rename + directory
+/// fsync). On failure the previous checkpoint, if any, is untouched.
+Status SaveCheckpoint(const std::string& data_dir,
+                      const CheckpointState& state);
+
+/// Reads and verifies (magic, version, trailing CRC32, structural
+/// bounds) the checkpoint in `data_dir`.
+Result<ServiceCheckpoint> LoadCheckpoint(const std::string& data_dir);
+
+// ---------------------------------------------------------------------
+// Encoding primitives, exposed for the round-trip property tests.
+
+/// Appends `records` — tokens (delta varints), full double scores, norm,
+/// text length, text, per record — to `out`. Statistics are NOT encoded:
+/// decoding re-Adds each record, which rebuilds doc/term frequencies
+/// identically (Add counts each distinct token once, exactly as the
+/// original insertion did).
+void EncodeRecordSet(const RecordSet& records, std::string* out);
+/// Decodes at data[*offset]; advances *offset past the record set.
+Result<RecordSet> DecodeRecordSet(const std::string& data, size_t* offset);
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_SERVE_CHECKPOINT_H_

@@ -256,9 +256,181 @@ SimilarityService::SimilarityService(RecordSet corpus, const Predicate& pred,
     stats_.EnsureShards(num_shards_);
   }
   CompactLocked(/*count_compaction=*/false);
+  if (!options_.data_dir.empty()) InitDurabilityLocked();
 }
 
-void SimilarityService::CompactLocked(bool count_compaction) {
+SimilarityService::SimilarityService(ServiceCheckpoint checkpoint,
+                                     std::vector<WalRecord> tail,
+                                     WriteAheadLog wal, const Predicate& pred,
+                                     ServiceOptions options)
+    : pred_(pred),
+      options_(std::move(options)),
+      num_shards_(checkpoint.num_shards()),
+      pool_(std::make_unique<ThreadPool>(
+          options_.num_threads > 0 ? options_.num_threads
+                                   : ThreadPool::DefaultNumThreads())),
+      corpus_(std::move(checkpoint.corpus)) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  shard_bounds_ = std::move(checkpoint.shard_bounds);
+  deleted_ = std::move(checkpoint.deleted);
+  for (size_t i = 0; i < deleted_.size(); ++i) {
+    if (deleted_[i]) ++deleted_total_;
+  }
+  base_members_.resize(num_shards_);
+  base_member_gids_.resize(num_shards_);
+  memtables_.resize(num_shards_);
+  memtable_ids_.resize(num_shards_);
+  tombstones_ = std::move(checkpoint.tombstones);
+  for (const std::vector<RecordId>& ts : tombstones_) {
+    tombstone_total_ += ts.size();
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    stats_.EnsureShards(num_shards_);
+  }
+
+  // Re-publish the checkpointed snapshot at its recorded epoch: base
+  // tiers come straight off disk, deltas start empty (checkpoints are
+  // written at compaction points) apart from any carried tombstones.
+  const double short_bound = pred_.ShortRecordNormBound();
+  auto base_records =
+      std::make_shared<RecordSet>(std::move(checkpoint.base_records));
+  std::vector<std::shared_ptr<const ShardedBaseTier>> base(num_shards_);
+  std::vector<std::shared_ptr<const DeltaShard>> delta(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    base_members_[s] = checkpoint.shards[s]->member_ids;
+    base_member_gids_[s] = checkpoint.shards[s]->global_ids;
+    base[s] = std::move(checkpoint.shards[s]);
+    delta[s] = BuildDeltaShard(RecordSet(), {}, short_bound, tombstones_[s]);
+  }
+  auto snap = std::make_shared<IndexSnapshot>();
+  snap->base_records = std::move(base_records);
+  snap->base = std::move(base);
+  snap->delta = std::move(delta);
+  snap->epoch = checkpoint.epoch;
+  snap->live_records = corpus_.size() - deleted_total_;
+  snap->pending_tombstones = tombstone_total_;
+  {
+    std::lock_guard<std::mutex> snapshot_lock(snapshot_mutex_);
+    snapshot_ = std::move(snap);
+  }
+
+  wal_ = std::make_unique<WriteAheadLog>(std::move(wal));
+  // last_seq() covers frames a crash left from before the checkpoint
+  // (checkpoint renamed, WAL reset pending): seq assignment must not
+  // collide with them even though replay skips them.
+  wal_next_seq_ = std::max(checkpoint.wal_seq, wal_->last_seq()) + 1;
+
+  // Replay the tail through the normal op paths: the checkpoint is a
+  // compaction point, so starting from identical base statistics each
+  // replayed op stages, routes, publishes — and auto-compacts — exactly
+  // as the original did, epoch for epoch. Frames at or below the
+  // checkpoint's seq are the double-apply guard, not part of the tail.
+  replaying_ = true;
+  for (WalRecord& op : tail) {
+    if (op.seq <= checkpoint.wal_seq) continue;
+    switch (op.kind) {
+      case WalRecord::kInsert:
+        InsertLocked(op.record_view(), std::move(op.text));
+        break;
+      case WalRecord::kDelete:
+        DeleteLocked(op.id);
+        break;
+      case WalRecord::kCompact:
+        CompactLocked(/*count_compaction=*/true);
+        break;
+    }
+  }
+  replaying_ = false;
+}
+
+Result<std::unique_ptr<SimilarityService>> SimilarityService::Open(
+    const Predicate& pred, ServiceOptions options) {
+  if (options.data_dir.empty()) {
+    return Status::InvalidArgument("Open requires ServiceOptions::data_dir");
+  }
+  Result<ServiceCheckpoint> loaded = LoadCheckpoint(options.data_dir);
+  if (!loaded.ok()) return loaded.status();
+  ServiceCheckpoint checkpoint = std::move(loaded).value();
+  if (checkpoint.predicate != pred.name()) {
+    return Status::FailedPrecondition(
+        "checkpoint in " + options.data_dir + " was written under predicate " +
+        checkpoint.predicate + ", not " + pred.name());
+  }
+  std::vector<WalRecord> tail;
+  Result<WriteAheadLog> wal = WriteAheadLog::Open(
+      WalFilePath(options.data_dir), options.wal_sync, &tail);
+  if (!wal.ok()) return wal.status();
+  return std::unique_ptr<SimilarityService>(new SimilarityService(
+      std::move(checkpoint), std::move(tail), std::move(wal).value(), pred,
+      std::move(options)));
+}
+
+void SimilarityService::InitDurabilityLocked() {
+  Status status = EnsureDataDir(options_.data_dir);
+  if (status.ok()) {
+    Result<WriteAheadLog> wal = WriteAheadLog::Open(
+        WalFilePath(options_.data_dir), options_.wal_sync, nullptr);
+    if (wal.ok()) {
+      wal_ = std::make_unique<WriteAheadLog>(std::move(wal).value());
+      // Empty the log BEFORE the initial checkpoint: a crash in between
+      // must never pair the new checkpoint with a previous incarnation's
+      // tail (its seqs would replay as if they followed this corpus).
+      status = wal_->Reset();
+    } else {
+      status = wal.status();
+    }
+  }
+  if (status.ok()) status = SaveCheckpointLocked();
+  if (!status.ok()) SetDurabilityErrorLocked(std::move(status));
+}
+
+Status SimilarityService::SaveCheckpointLocked() {
+  std::shared_ptr<const IndexSnapshot> snap = snapshot();
+  CheckpointState state;
+  state.epoch = snap->epoch;
+  state.wal_seq = wal_next_seq_ - 1;
+  state.predicate = pred_.name();
+  state.shard_bounds = shard_bounds_;
+  state.corpus = &corpus_;
+  state.deleted = &deleted_;
+  state.base_records = snap->base_records.get();
+  state.shards.reserve(num_shards_);
+  state.tombstones.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    state.shards.push_back(snap->base[s].get());
+    state.tombstones.push_back(&tombstones_[s]);
+  }
+  return ssjoin::SaveCheckpoint(options_.data_dir, state);
+}
+
+void SimilarityService::MaybeCheckpointLocked() {
+  Status status = SaveCheckpointLocked();
+  if (status.ok()) status = wal_->Reset();
+  if (status.ok()) {
+    // Every op up to here is covered by the checkpoint — including any
+    // that a failed append left out of the log — so a latched durability
+    // error is fully repaired.
+    wal_failed_ = false;
+    std::lock_guard<std::mutex> lock(durability_mutex_);
+    durability_status_ = Status::OK();
+  } else {
+    SetDurabilityErrorLocked(std::move(status));
+  }
+}
+
+void SimilarityService::SetDurabilityErrorLocked(Status status) {
+  wal_failed_ = true;
+  std::lock_guard<std::mutex> lock(durability_mutex_);
+  durability_status_ = std::move(status);
+}
+
+Status SimilarityService::durability_status() const {
+  std::lock_guard<std::mutex> lock(durability_mutex_);
+  return durability_status_;
+}
+
+bool SimilarityService::CompactLocked(bool count_compaction) {
   std::shared_ptr<const IndexSnapshot> prev = snapshot();  // null first time
   // A compaction with nothing pending — no memtable records, no
   // tombstones — is a counted no-op: the published snapshot already IS
@@ -267,7 +439,7 @@ void SimilarityService::CompactLocked(bool count_compaction) {
   if (prev != nullptr && memtable_total_ == 0 && tombstone_total_ == 0) {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     if (count_compaction) ++stats_.compactions;
-    return;
+    return false;
   }
   // Corpus-statistics predicates (TF-IDF cosine) must re-Prepare — every
   // record's scores change when the statistics do — which dirties every
@@ -388,6 +560,14 @@ void SimilarityService::CompactLocked(bool count_compaction) {
     if (count_compaction) ++stats_.compactions;
     for (size_t s : rebuilt) ++stats_.shards[s].rebuilds;
   }
+  // The new snapshot is a compaction point — memtables and tombstones
+  // are empty — which is the only state a checkpoint is taken in: WAL
+  // replay from it through the normal op paths is then deterministic.
+  // Suppressed during replay (the WAL being replayed must not be reset
+  // under our feet) and while the initial compaction runs before the
+  // durability layer exists.
+  if (wal_ != nullptr && !replaying_) MaybeCheckpointLocked();
+  return true;
 }
 
 void SimilarityService::Publish(
@@ -428,6 +608,22 @@ void SimilarityService::RunOverShards(size_t num_shards,
 
 RecordId SimilarityService::Insert(RecordView record, std::string text) {
   std::lock_guard<std::mutex> lock(write_mutex_);
+  return InsertLocked(record, std::move(text));
+}
+
+RecordId SimilarityService::InsertLocked(RecordView record, std::string text) {
+  // WAL-first, and before `text` is moved into the corpus: the logged
+  // payload is the exact call input, so replay re-runs this function.
+  // After an append failure the log is suspended (a torn frame must not
+  // get good frames appended behind it) until a checkpoint repairs it.
+  if (wal_ != nullptr && !replaying_ && !wal_failed_) {
+    Status status = wal_->AppendInsert(wal_next_seq_, record, text);
+    if (status.ok()) {
+      ++wal_next_seq_;
+    } else {
+      SetDurabilityErrorLocked(std::move(status));
+    }
+  }
   std::shared_ptr<const IndexSnapshot> snap = snapshot();
 
   // Score the newcomer against the published base statistics, then grow
@@ -464,10 +660,24 @@ RecordId SimilarityService::Insert(RecordView record, std::string text) {
 
 bool SimilarityService::Delete(RecordId id) {
   std::lock_guard<std::mutex> lock(write_mutex_);
+  return DeleteLocked(id);
+}
+
+bool SimilarityService::DeleteLocked(RecordId id) {
   if (id >= corpus_.size() || deleted_[id]) {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.delete_misses;
     return false;
+  }
+  // Logged after the miss check (a miss mutates nothing, so replay needs
+  // nothing) but before any mutation, same WAL-first rule as Insert.
+  if (wal_ != nullptr && !replaying_ && !wal_failed_) {
+    Status status = wal_->AppendDelete(wal_next_seq_, id);
+    if (status.ok()) {
+      ++wal_next_seq_;
+    } else {
+      SetDurabilityErrorLocked(std::move(status));
+    }
   }
   deleted_[id] = true;
   ++deleted_total_;
@@ -500,6 +710,21 @@ bool SimilarityService::Delete(RecordId id) {
 
 void SimilarityService::Compact() {
   std::lock_guard<std::mutex> lock(write_mutex_);
+  // An explicit compaction with work pending bumps the epoch, and —
+  // unlike the memtable-limit auto-compacts, which replay re-triggers by
+  // itself — nothing in the insert/delete stream implies it. Log it
+  // BEFORE compacting: if the checkpoint that normally follows fails,
+  // replay still reproduces the epoch. (On success the checkpoint resets
+  // the WAL and the frame simply vanishes, already covered.)
+  if (wal_ != nullptr && !replaying_ && !wal_failed_ &&
+      (memtable_total_ > 0 || tombstone_total_ > 0)) {
+    Status status = wal_->AppendCompact(wal_next_seq_);
+    if (status.ok()) {
+      ++wal_next_seq_;
+    } else {
+      SetDurabilityErrorLocked(std::move(status));
+    }
+  }
   CompactLocked(/*count_compaction=*/true);
 }
 

@@ -10,9 +10,12 @@
 #include "core/predicate.h"
 #include "data/record_set.h"
 #include "data/record_view.h"
+#include "serve/checkpoint.h"
 #include "serve/service_stats.h"
 #include "serve/snapshot.h"
+#include "serve/wal.h"
 #include "util/function_ref.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace ssjoin {
@@ -46,6 +49,17 @@ struct ServiceOptions {
   /// Query/BatchQuery/QueryTopK answers are byte-identical for every
   /// value — sharding is purely a throughput/compaction-cost knob.
   size_t num_shards = 1;
+  /// When non-empty, the service is durable: a checkpoint of the base
+  /// tier plus a write-ahead log of every Insert/Delete live under this
+  /// directory (created if missing). The CONSTRUCTOR starts fresh — it
+  /// writes an initial checkpoint and an empty WAL, replacing whatever a
+  /// previous incarnation left there; use Open() to restore instead.
+  /// Durability failures (full disk, permissions) never fail serving:
+  /// they latch durability_status() and suspend logging until a later
+  /// checkpoint succeeds.
+  std::string data_dir;
+  /// WAL fsync policy; meaningful only with a data_dir. See WalSyncPolicy.
+  WalSyncPolicy wal_sync = WalSyncPolicy::kAlways;
 };
 
 /// A long-lived, thread-safe similarity-lookup service: owns a corpus and
@@ -85,6 +99,18 @@ class SimilarityService {
   /// not call Prepare). `pred` must outlive the service.
   SimilarityService(RecordSet corpus, const Predicate& pred,
                     ServiceOptions options = {});
+
+  /// Restores a durable service from `options.data_dir`: loads the last
+  /// checkpoint, replays the intact WAL tail through the normal
+  /// Insert/Delete/Compact paths (a torn final record is dropped by CRC),
+  /// and resumes at the exact pre-crash epoch with byte-identical query
+  /// answers. `pred` must be the predicate the checkpoint was written
+  /// under (fingerprinted by name), and the options that shape write-path
+  /// behavior (memtable_limit above all) should match the original
+  /// service's for epoch-exact recovery; num_shards is taken from the
+  /// checkpoint. `pred` must outlive the service.
+  static Result<std::unique_ptr<SimilarityService>> Open(
+      const Predicate& pred, ServiceOptions options);
 
   SimilarityService(const SimilarityService&) = delete;
   SimilarityService& operator=(const SimilarityService&) = delete;
@@ -151,6 +177,14 @@ class SimilarityService {
   uint64_t epoch() const { return snapshot()->epoch; }
   /// Token-range shard count (fixed at construction).
   size_t num_shards() const { return num_shards_; }
+  /// Whether this service was given a data_dir.
+  bool durable() const { return wal_ != nullptr; }
+  /// OK while every acknowledged op is covered by the WAL or a
+  /// checkpoint. Latches the first WAL-append or checkpoint failure
+  /// (serving continues memory-only, logging suspended — a torn frame
+  /// must not get frames appended behind it); a later successful
+  /// checkpoint covers the gap and clears the error.
+  Status durability_status() const;
 
   /// Copy of the aggregate serving counters.
   ServiceStats stats() const;
@@ -161,7 +195,30 @@ class SimilarityService {
   std::shared_ptr<const IndexSnapshot> snapshot() const;
 
  private:
-  void CompactLocked(bool count_compaction);
+  /// Restore path: rebuilds writer state and the published snapshot from
+  /// a loaded checkpoint (forcing its epoch), then replays `tail`.
+  SimilarityService(ServiceCheckpoint checkpoint, std::vector<WalRecord> tail,
+                    WriteAheadLog wal, const Predicate& pred,
+                    ServiceOptions options);
+
+  /// Insert/Delete bodies; write_mutex_ must be held (WAL replay runs
+  /// them under the constructor's hold).
+  RecordId InsertLocked(RecordView record, std::string text);
+  bool DeleteLocked(RecordId id);
+  /// Returns true when a new snapshot was published (false for the
+  /// nothing-pending no-op).
+  bool CompactLocked(bool count_compaction);
+
+  /// Fresh-construction durability setup: data dir, empty WAL, initial
+  /// checkpoint. Failures latch durability_status().
+  void InitDurabilityLocked();
+  /// Serializes the just-published compacted state (write_mutex_ held,
+  /// memtables and tombstones empty).
+  Status SaveCheckpointLocked();
+  /// Checkpoint + WAL truncation after a published compaction; success
+  /// clears a latched durability error, failure latches one.
+  void MaybeCheckpointLocked();
+  void SetDurabilityErrorLocked(Status status);
   /// Swaps in a new snapshot. Must be called with write_mutex_ held: the
   /// published live/tombstone counts are read from writer state.
   void Publish(std::shared_ptr<const RecordSet> base_records,
@@ -195,6 +252,18 @@ class SimilarityService {
   size_t memtable_total_ = 0;
   std::vector<std::vector<RecordId>> tombstones_;  // sorted global ids
   size_t tombstone_total_ = 0;
+
+  // Durability state, guarded by write_mutex_ (except durability_status_,
+  // which readers poll through its own leaf mutex). wal_ is null for
+  // memory-only services.
+  std::unique_ptr<WriteAheadLog> wal_;
+  uint64_t wal_next_seq_ = 1;
+  bool replaying_ = false;   // suppress logging/checkpoints during replay
+  bool wal_failed_ = false;  // latched on append failure, cleared by
+                             // the next successful checkpoint
+
+  mutable std::mutex durability_mutex_;
+  Status durability_status_;
 
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const IndexSnapshot> snapshot_;

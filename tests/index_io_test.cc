@@ -1,3 +1,7 @@
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -261,6 +265,50 @@ TEST(IndexIoTest, MissingFile) {
   Result<InvertedIndex> loaded = LoadIndex(TempPath("no_such_index.idx"));
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(IndexIoTest, FailedSaveLeavesPreviousFileReadable) {
+  RecordSet records = testing_util::MakeRandomRecordSet(
+      {.num_records = 30, .vocabulary = 20}, 64);
+  InvertedIndex index = BuildIndex(records);
+  std::string path = TempPath("index_atomic.idx");
+  ASSERT_TRUE(SaveIndex(index, path).ok());
+
+  // Force the re-save to fail mid-write: a directory squats on the tmp
+  // path, so the open of `<path>.tmp` errors out. The previous good file
+  // must be untouched — the whole point of tmp-then-rename over opening
+  // the destination with ios::trunc.
+  ASSERT_EQ(::mkdir((path + ".tmp").c_str(), 0755), 0);
+  RecordSet bigger = testing_util::MakeRandomRecordSet(
+      {.num_records = 60, .vocabulary = 20}, 65);
+  Status failed = SaveIndex(BuildIndex(bigger), path);
+  ASSERT_FALSE(failed.ok());
+  ASSERT_EQ(::rmdir((path + ".tmp").c_str()), 0);
+
+  Result<InvertedIndex> survivor = LoadIndex(path);
+  ASSERT_TRUE(survivor.ok()) << survivor.status().ToString();
+  EXPECT_EQ(survivor.value().num_entities(), index.num_entities());
+  EXPECT_EQ(survivor.value().total_postings(), index.total_postings());
+}
+
+TEST(IndexIoTest, ErrorsCarryErrnoContext) {
+  // Operators need to tell ENOSPC from EACCES from ENOENT: I/O statuses
+  // must embed strerror(errno), not just the path.
+  Result<InvertedIndex> missing = LoadIndex(TempPath("enoent_index.idx"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find(std::strerror(ENOENT)),
+            std::string::npos)
+      << missing.status().ToString();
+
+  std::string blocked = TempPath("blocked_index.idx");
+  ASSERT_EQ(::mkdir((blocked + ".tmp").c_str(), 0755), 0);
+  InvertedIndex empty;
+  Status save = SaveIndex(empty, blocked);
+  ASSERT_FALSE(save.ok());
+  // open(O_WRONLY) on a directory fails EISDIR on Linux.
+  EXPECT_NE(save.message().find(std::strerror(EISDIR)), std::string::npos)
+      << save.ToString();
+  ASSERT_EQ(::rmdir((blocked + ".tmp").c_str()), 0);
 }
 
 }  // namespace

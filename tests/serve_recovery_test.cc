@@ -1,0 +1,781 @@
+// Durability & restart recovery tests for the serving tier.
+//
+// The central harness is differential, mirroring serve_shard_test: a
+// durable SimilarityService and a never-crashed memory-only twin are fed
+// the identical Insert/Delete/Query/Compact schedule; at random points
+// the durable service is destroyed mid-cycle (no flush, no final
+// compaction — the file-state equivalent of kill -9, since every op's
+// WAL frame is written before the op returns) and reopened from its
+// data_dir. The reopened service must resume at the exact pre-crash
+// epoch and answer Query/BatchQuery/QueryTopK byte-identically to the
+// twin — and, at the end, to a fresh batch self-join over the
+// survivors. SSJOIN_RECOVERY_SEEDS widens the sweep in nightly CI;
+// SSJOIN_DIFF_PREDICATES filters predicates for matrix jobs.
+//
+// Around the harness: checkpoint/WAL codec round-trip property tests
+// (zero-record, single-token, all-tombstoned, post-compaction states),
+// WAL torn-tail truncation at every byte boundary of the final frame,
+// checkpoint atomicity under injected write failure, and corrupted /
+// mismatched checkpoint rejection.
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cosine_predicate.h"
+#include "core/jaccard_predicate.h"
+#include "core/join.h"
+#include "core/overlap_predicate.h"
+#include "index/index_io.h"
+#include "serve/checkpoint.h"
+#include "serve/similarity_service.h"
+#include "serve/wal.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ssjoin {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// A scrubbed service data directory (stale files from a previous test
+/// run would otherwise restore into the new service).
+std::string FreshDataDir(const std::string& name) {
+  std::string dir = TempPath(name);
+  EXPECT_TRUE(EnsureDataDir(dir).ok());
+  for (const std::string& file :
+       {CheckpointFilePath(dir), CheckpointFilePath(dir) + ".tmp",
+        WalFilePath(dir), WalFilePath(dir) + ".tmp"}) {
+    ::unlink(file.c_str());
+  }
+  return dir;
+}
+
+size_t FileSize(const std::string& path) {
+  struct stat st;
+  EXPECT_EQ(::stat(path.c_str(), &st), 0) << path;
+  return static_cast<size_t>(st.st_size);
+}
+
+std::string ReadAll(const std::string& path) {
+  Result<std::string> read = ReadFileToString(path);
+  EXPECT_TRUE(read.ok()) << read.status().ToString();
+  return std::move(read).value();
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+void ExpectSameMatches(const std::vector<QueryMatch>& expected,
+                       const std::vector<QueryMatch>& actual,
+                       const std::string& context) {
+  ASSERT_EQ(expected.size(), actual.size()) << context;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].id, actual[i].id) << context << " position " << i;
+    EXPECT_EQ(expected[i].score, actual[i].score)
+        << context << " position " << i << " id " << actual[i].id;
+  }
+}
+
+std::pair<Record, std::string> MakeRandomRecord(Rng& rng, ZipfTable& zipf) {
+  int count = rng.UniformInt(1, 14);
+  std::vector<TokenId> tokens;
+  for (int t = 0; t < count; ++t) tokens.push_back(zipf.Sample(rng));
+  Record record = Record::FromTokens(tokens);
+  std::string text;
+  for (size_t t = 0; t < record.size(); ++t) {
+    if (t > 0) text += ' ';
+    text += 'w' + std::to_string(record.token(t));
+  }
+  record.set_text_length(static_cast<uint32_t>(text.size()));
+  return {std::move(record), std::move(text)};
+}
+
+std::map<RecordId, std::set<RecordId>> JoinPartners(const RecordSet& corpus,
+                                                    const Predicate& pred) {
+  RecordSet prepared = corpus;
+  Result<std::vector<std::pair<RecordId, RecordId>>> pairs =
+      JoinToPairs(&prepared, pred, JoinAlgorithm::kProbeOptMerge);
+  EXPECT_TRUE(pairs.ok()) << pairs.status().ToString();
+  std::map<RecordId, std::set<RecordId>> partners;
+  for (const auto& [a, b] : pairs.value()) {
+    partners[a].insert(b);
+    partners[b].insert(a);
+  }
+  return partners;
+}
+
+int RecoverySeedCount() {
+  const char* env = std::getenv("SSJOIN_RECOVERY_SEEDS");
+  if (env == nullptr) return 4;
+  int n = std::atoi(env);
+  return n > 0 ? n : 4;
+}
+
+bool PredicateEnabled(const std::string& name) {
+  const char* env = std::getenv("SSJOIN_DIFF_PREDICATES");
+  if (env == nullptr) return true;
+  return std::string(env).find(name) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------
+// Record-set codec: the property every other durability guarantee leans
+// on — decode(encode(rs)) reproduces records, texts AND corpus
+// statistics (doc/term frequencies drive TF-IDF) exactly.
+
+void ExpectSameRecordSet(const RecordSet& expected, const RecordSet& actual,
+                         const std::string& context) {
+  ASSERT_EQ(expected.size(), actual.size()) << context;
+  for (RecordId id = 0; id < expected.size(); ++id) {
+    const RecordView e = expected.record(id);
+    const RecordView a = actual.record(id);
+    ASSERT_EQ(e.size(), a.size()) << context << " record " << id;
+    for (size_t i = 0; i < e.size(); ++i) {
+      EXPECT_EQ(e.token(i), a.token(i)) << context << " record " << id;
+      EXPECT_EQ(e.score(i), a.score(i)) << context << " record " << id;
+    }
+    EXPECT_EQ(e.norm(), a.norm()) << context << " record " << id;
+    EXPECT_EQ(e.text_length(), a.text_length()) << context << " record " << id;
+    EXPECT_EQ(expected.text(id), actual.text(id)) << context << " record "
+                                                  << id;
+  }
+  EXPECT_EQ(expected.doc_frequencies(), actual.doc_frequencies()) << context;
+  EXPECT_EQ(expected.term_frequencies(), actual.term_frequencies()) << context;
+  EXPECT_EQ(expected.total_token_occurrences(),
+            actual.total_token_occurrences())
+      << context;
+}
+
+TEST(CheckpointCodecTest, RecordSetRoundTripsExactly) {
+  CosinePredicate cosine(0.6);  // irrational weights stress bit-exactness
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    RecordSet records = testing_util::MakeRandomRecordSet(
+        {.num_records = 40, .vocabulary = 30}, seed * 11 + 1);
+    if (seed % 2 == 1) cosine.Prepare(&records);
+    std::string encoded;
+    EncodeRecordSet(records, &encoded);
+    size_t offset = 0;
+    Result<RecordSet> decoded = DecodeRecordSet(encoded, &offset);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(offset, encoded.size());
+    ExpectSameRecordSet(records, decoded.value(),
+                        "seed " + std::to_string(seed));
+  }
+}
+
+TEST(CheckpointCodecTest, DegenerateRecordSetsRoundTrip) {
+  // Zero records.
+  RecordSet empty;
+  std::string encoded;
+  EncodeRecordSet(empty, &encoded);
+  size_t offset = 0;
+  Result<RecordSet> decoded = DecodeRecordSet(encoded, &offset);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().size(), 0u);
+
+  // Single-token records, including a token-less (empty) record.
+  RecordSet tiny;
+  tiny.Add(Record::FromTokens({7}), "w7");
+  tiny.Add(Record::FromTokens({0}), "w0");
+  tiny.Add(Record::FromTokens(std::vector<TokenId>{}), "");
+  encoded.clear();
+  EncodeRecordSet(tiny, &encoded);
+  offset = 0;
+  decoded = DecodeRecordSet(encoded, &offset);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectSameRecordSet(tiny, decoded.value(), "single-token");
+}
+
+// ---------------------------------------------------------------------
+// Service checkpoint round trip across corpus states.
+
+/// Full byte-compare of `restored` against `expected` over every corpus
+/// record's content plus a few random probes.
+void ExpectSameService(SimilarityService& expected,
+                       SimilarityService& restored, const RecordSet& corpus,
+                       uint64_t probe_seed, const std::string& context) {
+  ASSERT_EQ(expected.epoch(), restored.epoch()) << context;
+  ASSERT_EQ(expected.size(), restored.size()) << context;
+  ASSERT_EQ(expected.memtable_size(), restored.memtable_size()) << context;
+  ASSERT_EQ(expected.tombstone_count(), restored.tombstone_count()) << context;
+  ASSERT_EQ(expected.num_shards(), restored.num_shards()) << context;
+  for (RecordId r = 0; r < corpus.size(); ++r) {
+    const std::string tag = context + " record " + std::to_string(r);
+    ExpectSameMatches(expected.Query(corpus.record(r), corpus.text(r)),
+                      restored.Query(corpus.record(r), corpus.text(r)),
+                      tag + " query");
+    ExpectSameMatches(expected.QueryTopK(corpus.record(r), 6, corpus.text(r)),
+                      restored.QueryTopK(corpus.record(r), 6, corpus.text(r)),
+                      tag + " topk");
+  }
+  Rng rng(probe_seed);
+  ZipfTable zipf(50, 0.9);
+  for (int i = 0; i < 10; ++i) {
+    auto [record, text] = MakeRandomRecord(rng, zipf);
+    ExpectSameMatches(expected.Query(record.view(), text),
+                      restored.Query(record.view(), text),
+                      context + " probe " + std::to_string(i));
+  }
+  if (!corpus.empty()) {
+    std::vector<std::vector<QueryMatch>> batch_expected =
+        expected.BatchQuery(corpus);
+    std::vector<std::vector<QueryMatch>> batch_restored =
+        restored.BatchQuery(corpus);
+    ASSERT_EQ(batch_expected.size(), batch_restored.size()) << context;
+    for (size_t i = 0; i < batch_expected.size(); ++i) {
+      ExpectSameMatches(batch_expected[i], batch_restored[i],
+                        context + " batch " + std::to_string(i));
+    }
+  }
+}
+
+void RunCheckpointRoundTrip(const Predicate& pred, const std::string& name) {
+  struct Case {
+    std::string tag;
+    RecordSet corpus;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"zero-record", RecordSet()});
+  {
+    RecordSet single;
+    for (TokenId t = 0; t < 12; ++t) {
+      single.Add(Record::FromTokens({t % 5}), "w" + std::to_string(t % 5));
+    }
+    cases.push_back({"single-token", std::move(single)});
+  }
+  cases.push_back({"random", testing_util::MakeRandomRecordSet(
+                                 {.num_records = 50, .vocabulary = 40}, 77)});
+
+  for (Case& c : cases) {
+    for (size_t shards : {size_t{1}, size_t{3}}) {
+      const std::string context =
+          name + " " + c.tag + " shards=" + std::to_string(shards);
+      ServiceOptions options;
+      options.num_shards = shards;
+      options.memtable_limit = 0;  // compactions only where scripted
+      options.data_dir = FreshDataDir("cp_roundtrip_" + name + "_" + c.tag +
+                                      "_" + std::to_string(shards));
+      options.wal_sync = WalSyncPolicy::kNever;
+      SimilarityService service(c.corpus, pred, options);
+      ASSERT_TRUE(service.durability_status().ok())
+          << context << " " << service.durability_status().ToString();
+
+      // Fresh-construction checkpoint (epoch 0, empty WAL).
+      {
+        Result<std::unique_ptr<SimilarityService>> restored =
+            SimilarityService::Open(pred, options);
+        ASSERT_TRUE(restored.ok()) << context << " "
+                                   << restored.status().ToString();
+        ExpectSameService(service, *restored.value(), c.corpus, 5,
+                          context + " initial");
+      }
+
+      // Post-compaction state with inserts and deletes folded in.
+      Rng rng(31);
+      ZipfTable zipf(40, 0.9);
+      RecordSet contents = c.corpus;
+      for (int i = 0; i < 8; ++i) {
+        auto [record, text] = MakeRandomRecord(rng, zipf);
+        contents.Add(record, text);
+        service.Insert(record.view(), text);
+      }
+      if (!c.corpus.empty()) service.Delete(0);
+      service.Compact();
+      {
+        Result<std::unique_ptr<SimilarityService>> restored =
+            SimilarityService::Open(pred, options);
+        ASSERT_TRUE(restored.ok()) << context << " "
+                                   << restored.status().ToString();
+        ExpectSameService(service, *restored.value(), contents, 6,
+                          context + " post-compaction");
+      }
+
+      // All-tombstoned: delete every record, compact, reopen.
+      for (RecordId id = 0; id < contents.size(); ++id) service.Delete(id);
+      service.Compact();
+      ASSERT_EQ(service.size(), 0u) << context;
+      {
+        Result<std::unique_ptr<SimilarityService>> restored =
+            SimilarityService::Open(pred, options);
+        ASSERT_TRUE(restored.ok()) << context << " "
+                                   << restored.status().ToString();
+        EXPECT_EQ(restored.value()->size(), 0u) << context;
+        ExpectSameService(service, *restored.value(), contents, 7,
+                          context + " all-tombstoned");
+      }
+    }
+  }
+}
+
+TEST(CheckpointRoundTripTest, Overlap) {
+  if (!PredicateEnabled("overlap")) GTEST_SKIP();
+  OverlapPredicate pred(3);
+  RunCheckpointRoundTrip(pred, "overlap");
+}
+
+TEST(CheckpointRoundTripTest, Jaccard) {
+  if (!PredicateEnabled("jaccard")) GTEST_SKIP();
+  JaccardPredicate pred(0.5);
+  RunCheckpointRoundTrip(pred, "jaccard");
+}
+
+TEST(CheckpointRoundTripTest, Cosine) {
+  if (!PredicateEnabled("cosine")) GTEST_SKIP();
+  CosinePredicate pred(0.6);
+  RunCheckpointRoundTrip(pred, "cosine");
+}
+
+// ---------------------------------------------------------------------
+// Kill-at-random-op crash differential.
+
+void RunCrashDifferential(const Predicate& pred, const std::string& name,
+                          uint64_t seed) {
+  constexpr uint32_t kVocabulary = 50;
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 60, .vocabulary = kVocabulary}, seed * 5 + 3);
+  ServiceOptions durable_options;
+  durable_options.num_shards = seed % 2 == 0 ? 1 : 3;
+  durable_options.memtable_limit = 16;  // auto-compactions -> checkpoints
+  durable_options.data_dir =
+      FreshDataDir("crash_" + name + "_" + std::to_string(seed));
+  durable_options.wal_sync =
+      seed % 2 == 0 ? WalSyncPolicy::kAlways : WalSyncPolicy::kNever;
+  ServiceOptions reference_options = durable_options;
+  reference_options.data_dir.clear();
+
+  auto durable =
+      std::make_unique<SimilarityService>(corpus, pred, durable_options);
+  ASSERT_TRUE(durable->durability_status().ok())
+      << durable->durability_status().ToString();
+  SimilarityService reference(corpus, pred, reference_options);
+
+  RecordSet contents = corpus;  // every record's content, dead or alive
+  std::vector<bool> alive(corpus.size(), true);
+  Rng rng(seed * 977 + 41);
+  ZipfTable zipf(kVocabulary, 0.9);
+  const std::string tag = name + " seed=" + std::to_string(seed);
+
+  auto crash_and_reopen = [&](const std::string& context) {
+    // Abrupt destruction mid-cycle: nothing is flushed or compacted on
+    // the way down, so the reopened service sees exactly the files a
+    // kill -9 would have left.
+    durable.reset();
+    Result<std::unique_ptr<SimilarityService>> reopened =
+        SimilarityService::Open(pred, durable_options);
+    ASSERT_TRUE(reopened.ok()) << context << " "
+                               << reopened.status().ToString();
+    durable = std::move(reopened).value();
+    ASSERT_TRUE(durable->durability_status().ok()) << context;
+    ASSERT_EQ(durable->epoch(), reference.epoch()) << context;
+    ASSERT_EQ(durable->size(), reference.size()) << context;
+    ASSERT_EQ(durable->memtable_size(), reference.memtable_size()) << context;
+    ASSERT_EQ(durable->tombstone_count(), reference.tombstone_count())
+        << context;
+  };
+
+  for (int step = 0; step < 60; ++step) {
+    const std::string context = tag + " step=" + std::to_string(step);
+    uint32_t u = rng.UniformU32(100);
+    if (u < 30) {
+      auto [record, text] = MakeRandomRecord(rng, zipf);
+      contents.Add(record, text);
+      alive.push_back(true);
+      RecordId expected_id = reference.Insert(record.view(), text);
+      EXPECT_EQ(durable->Insert(record.view(), text), expected_id) << context;
+    } else if (u < 50) {
+      RecordId victim = rng.UniformU32(static_cast<uint32_t>(contents.size()));
+      RecordId tried = 0;
+      while (!alive[victim] && tried < contents.size()) {
+        victim = (victim + 1) % static_cast<RecordId>(contents.size());
+        ++tried;
+      }
+      bool expect_hit = alive[victim];
+      EXPECT_EQ(reference.Delete(victim), expect_hit) << context;
+      EXPECT_EQ(durable->Delete(victim), expect_hit) << context;
+      if (expect_hit) alive[victim] = false;
+    } else if (u < 70) {
+      auto [record, text] = MakeRandomRecord(rng, zipf);
+      ExpectSameMatches(reference.Query(record.view(), text),
+                        durable->Query(record.view(), text),
+                        context + " query");
+      ExpectSameMatches(reference.QueryTopK(record.view(), 5, text),
+                        durable->QueryTopK(record.view(), 5, text),
+                        context + " topk");
+    } else if (u < 82) {
+      reference.Compact();
+      durable->Compact();
+      EXPECT_EQ(durable->epoch(), reference.epoch()) << context;
+    } else {
+      crash_and_reopen(context + " crash");
+    }
+  }
+
+  // Final crash mid-cycle (memtables possibly non-empty), then the full
+  // differential sweep against the never-crashed twin.
+  crash_and_reopen(tag + " final-crash");
+  ExpectSameService(reference, *durable, contents, seed * 3 + 9,
+                    tag + " final");
+
+  // Ground truth: compact both and hold the recovered service to a fresh
+  // batch self-join over the survivors.
+  reference.Compact();
+  durable->Compact();
+  ASSERT_EQ(durable->epoch(), reference.epoch()) << tag;
+  RecordSet survivors;
+  std::vector<RecordId> gids;
+  std::vector<RecordId> locals(contents.size(), 0);
+  for (RecordId id = 0; id < contents.size(); ++id) {
+    if (alive[id]) {
+      locals[id] = static_cast<RecordId>(gids.size());
+      survivors.Add(contents.record(id), contents.text(id));
+      gids.push_back(id);
+    }
+  }
+  std::map<RecordId, std::set<RecordId>> partners =
+      JoinPartners(survivors, pred);
+  for (RecordId r = 0; r < contents.size(); ++r) {
+    std::vector<QueryMatch> answers =
+        durable->Query(contents.record(r), contents.text(r));
+    for (const QueryMatch& m : answers) {
+      EXPECT_TRUE(alive[m.id]) << tag << " deleted id " << m.id << " answered";
+    }
+    if (!alive[r]) continue;
+    std::set<RecordId> expected;
+    for (RecordId p : partners[locals[r]]) expected.insert(gids[p]);
+    std::set<RecordId> answered;
+    for (const QueryMatch& m : answers) {
+      if (m.id != r) answered.insert(m.id);
+    }
+    EXPECT_EQ(answered, expected)
+        << tag << " survivor-join mismatch, record " << r;
+  }
+}
+
+TEST(CrashRecoveryDifferentialTest, Overlap) {
+  if (!PredicateEnabled("overlap")) GTEST_SKIP();
+  OverlapPredicate pred(3);
+  for (int seed = 0; seed < RecoverySeedCount(); ++seed) {
+    RunCrashDifferential(pred, "overlap", static_cast<uint64_t>(seed));
+  }
+}
+
+TEST(CrashRecoveryDifferentialTest, Jaccard) {
+  if (!PredicateEnabled("jaccard")) GTEST_SKIP();
+  JaccardPredicate pred(0.5);
+  for (int seed = 0; seed < RecoverySeedCount(); ++seed) {
+    RunCrashDifferential(pred, "jaccard", static_cast<uint64_t>(seed));
+  }
+}
+
+TEST(CrashRecoveryDifferentialTest, Cosine) {
+  if (!PredicateEnabled("cosine")) GTEST_SKIP();
+  CosinePredicate pred(0.6);
+  for (int seed = 0; seed < RecoverySeedCount(); ++seed) {
+    RunCrashDifferential(pred, "cosine", static_cast<uint64_t>(seed));
+  }
+}
+
+// ---------------------------------------------------------------------
+// WAL framing: torn tails are detected by CRC, truncated, and never
+// propagated; everything before the tear survives.
+
+TEST(WalTest, TornTailTruncatedAtEveryByteBoundary) {
+  const std::string path = TempPath("wal_torn.log");
+  ::unlink(path.c_str());
+  std::vector<size_t> sizes;  // after header, then after each append
+  Record insert_record = Record::FromTokens({1, 4, 9});
+  insert_record.set_text_length(5);
+  {
+    Result<WriteAheadLog> wal =
+        WriteAheadLog::Open(path, WalSyncPolicy::kNever, nullptr);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    sizes.push_back(FileSize(path));
+    ASSERT_TRUE(
+        wal.value().AppendInsert(1, insert_record.view(), "a b c").ok());
+    sizes.push_back(FileSize(path));
+    ASSERT_TRUE(wal.value().AppendDelete(2, 17).ok());
+    sizes.push_back(FileSize(path));
+    ASSERT_TRUE(wal.value().AppendCompact(3).ok());
+    sizes.push_back(FileSize(path));
+  }
+  const std::string bytes = ReadAll(path);
+  ASSERT_EQ(bytes.size(), sizes.back());
+
+  // A pristine log replays all three records with exact payloads.
+  {
+    std::vector<WalRecord> replay;
+    Result<WriteAheadLog> wal =
+        WriteAheadLog::Open(path, WalSyncPolicy::kNever, &replay);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    ASSERT_EQ(replay.size(), 3u);
+    EXPECT_EQ(replay[0].kind, WalRecord::kInsert);
+    EXPECT_EQ(replay[0].seq, 1u);
+    EXPECT_EQ(replay[0].tokens, (std::vector<TokenId>{1, 4, 9}));
+    EXPECT_EQ(replay[0].text, "a b c");
+    EXPECT_EQ(replay[0].text_length, 5u);
+    EXPECT_EQ(replay[0].norm, insert_record.view().norm());
+    EXPECT_EQ(replay[1].kind, WalRecord::kDelete);
+    EXPECT_EQ(replay[1].id, 17u);
+    EXPECT_EQ(replay[2].kind, WalRecord::kCompact);
+    EXPECT_EQ(wal.value().last_seq(), 3u);
+  }
+
+  // Truncate at EVERY byte boundary inside the last frame: the first two
+  // records must survive, the torn third must be dropped and physically
+  // truncated away, and the log must accept appends again.
+  const size_t last_good = sizes[sizes.size() - 2];
+  for (size_t cut = last_good; cut < bytes.size(); ++cut) {
+    const std::string torn = TempPath("wal_torn_cut.log");
+    WriteAll(torn, bytes.substr(0, cut));
+    std::vector<WalRecord> replay;
+    Result<WriteAheadLog> wal =
+        WriteAheadLog::Open(torn, WalSyncPolicy::kNever, &replay);
+    ASSERT_TRUE(wal.ok()) << "cut=" << cut << " "
+                          << wal.status().ToString();
+    ASSERT_EQ(replay.size(), 2u) << "cut=" << cut;
+    EXPECT_EQ(replay[1].kind, WalRecord::kDelete) << "cut=" << cut;
+    EXPECT_EQ(FileSize(torn), last_good) << "cut=" << cut;
+    ASSERT_TRUE(wal.value().AppendCompact(4).ok()) << "cut=" << cut;
+  }
+
+  // Torn FIRST frame: tears are handled at every depth, not just the
+  // tail-most frame.
+  for (size_t cut = sizes[0]; cut < sizes[1]; ++cut) {
+    const std::string torn = TempPath("wal_torn_first.log");
+    WriteAll(torn, bytes.substr(0, cut));
+    std::vector<WalRecord> replay;
+    Result<WriteAheadLog> wal =
+        WriteAheadLog::Open(torn, WalSyncPolicy::kNever, &replay);
+    ASSERT_TRUE(wal.ok()) << "cut=" << cut;
+    EXPECT_TRUE(replay.empty()) << "cut=" << cut;
+    EXPECT_EQ(FileSize(torn), sizes[0]) << "cut=" << cut;
+  }
+}
+
+TEST(WalTest, CorruptMiddleFrameDropsEverythingAfterIt) {
+  const std::string path = TempPath("wal_corrupt.log");
+  ::unlink(path.c_str());
+  std::vector<size_t> sizes;
+  {
+    Result<WriteAheadLog> wal =
+        WriteAheadLog::Open(path, WalSyncPolicy::kNever, nullptr);
+    ASSERT_TRUE(wal.ok());
+    sizes.push_back(FileSize(path));
+    for (uint64_t seq = 1; seq <= 3; ++seq) {
+      ASSERT_TRUE(
+          wal.value().AppendDelete(seq, static_cast<RecordId>(seq)).ok());
+      sizes.push_back(FileSize(path));
+    }
+  }
+  std::string bytes = ReadAll(path);
+  // Flip one payload byte of the second frame: its CRC fails, so frames
+  // two AND three are discarded (a frame behind a tear can never be
+  // trusted — appends after a crash would have overwritten that space).
+  bytes[sizes[1] + 2 * sizeof(uint32_t)] ^= 0x40;
+  WriteAll(path, bytes);
+  std::vector<WalRecord> replay;
+  Result<WriteAheadLog> wal =
+      WriteAheadLog::Open(path, WalSyncPolicy::kNever, &replay);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_EQ(replay.size(), 1u);
+  EXPECT_EQ(replay[0].id, 1u);
+  EXPECT_EQ(FileSize(path), sizes[1]);
+}
+
+TEST(WalTest, ResetEmptiesTheLog) {
+  const std::string path = TempPath("wal_reset.log");
+  ::unlink(path.c_str());
+  Result<WriteAheadLog> wal =
+      WriteAheadLog::Open(path, WalSyncPolicy::kAlways, nullptr);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal.value().AppendDelete(1, 5).ok());
+  ASSERT_TRUE(wal.value().Reset().ok());
+  ASSERT_TRUE(wal.value().AppendDelete(2, 6).ok());
+  std::vector<WalRecord> replay;
+  Result<WriteAheadLog> reopened =
+      WriteAheadLog::Open(path, WalSyncPolicy::kAlways, &replay);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ(replay.size(), 1u);
+  EXPECT_EQ(replay[0].seq, 2u);
+  EXPECT_EQ(replay[0].id, 6u);
+}
+
+// ---------------------------------------------------------------------
+// Double-apply guard: a crash between checkpoint rename and WAL reset
+// leaves frames the checkpoint already covers; their seqs are at or
+// below the checkpoint's wal_seq, so replay must skip them.
+
+TEST(CrashRecoveryTest, StaleWalFramesAreNotDoubleApplied) {
+  OverlapPredicate pred(3);
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 30, .vocabulary = 25}, 91);
+  ServiceOptions options;
+  options.memtable_limit = 0;
+  options.data_dir = FreshDataDir("stale_wal");
+  options.wal_sync = WalSyncPolicy::kNever;
+  SimilarityService service(corpus, pred, options);
+  Rng rng(17);
+  ZipfTable zipf(25, 0.9);
+  RecordSet contents = corpus;
+  for (int i = 0; i < 6; ++i) {
+    auto [record, text] = MakeRandomRecord(rng, zipf);
+    contents.Add(record, text);
+    service.Insert(record.view(), text);
+  }
+  // Snapshot the WAL with the six insert frames, compact (checkpoint +
+  // WAL reset), then plant the stale WAL back — the state a crash
+  // between the two steps leaves behind.
+  const std::string stale = ReadAll(WalFilePath(options.data_dir));
+  service.Compact();
+  ASSERT_TRUE(service.durability_status().ok());
+  WriteAll(WalFilePath(options.data_dir), stale);
+
+  Result<std::unique_ptr<SimilarityService>> restored =
+      SimilarityService::Open(pred, options);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  // Replaying the stale frames would double-insert all six records.
+  ASSERT_EQ(restored.value()->size(), service.size());
+  ASSERT_EQ(restored.value()->epoch(), service.epoch());
+  ExpectSameService(service, *restored.value(), contents, 23, "stale-wal");
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint atomicity and rejection.
+
+TEST(CrashRecoveryTest, FailedCheckpointLeavesOldOneRestorable) {
+  OverlapPredicate pred(3);
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 25, .vocabulary = 20}, 92);
+  ServiceOptions options;
+  options.memtable_limit = 0;
+  options.data_dir = FreshDataDir("cp_atomic");
+  options.wal_sync = WalSyncPolicy::kNever;
+  SimilarityService service(corpus, pred, options);
+  ASSERT_TRUE(service.durability_status().ok());
+
+  // Block the checkpoint's tmp path with a directory, then force a
+  // compaction: the checkpoint write fails, serving continues, the
+  // durability error latches, and the OLD checkpoint (plus the WAL tail,
+  // which must NOT be truncated on a failed checkpoint) still restores
+  // the full state.
+  const std::string blocker = CheckpointFilePath(options.data_dir) + ".tmp";
+  ASSERT_EQ(::mkdir(blocker.c_str(), 0755), 0);
+  Record record = Record::FromTokens({1, 2, 3});
+  RecordSet contents = corpus;
+  contents.Add(record, "w1 w2 w3");
+  service.Insert(record.view(), "w1 w2 w3");
+  service.Compact();
+  ASSERT_FALSE(service.durability_status().ok());
+  EXPECT_NE(service.durability_status().message().find(
+                std::strerror(EISDIR)),
+            std::string::npos)
+      << service.durability_status().ToString();
+  {
+    Result<std::unique_ptr<SimilarityService>> restored =
+        SimilarityService::Open(pred, options);
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    ExpectSameService(service, *restored.value(), contents, 29,
+                      "failed-checkpoint");
+  }
+
+  // Unblock and compact with fresh work pending: the next checkpoint
+  // repairs durability end to end.
+  ASSERT_EQ(::rmdir(blocker.c_str()), 0);
+  Record more = Record::FromTokens({2, 3, 4});
+  contents.Add(more, "w2 w3 w4");
+  service.Insert(more.view(), "w2 w3 w4");
+  service.Compact();
+  ASSERT_TRUE(service.durability_status().ok())
+      << service.durability_status().ToString();
+  Result<std::unique_ptr<SimilarityService>> restored =
+      SimilarityService::Open(pred, options);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectSameService(service, *restored.value(), contents, 37, "repaired");
+}
+
+TEST(CrashRecoveryTest, CorruptedCheckpointIsRejected) {
+  OverlapPredicate pred(3);
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 20, .vocabulary = 15}, 93);
+  ServiceOptions options;
+  options.data_dir = FreshDataDir("cp_corrupt");
+  options.wal_sync = WalSyncPolicy::kNever;
+  { SimilarityService service(corpus, pred, options); }
+
+  const std::string path = CheckpointFilePath(options.data_dir);
+  const std::string bytes = ReadAll(path);
+  // Flip one byte at several depths: header, body, trailing CRC.
+  for (size_t pos : {size_t{1}, bytes.size() / 2, bytes.size() - 2}) {
+    std::string corrupted = bytes;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x20);
+    WriteAll(path, corrupted);
+    Result<std::unique_ptr<SimilarityService>> restored =
+        SimilarityService::Open(pred, options);
+    ASSERT_FALSE(restored.ok()) << "pos=" << pos;
+    EXPECT_NE(restored.status().message().find("corrupt checkpoint"),
+              std::string::npos)
+        << restored.status().ToString();
+  }
+  // And a truncation sweep: every prefix must be rejected, never partially
+  // restored.
+  for (size_t cut = 1; cut < bytes.size(); cut += 97) {
+    WriteAll(path, bytes.substr(0, bytes.size() - cut));
+    EXPECT_FALSE(SimilarityService::Open(pred, options).ok()) << "cut=" << cut;
+  }
+  // The pristine bytes still restore — the loader rejects corruption, not
+  // the format.
+  WriteAll(path, bytes);
+  EXPECT_TRUE(SimilarityService::Open(pred, options).ok());
+}
+
+TEST(CrashRecoveryTest, PredicateMismatchIsRejected) {
+  JaccardPredicate jaccard(0.5);
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 15, .vocabulary = 12}, 94);
+  ServiceOptions options;
+  options.data_dir = FreshDataDir("cp_pred_mismatch");
+  options.wal_sync = WalSyncPolicy::kNever;
+  { SimilarityService service(corpus, jaccard, options); }
+
+  OverlapPredicate overlap(3);
+  Result<std::unique_ptr<SimilarityService>> restored =
+      SimilarityService::Open(overlap, options);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(restored.status().message().find("jaccard"), std::string::npos)
+      << restored.status().ToString();
+
+  Result<std::unique_ptr<SimilarityService>> correct =
+      SimilarityService::Open(jaccard, options);
+  EXPECT_TRUE(correct.ok()) << correct.status().ToString();
+}
+
+TEST(CrashRecoveryTest, OpenWithoutDataDirOrCheckpointFails) {
+  OverlapPredicate pred(3);
+  EXPECT_FALSE(SimilarityService::Open(pred, ServiceOptions{}).ok());
+  ServiceOptions options;
+  options.data_dir = FreshDataDir("cp_missing");
+  Result<std::unique_ptr<SimilarityService>> restored =
+      SimilarityService::Open(pred, options);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace ssjoin

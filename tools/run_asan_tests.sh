@@ -2,7 +2,10 @@
 # Builds the AddressSanitizer+UBSan configuration and runs the memory-
 # layout test suite under it: the arena/view/index unit tests plus the
 # golden-output equivalence suite, which together walk every probe loop
-# over the CSR corpus arena and the flat postings buffer.
+# over the CSR corpus arena and the flat postings buffer, and the
+# durability suites (index_io, WAL framing, checkpoint codec, crash
+# recovery), whose byte-level decoders parse attacker-shaped torn and
+# corrupted files.
 #
 #   tools/run_asan_tests.sh [build-dir]
 #
@@ -17,8 +20,9 @@ cmake -B "$build_dir" -S "$repo_root" -DSSJOIN_ASAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j --target \
       record_view_test corpus_test index_test merge_opt_test \
-      arena_equivalence_test differential_test
+      arena_equivalence_test differential_test index_io_test \
+      serve_recovery_test
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
 ctest --test-dir "$build_dir" \
-      -R '^(record_view|corpus|index_test|merge_opt|arena_equivalence|differential)' \
+      -R '^(record_view|corpus|index_test|merge_opt|arena_equivalence|differential|index_io|serve_recovery)' \
       --output-on-failure

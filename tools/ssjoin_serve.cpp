@@ -26,9 +26,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/cosine_predicate.h"
@@ -37,6 +39,7 @@
 #include "core/jaccard_predicate.h"
 #include "core/overlap_predicate.h"
 #include "data/corpus_builder.h"
+#include "serve/checkpoint.h"
 #include "serve/similarity_service.h"
 #include "text/token_dictionary.h"
 
@@ -60,6 +63,15 @@ constexpr const char kUsage[] =
     "                        are identical for every value (default 1)\n"
     "  --memtable-limit=N    auto-compact at N memtable records\n"
     "                        (default 256; 0 = only on '! compact')\n"
+    "  --data-dir=DIR        durable mode: keep a checkpoint + write-ahead\n"
+    "                        log under DIR. When DIR already holds a\n"
+    "                        checkpoint the service restores from it\n"
+    "                        (--corpus is NOT re-read; pass the same\n"
+    "                        --predicate/--threshold/--memtable-limit);\n"
+    "                        otherwise it starts fresh from --corpus\n"
+    "  --wal-sync=MODE       always (default: fsync each op) | never\n"
+    "                        (page cache only: survives a crash of this\n"
+    "                        process, not of the machine)\n"
     "  --stats-json          print the stats JSON to stderr at exit\n";
 
 struct ServeCliOptions {
@@ -72,6 +84,8 @@ struct ServeCliOptions {
   int threads = 0;
   uint64_t shards = 1;
   uint64_t memtable_limit = 256;
+  std::string data_dir;
+  std::string wal_sync = "always";
   bool stats_json = false;
 };
 
@@ -150,6 +164,19 @@ std::optional<ServeCliOptions> ParseArgs(int argc, char** argv) {
                      value.c_str());
         return std::nullopt;
       }
+    } else if (ParseFlag(argv[i], "--data-dir", &value)) {
+      if (value.empty()) {
+        std::fprintf(stderr, "--data-dir needs a directory path\n");
+        return std::nullopt;
+      }
+      options.data_dir = value;
+    } else if (ParseFlag(argv[i], "--wal-sync", &value)) {
+      if (value != "always" && value != "never") {
+        std::fprintf(stderr, "invalid --wal-sync=%s (want always | never)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.wal_sync = value;
     } else if (std::strcmp(argv[i], "--stats-json") == 0) {
       options.stats_json = true;
     } else {
@@ -157,7 +184,10 @@ std::optional<ServeCliOptions> ParseArgs(int argc, char** argv) {
       return std::nullopt;
     }
   }
-  if (options.corpus.empty()) {
+  // With a data_dir the corpus may come from a previous incarnation's
+  // checkpoint instead of a file; main() enforces that one of the two
+  // sources actually exists.
+  if (options.corpus.empty() && options.data_dir.empty()) {
     std::fprintf(stderr, "--corpus=FILE is required\n");
     return std::nullopt;
   }
@@ -199,6 +229,81 @@ std::unique_ptr<Predicate> MakePredicate(const ServeCliOptions& options,
   if (name == "dice") return std::make_unique<DicePredicate>(t);
   return std::make_unique<EditDistancePredicate>(static_cast<int>(t), q);
 }
+
+/// Append-only sidecar persisting TokenDictionary growth next to the
+/// service's checkpoint/WAL: one token per line, in id order (ids are
+/// dense first-seen, so line i IS token id i). The checkpoint stores
+/// records as token ids only; without the string->id mapping a restored
+/// service could not tokenize new queries consistently. The log is
+/// synced BEFORE each insert reaches the service, so every id a
+/// WAL-logged record references is covered by a complete line; a torn
+/// final line (crash mid-append) can only name an id no durable record
+/// uses yet, and reload drops it. Growth from queries rides along in the
+/// same id-ordered sweep. Writes reach the page cache (process-crash
+/// safe, like --wal-sync=never); sidecar failures warn and never stop
+/// serving, matching SimilarityService's durability policy.
+class DictLog {
+ public:
+  /// Fresh durable start: truncate and write every token interned so far.
+  bool OpenFresh(const std::string& path, const TokenDictionary& dict) {
+    path_ = path;
+    out_.open(path, std::ios::binary | std::ios::trunc);
+    if (!out_) {
+      Warn();
+      return false;
+    }
+    return Sync(dict);
+  }
+
+  /// Restore: intern every complete line in id order, dropping a torn
+  /// final line, then rewrite the file (self-healing the tail).
+  bool OpenExisting(const std::string& path, TokenDictionary* dict) {
+    {
+      std::ifstream in(path, std::ios::binary);
+      if (in) {
+        std::string contents((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+        size_t begin = 0;
+        while (true) {
+          size_t end = contents.find('\n', begin);
+          if (end == std::string::npos) break;
+          dict->Intern(std::string_view(contents).substr(begin, end - begin));
+          begin = end + 1;
+        }
+      }
+    }
+    return OpenFresh(path, *dict);
+  }
+
+  /// Appends tokens the dictionary has grown since the last sync. A
+  /// no-op for non-durable services (never opened).
+  bool Sync(const TokenDictionary& dict) {
+    if (!out_.is_open() || failed_) return false;
+    for (; written_ < dict.size(); ++written_) {
+      out_ << dict.ToString(static_cast<TokenId>(written_)) << '\n';
+    }
+    out_.flush();
+    if (!out_) {
+      failed_ = true;
+      Warn();
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void Warn() {
+    std::fprintf(stderr,
+                 "warning: cannot write token dictionary %s: %s "
+                 "(serving continues; restores may mis-tokenize queries)\n",
+                 path_.c_str(), std::strerror(errno));
+  }
+
+  std::ofstream out_;
+  std::string path_;
+  size_t written_ = 0;
+  bool failed_ = false;
+};
 
 /// Tokenizer shared by the corpus, inserts and queries: every text goes
 /// through the same builder with the same (growing) dictionary, so query
@@ -269,8 +374,16 @@ std::string Trim(const std::string& text) {
   return text.substr(begin, end - begin + 1);
 }
 
+void WarnIfDurabilityDegraded(const SimilarityService& service) {
+  if (service.durable() && !service.durability_status().ok()) {
+    std::fprintf(stderr, "warning: durability degraded: %s\n",
+                 service.durability_status().ToString().c_str());
+  }
+}
+
 int RunRepl(SimilarityService* service, const ServeCliOptions& options,
-            const LineTokenizer& tokenizer) {
+            const LineTokenizer& tokenizer, const TokenDictionary& dict,
+            DictLog* dict_log) {
   // A non-tty stdin means a script is driving the REPL: every ERR line
   // then also fails the exit code, so a typo in a command file cannot be
   // silently ignored. At a terminal the ERR line alone is the feedback.
@@ -280,6 +393,9 @@ int RunRepl(SimilarityService* service, const ServeCliOptions& options,
     std::printf("ERR %s\n", detail.c_str());
     if (scripted) rc = 1;
   };
+  // std::getline delivers a final line even when the input ends without a
+  // trailing newline, so a scripted pipe like `printf '+ a b c'` still
+  // executes its last command (tools/CMakeLists.txt smoke-tests this).
   std::string line;
   while (std::getline(std::cin, line)) {
     if (Trim(line).empty()) continue;
@@ -292,6 +408,7 @@ int RunRepl(SimilarityService* service, const ServeCliOptions& options,
         service->Compact();
         std::printf("compacted; %zu records, epoch %llu\n", service->size(),
                     static_cast<unsigned long long>(service->epoch()));
+        WarnIfDurabilityDegraded(*service);
       }
     } else if (op == '?') {
       const std::string arg = Trim(line.substr(1));
@@ -304,6 +421,8 @@ int RunRepl(SimilarityService* service, const ServeCliOptions& options,
       // Empty text is legal: token-less records route to shard 0 and can
       // only be found by short-record predicates (edit distance).
       RecordSet staged = tokenizer.BuildOne(Trim(line.substr(1)));
+      // New tokens must hit the sidecar before the record hits the WAL.
+      dict_log->Sync(dict);
       RecordId id = service->Insert(staged.record(0), staged.text(0));
       std::printf("inserted %u\n", id);
     } else if (op == '-') {
@@ -334,13 +453,9 @@ int main(int argc, char** argv) {
     std::fputs(kUsage, stderr);
     return 2;
   }
-  std::optional<std::vector<std::string>> corpus_lines =
-      ReadLines(options->corpus);
-  if (!corpus_lines.has_value()) return 1;
 
   TokenDictionary dict;
   LineTokenizer tokenizer(options->tokens, &dict);
-  RecordSet corpus = tokenizer.Build(*corpus_lines);
   std::unique_ptr<Predicate> pred = MakePredicate(*options, tokenizer.q());
 
   ServiceOptions service_options;
@@ -348,16 +463,64 @@ int main(int argc, char** argv) {
       static_cast<size_t>(options->memtable_limit);
   service_options.num_threads = options->threads;
   service_options.num_shards = static_cast<size_t>(options->shards);
-  SimilarityService service(std::move(corpus), *pred, service_options);
-  std::fprintf(stderr, "serving %zu records (%s, %s, %zu shards)\n",
-               service.size(), options->predicate.c_str(),
-               options->tokens.c_str(), service.num_shards());
+  service_options.data_dir = options->data_dir;
+  service_options.wal_sync = options->wal_sync == "never"
+                                 ? WalSyncPolicy::kNever
+                                 : WalSyncPolicy::kAlways;
+
+  DictLog dict_log;
+  std::unique_ptr<SimilarityService> service;
+  if (!options->data_dir.empty() && CheckpointExists(options->data_dir)) {
+    // Restore: the checkpoint + WAL are the source of truth, --corpus is
+    // deliberately not re-read (inserting it again would duplicate every
+    // record the previous incarnation already made durable).
+    dict_log.OpenExisting(options->data_dir + "/dict.log", &dict);
+    Result<std::unique_ptr<SimilarityService>> restored =
+        SimilarityService::Open(*pred, service_options);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "cannot restore from %s: %s\n",
+                   options->data_dir.c_str(),
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+    service = std::move(restored).value();
+    std::fprintf(stderr, "restored %zu records from %s (epoch %llu)\n",
+                 service->size(), options->data_dir.c_str(),
+                 static_cast<unsigned long long>(service->epoch()));
+  } else {
+    if (options->corpus.empty()) {
+      std::fprintf(stderr, "no checkpoint in %s and no --corpus to start from\n",
+                   options->data_dir.c_str());
+      return 1;
+    }
+    std::optional<std::vector<std::string>> corpus_lines =
+        ReadLines(options->corpus);
+    if (!corpus_lines.has_value()) return 1;
+    RecordSet corpus = tokenizer.Build(*corpus_lines);
+    if (!options->data_dir.empty()) {
+      // The dictionary must be on disk before the constructor writes the
+      // initial checkpoint: a crash between the two must never leave a
+      // restorable checkpoint without its token mapping.
+      if (Status made = EnsureDataDir(options->data_dir); !made.ok()) {
+        std::fprintf(stderr, "warning: %s\n", made.ToString().c_str());
+      }
+      dict_log.OpenFresh(options->data_dir + "/dict.log", dict);
+    }
+    service = std::make_unique<SimilarityService>(std::move(corpus), *pred,
+                                                  service_options);
+  }
+  WarnIfDurabilityDegraded(*service);
+  std::fprintf(stderr, "serving %zu records (%s, %s, %zu shards%s)\n",
+               service->size(), options->predicate.c_str(),
+               options->tokens.c_str(), service->num_shards(),
+               service->durable() ? ", durable" : "");
 
   int rc = options->queries.empty()
-               ? RunRepl(&service, *options, tokenizer)
-               : RunBatch(service, *options, tokenizer);
+               ? RunRepl(service.get(), *options, tokenizer, dict, &dict_log)
+               : RunBatch(*service, *options, tokenizer);
+  WarnIfDurabilityDegraded(*service);
   if (options->stats_json) {
-    std::fprintf(stderr, "%s\n", service.StatsJson().c_str());
+    std::fprintf(stderr, "%s\n", service->StatsJson().c_str());
   }
   return rc;
 }
