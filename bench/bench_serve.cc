@@ -30,6 +30,15 @@
 // now writes, the checkpoint size, and the Open() restore time
 // (checkpoint load + WAL-tail replay).
 //
+// The fifth sweep is the segmented-compaction scaling claim: a fixed
+// 1k-record delta folded into corpora of increasing size, with the
+// segment chain (default merge ratio) against the collapse-every-time
+// baseline (segment_merge_ratio = 0, the pre-segmented behaviour).
+// Steady-state segmented compaction must stay ~flat in the corpus size
+// — it builds one delta-sized segment and occasionally merges
+// delta-scale neighbours — while the baseline rewrites the whole corpus
+// every round.
+//
 // Usage: bench_serve [--scale=F | --quick] [--threads=N]
 
 #include <sys/stat.h>
@@ -268,6 +277,56 @@ int main(int argc, char** argv) {
                 inserted / insert_seconds, compact_seconds, checkpoint_bytes,
                 open_seconds);
     std::fflush(stdout);
+  }
+
+  // Compaction scaling: fixed delta, growing corpus, chain vs collapse.
+  const uint32_t kScaleDelta = Scaled(1000, scale);
+  constexpr uint32_t kScaleRounds = 3;
+  std::printf(
+      "\ncorpus,mode,compact1_sec,compact2_sec,compact3_sec,segments,"
+      "point_qps\n");
+  for (uint32_t corpus_size :
+       {Scaled(10000, scale), Scaled(50000, scale), Scaled(100000, scale)}) {
+    std::vector<std::string> scale_texts =
+        CitationTexts(corpus_size + kScaleRounds * kScaleDelta);
+    TokenDictionary scale_dict;
+    RecordSet scale_corpus =
+        WordCorpusPrefix(scale_texts, corpus_size, &scale_dict);
+    std::vector<std::string> delta_texts(scale_texts.begin() + corpus_size,
+                                         scale_texts.end());
+    RecordSet deltas = BuildWordCorpus(delta_texts, &scale_dict);
+    RecordSet scale_queries =
+        WordCorpusPrefix(scale_texts, kQueries, &scale_dict);
+    for (bool segmented : {true, false}) {
+      ServiceOptions options;
+      options.memtable_limit = 0;
+      options.num_threads = threads;
+      options.num_shards = 4;
+      options.segment_merge_ratio = segmented ? 2 : 0;
+      SimilarityService service(scale_corpus, pred, options);
+      double round_seconds[kScaleRounds] = {0, 0, 0};
+      RecordId next = 0;
+      for (uint32_t round = 0; round < kScaleRounds; ++round) {
+        for (uint32_t i = 0; i < kScaleDelta && next < deltas.size();
+             ++i, ++next) {
+          service.Insert(deltas.record(next), deltas.text(next));
+        }
+        Timer compact_timer;
+        service.Compact();
+        round_seconds[round] = compact_timer.ElapsedSeconds();
+      }
+      Timer point_timer;
+      for (RecordId q = 0; q < scale_queries.size(); ++q) {
+        service.Query(scale_queries.record(q), scale_queries.text(q));
+      }
+      double point_seconds = point_timer.ElapsedSeconds();
+      std::printf("%u,%s,%.3f,%.3f,%.3f,%" PRIu64 ",%.0f\n", corpus_size,
+                  segmented ? "segmented" : "baseline", round_seconds[0],
+                  round_seconds[1], round_seconds[2],
+                  static_cast<uint64_t>(service.stats().segments),
+                  scale_queries.size() / point_seconds);
+      std::fflush(stdout);
+    }
   }
   return 0;
 }

@@ -82,6 +82,18 @@ std::vector<RecordId> RecordSet::IdsByDecreasingNorm() const {
   return ids;
 }
 
+uint64_t RecordSet::ApproxMemoryBytes() const {
+  uint64_t bytes = 0;
+  bytes += token_arena_.size() * sizeof(TokenId);
+  bytes += score_arena_.size() * sizeof(double);
+  bytes += offsets_.size() * sizeof(size_t);
+  bytes += norms_.size() * sizeof(double);
+  bytes += text_lengths_.size() * sizeof(uint32_t);
+  bytes += (doc_frequency_.size() + term_frequency_.size()) * sizeof(uint64_t);
+  for (const std::string& t : texts_) bytes += sizeof(std::string) + t.size();
+  return bytes;
+}
+
 const TokenStats& RecordSet::token_stats() const {
   if (stats_structure_version_ == structure_version_ &&
       stats_score_version_ == score_version_) {

@@ -124,6 +124,13 @@ class RecordSet {
   /// pre-sort order of Section 5.1.2.
   std::vector<RecordId> IdsByDecreasingNorm() const;
 
+  /// Approximate heap bytes held by the CSR arenas, offset/norm tables
+  /// and retained texts (element counts times element sizes; vector
+  /// over-allocation ignored). The serving tier sums this per segment to
+  /// report `segment_bytes` without rescanning arenas on every stats
+  /// call.
+  uint64_t ApproxMemoryBytes() const;
+
   /// Cached per-token statistics, recomputed lazily when records were
   /// added or scores changed since the last call. Not thread-safe: call
   /// once from the serial planning phase before any parallel fan-out

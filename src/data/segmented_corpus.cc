@@ -1,0 +1,34 @@
+#include "data/segmented_corpus.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ssjoin {
+
+void SegmentedCorpus::Append(std::shared_ptr<const RecordSet> segment) {
+  SSJOIN_CHECK(segment != nullptr);
+  offsets_.push_back(size() + segment->size());
+  segments_.push_back(std::move(segment));
+}
+
+SegmentedCorpus::Location SegmentedCorpus::Locate(RecordId pos) const {
+  SSJOIN_DCHECK(pos < size());
+  // First segment whose cumulative end exceeds pos.
+  size_t s = static_cast<size_t>(
+      std::upper_bound(offsets_.begin(), offsets_.end(), pos) -
+      offsets_.begin());
+  return {s, pos - segment_offset(s)};
+}
+
+RecordView SegmentedCorpus::record(RecordId pos) const {
+  Location loc = Locate(pos);
+  return segments_[loc.segment]->record(loc.local);
+}
+
+const std::string& SegmentedCorpus::text(RecordId pos) const {
+  Location loc = Locate(pos);
+  return segments_[loc.segment]->text(loc.local);
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,66 @@
+#ifndef SSJOIN_DATA_SEGMENTED_CORPUS_H_
+#define SSJOIN_DATA_SEGMENTED_CORPUS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/record_set.h"
+#include "data/record_view.h"
+
+namespace ssjoin {
+
+/// A non-copying concatenated view over a chain of immutable RecordSet
+/// arenas: position p addresses the record at p - offset(s) inside the
+/// segment s whose half-open range [offset(s), offset(s+1)) contains p.
+/// Appending a segment shares it by shared_ptr — no token, score or text
+/// is ever copied, which is the whole point of the segment chain: the
+/// serving tier's compaction appends a delta segment in O(delta) and
+/// every older segment stays byte-identical behind this view.
+///
+/// The view itself is cheap to copy (a vector of shared_ptrs plus the
+/// cumulative offset table) and immutable-after-build in spirit: Append
+/// grows it, nothing shrinks it. Record lookups are O(log segments) via
+/// the offset table; chains are short (the tier's merge policy keeps
+/// them logarithmic), so this never shows up in profiles.
+class SegmentedCorpus {
+ public:
+  SegmentedCorpus() = default;
+
+  /// Appends one segment to the chain; must be non-null. Empty segments
+  /// are accepted and keep their slot, so segment indices stay stable
+  /// for Locate callers that align with an external chain.
+  void Append(std::shared_ptr<const RecordSet> segment);
+
+  /// Total records across all segments.
+  size_t size() const { return offsets_.empty() ? 0 : offsets_.back(); }
+  size_t num_segments() const { return segments_.size(); }
+  bool empty() const { return size() == 0; }
+
+  /// The segment/local-id pair a global position resolves to.
+  struct Location {
+    size_t segment;
+    RecordId local;
+  };
+  /// Resolves position `pos` (< size()) to its owning segment.
+  Location Locate(RecordId pos) const;
+
+  /// Record / text access across the concatenation, same contracts as
+  /// RecordSet::record / RecordSet::text.
+  RecordView record(RecordId pos) const;
+  const std::string& text(RecordId pos) const;
+
+  /// Direct access to one segment (never null once appended).
+  const RecordSet& segment(size_t i) const { return *segments_[i]; }
+  /// First position of segment `i` in the concatenated space.
+  RecordId segment_offset(size_t i) const { return i == 0 ? 0 : offsets_[i - 1]; }
+
+ private:
+  std::vector<std::shared_ptr<const RecordSet>> segments_;
+  /// offsets_[i] = records in segments_[0..i] (cumulative, inclusive).
+  std::vector<RecordId> offsets_;
+};
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_DATA_SEGMENTED_CORPUS_H_

@@ -1,5 +1,6 @@
 #include "serve/checkpoint.h"
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -17,12 +18,24 @@ namespace ssjoin {
 namespace {
 
 constexpr char kCheckpointMagic[4] = {'S', 'S', 'C', 'P'};
-constexpr uint32_t kCheckpointVersion = 1;
+constexpr uint32_t kCheckpointVersion = 2;  // v2: segment-chain manifest
 constexpr char kCheckpointFile[] = "checkpoint.ssc";
 constexpr char kWalFile[] = "wal.log";
 
+constexpr char kSegmentMagic[4] = {'S', 'S', 'S', 'G'};
+constexpr uint32_t kSegmentVersion = 1;
+constexpr char kSegmentPrefix[] = "segment-";
+constexpr char kSegmentSuffix[] = ".sseg";
+
 Status Corrupt(const std::string& what, const std::string& path) {
   return Status::IOError("corrupt checkpoint (" + what + "): " + path);
+}
+
+bool StrictlyIncreasing(const std::vector<RecordId>& ids) {
+  for (size_t i = 1; i < ids.size(); ++i) {
+    if (ids[i] <= ids[i - 1]) return false;
+  }
+  return true;
 }
 
 /// varint64 count + delta varints. Requires non-decreasing ids (every id
@@ -180,6 +193,47 @@ std::string WalFilePath(const std::string& data_dir) {
   return data_dir + "/" + kWalFile;
 }
 
+std::string SegmentFilePath(const std::string& data_dir,
+                            uint64_t segment_id) {
+  return data_dir + "/" + kSegmentPrefix + std::to_string(segment_id) +
+         kSegmentSuffix;
+}
+
+std::set<uint64_t> ListSegmentFiles(const std::string& data_dir) {
+  std::set<uint64_t> ids;
+  DIR* dir = ::opendir(data_dir.c_str());
+  if (dir == nullptr) return ids;
+  const std::string prefix = kSegmentPrefix;
+  const std::string suffix = kSegmentSuffix;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name.size() <= prefix.size() + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    uint64_t id = 0;
+    bool numeric = !digits.empty();
+    for (char c : digits) {
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+      id = id * 10 + static_cast<uint64_t>(c - '0');
+    }
+    // Round-trip through the canonical name so padded or overflowed
+    // spellings ("segment-007.sseg") are never claimed by GC or load.
+    if (numeric && SegmentFilePath(data_dir, id) == data_dir + "/" + name) {
+      ids.insert(id);
+    }
+  }
+  ::closedir(dir);
+  return ids;
+}
+
 Status EnsureDataDir(const std::string& data_dir) {
   if (data_dir.empty()) {
     return Status::InvalidArgument("data_dir must not be empty");
@@ -280,36 +334,189 @@ Result<RecordSet> DecodeRecordSet(const std::string& data, size_t* offset) {
   return records;
 }
 
-Status SaveCheckpoint(const std::string& data_dir,
-                      const CheckpointState& state) {
-  if (state.corpus == nullptr || state.deleted == nullptr ||
-      state.base_records == nullptr ||
-      state.shards.size() != state.tombstones.size()) {
+namespace {
+
+/// One immutable segment file: the segment's prepared arena, global-id
+/// table and every shard part's id tables and index, CRC32-trailered.
+/// Dead masks and live counts are NOT here — they change after the
+/// segment is written and live in the manifest.
+Status WriteSegmentFile(const std::string& data_dir,
+                        const CorpusSegment& segment) {
+  std::string buffer(kSegmentMagic, sizeof(kSegmentMagic));
+  PutFixed32(&buffer, kSegmentVersion);
+  PutVarint64(&buffer, segment.id);
+  EncodeRecordSet(*segment.records, &buffer);
+  PutIdList(&buffer, segment.global_ids);
+  PutVarint64(&buffer, segment.shards.size());
+  for (const SegmentShardPart& part : segment.shards) {
+    PutIdList(&buffer, part.member_ids);
+    PutIdList(&buffer, part.short_ids);
+    PutIndex(&buffer, part.index);
+  }
+  PutFixed32(&buffer, Crc32(buffer.data(), buffer.size()));
+  return WriteFileAtomic(SegmentFilePath(data_dir, segment.id), buffer);
+}
+
+Result<std::shared_ptr<const CorpusSegment>> LoadSegmentFile(
+    const std::string& data_dir, uint64_t expected_id, uint64_t num_shards) {
+  const std::string path = SegmentFilePath(data_dir, expected_id);
+  Result<std::string> read = ReadFileToString(path);
+  if (!read.ok()) return read.status();
+  const std::string data = std::move(read).value();
+  if (data.size() < sizeof(kSegmentMagic) + 2 * sizeof(uint32_t) ||
+      std::memcmp(data.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    return Corrupt("bad segment magic", path);
+  }
+  const size_t body_size = data.size() - sizeof(uint32_t);
+  size_t crc_offset = body_size;
+  uint32_t stored_crc = 0;
+  GetFixed32(data, &crc_offset, &stored_crc);
+  if (Crc32(data.data(), body_size) != stored_crc) {
+    return Corrupt("segment checksum mismatch", path);
+  }
+  size_t offset = sizeof(kSegmentMagic);
+  uint32_t version = 0;
+  GetFixed32(data, &offset, &version);
+  if (version != kSegmentVersion) {
+    return Status::IOError("unsupported segment version: " + path);
+  }
+  const std::string body = data.substr(0, body_size);
+
+  auto segment = std::make_shared<CorpusSegment>();
+  uint64_t file_id = 0;
+  if (!GetVarint64(body, &offset, &file_id) || file_id != expected_id) {
+    return Corrupt("segment id disagrees with its file name", path);
+  }
+  segment->id = file_id;
+  Result<RecordSet> records = DecodeRecordSet(body, &offset);
+  if (!records.ok()) {
+    return Corrupt(records.status().message() + " [segment arena]", path);
+  }
+  auto owned = std::make_shared<RecordSet>(std::move(records).value());
+  segment->records = owned;
+  if (!GetIdList(body, &offset, &segment->global_ids) ||
+      segment->global_ids.size() != owned->size() ||
+      !StrictlyIncreasing(segment->global_ids)) {
+    return Corrupt("bad segment global ids", path);
+  }
+  uint64_t file_shards = 0;
+  if (!GetVarint64(body, &offset, &file_shards) ||
+      file_shards != num_shards) {
+    return Corrupt("segment shard count disagrees with manifest", path);
+  }
+  segment->shards.resize(num_shards);
+  size_t members_total = 0;
+  for (SegmentShardPart& part : segment->shards) {
+    if (!GetIdList(body, &offset, &part.member_ids) ||
+        !GetIdList(body, &offset, &part.short_ids)) {
+      return Corrupt("truncated segment shard tables", path);
+    }
+    if (!StrictlyIncreasing(part.member_ids) ||
+        (!part.member_ids.empty() &&
+         part.member_ids.back() >= owned->size())) {
+      return Corrupt("segment member out of range", path);
+    }
+    if (!StrictlyIncreasing(part.short_ids) ||
+        (!part.short_ids.empty() &&
+         part.short_ids.back() >= part.member_ids.size())) {
+      return Corrupt("segment short id out of range", path);
+    }
+    if (!GetIndex(body, &offset, &part.index) ||
+        part.index.num_entities() != part.member_ids.size()) {
+      return Corrupt("bad segment shard index", path);
+    }
+    part.global_ids.reserve(part.member_ids.size());
+    for (RecordId local : part.member_ids) {
+      part.global_ids.push_back(segment->global_ids[local]);
+    }
+    members_total += part.member_ids.size();
+  }
+  // Shard parts must partition the segment's records (each member id
+  // is in range and strictly increasing per shard; equal total forces
+  // the partition).
+  if (members_total != owned->size()) {
+    return Corrupt("segment shard parts do not partition records", path);
+  }
+  if (offset != body.size()) {
+    return Corrupt("trailing segment bytes", path);
+  }
+  segment->approx_bytes = ComputeSegmentApproxBytes(*segment);
+  return std::shared_ptr<const CorpusSegment>(std::move(segment));
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const std::string& data_dir, const CheckpointState& state,
+                      std::set<uint64_t>* persisted_segments) {
+  if (state.deleted == nullptr || state.segments.empty() ||
+      state.tombstones.empty() || persisted_segments == nullptr) {
     return Status::InvalidArgument("incomplete checkpoint state");
   }
+  for (const CheckpointState::SegmentRef& ref : state.segments) {
+    if (ref.segment == nullptr ||
+        ref.dead.size() != state.tombstones.size()) {
+      return Status::InvalidArgument("incomplete checkpoint state");
+    }
+  }
+
+  // Phase 1: make every referenced segment durable. Already-persisted
+  // segments are immutable — their files are correct by construction and
+  // are never rewritten, which is what keeps a steady-state checkpoint
+  // O(delta): only the newly folded (delta-sized) segment hits the disk.
+  std::set<uint64_t> referenced;
+  for (const CheckpointState::SegmentRef& ref : state.segments) {
+    referenced.insert(ref.segment->id);
+    if (persisted_segments->count(ref.segment->id) != 0) continue;
+    Status written = WriteSegmentFile(data_dir, *ref.segment);
+    if (!written.ok()) return written;
+  }
+
+  // Phase 2: the manifest — the commit point. It only references files
+  // renamed durably above, so a crash on either side of this rename
+  // leaves a whole checkpoint (the old one, or the new one).
   std::string buffer(kCheckpointMagic, sizeof(kCheckpointMagic));
   PutFixed32(&buffer, kCheckpointVersion);
   PutVarint64(&buffer, state.epoch);
   PutVarint64(&buffer, state.wal_seq);
   PutVarint64(&buffer, state.predicate.size());
   buffer += state.predicate;
-  PutVarint64(&buffer, state.shards.size());
+  PutVarint64(&buffer, state.tombstones.size());
   PutIdList(&buffer, state.shard_bounds);
-  EncodeRecordSet(*state.corpus, &buffer);
+  PutVarint64(&buffer, state.next_id);
+  PutVarint64(&buffer, state.next_segment_id);
   PutBitVector(&buffer, *state.deleted);
-  EncodeRecordSet(*state.base_records, &buffer);
-  for (size_t s = 0; s < state.shards.size(); ++s) {
-    const ShardedBaseTier& shard = *state.shards[s];
-    PutIdList(&buffer, shard.member_ids);
-    PutIdList(&buffer, shard.global_ids);
-    PutIdList(&buffer, shard.short_ids);
-    PutIdList(&buffer, *state.tombstones[s]);
-    PutIndex(&buffer, shard.index);
+  buffer.push_back(state.raw_corpus != nullptr ? 1 : 0);
+  if (state.raw_corpus != nullptr) {
+    EncodeRecordSet(*state.raw_corpus, &buffer);
   }
-  // Whole-file trailing checksum: a checkpoint either verifies end to end
+  PutVarint64(&buffer, state.segments.size());
+  for (const CheckpointState::SegmentRef& ref : state.segments) {
+    PutVarint64(&buffer, ref.segment->id);
+    PutVarint64(&buffer, ref.live);
+    for (const std::vector<RecordId>* dead : ref.dead) {
+      static const std::vector<RecordId> kEmpty;
+      PutIdList(&buffer, dead != nullptr ? *dead : kEmpty);
+    }
+  }
+  for (const std::vector<RecordId>* tombstones : state.tombstones) {
+    PutIdList(&buffer, *tombstones);
+  }
+  // Whole-file trailing checksum: a manifest either verifies end to end
   // or is rejected — there is no partially-trusted checkpoint.
   PutFixed32(&buffer, Crc32(buffer.data(), buffer.size()));
-  return WriteFileAtomic(CheckpointFilePath(data_dir), buffer);
+  Status committed = WriteFileAtomic(CheckpointFilePath(data_dir), buffer);
+  if (!committed.ok()) return committed;
+
+  // Phase 3: the new manifest is durable; segment files it no longer
+  // references (merged-away chains) are garbage. Unlink failures are
+  // ignored — LoadCheckpoint GCs leftovers on the next Open.
+  *persisted_segments = referenced;
+  for (uint64_t id : ListSegmentFiles(data_dir)) {
+    if (referenced.count(id) == 0) {
+      ::unlink(SegmentFilePath(data_dir, id).c_str());
+    }
+  }
+  return Status::OK();
 }
 
 Result<ServiceCheckpoint> LoadCheckpoint(const std::string& data_dir) {
@@ -359,56 +566,111 @@ Result<ServiceCheckpoint> LoadCheckpoint(const std::string& data_dir) {
       cp.shard_bounds.size() + 1 != num_shards) {
     return Corrupt("bad shard bounds", path);
   }
-  Result<RecordSet> corpus = DecodeRecordSet(body, &offset);
-  if (!corpus.ok()) {
-    return Corrupt(corpus.status().message() + " [corpus]", path);
+  if (!GetVarint64(body, &offset, &cp.next_id) ||
+      !GetVarint64(body, &offset, &cp.next_segment_id)) {
+    return Corrupt("truncated id counters", path);
   }
-  cp.corpus = std::move(corpus).value();
   if (!GetBitVector(body, &offset, &cp.deleted) ||
-      cp.deleted.size() != cp.corpus.size()) {
+      cp.deleted.size() != cp.next_id) {
     return Corrupt("bad deleted bitmap", path);
   }
-  Result<RecordSet> base = DecodeRecordSet(body, &offset);
-  if (!base.ok()) {
-    return Corrupt(base.status().message() + " [base arena]", path);
+  if (offset >= body.size()) {
+    return Corrupt("truncated raw-corpus flag", path);
   }
-  cp.base_records = std::move(base).value();
-  cp.shards.reserve(num_shards);
+  const uint8_t has_raw = static_cast<uint8_t>(body[offset++]);
+  if (has_raw > 1) {
+    return Corrupt("bad raw-corpus flag", path);
+  }
+  cp.has_raw_corpus = has_raw == 1;
+  if (cp.has_raw_corpus) {
+    Result<RecordSet> corpus = DecodeRecordSet(body, &offset);
+    if (!corpus.ok()) {
+      return Corrupt(corpus.status().message() + " [raw corpus]", path);
+    }
+    cp.raw_corpus = std::move(corpus).value();
+    if (cp.raw_corpus.size() != cp.next_id) {
+      return Corrupt("raw corpus disagrees with id counter", path);
+    }
+  }
+
+  uint64_t num_segments = 0;
+  if (!GetVarint64(body, &offset, &num_segments) || num_segments == 0 ||
+      num_segments > body.size()) {
+    return Corrupt("bad segment count", path);
+  }
+  cp.segments.resize(num_segments);
+  std::vector<uint64_t> segment_ids(num_segments, 0);
+  for (size_t i = 0; i < num_segments; ++i) {
+    ServiceCheckpoint::Segment& entry = cp.segments[i];
+    if (!GetVarint64(body, &offset, &segment_ids[i]) ||
+        segment_ids[i] >= cp.next_segment_id ||
+        !GetVarint64(body, &offset, &entry.live)) {
+      return Corrupt("bad segment reference", path);
+    }
+    entry.dead.resize(num_shards);
+    for (std::vector<RecordId>& dead : entry.dead) {
+      if (!GetIdList(body, &offset, &dead) || !StrictlyIncreasing(dead)) {
+        return Corrupt("bad segment dead mask", path);
+      }
+    }
+  }
   cp.tombstones.resize(num_shards);
-  for (uint64_t s = 0; s < num_shards; ++s) {
-    auto shard = std::make_shared<ShardedBaseTier>();
-    if (!GetIdList(body, &offset, &shard->member_ids) ||
-        !GetIdList(body, &offset, &shard->global_ids) ||
-        !GetIdList(body, &offset, &shard->short_ids) ||
-        !GetIdList(body, &offset, &cp.tombstones[s])) {
-      return Corrupt("truncated shard tables", path);
+  for (std::vector<RecordId>& tombstones : cp.tombstones) {
+    if (!GetIdList(body, &offset, &tombstones)) {
+      return Corrupt("truncated tombstones", path);
     }
-    if (shard->member_ids.size() != shard->global_ids.size()) {
-      return Corrupt("shard id tables disagree", path);
+    if (!tombstones.empty() && tombstones.back() >= cp.next_id) {
+      return Corrupt("tombstone out of range", path);
     }
-    for (RecordId pos : shard->member_ids) {
-      if (pos >= cp.base_records.size()) {
-        return Corrupt("shard member out of range", path);
-      }
-    }
-    for (RecordId gid : shard->global_ids) {
-      if (gid >= cp.corpus.size()) {
-        return Corrupt("shard global id out of range", path);
-      }
-    }
-    if (!GetIndex(body, &offset, &shard->index) ||
-        shard->index.num_entities() != shard->member_ids.size()) {
-      return Corrupt("bad shard index", path);
-    }
-    for (RecordId local : shard->short_ids) {
-      if (local >= shard->member_ids.size()) {
-        return Corrupt("shard short id out of range", path);
-      }
-    }
-    cp.shards.push_back(std::move(shard));
   }
   if (offset != body.size()) {
     return Corrupt("trailing bytes", path);
+  }
+
+  // The manifest is whole; now load every referenced segment file and
+  // cross-validate masks, live counts and the chain's global-id order.
+  std::set<uint64_t> referenced;
+  RecordId prev_last_gid = 0;
+  bool any_gid = false;
+  for (size_t i = 0; i < num_segments; ++i) {
+    ServiceCheckpoint::Segment& entry = cp.segments[i];
+    const uint64_t segment_id = segment_ids[i];
+    referenced.insert(segment_id);
+    Result<std::shared_ptr<const CorpusSegment>> loaded =
+        LoadSegmentFile(data_dir, segment_id, num_shards);
+    if (!loaded.ok()) return loaded.status();
+    entry.segment = std::move(loaded).value();
+    const CorpusSegment& segment = *entry.segment;
+    if (!segment.global_ids.empty()) {
+      if (segment.global_ids.back() >= cp.next_id ||
+          (any_gid && segment.global_ids.front() <= prev_last_gid)) {
+        return Corrupt("segment chain global ids out of order", path);
+      }
+      prev_last_gid = segment.global_ids.back();
+      any_gid = true;
+    }
+    size_t dead_total = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      const std::vector<RecordId>& dead = entry.dead[s];
+      if (!dead.empty() &&
+          dead.back() >= segment.shards[s].member_ids.size()) {
+        return Corrupt("segment dead mask out of range", path);
+      }
+      dead_total += dead.size();
+    }
+    if (entry.live + dead_total != segment.records->size()) {
+      return Corrupt("segment live count disagrees with dead masks", path);
+    }
+  }
+
+  // GC: a crash between segment write and manifest rename, or a merge
+  // followed by a crash before Phase-3 cleanup, leaves segment files no
+  // manifest references. They are dead weight — delete them so the data
+  // directory never accretes garbage across restarts.
+  for (uint64_t id : ListSegmentFiles(data_dir)) {
+    if (referenced.count(id) == 0) {
+      ::unlink(SegmentFilePath(data_dir, id).c_str());
+    }
   }
   return cp;
 }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -12,32 +13,55 @@
 
 namespace ssjoin {
 
-/// Checkpoint save/load of SimilarityService's durable state: the raw
-/// corpus (every record ever inserted, with texts), the deleted bitmap,
-/// the prepared base arena, and every base shard's member/global id
-/// tables, CSR index extents and pending tombstones, under one versioned,
-/// CRC32-checksummed file written tmp-then-rename — a checkpoint on disk
-/// is always whole. See DESIGN.md "Durability & recovery".
+/// Incremental, segment-granular checkpoints of SimilarityService's
+/// durable state. A checkpoint is a MANIFEST (checkpoint.ssc) plus one
+/// immutable segment file (segment-<id>.sseg) per chain segment:
 ///
-/// Unlike SaveIndex (which quantizes posting scores to float32 — fine for
-/// batch candidate generation, where verification recomputes on full
+///   * Segment files hold a segment's prepared record arena (full double
+///     scores, texts), its global-id table and every shard part's id
+///     tables and CSR index. A segment is written ONCE, when a checkpoint
+///     first covers it, and never rewritten — steady-state checkpoints
+///     write one new (delta-sized) segment file plus the small manifest,
+///     which is what makes checkpointing O(delta) alongside compaction.
+///   * The manifest holds everything that still changes: epoch, WAL
+///     fence, shard bounds, the deleted bitmap, per-segment dead masks
+///     and live counts, pending tombstones, and the ordered list of
+///     segment file ids it depends on. For corpus-statistics predicates
+///     (TF-IDF cosine) it also carries the raw corpus — the documented
+///     full-rebuild exception, whose chain is always one segment anyway.
+///
+/// Both file kinds are CRC32-trailered and written tmp-then-rename, so
+/// each is individually whole; the manifest rename is the commit point
+/// (it only ever references segment files that were durably renamed
+/// before it). Segment files left behind by a crash between segment
+/// write and manifest rename — or orphaned by a merge — are garbage-
+/// collected: LoadCheckpoint unlinks every segment file the manifest
+/// does not reference. See DESIGN.md "Durability & recovery".
+///
+/// Unlike SaveIndex (which quantizes posting scores to float32 — fine
+/// for batch candidate generation, where verification recomputes on full
 /// records), checkpointed shard indexes keep full double scores: the
 /// recovery contract is BYTE-identical query answers, and probe pruning
 /// reads posting scores directly.
 
-/// Paths of the two durable artifacts inside a service data directory.
+/// Paths of the durable artifacts inside a service data directory.
 std::string CheckpointFilePath(const std::string& data_dir);
 std::string WalFilePath(const std::string& data_dir);
+std::string SegmentFilePath(const std::string& data_dir, uint64_t segment_id);
+
+/// Segment file ids present in `data_dir` (whether or not the manifest
+/// references them). Exposed for the orphan-GC tests.
+std::set<uint64_t> ListSegmentFiles(const std::string& data_dir);
 
 /// mkdir -p for `data_dir` (each missing component, 0755).
 Status EnsureDataDir(const std::string& data_dir);
 
-/// Whether `data_dir` holds a checkpoint file.
+/// Whether `data_dir` holds a checkpoint manifest.
 bool CheckpointExists(const std::string& data_dir);
 
 /// Borrowed view of the service state a checkpoint covers — Save never
-/// copies the corpus or indexes. `shards` and `tombstones` are parallel,
-/// one entry per token-range shard (tombstone lists are empty at
+/// copies the corpus or indexes. `segments` is the chain in order;
+/// `tombstones` has one entry per token-range shard (empty at
 /// compaction-point checkpoints, but the format carries them so the
 /// on-disk state is self-contained).
 struct CheckpointState {
@@ -48,14 +72,28 @@ struct CheckpointState {
   uint64_t wal_seq = 0;
   /// Predicate fingerprint (Predicate::name()); Open refuses to restore
   /// under a different predicate, whose scores/thresholds would silently
-  /// disagree with the serialized prepared arena.
+  /// disagree with the serialized prepared arenas.
   std::string predicate;
   std::vector<TokenId> shard_bounds;
-  const RecordSet* corpus = nullptr;
+  /// Total record ids ever assigned (the next insert's id).
+  uint64_t next_id = 0;
+  /// Next segment file id to assign; persisting it keeps ids unique
+  /// across restarts so recovered and crashed-over files never collide.
+  uint64_t next_segment_id = 0;
+  /// Per-global-id deleted bitmap, size next_id.
   const std::vector<bool>* deleted = nullptr;
-  const RecordSet* base_records = nullptr;
-  std::vector<const ShardedBaseTier*> shards;
-  std::vector<const std::vector<RecordId>*> tombstones;
+  /// Raw (unprepared) corpus; REQUIRED for corpus-statistics predicates
+  /// (their full rebuild re-Prepares from raw), null for the rest —
+  /// prepared segment records carry everything else recovery needs.
+  const RecordSet* raw_corpus = nullptr;
+  struct SegmentRef {
+    const CorpusSegment* segment = nullptr;
+    /// Per-shard dead masks (sorted part-local ids); null entries = none.
+    std::vector<const std::vector<RecordId>*> dead;
+    uint64_t live = 0;
+  };
+  std::vector<SegmentRef> segments;
+  std::vector<const std::vector<RecordId>*> tombstones;  // per shard
 };
 
 /// Owned counterpart produced by LoadCheckpoint.
@@ -64,23 +102,37 @@ struct ServiceCheckpoint {
   uint64_t wal_seq = 0;
   std::string predicate;
   std::vector<TokenId> shard_bounds;
-  RecordSet corpus;
+  uint64_t next_id = 0;
+  uint64_t next_segment_id = 0;
   std::vector<bool> deleted;
-  RecordSet base_records;
-  std::vector<std::shared_ptr<ShardedBaseTier>> shards;
-  std::vector<std::vector<RecordId>> tombstones;
+  bool has_raw_corpus = false;
+  RecordSet raw_corpus;  // meaningful only when has_raw_corpus
+  struct Segment {
+    std::shared_ptr<const CorpusSegment> segment;
+    std::vector<std::vector<RecordId>> dead;  // per shard; may be empty lists
+    uint64_t live = 0;
+  };
+  std::vector<Segment> segments;
+  std::vector<std::vector<RecordId>> tombstones;  // per shard
 
-  size_t num_shards() const { return shards.size(); }
+  size_t num_shards() const { return tombstones.size(); }
 };
 
-/// Writes the checkpoint file for `state` into `data_dir`, atomically
-/// replacing any previous checkpoint (tmp + fsync + rename + directory
-/// fsync). On failure the previous checkpoint, if any, is untouched.
-Status SaveCheckpoint(const std::string& data_dir,
-                      const CheckpointState& state);
+/// Writes the checkpoint for `state` into `data_dir`: first every chain
+/// segment file not yet on disk (tracked via `persisted_segments`, which
+/// is updated ONLY when the whole checkpoint commits), then the manifest,
+/// atomically replacing any previous one (tmp + fsync + rename +
+/// directory fsync). After a successful commit, segment files the new
+/// manifest no longer references (merged-away segments) are unlinked;
+/// a failure at any point leaves the previous checkpoint fully
+/// restorable — at worst unreferenced segment files linger until the
+/// next GC pass.
+Status SaveCheckpoint(const std::string& data_dir, const CheckpointState& state,
+                      std::set<uint64_t>* persisted_segments);
 
 /// Reads and verifies (magic, version, trailing CRC32, structural
-/// bounds) the checkpoint in `data_dir`.
+/// bounds) the manifest and every segment file it references, then
+/// garbage-collects unreferenced segment files.
 Result<ServiceCheckpoint> LoadCheckpoint(const std::string& data_dir);
 
 // ---------------------------------------------------------------------

@@ -73,6 +73,10 @@ std::string ServiceStats::ToJson() const {
   AppendField(&out, "compactions", compactions);
   AppendField(&out, "candidates", candidates);
   AppendField(&out, "results", results);
+  AppendField(&out, "segments", segments);
+  AppendField(&out, "segment_bytes", segment_bytes);
+  AppendField(&out, "segments_merged", segments_merged);
+  AppendField(&out, "last_compact_delta_records", last_compact_delta_records);
   AppendField(&out, "merges", merge.merges);
   AppendField(&out, "heap_pops", merge.heap_pops);
   AppendField(&out, "gallop_probes", merge.gallop_probes);

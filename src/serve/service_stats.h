@@ -61,6 +61,17 @@ struct ServiceStats {
   uint64_t compactions = 0;     // explicit + memtable-limit triggered
   uint64_t candidates = 0;      // merge candidates reaching verification
   uint64_t results = 0;         // matches returned to callers
+
+  /// Segment-chain observability. `segments` and `segment_bytes` are
+  /// gauges (the published chain as of the last compaction);
+  /// `segments_merged` counts segments retired by LSM-style merges over
+  /// the service lifetime; `last_compact_delta_records` is the memtable +
+  /// tombstone volume the last non-no-op compaction folded — the "delta"
+  /// that O(delta) compaction cost is proportional to.
+  uint64_t segments = 0;
+  uint64_t segment_bytes = 0;
+  uint64_t segments_merged = 0;
+  uint64_t last_compact_delta_records = 0;
   MergeStats merge;             // the underlying ListMerger instrumentation
 
   /// Per-shard counters, indexed by shard; sized by EnsureShards.

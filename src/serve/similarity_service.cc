@@ -7,6 +7,7 @@
 
 #include "core/probe_common.h"
 #include "util/function_ref.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace ssjoin {
@@ -18,6 +19,7 @@ namespace {
 /// shard in the point-query fan-out.
 struct QueryContext {
   probe_internal::ProbeScratch scratch;
+  std::vector<probe_internal::ProbePart> parts;  // chain probe views
   MergeStats merge;
   // Per-shard attribution; sized lazily on first use.
   std::vector<uint64_t> shard_candidates;
@@ -32,6 +34,38 @@ struct QueryContext {
 };
 
 bool IdLess(const QueryMatch& a, const QueryMatch& b) { return a.id < b.id; }
+
+/// A chain-wide id mapped back to its owning link and part-local id.
+struct ChainPos {
+  size_t link;
+  RecordId part_local;
+};
+
+/// The last link whose offset is at or below `chain_id`. Empty parts
+/// share their successor's offset, and a probed id always belongs to a
+/// non-empty part, so "last" resolves ties to the real owner.
+ChainPos ResolveChain(const ShardedBaseTier& tier, RecordId chain_id) {
+  size_t lo = 0;
+  size_t hi = tier.links.size();
+  while (hi - lo > 1) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (tier.links[mid].id_offset <= chain_id) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return {lo, chain_id - tier.links[lo].id_offset};
+}
+
+/// Whether a part member was masked dead (deleted after its segment was
+/// built). Masked members keep their postings until a merge drops them
+/// physically, so every chain probe path must apply this to candidates
+/// BEFORE verification — same contract as the tombstone filter.
+bool IsMaskedDead(const ShardChainLink& link, RecordId part_local) {
+  return link.dead != nullptr &&
+         std::binary_search(link.dead->begin(), link.dead->end(), part_local);
+}
 
 /// Probes one shard tier for `staged.record(q)` and appends every
 /// VERIFIED match as a global-id QueryMatch. The index speaks local ids;
@@ -92,6 +126,64 @@ void ProbeShardTier(const Predicate& pred, const ServiceOptions& options,
       });
 }
 
+/// ProbeShardTier's counterpart for the segment chain: each probe token
+/// contributes one posting-list view per segment part, all merged as ONE
+/// id space by the ListMerger id-offset path, so candidates stream in
+/// increasing chain-wide id order exactly as if the chain were a single
+/// concatenated index. Masked-dead members (ShardChainLink::dead) are
+/// dropped alongside tombstoned ones before verification; bounds resolve
+/// through the candidate's owning segment record, so the probe is
+/// bound-for-bound identical to the unsegmented tier.
+void ProbeShardChain(const Predicate& pred, const ServiceOptions& options,
+                     const ShardedBaseTier& tier,
+                     const std::vector<RecordId>* tombstones,
+                     const RecordSet& staged, RecordId q, size_t shard,
+                     QueryContext* ctx, std::vector<QueryMatch>* out,
+                     std::unordered_set<RecordId>* matched_chain) {
+  const RecordView probe = staged.record(q);
+  if (tier.num_entities == 0 || probe.empty()) return;
+  ctx->parts.clear();
+  for (const ShardChainLink& link : tier.links) {
+    ctx->parts.push_back({&link.part->index, link.id_offset});
+  }
+  auto member_norm = [&](RecordId chain_id) {
+    const ChainPos pos = ResolveChain(tier, chain_id);
+    const ShardChainLink& link = tier.links[pos.link];
+    return link.segment->records
+        ->record(link.part->member_ids[pos.part_local])
+        .norm();
+  };
+  double floor = pred.ThresholdForNorms(probe.norm(), tier.min_norm);
+  auto required_fn = [&](RecordId m) {
+    return pred.ThresholdForNorms(probe.norm(), member_norm(m));
+  };
+  FunctionRef<double(RecordId)> required = required_fn;
+  auto filter_fn = [&](RecordId m) {
+    return pred.NormFilter(probe.norm(), member_norm(m));
+  };
+  FunctionRef<bool(RecordId)> filter;
+  if (options.apply_filter && pred.has_norm_filter()) filter = filter_fn;
+  probe_internal::ProbeChain(
+      ctx->parts, probe, floor, required, filter, options.merge, &ctx->merge,
+      &ctx->scratch, [&](const MergeCandidate& candidate) {
+        const ChainPos pos = ResolveChain(tier, candidate.id);
+        const ShardChainLink& link = tier.links[pos.link];
+        if (IsMaskedDead(link, pos.part_local)) return;
+        const RecordId gid = link.part->global_ids[pos.part_local];
+        if (tombstones != nullptr &&
+            probe_internal::IsTombstoned(*tombstones, gid)) {
+          return;
+        }
+        ++ctx->shard_candidates[shard];
+        const RecordSet& backing = *link.segment->records;
+        const RecordId bid = link.part->member_ids[pos.part_local];
+        if (pred.MatchesCross(backing, bid, staged, q)) {
+          if (matched_chain != nullptr) matched_chain->insert(candidate.id);
+          out->push_back({gid, backing.record(bid).OverlapWith(probe)});
+        }
+      });
+}
+
 /// The short-record side pool, per shard tier: a short probe is checked
 /// against every short tier record the index probe did not already
 /// accept (such pairs can match with no shared token, e.g. tiny strings
@@ -122,11 +214,40 @@ void ProbeShardShortPool(const Predicate& pred, const RecordSet& backing,
   }
 }
 
+/// The chain's short pool: link by link in chain order, which is global
+/// id order — segments hold disjoint increasing gid ranges — so the
+/// sweep order matches the unsegmented pool's. `matched_chain` holds
+/// chain-wide ids from ProbeShardChain.
+void ProbeChainShortPool(const Predicate& pred, const ShardedBaseTier& tier,
+                         const std::vector<RecordId>* tombstones,
+                         const RecordSet& staged, RecordId q, size_t shard,
+                         QueryContext* ctx, std::vector<QueryMatch>* out,
+                         const std::unordered_set<RecordId>& matched_chain) {
+  const RecordView probe = staged.record(q);
+  for (const ShardChainLink& link : tier.links) {
+    for (RecordId part_local : link.part->short_ids) {
+      if (matched_chain.count(link.id_offset + part_local) > 0) continue;
+      if (IsMaskedDead(link, part_local)) continue;
+      const RecordId gid = link.part->global_ids[part_local];
+      if (tombstones != nullptr &&
+          probe_internal::IsTombstoned(*tombstones, gid)) {
+        continue;
+      }
+      ++ctx->shard_candidates[shard];
+      const RecordSet& backing = *link.segment->records;
+      const RecordId bid = link.part->member_ids[part_local];
+      if (pred.MatchesCross(backing, bid, staged, q)) {
+        out->push_back({gid, backing.record(bid).OverlapWith(probe)});
+      }
+    }
+  }
+}
+
 /// Full thresholded lookup of staged.record(q) against ONE shard of the
-/// snapshot: the shard's base tier, then its delta tier, then id-sorted.
-/// Each record lives in exactly one shard, so per-shard outputs are
-/// disjoint and the deterministic cross-shard merge reconstructs the
-/// single-index answer byte for byte.
+/// snapshot: the shard's chained base tier, then its delta tier, then
+/// id-sorted. Each record lives in exactly one shard, so per-shard
+/// outputs are disjoint and the deterministic cross-shard merge
+/// reconstructs the single-index answer byte for byte.
 std::vector<QueryMatch> LookupShard(const Predicate& pred,
                                     const ServiceOptions& options,
                                     const IndexSnapshot& snap, size_t shard,
@@ -137,7 +258,7 @@ std::vector<QueryMatch> LookupShard(const Predicate& pred,
   const RecordView probe = staged.record(q);
   double short_bound = pred.ShortRecordNormBound();
   bool probe_is_short = short_bound > 0 && probe.norm() < short_bound;
-  std::unordered_set<RecordId> matched;  // local ids; only when short
+  std::unordered_set<RecordId> matched;  // chain/local ids; only when short
   std::unordered_set<RecordId>* matched_ptr =
       probe_is_short ? &matched : nullptr;
 
@@ -148,14 +269,11 @@ std::vector<QueryMatch> LookupShard(const Predicate& pred,
   const DeltaShard& delta = *snap.delta[shard];
   const std::vector<RecordId>* tombstones =
       delta.tombstones.empty() ? nullptr : &delta.tombstones;
-  const RecordSet& corpus = *snap.base_records;
-  ProbeShardTier(pred, options, base.index, corpus, &base.member_ids,
-                 base.global_ids, tombstones, staged, q, shard, ctx, &out,
-                 matched_ptr);
+  ProbeShardChain(pred, options, base, tombstones, staged, q, shard, ctx,
+                  &out, matched_ptr);
   if (probe_is_short) {
-    ProbeShardShortPool(pred, corpus, &base.member_ids, base.global_ids,
-                        tombstones, base.short_ids, staged, q, shard, ctx,
-                        &out, matched);
+    ProbeChainShortPool(pred, base, tombstones, staged, q, shard, ctx, &out,
+                        matched);
     matched.clear();
   }
   ProbeShardTier(pred, options, delta.index, delta.records,
@@ -192,9 +310,10 @@ std::vector<QueryMatch> LookupAllShards(const Predicate& pred,
 
 /// Unthresholded overlap sweep of one shard for top-k: floor 0, no
 /// per-candidate bound, no filter — every shard record sharing a token
-/// surfaces with its canonical match amount. Tombstoned base members are
-/// dropped before ranking, so top-k backfills to k SURVIVORS (a deleted
-/// record never displaces a live one from the truncated list).
+/// surfaces with its canonical match amount. Masked-dead and tombstoned
+/// base members are dropped before ranking, so top-k backfills to k
+/// SURVIVORS (a deleted record never displaces a live one from the
+/// truncated list).
 void SweepShardOverlaps(const IndexSnapshot& snap, size_t shard,
                         RecordView probe, QueryContext* ctx,
                         std::vector<QueryMatch>* out) {
@@ -202,17 +321,24 @@ void SweepShardOverlaps(const IndexSnapshot& snap, size_t shard,
   if (probe.empty()) return;
   const ShardedBaseTier& base = *snap.base[shard];
   const DeltaShard& delta = *snap.delta[shard];
-  const RecordSet& corpus = *snap.base_records;
-  if (base.index.num_entities() > 0) {
-    probe_internal::ProbeOne(
-        base.index, probe, /*floor=*/0, /*required=*/{}, /*filter=*/{},
+  if (base.num_entities > 0) {
+    ctx->parts.clear();
+    for (const ShardChainLink& link : base.links) {
+      ctx->parts.push_back({&link.part->index, link.id_offset});
+    }
+    probe_internal::ProbeChain(
+        ctx->parts, probe, /*floor=*/0, /*required=*/{}, /*filter=*/{},
         MergeOptions{}, &ctx->merge, &ctx->scratch,
         [&](const MergeCandidate& candidate) {
-          const RecordId gid = base.global_ids[candidate.id];
+          const ChainPos pos = ResolveChain(base, candidate.id);
+          const ShardChainLink& link = base.links[pos.link];
+          if (IsMaskedDead(link, pos.part_local)) return;
+          const RecordId gid = link.part->global_ids[pos.part_local];
           if (probe_internal::IsTombstoned(delta.tombstones, gid)) return;
           ++ctx->shard_candidates[shard];
-          const RecordId bid = base.member_ids[candidate.id];
-          out->push_back({gid, corpus.record(bid).OverlapWith(probe)});
+          const RecordId bid = link.part->member_ids[pos.part_local];
+          out->push_back(
+              {gid, link.segment->records->record(bid).OverlapWith(probe)});
         });
   }
   if (delta.index.num_entities() > 0) {
@@ -242,12 +368,12 @@ SimilarityService::SimilarityService(RecordSet corpus, const Predicate& pred,
       pool_(std::make_unique<ThreadPool>(
           options.num_threads > 0 ? options.num_threads
                                   : ThreadPool::DefaultNumThreads())),
+      keep_raw_(!pred.corpus_independent_scores()),
       corpus_(std::move(corpus)) {
   std::lock_guard<std::mutex> lock(write_mutex_);
   shard_bounds_ = ComputeShardBounds(RoutingMassHistogram(corpus_), num_shards_);
+  next_id_ = corpus_.size();
   deleted_.assign(corpus_.size(), false);
-  base_members_.resize(num_shards_);
-  base_member_gids_.resize(num_shards_);
   memtables_.resize(num_shards_);
   memtable_ids_.resize(num_shards_);
   tombstones_.resize(num_shards_);
@@ -256,6 +382,12 @@ SimilarityService::SimilarityService(RecordSet corpus, const Predicate& pred,
     stats_.EnsureShards(num_shards_);
   }
   CompactLocked(/*count_compaction=*/false);
+  // The raw corpus is only ever the full-rebuild input. Predicates with
+  // corpus-independent scores full-rebuild exactly once — right above,
+  // folding the initial corpus into segment 0 — so their raw bytes are
+  // dead weight from here on and the prepared segments carry everything
+  // later compactions need.
+  if (!keep_raw_) corpus_ = RecordSet();
   if (!options_.data_dir.empty()) InitDurabilityLocked();
 }
 
@@ -269,46 +401,71 @@ SimilarityService::SimilarityService(ServiceCheckpoint checkpoint,
       pool_(std::make_unique<ThreadPool>(
           options_.num_threads > 0 ? options_.num_threads
                                    : ThreadPool::DefaultNumThreads())),
-      corpus_(std::move(checkpoint.corpus)) {
+      keep_raw_(!pred.corpus_independent_scores()),
+      corpus_(std::move(checkpoint.raw_corpus)) {
   std::lock_guard<std::mutex> lock(write_mutex_);
   shard_bounds_ = std::move(checkpoint.shard_bounds);
+  next_id_ = checkpoint.next_id;
+  next_segment_id_ = checkpoint.next_segment_id;
   deleted_ = std::move(checkpoint.deleted);
   for (size_t i = 0; i < deleted_.size(); ++i) {
     if (deleted_[i]) ++deleted_total_;
   }
-  base_members_.resize(num_shards_);
-  base_member_gids_.resize(num_shards_);
   memtables_.resize(num_shards_);
   memtable_ids_.resize(num_shards_);
   tombstones_ = std::move(checkpoint.tombstones);
   for (const std::vector<RecordId>& ts : tombstones_) {
     tombstone_total_ += ts.size();
   }
+
+  // Rebuild the chain exactly as checkpointed: segments shared straight
+  // off disk (and already durable — seed the persisted set so the next
+  // checkpoint writes only genuinely new ones), dead masks rewrapped
+  // copy-on-write with empty lists collapsing to "none".
+  chain_.reserve(checkpoint.segments.size());
+  for (ServiceCheckpoint::Segment& seg : checkpoint.segments) {
+    SegmentChainEntry entry;
+    entry.segment = std::move(seg.segment);
+    entry.dead.resize(num_shards_);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      if (!seg.dead[s].empty()) {
+        entry.dead[s] = std::make_shared<std::vector<RecordId>>(
+            std::move(seg.dead[s]));
+      }
+    }
+    entry.live = static_cast<size_t>(seg.live);
+    persisted_segments_.insert(entry.segment->id);
+    chain_.push_back(std::move(entry));
+  }
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     stats_.EnsureShards(num_shards_);
+    stats_.segments = chain_.size();
+    uint64_t bytes = 0;
+    for (const SegmentChainEntry& e : chain_) bytes += e.segment->approx_bytes;
+    stats_.segment_bytes = bytes;
   }
 
-  // Re-publish the checkpointed snapshot at its recorded epoch: base
-  // tiers come straight off disk, deltas start empty (checkpoints are
-  // written at compaction points) apart from any carried tombstones.
+  // Re-publish the checkpointed snapshot at its recorded epoch: chain
+  // views come straight off the restored chain, deltas start empty
+  // (checkpoints are written at compaction points) apart from any
+  // carried tombstones.
   const double short_bound = pred_.ShortRecordNormBound();
-  auto base_records =
-      std::make_shared<RecordSet>(std::move(checkpoint.base_records));
   std::vector<std::shared_ptr<const ShardedBaseTier>> base(num_shards_);
   std::vector<std::shared_ptr<const DeltaShard>> delta(num_shards_);
   for (size_t s = 0; s < num_shards_; ++s) {
-    base_members_[s] = checkpoint.shards[s]->member_ids;
-    base_member_gids_[s] = checkpoint.shards[s]->global_ids;
-    base[s] = std::move(checkpoint.shards[s]);
+    base[s] = BuildShardChainView(chain_, s);
     delta[s] = BuildDeltaShard(RecordSet(), {}, short_bound, tombstones_[s]);
   }
   auto snap = std::make_shared<IndexSnapshot>();
-  snap->base_records = std::move(base_records);
+  snap->segments.reserve(chain_.size());
+  for (const SegmentChainEntry& entry : chain_) {
+    snap->segments.push_back(entry.segment);
+  }
   snap->base = std::move(base);
   snap->delta = std::move(delta);
   snap->epoch = checkpoint.epoch;
-  snap->live_records = corpus_.size() - deleted_total_;
+  snap->live_records = static_cast<size_t>(next_id_) - deleted_total_;
   snap->pending_tombstones = tombstone_total_;
   {
     std::lock_guard<std::mutex> snapshot_lock(snapshot_mutex_);
@@ -392,16 +549,28 @@ Status SimilarityService::SaveCheckpointLocked() {
   state.wal_seq = wal_next_seq_ - 1;
   state.predicate = pred_.name();
   state.shard_bounds = shard_bounds_;
-  state.corpus = &corpus_;
+  state.next_id = next_id_;
+  state.next_segment_id = next_segment_id_;
   state.deleted = &deleted_;
-  state.base_records = snap->base_records.get();
-  state.shards.reserve(num_shards_);
+  state.raw_corpus = keep_raw_ ? &corpus_ : nullptr;
+  state.segments.reserve(chain_.size());
+  for (const SegmentChainEntry& entry : chain_) {
+    CheckpointState::SegmentRef ref;
+    ref.segment = entry.segment.get();
+    ref.dead.reserve(num_shards_);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      ref.dead.push_back(entry.dead[s] != nullptr ? entry.dead[s].get()
+                                                  : nullptr);
+    }
+    ref.live = entry.live;
+    state.segments.push_back(std::move(ref));
+  }
   state.tombstones.reserve(num_shards_);
   for (size_t s = 0; s < num_shards_; ++s) {
-    state.shards.push_back(snap->base[s].get());
     state.tombstones.push_back(&tombstones_[s]);
   }
-  return ssjoin::SaveCheckpoint(options_.data_dir, state);
+  return ssjoin::SaveCheckpoint(options_.data_dir, state,
+                                &persisted_segments_);
 }
 
 void SimilarityService::MaybeCheckpointLocked() {
@@ -441,112 +610,208 @@ bool SimilarityService::CompactLocked(bool count_compaction) {
     if (count_compaction) ++stats_.compactions;
     return false;
   }
-  // Corpus-statistics predicates (TF-IDF cosine) must re-Prepare — every
-  // record's scores change when the statistics do — which dirties every
-  // shard. The re-Prepare runs over a DENSE arena of the surviving
-  // records only, so IDF excludes deleted records and post-compaction
-  // answers coincide with a fresh batch self-join over the survivors
-  // (arena positions diverge from global ids once anything was deleted).
-  // Corpus-independent predicates grow the prepared arena by appending
-  // the (already exactly prepared) memtable records — tombstoned ones
-  // included, as dead entries, so positions keep equaling global ids and
-  // clean shards' member lists stay valid — and rebuild only dirty
-  // shards, dropping tombstoned members from their subsets.
   const bool full_rebuild =
       prev == nullptr || !pred_.corpus_independent_scores();
   const double short_bound = pred_.ShortRecordNormBound();
+  const uint64_t delta_records =
+      static_cast<uint64_t>(memtable_total_ + tombstone_total_);
 
-  std::shared_ptr<RecordSet> prepared;
   std::vector<bool> dirty(num_shards_, false);
-  if (full_rebuild) {
-    prepared = std::make_shared<RecordSet>();
-    std::vector<RecordId> pos_gids;  // arena position -> global id
-    pos_gids.reserve(corpus_.size() - deleted_total_);
-    for (RecordId id = 0; id < corpus_.size(); ++id) {
-      if (!deleted_[id]) {
-        prepared->Add(corpus_.record(id), corpus_.text(id));
-        pos_gids.push_back(id);
+  uint64_t merged_count = 0;
+
+  // Replaces the `count` newest chain entries with ONE freshly built
+  // segment over their surviving records, in chain (= global id) order.
+  // Dead masks fold away physically; the merged segment starts clean.
+  // Retired segments become garbage as readers drain their snapshots,
+  // and the next checkpoint unlinks their files.
+  auto merge_trailing = [&](size_t count) {
+    RecordSet merged;
+    std::vector<RecordId> gids;
+    for (size_t i = chain_.size() - count; i < chain_.size(); ++i) {
+      const SegmentChainEntry& entry = chain_[i];
+      const CorpusSegment& seg = *entry.segment;
+      std::vector<bool> dead_local(seg.records->size(), false);
+      for (size_t s = 0; s < num_shards_; ++s) {
+        if (entry.dead[s] == nullptr) continue;
+        for (RecordId part_local : *entry.dead[s]) {
+          dead_local[seg.shards[s].member_ids[part_local]] = true;
+        }
+      }
+      for (RecordId local = 0; local < seg.records->size(); ++local) {
+        if (dead_local[local]) continue;
+        merged.Add(seg.records->record(local), seg.records->text(local));
+        gids.push_back(seg.global_ids[local]);
       }
     }
-    pred_.Prepare(prepared.get());
-    for (size_t s = 0; s < num_shards_; ++s) {
-      base_members_[s].clear();
-      base_member_gids_[s].clear();
+    SegmentChainEntry entry;
+    entry.segment =
+        BuildCorpusSegment(next_segment_id_++, std::move(merged),
+                           std::move(gids), shard_bounds_, num_shards_,
+                           short_bound);
+    entry.dead.assign(num_shards_, nullptr);
+    entry.live = entry.segment->records->size();
+    if (count > 1) merged_count += count;
+    chain_.resize(chain_.size() - count);
+    chain_.push_back(std::move(entry));
+  };
+
+  if (full_rebuild) {
+    // Corpus-statistics predicates (TF-IDF cosine) must re-Prepare from
+    // the RAW corpus — every record's scores change when the statistics
+    // do — over a dense arena of the survivors only, so IDF excludes
+    // deleted records and post-compaction answers coincide with a fresh
+    // batch self-join over the survivors. The result is a chain of
+    // exactly ONE segment: the documented full-rebuild exception.
+    // (Construction takes this path for every predicate, folding the
+    // initial corpus into segment 0.)
+    RecordSet prepared;
+    std::vector<RecordId> gids;
+    gids.reserve(static_cast<size_t>(next_id_) - deleted_total_);
+    for (RecordId id = 0; id < static_cast<RecordId>(next_id_); ++id) {
+      if (!deleted_[id]) {
+        prepared.Add(corpus_.record(id), corpus_.text(id));
+        gids.push_back(id);
+      }
     }
-    for (RecordId pos = 0; pos < prepared->size(); ++pos) {
-      const size_t s = RouteToShard(prepared->record(pos), shard_bounds_);
-      base_members_[s].push_back(pos);
-      base_member_gids_[s].push_back(pos_gids[pos]);
-    }
+    pred_.Prepare(&prepared);
+    chain_.clear();
+    SegmentChainEntry entry;
+    entry.segment =
+        BuildCorpusSegment(next_segment_id_++, std::move(prepared),
+                           std::move(gids), shard_bounds_, num_shards_,
+                           short_bound);
+    entry.dead.assign(num_shards_, nullptr);
+    entry.live = entry.segment->records->size();
+    chain_.push_back(std::move(entry));
     dirty.assign(num_shards_, true);
   } else {
-    prepared = std::make_shared<RecordSet>(*prev->base_records);
-    // Append memtable records in global id order so prepared->record(id)
-    // keeps meaning corpus record id, across every shard's memtable.
+    // The O(delta) incremental path: old segments are never rewritten.
+    for (size_t s = 0; s < num_shards_; ++s) {
+      if (!memtable_ids_[s].empty() || !tombstones_[s].empty()) {
+        dirty[s] = true;
+      }
+    }
+    // (a) Fold tombstones into per-segment copy-on-write dead masks.
+    // A tombstoned gid is either chain-resident — locate its segment by
+    // gid range (ranges are disjoint), its arena slot by gid, its part
+    // slot by shard membership — or still memtable-resident, in which
+    // case the survivor fold below simply drops it.
+    std::vector<std::vector<std::vector<RecordId>>> fold(
+        chain_.size(), std::vector<std::vector<RecordId>>(num_shards_));
+    for (size_t s = 0; s < num_shards_; ++s) {
+      for (RecordId gid : tombstones_[s]) {
+        size_t ci = chain_.size();
+        for (size_t i = 0; i < chain_.size(); ++i) {
+          const std::vector<RecordId>& sgids = chain_[i].segment->global_ids;
+          if (!sgids.empty() && sgids.front() <= gid && gid <= sgids.back()) {
+            ci = i;
+            break;
+          }
+        }
+        if (ci == chain_.size()) continue;  // memtable-resident
+        const CorpusSegment& seg = *chain_[ci].segment;
+        auto git = std::lower_bound(seg.global_ids.begin(),
+                                    seg.global_ids.end(), gid);
+        SSJOIN_CHECK(git != seg.global_ids.end() && *git == gid);
+        const RecordId local =
+            static_cast<RecordId>(git - seg.global_ids.begin());
+        const SegmentShardPart& part = seg.shards[s];
+        auto mit = std::lower_bound(part.member_ids.begin(),
+                                    part.member_ids.end(), local);
+        SSJOIN_CHECK(mit != part.member_ids.end() && *mit == local);
+        fold[ci][s].push_back(
+            static_cast<RecordId>(mit - part.member_ids.begin()));
+      }
+    }
+    for (size_t i = 0; i < chain_.size(); ++i) {
+      for (size_t s = 0; s < num_shards_; ++s) {
+        std::vector<RecordId>& add = fold[i][s];
+        if (add.empty()) continue;
+        // tombstones_[s] is gid-sorted and gid order within one segment
+        // implies part-local order, so `add` is already sorted.
+        auto mask = std::make_shared<std::vector<RecordId>>();
+        if (chain_[i].dead[s] != nullptr) {
+          const std::vector<RecordId>& old = *chain_[i].dead[s];
+          mask->resize(old.size() + add.size());
+          std::merge(old.begin(), old.end(), add.begin(), add.end(),
+                     mask->begin());
+        } else {
+          *mask = add;
+        }
+        chain_[i].dead[s] = std::move(mask);
+        chain_[i].live -= add.size();
+      }
+    }
+
+    // (b) Fold the memtable survivors — across all shards, in global id
+    // order, preserving the chain's disjoint increasing gid ranges —
+    // into ONE new delta-sized segment.
     struct Pending {
       RecordId id;
       size_t shard;
       size_t local;
     };
     std::vector<Pending> pending;
+    pending.reserve(memtable_total_);
     for (size_t s = 0; s < num_shards_; ++s) {
       for (size_t j = 0; j < memtable_ids_[s].size(); ++j) {
-        pending.push_back({memtable_ids_[s][j], s, j});
+        if (!deleted_[memtable_ids_[s][j]]) {
+          pending.push_back({memtable_ids_[s][j], s, j});
+        }
       }
     }
     std::sort(pending.begin(), pending.end(),
               [](const Pending& a, const Pending& b) { return a.id < b.id; });
-    for (const Pending& p : pending) {
-      prepared->Add(memtables_[p.shard].record(
-                        static_cast<RecordId>(p.local)),
-                    memtables_[p.shard].text(static_cast<RecordId>(p.local)));
+    if (!pending.empty()) {
+      RecordSet folded;
+      std::vector<RecordId> gids;
+      gids.reserve(pending.size());
+      for (const Pending& p : pending) {
+        folded.Add(memtables_[p.shard].record(static_cast<RecordId>(p.local)),
+                   memtables_[p.shard].text(static_cast<RecordId>(p.local)));
+        gids.push_back(p.id);
+      }
+      SegmentChainEntry entry;
+      entry.segment =
+          BuildCorpusSegment(next_segment_id_++, std::move(folded),
+                             std::move(gids), shard_bounds_, num_shards_,
+                             short_bound);
+      entry.dead.assign(num_shards_, nullptr);
+      entry.live = entry.segment->records->size();
+      chain_.push_back(std::move(entry));
     }
-    for (size_t s = 0; s < num_shards_; ++s) {
-      if (memtable_ids_[s].empty() && tombstones_[s].empty()) continue;
-      dirty[s] = true;
-      std::vector<RecordId>& members = base_members_[s];
-      members.insert(members.end(), memtable_ids_[s].begin(),
-                     memtable_ids_[s].end());
-      // Physically drop tombstoned members: they leave the shard's member
-      // subset (and hence its planned postings), while their arena slots
-      // stay in place so other shards' positions never shift. Every shard
-      // holding a deleted member owns its tombstone, so filtering dirty
-      // shards only is complete.
-      members.erase(std::remove_if(members.begin(), members.end(),
-                                   [this](RecordId gid) {
-                                     return deleted_[gid];
-                                   }),
-                    members.end());
-      base_member_gids_[s] = members;  // positions == global ids here
+
+    // (c) Size-tiered merge cascade: merge the two newest segments while
+    // the older one is no bigger than ratio times the newer, so chains
+    // stay logarithmic in corpus size and merge cost amortizes to
+    // O(corpus / ratio^depth). Ratio 0 collapses the whole chain to one
+    // segment — and purges masked-dead bytes — every compaction: the
+    // pre-segmented baseline.
+    if (options_.segment_merge_ratio == 0) {
+      bool masked = false;
+      for (const SegmentChainEntry& e : chain_) {
+        for (const std::shared_ptr<const std::vector<RecordId>>& d : e.dead) {
+          masked = masked || d != nullptr;
+        }
+      }
+      if (chain_.size() > 1 || masked) merge_trailing(chain_.size());
+    } else {
+      while (chain_.size() >= 2 &&
+             chain_[chain_.size() - 2].live <=
+                 options_.segment_merge_ratio * chain_.back().live) {
+        merge_trailing(2);
+      }
     }
   }
 
+  // Rebuild every shard's chain view (cheap — one link per segment) and
+  // fresh empty deltas, then publish the lot as one snapshot. Merges
+  // above do NOT publish intermediates, so a compaction bumps the epoch
+  // exactly once regardless of how far the cascade ran.
   std::vector<std::shared_ptr<const ShardedBaseTier>> base(num_shards_);
   std::vector<std::shared_ptr<const DeltaShard>> delta(num_shards_);
-  std::vector<size_t> rebuilt;
   for (size_t s = 0; s < num_shards_; ++s) {
-    if (dirty[s]) {
-      rebuilt.push_back(s);
-    } else {
-      base[s] = prev->base[s];
-    }
-  }
-  auto build_one = [&](size_t s) {
-    base[s] = BuildShardBase(*prepared, base_members_[s],
-                             base_member_gids_[s], short_bound);
-  };
-  if (rebuilt.size() > 1 && pool_->num_threads() > 1) {
-    std::lock_guard<std::mutex> pool_lock(pool_mutex_);
-    pool_->ParallelFor(rebuilt.size(), /*chunk=*/1,
-                       [&](size_t begin, size_t end, int /*worker*/) {
-                         for (size_t i = begin; i < end; ++i) {
-                           build_one(rebuilt[i]);
-                         }
-                       });
-  } else {
-    for (size_t s : rebuilt) build_one(s);
-  }
-  for (size_t s = 0; s < num_shards_; ++s) {
+    base[s] = BuildShardChainView(chain_, s);
     memtables_[s] = RecordSet();
     memtable_ids_[s].clear();
     tombstones_[s].clear();
@@ -554,11 +819,19 @@ bool SimilarityService::CompactLocked(bool count_compaction) {
   }
   memtable_total_ = 0;
   tombstone_total_ = 0;
-  Publish(std::move(prepared), std::move(base), std::move(delta));
+  Publish(std::move(base), std::move(delta));
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     if (count_compaction) ++stats_.compactions;
-    for (size_t s : rebuilt) ++stats_.shards[s].rebuilds;
+    for (size_t s = 0; s < num_shards_; ++s) {
+      if (dirty[s]) ++stats_.shards[s].rebuilds;
+    }
+    stats_.segments = chain_.size();
+    uint64_t bytes = 0;
+    for (const SegmentChainEntry& e : chain_) bytes += e.segment->approx_bytes;
+    stats_.segment_bytes = bytes;
+    stats_.segments_merged += merged_count;
+    stats_.last_compact_delta_records = delta_records;
   }
   // The new snapshot is a compaction point — memtables and tombstones
   // are empty — which is the only state a checkpoint is taken in: WAL
@@ -571,14 +844,16 @@ bool SimilarityService::CompactLocked(bool count_compaction) {
 }
 
 void SimilarityService::Publish(
-    std::shared_ptr<const RecordSet> base_records,
     std::vector<std::shared_ptr<const ShardedBaseTier>> base,
     std::vector<std::shared_ptr<const DeltaShard>> delta) {
   auto snap = std::make_shared<IndexSnapshot>();
-  snap->base_records = std::move(base_records);
+  snap->segments.reserve(chain_.size());
+  for (const SegmentChainEntry& entry : chain_) {
+    snap->segments.push_back(entry.segment);
+  }
   snap->base = std::move(base);
   snap->delta = std::move(delta);
-  snap->live_records = corpus_.size() - deleted_total_;
+  snap->live_records = static_cast<size_t>(next_id_) - deleted_total_;
   snap->pending_tombstones = tombstone_total_;
   std::lock_guard<std::mutex> lock(snapshot_mutex_);
   snap->epoch = snapshot_ == nullptr ? 0 : snapshot_->epoch + 1;
@@ -612,10 +887,10 @@ RecordId SimilarityService::Insert(RecordView record, std::string text) {
 }
 
 RecordId SimilarityService::InsertLocked(RecordView record, std::string text) {
-  // WAL-first, and before `text` is moved into the corpus: the logged
-  // payload is the exact call input, so replay re-runs this function.
-  // After an append failure the log is suspended (a torn frame must not
-  // get good frames appended behind it) until a checkpoint repairs it.
+  // WAL-first, and before `text` is moved anywhere: the logged payload is
+  // the exact call input, so replay re-runs this function. After an
+  // append failure the log is suspended (a torn frame must not get good
+  // frames appended behind it) until a checkpoint repairs it.
   if (wal_ != nullptr && !replaying_ && !wal_failed_) {
     Status status = wal_->AppendInsert(wal_next_seq_, record, text);
     if (status.ok()) {
@@ -628,12 +903,13 @@ RecordId SimilarityService::InsertLocked(RecordView record, std::string text) {
 
   // Score the newcomer against the published base statistics, then grow
   // ONLY the routed shard's memtable and republish that one delta image.
-  // Base shards and the other shards' deltas are shared, not copied.
+  // The segment chain and the other shards' deltas are shared, not
+  // copied.
   RecordSet staging;
   staging.Add(record, text);
-  pred_.PrepareIncremental(*snap->base_records, &staging);
-  const RecordId id = static_cast<RecordId>(corpus_.size());
-  corpus_.Add(record, std::move(text));
+  pred_.PrepareIncremental(snap->stats_reference(), &staging);
+  const RecordId id = static_cast<RecordId>(next_id_++);
+  if (keep_raw_) corpus_.Add(record, std::move(text));
   deleted_.push_back(false);
   const size_t shard = RouteToShard(staging.record(0), shard_bounds_);
   memtables_[shard].Add(staging.record(0), staging.text(0));
@@ -645,7 +921,7 @@ RecordId SimilarityService::InsertLocked(RecordView record, std::string text) {
   delta[shard] = BuildDeltaShard(memtables_[shard], memtable_ids_[shard],
                                  pred_.ShortRecordNormBound(),
                                  tombstones_[shard]);
-  Publish(snap->base_records, snap->base, std::move(delta));
+  Publish(snap->base, std::move(delta));
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.inserts;
@@ -664,7 +940,7 @@ bool SimilarityService::Delete(RecordId id) {
 }
 
 bool SimilarityService::DeleteLocked(RecordId id) {
-  if (id >= corpus_.size() || deleted_[id]) {
+  if (static_cast<uint64_t>(id) >= next_id_ || deleted_[id]) {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.delete_misses;
     return false;
@@ -681,21 +957,18 @@ bool SimilarityService::DeleteLocked(RecordId id) {
   }
   deleted_[id] = true;
   ++deleted_total_;
-  // Route by the RAW record: preparation assigns scores but never adds,
-  // drops or reorders tokens, so the largest token — and hence the owning
-  // shard — is the same one Insert/compaction routed the record by.
-  // Empty records route to shard 0, same as Insert.
-  const size_t shard = RouteToShard(corpus_.record(id), shard_bounds_);
+  const size_t shard = RouteOfRecordLocked(id);
   std::vector<RecordId>& ts = tombstones_[shard];
   ts.insert(std::upper_bound(ts.begin(), ts.end(), id), id);
   ++tombstone_total_;
   std::shared_ptr<const IndexSnapshot> snap = snapshot();
   // Republish only the owning shard's delta image with the grown
-  // tombstone list; base shards and other deltas are shared untouched.
+  // tombstone list; the segment chain and other deltas are shared
+  // untouched.
   std::vector<std::shared_ptr<const DeltaShard>> delta = snap->delta;
   delta[shard] = BuildDeltaShard(memtables_[shard], memtable_ids_[shard],
                                  pred_.ShortRecordNormBound(), ts);
-  Publish(snap->base_records, snap->base, std::move(delta));
+  Publish(snap->base, std::move(delta));
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.deletes;
@@ -706,6 +979,33 @@ bool SimilarityService::DeleteLocked(RecordId id) {
     CompactLocked(/*count_compaction=*/true);
   }
   return true;
+}
+
+size_t SimilarityService::RouteOfRecordLocked(RecordId id) const {
+  // Preparation assigns scores but never adds, drops or reorders tokens,
+  // so the largest token — and hence the owning shard — of a record's
+  // prepared image equals the raw record's, and routing may use
+  // whichever image is at hand. Empty records route to shard 0 on every
+  // path, same as Insert.
+  if (keep_raw_) return RouteToShard(corpus_.record(id), shard_bounds_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    const std::vector<RecordId>& ids = memtable_ids_[s];
+    if (std::binary_search(ids.begin(), ids.end(), id)) return s;
+  }
+  for (const SegmentChainEntry& entry : chain_) {
+    const std::vector<RecordId>& gids = entry.segment->global_ids;
+    if (gids.empty() || gids.front() > id || gids.back() < id) continue;
+    auto it = std::lower_bound(gids.begin(), gids.end(), id);
+    if (it != gids.end() && *it == id) {
+      const RecordId local = static_cast<RecordId>(it - gids.begin());
+      return RouteToShard(entry.segment->records->record(local),
+                          shard_bounds_);
+    }
+  }
+  // Unreachable for live ids: every live record is memtable- or
+  // chain-resident.
+  SSJOIN_DCHECK(false);
+  return 0;
 }
 
 void SimilarityService::Compact() {
@@ -734,7 +1034,7 @@ std::vector<QueryMatch> SimilarityService::Query(RecordView query,
   std::shared_ptr<const IndexSnapshot> snap = snapshot();
   RecordSet staged;
   staged.Add(query, std::move(text));
-  pred_.PrepareIncremental(*snap->base_records, &staged);
+  pred_.PrepareIncremental(snap->stats_reference(), &staged);
 
   // One context and one result slot per shard: scheduling cannot change
   // the output or the stats attribution.
@@ -770,7 +1070,7 @@ std::vector<std::vector<QueryMatch>> SimilarityService::BatchQuery(
   Timer timer;
   std::shared_ptr<const IndexSnapshot> snap = snapshot();
   RecordSet staged = queries;
-  pred_.PrepareIncremental(*snap->base_records, &staged);
+  pred_.PrepareIncremental(snap->stats_reference(), &staged);
 
   // Slot vector indexed by query id: scheduling order cannot change the
   // output, and per-worker contexts keep the hot path allocation-free.
@@ -817,7 +1117,7 @@ std::vector<QueryMatch> SimilarityService::QueryTopK(RecordView query,
   std::shared_ptr<const IndexSnapshot> snap = snapshot();
   RecordSet staged;
   staged.Add(query, std::move(text));
-  pred_.PrepareIncremental(*snap->base_records, &staged);
+  pred_.PrepareIncremental(snap->stats_reference(), &staged);
   const RecordView probe = staged.record(0);
 
   std::vector<QueryContext> contexts(num_shards_);

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,17 @@ struct ServiceOptions {
   /// Query/BatchQuery/QueryTopK answers are byte-identical for every
   /// value — sharding is purely a throughput/compaction-cost knob.
   size_t num_shards = 1;
+  /// Size-tiered merge trigger for the segment chain. After a compaction
+  /// appends the folded memtable as a new segment, the two newest
+  /// segments merge while the older one's live count is at most
+  /// `segment_merge_ratio` times the newer one's, cascading — chains stay
+  /// logarithmic in corpus size while steady-state compaction stays
+  /// O(delta). 0 collapses the whole chain into ONE segment at every
+  /// compaction (the pre-segmented behavior: compaction rewrites the
+  /// corpus, cost linear in its size; kept as the differential baseline).
+  /// Query/BatchQuery/QueryTopK answers are byte-identical for every
+  /// value — like num_shards, this is purely a cost knob.
+  size_t segment_merge_ratio = 2;
   /// When non-empty, the service is durable: a checkpoint of the base
   /// tier plus a write-ahead log of every Insert/Delete live under this
   /// directory (created if missing). The CONSTRUCTOR starts fresh — it
@@ -66,14 +78,18 @@ struct ServiceOptions {
 /// answers "which records match this one?" without re-running a batch
 /// join. See DESIGN.md "Serving layer" and "Sharded serving".
 ///
-/// Internally LSM-style and sharded by token range: the base tier is a
-/// vector of ShardedBaseTier, each owning the CSR index slice for the
-/// records whose routing token falls in its range, all referencing one
-/// shared prepared corpus. Each shard has its own memtable image and
-/// tombstone set, so Insert/Delete touch one shard and Compact() rebuilds
-/// only dirty shards — non-empty memtable or tombstones
-/// (corpus-statistics predicates force a full rebuild — their scores
-/// change globally, and the re-Prepare runs over survivors only).
+/// Internally LSM-style, sharded by token range and SEGMENT-CHAINED: the
+/// compacted tier is a chain of immutable CorpusSegments, each owning its
+/// prepared CSR arena and one extent-carved index per token-range shard.
+/// Compact() folds the memtable into ONE new delta-sized segment and
+/// republishes with every prior segment structurally shared — O(delta),
+/// not O(corpus) — while tombstones fold into per-segment dead masks and
+/// a size-tiered trigger (ServiceOptions::segment_merge_ratio) merges
+/// small segments so chains stay short. Each shard has its own memtable
+/// image and tombstone set, so Insert/Delete touch one shard.
+/// Corpus-statistics predicates force a full rebuild into a single fresh
+/// segment — their scores change globally, and the re-Prepare runs over
+/// survivors only.
 ///
 /// Concurrency model (lock order: write -> batch -> snapshot; stats is a
 /// leaf):
@@ -219,11 +235,16 @@ class SimilarityService {
   /// clears a latched durability error, failure latches one.
   void MaybeCheckpointLocked();
   void SetDurabilityErrorLocked(Status status);
-  /// Swaps in a new snapshot. Must be called with write_mutex_ held: the
-  /// published live/tombstone counts are read from writer state.
-  void Publish(std::shared_ptr<const RecordSet> base_records,
-               std::vector<std::shared_ptr<const ShardedBaseTier>> base,
+  /// Swaps in a new snapshot built from the current chain_ plus the given
+  /// tier views. Must be called with write_mutex_ held: the published
+  /// segment list and live/tombstone counts are read from writer state.
+  void Publish(std::vector<std::shared_ptr<const ShardedBaseTier>> base,
                std::vector<std::shared_ptr<const DeltaShard>> delta);
+  /// Token-range shard of live record `id`: from the raw corpus when the
+  /// predicate keeps one, otherwise from the record's prepared image in
+  /// the memtable or segment chain (preparation never changes token sets,
+  /// so prepared routing equals raw routing).
+  size_t RouteOfRecordLocked(RecordId id) const;
   /// Runs fn(shard) for every shard — on the worker pool when it is free
   /// and the fan-out is worth it, serially otherwise. Output written to
   /// per-shard slots is deterministic either way.
@@ -234,19 +255,24 @@ class SimilarityService {
   const size_t num_shards_;
   std::unique_ptr<ThreadPool> pool_;
 
-  // Writer-owned authoritative state, guarded by write_mutex_: the full
-  // raw corpus (every record ever inserted — deleted ones stay as dead
-  // entries so ids stay stable; survivor-only views are carved at
-  // compaction), the fixed token-range bounds, per-shard base membership
-  // (backing positions + parallel global ids), per-shard memtables and
-  // per-shard pending tombstones.
+  // Writer-owned authoritative state, guarded by write_mutex_: the id
+  // counter, the deleted bitmap (sticky — ids are never reused), the
+  // fixed token-range bounds, the segment chain with its per-shard dead
+  // masks, per-shard memtables and per-shard pending tombstones. The raw
+  // corpus is retained ONLY for corpus-statistics predicates (keep_raw_),
+  // whose full rebuild re-Prepares from raw text frequencies; every other
+  // predicate drops it after the construction-time fold — the prepared
+  // segments carry everything later compactions need.
   std::mutex write_mutex_;
-  RecordSet corpus_;
+  const bool keep_raw_;
+  RecordSet corpus_;           // raw; empty unless keep_raw_
   std::vector<bool> deleted_;  // per corpus id, sticky once set
   size_t deleted_total_ = 0;
+  uint64_t next_id_ = 0;  // ids ever assigned; live = next_id_ - deleted
   std::vector<TokenId> shard_bounds_;
-  std::vector<std::vector<RecordId>> base_members_;      // backing positions
-  std::vector<std::vector<RecordId>> base_member_gids_;  // global ids
+  uint64_t next_segment_id_ = 0;
+  SegmentChain chain_;  // oldest first; never empty after construction
+  std::set<uint64_t> persisted_segments_;  // segment files on disk
   std::vector<RecordSet> memtables_;
   std::vector<std::vector<RecordId>> memtable_ids_;
   size_t memtable_total_ = 0;

@@ -1,6 +1,7 @@
 #include "serve/snapshot.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "core/predicate.h"
@@ -52,25 +53,72 @@ size_t RouteToShard(RecordView record, const std::vector<TokenId>& bounds) {
       std::upper_bound(bounds.begin(), bounds.end(), key) - bounds.begin());
 }
 
-std::shared_ptr<const ShardedBaseTier> BuildShardBase(
-    const RecordSet& corpus, std::vector<RecordId> member_ids,
-    std::vector<RecordId> global_ids, double short_norm_bound) {
-  auto shard = std::make_shared<ShardedBaseTier>();
-  shard->member_ids = std::move(member_ids);
-  shard->global_ids = std::move(global_ids);
-  shard->index.PlanFromRecordsSubset(corpus, shard->member_ids);
-  for (size_t local = 0; local < shard->member_ids.size(); ++local) {
-    shard->index.Insert(static_cast<RecordId>(local),
-                        corpus.record(shard->member_ids[local]));
+std::shared_ptr<const CorpusSegment> BuildCorpusSegment(
+    uint64_t id, RecordSet records, std::vector<RecordId> global_ids,
+    const std::vector<TokenId>& shard_bounds, size_t num_shards,
+    double short_norm_bound) {
+  auto segment = std::make_shared<CorpusSegment>();
+  segment->id = id;
+  auto owned = std::make_shared<RecordSet>(std::move(records));
+  const RecordSet& arena = *owned;
+  segment->records = owned;
+  segment->global_ids = std::move(global_ids);
+  segment->shards.resize(num_shards);
+  for (RecordId local = 0; local < arena.size(); ++local) {
+    SegmentShardPart& part =
+        segment->shards[RouteToShard(arena.record(local), shard_bounds)];
+    part.member_ids.push_back(local);
+    part.global_ids.push_back(segment->global_ids[local]);
   }
-  if (short_norm_bound > 0) {
-    for (size_t local = 0; local < shard->member_ids.size(); ++local) {
-      if (corpus.record(shard->member_ids[local]).norm() < short_norm_bound) {
-        shard->short_ids.push_back(static_cast<RecordId>(local));
+  for (SegmentShardPart& part : segment->shards) {
+    part.index.PlanFromRecordsSubset(arena, part.member_ids);
+    for (size_t local = 0; local < part.member_ids.size(); ++local) {
+      part.index.Insert(static_cast<RecordId>(local),
+                        arena.record(part.member_ids[local]));
+    }
+    if (short_norm_bound > 0) {
+      for (size_t local = 0; local < part.member_ids.size(); ++local) {
+        if (arena.record(part.member_ids[local]).norm() < short_norm_bound) {
+          part.short_ids.push_back(static_cast<RecordId>(local));
+        }
       }
     }
   }
-  return shard;
+  segment->approx_bytes = ComputeSegmentApproxBytes(*segment);
+  return segment;
+}
+
+uint64_t ComputeSegmentApproxBytes(const CorpusSegment& segment) {
+  uint64_t bytes = segment.records->ApproxMemoryBytes();
+  bytes += segment.global_ids.size() * sizeof(RecordId);
+  for (const SegmentShardPart& part : segment.shards) {
+    bytes += (part.member_ids.size() + part.global_ids.size() +
+              part.short_ids.size()) *
+             sizeof(RecordId);
+    bytes += part.index.total_postings() * sizeof(Posting);
+  }
+  return bytes;
+}
+
+std::shared_ptr<const ShardedBaseTier> BuildShardChainView(
+    const SegmentChain& chain, size_t shard) {
+  auto tier = std::make_shared<ShardedBaseTier>();
+  tier->min_norm = std::numeric_limits<double>::infinity();
+  tier->links.reserve(chain.size());
+  RecordId offset = 0;
+  for (const SegmentChainEntry& entry : chain) {
+    const SegmentShardPart& part = entry.segment->shards[shard];
+    ShardChainLink link;
+    link.segment = entry.segment;
+    link.part = &part;
+    link.id_offset = offset;
+    link.dead = entry.dead[shard];
+    tier->links.push_back(std::move(link));
+    offset += static_cast<RecordId>(part.member_ids.size());
+    tier->num_entities += part.member_ids.size();
+    tier->min_norm = std::min(tier->min_norm, part.index.min_norm());
+  }
+  return tier;
 }
 
 std::shared_ptr<const DeltaShard> BuildDeltaShard(

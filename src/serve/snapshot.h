@@ -7,6 +7,7 @@
 
 #include "data/record_set.h"
 #include "data/record_view.h"
+#include "data/segmented_corpus.h"
 #include "index/dynamic_index.h"
 #include "index/inverted_index.h"
 
@@ -14,35 +15,79 @@ namespace ssjoin {
 
 class Predicate;
 
-/// One token-range shard of the compacted tier. A shard owns the records
-/// whose routing token falls in its contiguous token range (see
-/// RouteToShard) — complete records, not split posting runs, so each
-/// shard can be probed independently and the union of per-shard answers
-/// is exactly the single-index answer. Immutable after construction and
-/// shared across snapshots until a compaction finds its memtable or
-/// tombstone set dirty.
-struct ShardedBaseTier {
-  /// Backing positions of the shard's members in the snapshot's
-  /// base_records arena, strictly increasing. The index speaks LOCAL ids
-  /// (positions in this vector): backing record = member_ids[local].
-  /// For corpus-independent predicates the arena keeps every record (dead
-  /// entries stay in place between full rebuilds), so positions coincide
-  /// with global corpus ids; cosine full rebuilds compact the arena to
-  /// survivors, so positions and global ids diverge there.
+/// One token-range shard's slice of ONE corpus segment: the segment
+/// members whose routing token falls in the shard's range, under
+/// part-local ids. The index is a complete CSR inverted index over just
+/// these members, carved by InvertedIndex::PlanFromRecordsSubset, so a
+/// shard probe walks one small index per segment instead of one big one.
+struct SegmentShardPart {
+  /// Segment-local positions of the part's members in the owning
+  /// segment's records arena, strictly increasing. The index speaks
+  /// PART-local ids (positions in this vector).
   std::vector<RecordId> member_ids;
-  /// Global corpus ids of the members: global id = global_ids[local].
-  /// This is the id callers see in QueryMatch — stable across deletes and
-  /// compactions, never reused.
+  /// Global corpus ids of the members, parallel to member_ids (derived
+  /// from the segment's global_ids table; stable, never reused).
   std::vector<RecordId> global_ids;
-  /// Flat CSR index over the members under local ids, extent-carved by
-  /// InvertedIndex::PlanFromRecordsSubset (survivor-subset planning: a
-  /// tombstone-compacted shard plans only the surviving members' posting
-  /// mass). Records themselves live in the snapshot's shared
-  /// base_records — shards never copy the corpus.
+  /// Flat CSR index over the part members under part-local ids.
   InvertedIndex index;
-  /// Local ids of members with norm below the predicate's
+  /// Part-local ids of members with norm below the predicate's
   /// ShortRecordNormBound (the edit-distance brute-force side pool).
   std::vector<RecordId> short_ids;
+};
+
+/// One immutable link of the serving tier's segment chain: a prepared
+/// CSR record arena covering one compaction delta (or a merge of
+/// several), its global-id table, and one SegmentShardPart per
+/// token-range shard. Segments are built once, shared by shared_ptr
+/// across every later snapshot, and never mutated — compaction APPENDS a
+/// new segment instead of rewriting the corpus, which is what makes
+/// steady-state compaction O(delta). Deletes are masked per snapshot
+/// (ShardChainLink::dead), not carved out of the segment.
+struct CorpusSegment {
+  /// Durable identity: names the on-disk segment-<id>.sseg file and is
+  /// unique across the lifetime of a service data directory.
+  uint64_t id = 0;
+  /// The prepared records (scores installed, texts retained). Shared so
+  /// snapshots, SegmentedCorpus views and checkpoints alias it.
+  std::shared_ptr<const RecordSet> records;  // never null
+  /// Global corpus id per segment-local position, strictly increasing.
+  /// Chain invariant: segments hold DISJOINT, increasing global-id
+  /// ranges (a folded memtable's ids exceed every already-folded id, and
+  /// merges only coalesce adjacent segments), so gid -> segment is a
+  /// range binary search.
+  std::vector<RecordId> global_ids;
+  /// One part per token-range shard (size = the service's shard count).
+  std::vector<SegmentShardPart> shards;
+  /// Approximate in-memory bytes (arena + postings), computed at build
+  /// time so stats never rescan the chain.
+  uint64_t approx_bytes = 0;
+};
+
+/// One shard's view of one segment inside a published snapshot: the part
+/// to probe, the offset that places its part-local ids into the shard's
+/// chain-wide id space, and the copy-on-write mask of members deleted
+/// since the segment was built (sorted part-local ids; null when none).
+struct ShardChainLink {
+  std::shared_ptr<const CorpusSegment> segment;
+  const SegmentShardPart* part = nullptr;  // &segment->shards[shard]
+  RecordId id_offset = 0;
+  std::shared_ptr<const std::vector<RecordId>> dead;  // may be null
+};
+
+/// One token-range shard of the compacted tier: the ordered chain of
+/// per-segment parts this shard probes as one id space (ProbeChain).
+/// Immutable after construction and shared across snapshots until a
+/// compaction finds the shard's memtable or tombstone set dirty, appends
+/// a segment, or merges the chain.
+struct ShardedBaseTier {
+  std::vector<ShardChainLink> links;  // oldest segment first
+  /// Total part members across the chain (masked-dead ones included —
+  /// they still hold postings until a merge drops them physically).
+  size_t num_entities = 0;
+  /// Minimum record norm over every link's index (+inf when empty); the
+  /// probe floor bound T(r, I) of the whole chain. Masked-dead members
+  /// may hold the minimum — a lower floor is always a valid bound.
+  double min_norm = 0;
 };
 
 /// One shard's memtable image: records inserted since the last compaction
@@ -60,39 +105,66 @@ struct DeltaShard {
   /// sorted increasing. Covers both base members (filtered at probe time
   /// against this list) and memtable residents (never indexed above).
   /// Published with the delta image so a Delete is visible to every query
-  /// issued after it returns; Compact() drops the ids physically and
-  /// empties the list.
+  /// issued after it returns; Compact() folds the ids into the owning
+  /// segments' dead masks and empties the list.
   std::vector<RecordId> tombstones;
 };
 
-/// One epoch's immutable view of the service corpus: the shared prepared
-/// corpus, one base and one delta shard per token range, and the epoch
-/// number. Readers copy the owning shared_ptr under the service's
-/// snapshot mutex and then run entirely lock-free; writers publish a NEW
-/// snapshot instead of ever mutating one, so a query keeps a consistent
-/// view for as long as it holds the pointer, across any number of
-/// concurrent inserts and compactions.
+/// One epoch's immutable view of the service corpus: the shared segment
+/// chain, one per-shard chain view and one delta shard per token range,
+/// and the epoch number. Readers copy the owning shared_ptr under the
+/// service's snapshot mutex and then run entirely lock-free; writers
+/// publish a NEW snapshot instead of ever mutating one, so a query keeps
+/// a consistent view for as long as it holds the pointer, across any
+/// number of concurrent inserts and compactions.
 struct IndexSnapshot {
-  /// The prepared backing corpus as of the last compaction. Base shards
-  /// reference it by position (ShardedBaseTier::member_ids), and it is
-  /// the PrepareIncremental reference for query and insert staging — so
-  /// for corpus-statistics predicates its statistics must cover exactly
-  /// the surviving records (cosine full rebuilds compact it to
-  /// survivors; corpus-independent predicates keep dead entries in place
-  /// because their scores never read corpus statistics).
-  std::shared_ptr<const RecordSet> base_records;  // never null
+  /// The segment chain, oldest first; never empty (construction folds
+  /// the initial corpus into segment 0, possibly zero-record).
+  std::vector<std::shared_ptr<const CorpusSegment>> segments;
   std::vector<std::shared_ptr<const ShardedBaseTier>> base;  // per shard
   std::vector<std::shared_ptr<const DeltaShard>> delta;      // per shard
   uint64_t epoch = 0;
   /// Surviving (non-deleted) records visible to queries, base + delta.
   size_t live_records = 0;
-  /// Tombstones awaiting physical drop at the next compaction.
+  /// Tombstones awaiting their fold into segment dead masks.
   size_t pending_tombstones = 0;
 
   size_t num_shards() const { return base.size(); }
-  /// Backing-arena size; >= live base records (dead entries linger in the
-  /// arena between full rebuilds for corpus-independent predicates).
-  size_t base_size() const { return base_records->size(); }
+
+  /// The statistics reference for PrepareIncremental staging. Corpus-
+  /// statistics predicates (TF-IDF cosine) full-rebuild at every
+  /// compaction, so their chain has exactly one segment and this IS the
+  /// whole prepared corpus; every other predicate ignores the reference.
+  const RecordSet& stats_reference() const {
+    return *segments.front()->records;
+  }
+
+  /// Non-copying concatenated view of the chain's record arenas.
+  SegmentedCorpus base_corpus() const {
+    SegmentedCorpus view;
+    for (const std::shared_ptr<const CorpusSegment>& s : segments) {
+      view.Append(s->records);
+    }
+    return view;
+  }
+
+  /// Backing-arena records across the chain; >= live base records
+  /// (masked-dead members linger in their segment until a merge).
+  size_t base_size() const {
+    size_t n = 0;
+    for (const std::shared_ptr<const CorpusSegment>& s : segments) {
+      n += s->records->size();
+    }
+    return n;
+  }
+  /// Approximate bytes held by the segment chain.
+  uint64_t segment_bytes() const {
+    uint64_t n = 0;
+    for (const std::shared_ptr<const CorpusSegment>& s : segments) {
+      n += s->approx_bytes;
+    }
+    return n;
+  }
   /// Memtable records awaiting compaction (tombstoned ones included —
   /// they still occupy memtable slots until folded away).
   size_t delta_size() const {
@@ -105,6 +177,16 @@ struct IndexSnapshot {
   /// Records a query can answer with: live base + live delta records.
   size_t size() const { return live_records; }
 };
+
+/// Writer-side bookkeeping for one chain entry: the shared segment, its
+/// per-shard copy-on-write dead masks (sorted part-local ids; null when
+/// clean) and the surviving-member count that drives the merge policy.
+struct SegmentChainEntry {
+  std::shared_ptr<const CorpusSegment> segment;
+  std::vector<std::shared_ptr<const std::vector<RecordId>>> dead;  // per shard
+  size_t live = 0;
+};
+using SegmentChain = std::vector<SegmentChainEntry>;
 
 /// Carves the vocabulary into `num_shards` contiguous token ranges
 /// balanced by the given per-token mass, returning the num_shards - 1
@@ -131,17 +213,28 @@ std::vector<uint64_t> RoutingMassHistogram(const RecordSet& records);
 /// correctness; the choice only affects balance.
 size_t RouteToShard(RecordView record, const std::vector<TokenId>& bounds);
 
-/// Builds one compacted shard over the already-prepared `corpus`:
-/// extent-carves the CSR index from the member subset's document
-/// frequencies and inserts every member under its local id. `member_ids`
-/// are positions into `corpus`, `global_ids` the parallel corpus ids
-/// (pass the same vector twice when positions ARE global ids — the
-/// corpus-independent layout). Preparation is NOT run here — the service
-/// prepares the corpus once globally, so corpus-statistics weights are
-/// identical across shard counts.
-std::shared_ptr<const ShardedBaseTier> BuildShardBase(
-    const RecordSet& corpus, std::vector<RecordId> member_ids,
-    std::vector<RecordId> global_ids, double short_norm_bound);
+/// Approximate in-memory bytes of a fully built segment: the record
+/// arena, id tables and per-shard postings. Used by BuildCorpusSegment
+/// and the checkpoint loader to fill CorpusSegment::approx_bytes.
+uint64_t ComputeSegmentApproxBytes(const CorpusSegment& segment);
+
+/// Builds one immutable segment over already-prepared `records`: routes
+/// every record to its token-range shard and builds each shard's part
+/// (extent-carved CSR index under part-local ids plus the short-record
+/// pool). `global_ids` is the per-position corpus id table, strictly
+/// increasing. Preparation is NOT run here — the service prepares
+/// records before folding them, so corpus-statistics weights are
+/// identical across shard counts AND across segmentations.
+std::shared_ptr<const CorpusSegment> BuildCorpusSegment(
+    uint64_t id, RecordSet records, std::vector<RecordId> global_ids,
+    const std::vector<TokenId>& shard_bounds, size_t num_shards,
+    double short_norm_bound);
+
+/// Builds shard `shard`'s chain view over `chain`: one link per segment
+/// (empty parts included — their probes are free and offsets stay
+/// aligned), with chain-local id offsets assigned in chain order.
+std::shared_ptr<const ShardedBaseTier> BuildShardChainView(
+    const SegmentChain& chain, size_t shard);
 
 /// Builds one shard's delta image over already-prepared memtable records.
 /// `short_norm_bound` is the predicate's ShortRecordNormBound (0 for

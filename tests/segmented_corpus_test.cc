@@ -1,0 +1,133 @@
+// Unit tests for SegmentedCorpus, the non-copying concatenated view over
+// a chain of immutable record arenas that the serving tier's segmented
+// compaction is built on. The properties under test are exactly the ones
+// the tier relies on: positions resolve to the right (segment, local)
+// pair across any mix of segment sizes — empty segments included — and
+// record/text access through the view is bit-identical to direct access
+// into the owning arena.
+
+#include "data/segmented_corpus.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+#include "data/record_set.h"
+#include "gtest/gtest.h"
+
+namespace ssjoin {
+namespace {
+
+std::shared_ptr<const RecordSet> MakeSegment(
+    const std::vector<std::vector<TokenId>>& rows, const std::string& tag) {
+  auto set = std::make_shared<RecordSet>();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    set->Add(Record::FromTokens(rows[i]), tag + "#" + std::to_string(i));
+  }
+  return set;
+}
+
+TEST(SegmentedCorpusTest, EmptyView) {
+  SegmentedCorpus view;
+  EXPECT_EQ(view.size(), 0u);
+  EXPECT_EQ(view.num_segments(), 0u);
+  EXPECT_TRUE(view.empty());
+}
+
+TEST(SegmentedCorpusTest, SingleSegmentMatchesDirectAccess) {
+  auto seg = MakeSegment({{1, 2, 3}, {2, 5}, {7}}, "a");
+  SegmentedCorpus view;
+  view.Append(seg);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view.num_segments(), 1u);
+  for (RecordId pos = 0; pos < 3; ++pos) {
+    const RecordView direct = seg->record(pos);
+    const RecordView via = view.record(pos);
+    ASSERT_EQ(via.size(), direct.size());
+    for (size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_EQ(via.token(i), direct.token(i));
+      EXPECT_EQ(via.score(i), direct.score(i));
+    }
+    EXPECT_EQ(view.text(pos), seg->text(pos));
+  }
+}
+
+TEST(SegmentedCorpusTest, LocateResolvesAcrossSegments) {
+  SegmentedCorpus view;
+  view.Append(MakeSegment({{1}, {2}}, "a"));       // positions 0..1
+  view.Append(MakeSegment({{3}, {4}, {5}}, "b"));  // positions 2..4
+  view.Append(MakeSegment({{6}}, "c"));            // position 5
+  ASSERT_EQ(view.size(), 6u);
+  ASSERT_EQ(view.num_segments(), 3u);
+  EXPECT_EQ(view.segment_offset(0), 0u);
+  EXPECT_EQ(view.segment_offset(1), 2u);
+  EXPECT_EQ(view.segment_offset(2), 5u);
+
+  const size_t expected_segment[] = {0, 0, 1, 1, 1, 2};
+  const RecordId expected_local[] = {0, 1, 0, 1, 2, 0};
+  for (RecordId pos = 0; pos < 6; ++pos) {
+    const SegmentedCorpus::Location loc = view.Locate(pos);
+    EXPECT_EQ(loc.segment, expected_segment[pos]) << "pos " << pos;
+    EXPECT_EQ(loc.local, expected_local[pos]) << "pos " << pos;
+  }
+}
+
+TEST(SegmentedCorpusTest, EmptySegmentsKeepSlotsAndSkipPositions) {
+  SegmentedCorpus view;
+  view.Append(MakeSegment({}, "empty0"));
+  view.Append(MakeSegment({{1, 2}}, "a"));  // position 0
+  view.Append(MakeSegment({}, "empty1"));
+  view.Append(MakeSegment({{3}}, "b"));  // position 1
+  ASSERT_EQ(view.num_segments(), 4u);
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view.Locate(0).segment, 1u);
+  EXPECT_EQ(view.Locate(0).local, 0u);
+  // Position 1 must skip the empty slot at index 2.
+  EXPECT_EQ(view.Locate(1).segment, 3u);
+  EXPECT_EQ(view.Locate(1).local, 0u);
+  EXPECT_EQ(view.text(1), "b#0");
+}
+
+TEST(SegmentedCorpusTest, SharesArenasWithoutCopying) {
+  auto seg = MakeSegment({{1, 2, 3}}, "shared");
+  SegmentedCorpus view;
+  view.Append(seg);
+  // The view aliases the arena: same text storage, not a copy.
+  EXPECT_EQ(&view.text(0), &seg->text(0));
+  EXPECT_EQ(&view.segment(0), seg.get());
+}
+
+TEST(SegmentedCorpusTest, ConcatenationMatchesMonolithicArena) {
+  // Build the same records as one arena and as a 3-segment chain; every
+  // position must read back identically through either.
+  std::vector<std::vector<TokenId>> rows = {{1, 4}, {2}, {3, 5, 9},
+                                            {6},    {7}, {8, 10}};
+  RecordSet mono;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    mono.Add(Record::FromTokens(rows[i]), "r" + std::to_string(i));
+  }
+  SegmentedCorpus view;
+  size_t cuts[] = {0, 2, 3, rows.size()};
+  for (size_t c = 0; c + 1 < 4; ++c) {
+    auto seg = std::make_shared<RecordSet>();
+    for (size_t i = cuts[c]; i < cuts[c + 1]; ++i) {
+      seg->Add(Record::FromTokens(rows[i]), "r" + std::to_string(i));
+    }
+    view.Append(seg);
+  }
+  ASSERT_EQ(view.size(), mono.size());
+  for (RecordId pos = 0; pos < mono.size(); ++pos) {
+    const RecordView a = mono.record(pos);
+    const RecordView b = view.record(pos);
+    ASSERT_EQ(a.size(), b.size()) << "pos " << pos;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.token(i), b.token(i));
+      EXPECT_EQ(a.score(i), b.score(i));
+    }
+    EXPECT_EQ(view.text(pos), mono.text(pos));
+  }
+}
+
+}  // namespace
+}  // namespace ssjoin

@@ -62,7 +62,18 @@ std::string FreshDataDir(const std::string& name) {
         WalFilePath(dir), WalFilePath(dir) + ".tmp"}) {
     ::unlink(file.c_str());
   }
+  for (uint64_t id : ListSegmentFiles(dir)) {
+    ::unlink(SegmentFilePath(dir, id).c_str());
+  }
   return dir;
+}
+
+RecordSet Slice(const RecordSet& corpus, RecordId begin, RecordId end) {
+  RecordSet out;
+  for (RecordId id = begin; id < end; ++id) {
+    out.Add(corpus.record(id), corpus.text(id));
+  }
+  return out;
 }
 
 size_t FileSize(const std::string& path) {
@@ -740,6 +751,210 @@ TEST(CrashRecoveryTest, CorruptedCheckpointIsRejected) {
   }
   // The pristine bytes still restore — the loader rejects corruption, not
   // the format.
+  WriteAll(path, bytes);
+  EXPECT_TRUE(SimilarityService::Open(pred, options).ok());
+}
+
+// ---------------------------------------------------------------------
+// Segment files: the incremental-checkpoint half of the segmented
+// corpus. Multi-segment chains must round-trip through kill -9, orphans
+// left by a crash between segment write and manifest rename must be
+// garbage-collected (never loaded), and a damaged segment file must
+// fail the whole restore rather than serve partial state.
+
+TEST(SegmentFileTest, MultiSegmentChainSurvivesCrashAndReopen) {
+  JaccardPredicate pred(0.5);
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 134, .vocabulary = 50}, 98);
+  ServiceOptions options;
+  options.num_shards = 3;
+  options.memtable_limit = 0;
+  options.data_dir = FreshDataDir("seg_chain_crash");
+  options.wal_sync = WalSyncPolicy::kNever;
+  ServiceOptions twin_options = options;
+  twin_options.data_dir.clear();
+
+  auto durable = std::make_unique<SimilarityService>(Slice(corpus, 0, 90),
+                                                     pred, options);
+  ASSERT_TRUE(durable->durability_status().ok())
+      << durable->durability_status().ToString();
+  SimilarityService twin(Slice(corpus, 0, 90), pred, twin_options);
+
+  auto crash_and_reopen = [&](const std::string& context) {
+    durable.reset();
+    Result<std::unique_ptr<SimilarityService>> reopened =
+        SimilarityService::Open(pred, options);
+    ASSERT_TRUE(reopened.ok()) << context << " "
+                               << reopened.status().ToString();
+    durable = std::move(reopened).value();
+  };
+
+  // Geometric descending deltas (30/10/4) deepen the chain to four
+  // segments; a kill -9 after every compaction must bring the whole
+  // chain back from its segment files.
+  RecordId next = 90;
+  for (size_t batch : {size_t{30}, size_t{10}, size_t{4}}) {
+    const std::string context = "batch=" + std::to_string(batch);
+    for (size_t i = 0; i < batch; ++i, ++next) {
+      ASSERT_EQ(durable->Insert(corpus.record(next), corpus.text(next)), next)
+          << context;
+      ASSERT_EQ(twin.Insert(corpus.record(next), corpus.text(next)), next)
+          << context;
+    }
+    durable->Compact();
+    twin.Compact();
+    crash_and_reopen(context);
+    ASSERT_EQ(durable->stats().segments, twin.stats().segments) << context;
+  }
+  ASSERT_EQ(twin.stats().segments, 4u);
+  ASSERT_EQ(ListSegmentFiles(options.data_dir).size(), 4u);
+
+  // Deletes across three different segments, crashed over while still
+  // tombstones (WAL-only), then folded into dead masks after reopen.
+  for (RecordId victim : {RecordId{5}, RecordId{100}, RecordId{131}}) {
+    ASSERT_TRUE(durable->Delete(victim));
+    ASSERT_TRUE(twin.Delete(victim));
+  }
+  crash_and_reopen("post-delete");
+  ASSERT_EQ(durable->tombstone_count(), 3u);
+  durable->Compact();
+  twin.Compact();
+  ASSERT_EQ(durable->stats().segments, 4u);
+  crash_and_reopen("post-mask-fold");
+  ASSERT_EQ(durable->stats().segments, 4u);
+  ExpectSameService(twin, *durable, corpus, 67, "chain-crash");
+}
+
+TEST(SegmentFileTest, OrphanSegmentFilesAreCollectedAtOpen) {
+  OverlapPredicate pred(3);
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 25, .vocabulary = 20}, 95);
+  ServiceOptions options;
+  options.data_dir = FreshDataDir("seg_orphan");
+  options.wal_sync = WalSyncPolicy::kNever;
+  { SimilarityService service(corpus, pred, options); }
+  const std::set<uint64_t> referenced = ListSegmentFiles(options.data_dir);
+  ASSERT_FALSE(referenced.empty());
+
+  // Plant an orphan with an id the manifest does not reference and a
+  // garbage payload: GC must unlink it by name, never parse it.
+  const uint64_t orphan_id = 999;
+  ASSERT_EQ(referenced.count(orphan_id), 0u);
+  WriteAll(SegmentFilePath(options.data_dir, orphan_id), "not a segment");
+  Result<std::unique_ptr<SimilarityService>> restored =
+      SimilarityService::Open(pred, options);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(ListSegmentFiles(options.data_dir), referenced);
+
+  ServiceOptions twin_options = options;
+  twin_options.data_dir.clear();
+  SimilarityService twin(corpus, pred, twin_options);
+  ExpectSameService(twin, *restored.value(), corpus, 43, "orphan-gc");
+}
+
+TEST(SegmentFileTest, SegmentsWrittenBeforeManifestRenameAreOrphansOnReopen) {
+  JaccardPredicate pred(0.5);
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 40, .vocabulary = 30}, 97);
+  ServiceOptions options;
+  options.memtable_limit = 0;
+  options.data_dir = FreshDataDir("seg_rename_crash");
+  options.wal_sync = WalSyncPolicy::kNever;
+  ServiceOptions twin_options = options;
+  twin_options.data_dir.clear();
+
+  SimilarityService service(corpus, pred, options);
+  SimilarityService twin(corpus, pred, twin_options);
+  Rng rng(53);
+  ZipfTable zipf(30, 0.9);
+  RecordSet contents = corpus;
+  for (int i = 0; i < 5; ++i) {
+    auto [record, text] = MakeRandomRecord(rng, zipf);
+    contents.Add(record, text);
+    service.Insert(record.view(), text);
+    twin.Insert(record.view(), text);
+  }
+  service.Compact();
+  twin.Compact();
+  ASSERT_TRUE(service.durability_status().ok())
+      << service.durability_status().ToString();
+
+  // Snapshot checkpoint A in full: manifest, WAL and segment files.
+  std::map<std::string, std::string> state_a;
+  state_a[CheckpointFilePath(options.data_dir)] =
+      ReadAll(CheckpointFilePath(options.data_dir));
+  const std::set<uint64_t> files_a = ListSegmentFiles(options.data_dir);
+  for (uint64_t id : files_a) {
+    const std::string path = SegmentFilePath(options.data_dir, id);
+    state_a[path] = ReadAll(path);
+  }
+
+  // Six more inserts, WAL snapshot, then checkpoint B (which writes new
+  // segment files, renames the manifest, GCs merged-away files of A and
+  // resets the WAL).
+  for (int i = 0; i < 6; ++i) {
+    auto [record, text] = MakeRandomRecord(rng, zipf);
+    contents.Add(record, text);
+    service.Insert(record.view(), text);
+    twin.Insert(record.view(), text);
+  }
+  const std::string wal_b = ReadAll(WalFilePath(options.data_dir));
+  service.Compact();
+  ASSERT_TRUE(service.durability_status().ok())
+      << service.durability_status().ToString();
+  ASSERT_NE(ListSegmentFiles(options.data_dir), files_a);
+
+  // Reconstruct the exact on-disk state of a crash between B's segment
+  // writes and B's manifest rename: A's manifest and segment files
+  // intact, the WAL still holding the six insert frames, and B's fresh
+  // segment files sitting unreferenced.
+  for (const auto& [path, bytes] : state_a) WriteAll(path, bytes);
+  WriteAll(WalFilePath(options.data_dir), wal_b);
+
+  Result<std::unique_ptr<SimilarityService>> restored =
+      SimilarityService::Open(pred, options);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  // B's segments were GCed; exactly A's files remain.
+  EXPECT_EQ(ListSegmentFiles(options.data_dir), files_a);
+  // Checkpoint A + WAL replay of the six inserts = the twin's state
+  // (those inserts sit in the memtable on both sides).
+  EXPECT_EQ(restored.value()->memtable_size(), 6u);
+  ExpectSameService(twin, *restored.value(), contents, 61, "rename-crash");
+}
+
+TEST(SegmentFileTest, CorruptSegmentFileIsRejected) {
+  OverlapPredicate pred(3);
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 20, .vocabulary = 15}, 96);
+  ServiceOptions options;
+  options.data_dir = FreshDataDir("seg_corrupt");
+  options.wal_sync = WalSyncPolicy::kNever;
+  { SimilarityService service(corpus, pred, options); }
+  const std::set<uint64_t> files = ListSegmentFiles(options.data_dir);
+  ASSERT_FALSE(files.empty());
+  const std::string path = SegmentFilePath(options.data_dir, *files.begin());
+  const std::string bytes = ReadAll(path);
+
+  // One flipped byte at several depths: magic, body, trailing CRC.
+  for (size_t pos : {size_t{1}, bytes.size() / 2, bytes.size() - 2}) {
+    std::string corrupted = bytes;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x20);
+    WriteAll(path, corrupted);
+    Result<std::unique_ptr<SimilarityService>> restored =
+        SimilarityService::Open(pred, options);
+    ASSERT_FALSE(restored.ok()) << "pos=" << pos;
+    EXPECT_NE(restored.status().message().find("corrupt checkpoint"),
+              std::string::npos)
+        << restored.status().ToString();
+  }
+  // Truncations and outright absence fail too.
+  for (size_t cut = 1; cut < bytes.size(); cut += 131) {
+    WriteAll(path, bytes.substr(0, bytes.size() - cut));
+    EXPECT_FALSE(SimilarityService::Open(pred, options).ok()) << "cut=" << cut;
+  }
+  ::unlink(path.c_str());
+  EXPECT_FALSE(SimilarityService::Open(pred, options).ok());
+  // The pristine bytes still restore.
   WriteAll(path, bytes);
   EXPECT_TRUE(SimilarityService::Open(pred, options).ok());
 }

@@ -44,6 +44,14 @@ ServiceOptions ShardOptions(size_t num_shards, size_t memtable_limit = 0) {
   return options;
 }
 
+RecordSet Slice(const RecordSet& corpus, RecordId begin, RecordId end) {
+  RecordSet out;
+  for (RecordId id = begin; id < end; ++id) {
+    out.Add(corpus.record(id), corpus.text(id));
+  }
+  return out;
+}
+
 /// Byte-identity over QueryMatch lists: same ids, bit-equal scores.
 void ExpectSameMatches(const std::vector<QueryMatch>& expected,
                        const std::vector<QueryMatch>& actual,
@@ -159,6 +167,16 @@ void RunDifferential(const Predicate& pred, const std::string& pred_name,
   for (size_t shards : kShardCounts) {
     services.push_back(std::make_unique<SimilarityService>(
         corpus, pred, ShardOptions(shards)));
+  }
+  // A collapsed-chain rider (segment_merge_ratio = 0 folds the whole
+  // chain on every compaction — the pre-segmented behaviour): the
+  // scripted schedule thereby bit-compares the segment-chained services
+  // against a single-segment one at every step.
+  {
+    ServiceOptions collapsed = ShardOptions(2);
+    collapsed.segment_merge_ratio = 0;
+    services.push_back(
+        std::make_unique<SimilarityService>(corpus, pred, collapsed));
   }
   std::vector<bool> alive(corpus.size(), true);
   std::vector<RecordId> dead;  // ids whose deletes succeeded
@@ -390,6 +408,92 @@ TEST(ShardCompactionTest, CompactRebuildsOnlyDirtyShards) {
   ServiceStats cosine_stats = cosine_service.stats();
   for (size_t s = 0; s < 4; ++s) {
     EXPECT_EQ(cosine_stats.shards[s].rebuilds, 2u) << "shard " << s;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Segment chains: geometric descending deltas grow the chain to 4+
+// segments (the default size-tiered ratio 2 never fires on 90/30/10/4),
+// and every answer must stay byte-identical to the collapsed
+// single-segment service (segment_merge_ratio = 0) at every shard
+// count — then one larger delta cascades the whole chain back into one
+// segment and answers still must not move. This is the acceptance bar
+// of the segmented-compaction refactor, checked deterministically (the
+// randomized RunDifferential schedules also carry a collapsed rider).
+
+TEST(ServeSegmentChainTest, DeepChainMatchesCollapsedServiceAcrossShards) {
+  constexpr uint32_t kVocabulary = 60;
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 146, .vocabulary = kVocabulary}, 123);
+  JaccardPredicate pred(0.5);
+
+  std::vector<std::unique_ptr<SimilarityService>> services;
+  {
+    ServiceOptions collapsed = ShardOptions(1);
+    collapsed.segment_merge_ratio = 0;
+    services.push_back(std::make_unique<SimilarityService>(
+        Slice(corpus, 0, 90), pred, collapsed));
+  }
+  for (size_t shards : kShardCounts) {
+    services.push_back(std::make_unique<SimilarityService>(
+        Slice(corpus, 0, 90), pred, ShardOptions(shards)));
+  }
+  std::vector<bool> alive(corpus.size(), true);
+  // Records 90.. are inserted batch by batch below; mark the not-yet-
+  // inserted tail dead so SweepAllRecords joins only what is served.
+  for (RecordId id = 90; id < corpus.size(); ++id) alive[id] = false;
+
+  RecordId next = 90;
+  auto insert_batch = [&](size_t count, const std::string& context) {
+    for (size_t i = 0; i < count; ++i, ++next) {
+      alive[next] = true;
+      RecordId expected =
+          services[0]->Insert(corpus.record(next), corpus.text(next));
+      ASSERT_EQ(expected, next) << context;
+      for (size_t s = 1; s < services.size(); ++s) {
+        ASSERT_EQ(services[s]->Insert(corpus.record(next), corpus.text(next)),
+                  next)
+            << context;
+      }
+    }
+    for (auto& service : services) service->Compact();
+    SweepAllRecords(services, corpus, alive, pred, context);
+  };
+
+  insert_batch(30, "chain batch=30");
+  insert_batch(10, "chain batch=10");
+  insert_batch(4, "chain batch=4");
+  EXPECT_EQ(services[0]->stats().segments, 1u);
+  for (size_t s = 1; s < services.size(); ++s) {
+    EXPECT_EQ(services[s]->stats().segments, 4u)
+        << "shards=" << services[s]->num_shards();
+  }
+
+  // Deletes spread over three different segments, then a tombstone-only
+  // compaction: dead masks fold in place (live counts 89/29/10/3 trip no
+  // merge), the chain stays 4 deep, answers stay identical.
+  for (RecordId victim : {RecordId{5}, RecordId{100}, RecordId{131}}) {
+    for (auto& service : services) {
+      EXPECT_TRUE(service->Delete(victim)) << "victim " << victim;
+    }
+    alive[victim] = false;
+  }
+  for (auto& service : services) service->Compact();
+  for (size_t s = 1; s < services.size(); ++s) {
+    EXPECT_EQ(services[s]->stats().segments, 4u)
+        << "shards=" << services[s]->num_shards();
+  }
+  SweepAllRecords(services, corpus, alive, pred, "chain post-delete");
+
+  // A 12-record delta triggers the full cascade — (3,12), (10,15),
+  // (29,25), (89,54) — collapsing everything into one merged segment;
+  // byte-identity must survive the merges too.
+  insert_batch(12, "chain cascade");
+  for (size_t s = 1; s < services.size(); ++s) {
+    EXPECT_EQ(services[s]->stats().segments, 1u)
+        << "shards=" << services[s]->num_shards();
+    EXPECT_EQ(services[s]->stats().segments_merged, 8u)
+        << "shards=" << services[s]->num_shards();
   }
 }
 

@@ -541,12 +541,87 @@ TEST(SimilarityServiceTest, StatsCountersAndJson) {
        {"\"epoch\"", "\"base_records\"", "\"memtable_records\"",
         "\"live_records\"", "\"tombstones\"", "\"deletes\"",
         "\"delete_misses\"", "\"point_queries\"", "\"compactions\"",
+        "\"segments\"", "\"segment_bytes\"", "\"segments_merged\"",
+        "\"last_compact_delta_records\"",
         "\"query_latency_us\"", "\"p99\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
   // Balanced braces as a cheap well-formedness check.
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
+}
+
+// The segment gauges/counters must move in lockstep with the chain:
+// construction folds the corpus into one segment, every compaction with
+// pending inserts appends exactly one delta segment, the size-tiered
+// trigger (segment_merge_ratio) merges trailing segments, tombstone-only
+// compactions mask without appending, and ratio 0 collapses the chain
+// back to one segment every time (the pre-segmented baseline).
+TEST(SimilarityServiceTest, SegmentCountersTrackChainAndMerges) {
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 160, .vocabulary = 80}, 37);
+  JaccardPredicate pred(0.5);
+  ServiceOptions options = MakeOptions(0);
+  options.segment_merge_ratio = 2;
+  SimilarityService service(Slice(corpus, 0, 100), pred, options);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.segments, 1u);
+  EXPECT_GT(stats.segment_bytes, 0u);
+  EXPECT_EQ(stats.segments_merged, 0u);
+  EXPECT_EQ(stats.last_compact_delta_records, 0u);
+
+  // Geometric descending deltas stack segments without tripping the
+  // size-tiered trigger: 100 > 2*30 and 30 > 2*10.
+  RecordId next = 100;
+  auto insert_batch = [&](size_t n) {
+    for (size_t i = 0; i < n; ++i) service.Insert(corpus.record(next++));
+    service.Compact();
+  };
+  insert_batch(30);
+  stats = service.stats();
+  EXPECT_EQ(stats.segments, 2u);
+  EXPECT_EQ(stats.segments_merged, 0u);
+  EXPECT_EQ(stats.last_compact_delta_records, 30u);
+
+  insert_batch(10);
+  stats = service.stats();
+  EXPECT_EQ(stats.segments, 3u);
+  EXPECT_EQ(stats.segments_merged, 0u);
+  EXPECT_EQ(stats.last_compact_delta_records, 10u);
+
+  // A 6-record delta trips the trigger twice — (10, 6) -> 16, then
+  // (30, 16) -> 46 — and stops against the 100-record base segment
+  // (100 > 2*46): four segments retired, two survive.
+  insert_batch(6);
+  stats = service.stats();
+  EXPECT_EQ(stats.segments, 2u);
+  EXPECT_EQ(stats.segments_merged, 4u);
+  EXPECT_EQ(stats.last_compact_delta_records, 6u);
+
+  // A tombstone-only compaction folds a dead mask in place: no segment
+  // appended, no merge (99 live > 2*46), delta volume = the 1 tombstone.
+  ASSERT_TRUE(service.Delete(0));
+  service.Compact();
+  stats = service.stats();
+  EXPECT_EQ(stats.segments, 2u);
+  EXPECT_EQ(stats.segments_merged, 4u);
+  EXPECT_EQ(stats.last_compact_delta_records, 1u);
+
+  // Ratio 0 is the pre-segmented baseline: every compaction collapses
+  // the whole chain back into one segment.
+  ServiceOptions baseline = MakeOptions(0);
+  baseline.segment_merge_ratio = 0;
+  SimilarityService collapsed(Slice(corpus, 0, 100), pred, baseline);
+  EXPECT_EQ(collapsed.stats().segments, 1u);
+  for (RecordId id = 100; id < 110; ++id) {
+    collapsed.Insert(corpus.record(id));
+  }
+  collapsed.Compact();
+  stats = collapsed.stats();
+  EXPECT_EQ(stats.segments, 1u);
+  EXPECT_EQ(stats.segments_merged, 2u);
+  EXPECT_EQ(stats.last_compact_delta_records, 10u);
 }
 
 TEST(SimilarityServiceTest, LatencyHistogramQuantiles) {

@@ -4,8 +4,9 @@
 # golden-output equivalence suite, which together walk every probe loop
 # over the CSR corpus arena and the flat postings buffer, and the
 # durability suites (index_io, WAL framing, checkpoint codec, crash
-# recovery), whose byte-level decoders parse attacker-shaped torn and
-# corrupted files.
+# recovery — including the segmented-corpus suite: multi-segment chain
+# restore, orphan segment GC and corrupt segment files), whose
+# byte-level decoders parse attacker-shaped torn and corrupted files.
 #
 #   tools/run_asan_tests.sh [build-dir]
 #
@@ -19,10 +20,10 @@ build_dir=${1:-"$repo_root/build-asan"}
 cmake -B "$build_dir" -S "$repo_root" -DSSJOIN_ASAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j --target \
-      record_view_test corpus_test index_test merge_opt_test \
-      arena_equivalence_test differential_test index_io_test \
-      serve_recovery_test
+      record_view_test corpus_test segmented_corpus_test index_test \
+      merge_opt_test arena_equivalence_test differential_test \
+      index_io_test serve_recovery_test
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
 ctest --test-dir "$build_dir" \
-      -R '^(record_view|corpus|index_test|merge_opt|arena_equivalence|differential|index_io|serve_recovery)' \
+      -R '^(record_view|corpus|segmented_corpus|index_test|merge_opt|arena_equivalence|differential|index_io|serve_recovery)' \
       --output-on-failure
