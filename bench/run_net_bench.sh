@@ -1,0 +1,94 @@
+#!/usr/bin/env sh
+# Network serving bench: boots ssjoin_server over a synthetic corpus and
+# sweeps the closed-loop load generator across connection counts,
+# emitting the JSON rows recorded under "net_serving" in
+# BENCH_serve.json.
+#
+#   bench/run_net_bench.sh [build-dir]
+#
+# Knobs (env): SSJOIN_NET_RECORDS (corpus size, default 20000),
+# SSJOIN_NET_OPS (requests per connection per sweep point, default
+# 2000), SSJOIN_NET_PIPELINE (in-flight requests per connection,
+# default 8), SSJOIN_NET_CONNECTIONS (sweep list, default 1,8,64,256),
+# SSJOIN_NET_THREADS (server worker event loops, default 4),
+# SSJOIN_NET_INSERT_PCT / SSJOIN_NET_DELETE_PCT (op mix, default 0/0 —
+# pure query replay, matching the bench_serve point-lookup rows).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+records=${SSJOIN_NET_RECORDS:-20000}
+ops=${SSJOIN_NET_OPS:-2000}
+pipeline=${SSJOIN_NET_PIPELINE:-8}
+connections=${SSJOIN_NET_CONNECTIONS:-1,8,64,256}
+net_threads=${SSJOIN_NET_THREADS:-4}
+insert_pct=${SSJOIN_NET_INSERT_PCT:-0}
+delete_pct=${SSJOIN_NET_DELETE_PCT:-0}
+
+server="$build_dir/tools/ssjoin_server"
+loadgen="$build_dir/tools/ssjoin_loadgen"
+for binary in "$server" "$loadgen"; do
+  if [ ! -x "$binary" ]; then
+    echo "missing $binary — build the tools first (cmake --build $build_dir -j)" >&2
+    exit 1
+  fi
+done
+
+workdir=$(mktemp -d)
+server_pid=
+cleanup() {
+  [ -n "$server_pid" ] && kill -KILL "$server_pid" 2>/dev/null
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# Synthetic corpus: zipf-ish skew via rand()*rand(), the same flavor of
+# token-frequency skew the in-process benches use.
+awk -v n="$records" 'BEGIN {
+  srand(42)
+  for (i = 0; i < n; i++) {
+    len = 5 + int(rand() * 10)
+    line = ""
+    for (t = 0; t < len; t++) {
+      w = int(rand() * rand() * 5000)
+      line = line "w" w (t + 1 < len ? " " : "")
+    }
+    print line
+  }
+}' > "$workdir/corpus"
+
+"$server" --corpus="$workdir/corpus" --predicate=jaccard --threshold=0.6 \
+  --port=0 --net-threads="$net_threads" \
+  > "$workdir/stdout" 2> "$workdir/stderr" &
+server_pid=$!
+
+port=
+tries=0
+while [ $tries -lt 600 ]; do
+  port=$(sed -n 's/^PORT //p' "$workdir/stdout")
+  [ -n "$port" ] && break
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "server died during startup:" >&2
+    cat "$workdir/stderr" >&2
+    exit 1
+  fi
+  sleep 0.1
+  tries=$((tries + 1))
+done
+if [ -z "$port" ]; then
+  echo "server never printed the PORT handshake" >&2
+  exit 1
+fi
+echo "server up on port $port ($records records); sweeping connections=$connections pipeline=$pipeline ops/conn=$ops" >&2
+
+"$loadgen" --port="$port" --input="$workdir/corpus" \
+  --connections="$connections" --pipeline="$pipeline" --ops="$ops" \
+  --insert-pct="$insert_pct" --delete-pct="$delete_pct" --json
+
+kill -TERM "$server_pid"
+wait "$server_pid" || {
+  echo "server exited non-zero after SIGTERM" >&2
+  exit 1
+}
+server_pid=
+grep 'served ' "$workdir/stderr" >&2 || true

@@ -1,0 +1,147 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ssjoin::net {
+
+uint64_t MonotonicMillis() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000000;
+}
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    status_ = Status::IOError(std::string("epoll_create1: ") +
+                              std::strerror(errno));
+    return;
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    status_ =
+        Status::IOError(std::string("eventfd: ") + std::strerror(errno));
+    return;
+  }
+  struct epoll_event ev = {};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    status_ = Status::IOError(std::string("epoll_ctl(wake): ") +
+                              std::strerror(errno));
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::Add(int fd, uint32_t events, IoCallback callback) {
+  struct epoll_event ev = {};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0) {
+    callbacks_[fd] = std::move(callback);
+  }
+}
+
+void EventLoop::Modify(int fd, uint32_t events) {
+  struct epoll_event ev = {};
+  ev.events = events;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void EventLoop::Remove(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::SetTick(uint64_t interval_ms, std::function<void()> callback) {
+  tick_interval_ms_ = interval_ms;
+  tick_ = std::move(callback);
+  next_tick_ms_ = MonotonicMillis() + interval_ms;
+}
+
+void EventLoop::DrainWake() {
+  uint64_t value = 0;
+  while (::read(wake_fd_, &value, sizeof(value)) > 0) {
+  }
+}
+
+void EventLoop::Run() {
+  if (!status_.ok()) return;
+  constexpr int kMaxEvents = 64;
+  struct epoll_event events[kMaxEvents];
+  while (true) {
+    // Harvest posted tasks and the stop flag in one lock hold.
+    std::vector<std::function<void()>> tasks;
+    bool stop;
+    {
+      std::lock_guard<std::mutex> lock(post_mutex_);
+      tasks.swap(posted_);
+      stop = stop_;
+    }
+    for (std::function<void()>& task : tasks) task();
+    if (stop) return;
+
+    int timeout = -1;
+    if (tick_) {
+      uint64_t now = MonotonicMillis();
+      if (now >= next_tick_ms_) {
+        tick_();
+        next_tick_ms_ = now + tick_interval_ms_;
+      }
+      timeout = static_cast<int>(next_tick_ms_ - MonotonicMillis());
+      if (timeout < 0) timeout = 0;
+    }
+    int ready = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;  // unrecoverable epoll failure; Stop-equivalent
+    }
+    for (int i = 0; i < ready; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        DrainWake();
+        continue;
+      }
+      // A callback earlier in this round may have removed this fd (and
+      // possibly closed it): the map is the source of truth.
+      auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;
+      // Copy the handle: the callback may Remove(fd) and invalidate it.
+      IoCallback callback = it->second;
+      callback(events[i].events);
+    }
+  }
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    posted_.push_back(std::move(task));
+  }
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    stop_ = true;
+  }
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+}  // namespace ssjoin::net

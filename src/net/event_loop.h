@@ -1,0 +1,83 @@
+#ifndef SSJOIN_NET_EVENT_LOOP_H_
+#define SSJOIN_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ssjoin::net {
+
+/// Monotonic wall-clock milliseconds (CLOCK_MONOTONIC); the timebase for
+/// idle-connection accounting.
+uint64_t MonotonicMillis();
+
+/// A single-threaded epoll reactor. One EventLoop runs on one thread
+/// (Run() is the thread's body); fd registrations and their callbacks
+/// are owned by that thread. Exactly two operations are thread-safe and
+/// form the only cross-thread surface: Post() (hand the loop a task to
+/// run on its own thread — how the acceptor ships new sockets to a
+/// worker) and Stop(). Both wake the loop through an eventfd.
+class EventLoop {
+ public:
+  using IoCallback = std::function<void(uint32_t epoll_events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Non-OK when epoll/eventfd creation failed; Run() is then a no-op.
+  const Status& status() const { return status_; }
+
+  /// Registers `fd` for `events` (EPOLLIN and friends); `callback` runs
+  /// on the loop thread with the ready event mask. Loop-thread only
+  /// (or before Run starts).
+  void Add(int fd, uint32_t events, IoCallback callback);
+  /// Changes the armed event mask of a registered fd. Loop-thread only.
+  void Modify(int fd, uint32_t events);
+  /// Deregisters `fd` (does not close it). Safe to call from inside a
+  /// callback — a ready event already harvested for a removed fd is
+  /// dropped, not dispatched. Loop-thread only.
+  void Remove(int fd);
+
+  /// Arms a coarse periodic tick: `callback` runs on the loop thread at
+  /// least every `interval_ms` (epoll_wait timeout granularity — this is
+  /// an idle-sweep clock, not a precision timer). One tick per loop.
+  void SetTick(uint64_t interval_ms, std::function<void()> callback);
+
+  /// Dispatches events until Stop(). Returns immediately on a
+  /// construction error.
+  void Run();
+
+  /// Thread-safe: runs `task` on the loop thread at the next iteration.
+  /// Tasks posted after Stop() may never run.
+  void Post(std::function<void()> task);
+
+  /// Thread-safe, idempotent: makes Run() return after the current
+  /// dispatch round.
+  void Stop();
+
+ private:
+  void DrainWake();
+
+  Status status_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::unordered_map<int, IoCallback> callbacks_;
+  uint64_t tick_interval_ms_ = 0;
+  std::function<void()> tick_;
+  uint64_t next_tick_ms_ = 0;
+
+  std::mutex post_mutex_;
+  std::vector<std::function<void()>> posted_;
+  bool stop_ = false;  // guarded by post_mutex_
+};
+
+}  // namespace ssjoin::net
+
+#endif  // SSJOIN_NET_EVENT_LOOP_H_

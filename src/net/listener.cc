@@ -1,0 +1,80 @@
+#include "net/listener.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ssjoin::net {
+
+Listener::~Listener() { Close(); }
+
+Status Listener::Listen(const std::string& host, uint16_t port,
+                        int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status status = Status::IOError("bind " + host + ":" +
+                                    std::to_string(port) + ": " +
+                                    std::strerror(errno));
+    Close();
+    return status;
+  }
+  if (::listen(fd_, backlog) != 0) {
+    Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    Close();
+    return status;
+  }
+  struct sockaddr_in bound = {};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    Status status =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    Close();
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+void Listener::AcceptAll(FunctionRef<void(int fd)> sink) {
+  while (fd_ >= 0) {
+    int conn = ::accept4(fd_, nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (conn < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // EMFILE etc.: stop accepting this round, retry next wake
+    }
+    int one = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sink(conn);
+  }
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace ssjoin::net

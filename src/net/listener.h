@@ -1,0 +1,44 @@
+#ifndef SSJOIN_NET_LISTENER_H_
+#define SSJOIN_NET_LISTENER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/function_ref.h"
+#include "util/status.h"
+
+namespace ssjoin::net {
+
+/// A non-blocking IPv4 listening socket. Owns the fd; close on destroy.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens. `port` 0 asks the kernel for an ephemeral port;
+  /// port() reports the one actually bound either way.
+  Status Listen(const std::string& host, uint16_t port, int backlog = 511);
+
+  /// Accepts every pending connection (until EAGAIN), invoking `sink`
+  /// with each new non-blocking, TCP_NODELAY socket fd. Per-connection
+  /// accept errors (ECONNABORTED and friends) are skipped, not fatal.
+  void AcceptAll(FunctionRef<void(int fd)> sink);
+
+  /// Closes the listening socket (idempotent); pending SYNs get RST and
+  /// new connections are refused — the first step of graceful shutdown.
+  void Close();
+
+  int fd() const { return fd_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace ssjoin::net
+
+#endif  // SSJOIN_NET_LISTENER_H_

@@ -1,0 +1,203 @@
+#include "net/server.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+namespace ssjoin::net {
+
+/// One worker event-loop thread and the connections sharded onto it.
+/// The acceptor hands fds over through Post(); everything else —
+/// registration, request execution, idle reaping, teardown — happens on
+/// the worker's own thread.
+class SimilarityServer::Worker {
+ public:
+  Worker(const ServiceDispatcher* dispatcher, ServerCounters* counters,
+         const ServerOptions* options)
+      : dispatcher_(dispatcher), counters_(counters), options_(options) {}
+
+  Status Start() {
+    if (!loop_.status().ok()) return loop_.status();
+    if (options_->idle_timeout_ms > 0) {
+      // Sweep at a fraction of the timeout: a connection may overstay by
+      // one sweep interval, never by a full timeout.
+      uint64_t interval = options_->idle_timeout_ms / 4;
+      if (interval == 0) interval = 1;
+      loop_.SetTick(interval, [this] { ReapIdle(); });
+    }
+    thread_ = std::thread([this] {
+      loop_.Run();
+      CloseAll();
+    });
+    return Status::OK();
+  }
+
+  /// Thread-safe: adopt an accepted socket (called from the acceptor).
+  void Adopt(int fd) {
+    loop_.Post([this, fd] {
+      auto connection = std::make_unique<Connection>(
+          fd, &loop_, dispatcher_, counters_, options_->max_request_bytes);
+      Connection* raw = connection.get();
+      connections_[fd] = std::move(connection);
+      raw->Register([this, fd](uint32_t events) { HandleEvent(fd, events); });
+    });
+  }
+
+  /// Thread-safe: begin draining every connection (graceful shutdown).
+  void StartDrain() {
+    loop_.Post([this] {
+      std::vector<int> fds;
+      fds.reserve(connections_.size());
+      for (const auto& [fd, connection] : connections_) fds.push_back(fd);
+      for (int fd : fds) {
+        auto it = connections_.find(fd);
+        if (it == connections_.end()) continue;
+        it->second->StartDrain();
+        ReapIfClosed(fd);
+      }
+    });
+  }
+
+  void StopAndJoin() {
+    loop_.Stop();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void HandleEvent(int fd, uint32_t events) {
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    it->second->OnEvent(events);
+    ReapIfClosed(fd);
+  }
+
+  /// Destroys a connection that closed itself during dispatch. Runs
+  /// after OnEvent returns, so a connection never frees itself mid-call.
+  void ReapIfClosed(int fd) {
+    auto it = connections_.find(fd);
+    if (it != connections_.end() && it->second->closed()) {
+      connections_.erase(it);
+      counters_->active_connections.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  void ReapIdle() {
+    uint64_t now = MonotonicMillis();
+    std::vector<int> idle;
+    for (const auto& [fd, connection] : connections_) {
+      if (now - connection->last_activity_ms() >= options_->idle_timeout_ms) {
+        idle.push_back(fd);
+      }
+    }
+    for (int fd : idle) {
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      it->second->CloseNow();
+      counters_->idle_closes.fetch_add(1, std::memory_order_relaxed);
+      ReapIfClosed(fd);
+    }
+  }
+
+  /// Loop-exit cleanup (runs on the worker thread after Run returns).
+  void CloseAll() {
+    for (auto& [fd, connection] : connections_) {
+      connection->CloseNow();
+      counters_->active_connections.fetch_sub(1, std::memory_order_relaxed);
+    }
+    connections_.clear();
+  }
+
+  const ServiceDispatcher* dispatcher_;
+  ServerCounters* counters_;
+  const ServerOptions* options_;
+  EventLoop loop_;
+  std::thread thread_;
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+
+  friend class SimilarityServer;
+};
+
+SimilarityServer::SimilarityServer(SimilarityService* service,
+                                   ServiceDispatcher::TokenizeFn tokenize,
+                                   ServiceDispatcher::HookFn before_insert,
+                                   ServerOptions options)
+    : service_(service),
+      dispatcher_(service, std::move(tokenize), options.default_topk,
+                  std::move(before_insert),
+                  [this](std::string json) {
+                    return AppendNetSection(std::move(json),
+                                            counters_.Snapshot());
+                  }),
+      options_(std::move(options)) {}
+
+SimilarityServer::~SimilarityServer() { Shutdown(); }
+
+Status SimilarityServer::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  Status listening =
+      listener_.Listen(options_.host, options_.port);
+  if (!listening.ok()) return listening;
+
+  int worker_count = options_.net_threads;
+  if (worker_count <= 0) {
+    unsigned hardware = std::thread::hardware_concurrency();
+    worker_count = static_cast<int>(hardware == 0 ? 1
+                                    : hardware > 4 ? 4
+                                                   : hardware);
+  }
+  for (int w = 0; w < worker_count; ++w) {
+    workers_.push_back(
+        std::make_unique<Worker>(&dispatcher_, &counters_, &options_));
+    Status started = workers_.back()->Start();
+    if (!started.ok()) {
+      Shutdown();
+      return started;
+    }
+  }
+
+  acceptor_loop_ = std::make_unique<EventLoop>();
+  if (!acceptor_loop_->status().ok()) {
+    Status status = acceptor_loop_->status();
+    Shutdown();
+    return status;
+  }
+  acceptor_loop_->Add(listener_.fd(), EPOLLIN, [this](uint32_t) {
+    listener_.AcceptAll([this](int fd) {
+      counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+      counters_.active_connections.fetch_add(1, std::memory_order_relaxed);
+      workers_[next_worker_++ % workers_.size()]->Adopt(fd);
+    });
+  });
+  acceptor_thread_ = std::thread([this] { acceptor_loop_->Run(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void SimilarityServer::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  // 1. Refuse new connections: stop the acceptor, close the listener.
+  if (acceptor_loop_) {
+    acceptor_loop_->Stop();
+    if (acceptor_thread_.joinable()) acceptor_thread_.join();
+  }
+  listener_.Close();
+  // 2. Drain: every connection stops reading, flushes its outbox and
+  // closes. In-flight requests are safe by construction — execution is
+  // synchronous on the worker loop, so the drain task cannot run mid-
+  // request; it runs between requests and after their responses queued.
+  for (std::unique_ptr<Worker>& worker : workers_) worker->StartDrain();
+  uint64_t deadline = MonotonicMillis() + options_.drain_timeout_ms;
+  while (counters_.active_connections.load(std::memory_order_relaxed) > 0 &&
+         MonotonicMillis() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // 3. Stop the loops; each worker closes its stragglers on exit.
+  for (std::unique_ptr<Worker>& worker : workers_) worker->StopAndJoin();
+  workers_.clear();
+}
+
+}  // namespace ssjoin::net

@@ -1,0 +1,99 @@
+#ifndef SSJOIN_NET_SERVER_H_
+#define SSJOIN_NET_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/connection.h"
+#include "net/listener.h"
+#include "serve/protocol.h"
+#include "serve/service_stats.h"
+#include "util/status.h"
+
+namespace ssjoin::net {
+
+struct ServerOptions {
+  /// IPv4 address to bind.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 asks the kernel for an ephemeral one (port() reports it).
+  uint16_t port = 0;
+  /// Worker event-loop threads; <= 0 picks min(hardware, 4). The
+  /// acceptor runs on its own additional thread.
+  int net_threads = 0;
+  /// Close a connection silently after this many ms without traffic;
+  /// 0 disables reaping.
+  uint64_t idle_timeout_ms = 0;
+  /// Longest accepted request line; longer gets one ERR then close.
+  size_t max_request_bytes = size_t{1} << 20;
+  /// Plain-text queries rank top-k instead of thresholding when > 0
+  /// (the REPL's --topk, applied connection-wide).
+  size_t default_topk = 0;
+  /// Graceful-shutdown budget for flushing queued responses.
+  uint64_t drain_timeout_ms = 2000;
+};
+
+/// The serving tier's network front door: an acceptor thread plus N
+/// worker event-loop threads, accepted sockets sharded round-robin
+/// across workers, every worker speaking the shared serve/protocol
+/// grammar over the net/wire framing against one SimilarityService.
+/// Queries execute on the service's lock-free snapshot read path, so
+/// concurrent connections scale the way the snapshot design promises;
+/// inserts/deletes/compactions serialize on the service's write lock
+/// exactly as in-process callers do.
+///
+/// `stats` responses served by this front door carry an extra "net"
+/// JSON section (ServerCounters snapshot).
+class SimilarityServer {
+ public:
+  /// `service` must outlive the server. `tokenize` builds RecordSets for
+  /// query/insert texts and `before_insert` runs between tokenization
+  /// and Insert (the token-dictionary sidecar sync); both are called
+  /// concurrently from every worker thread and must synchronize
+  /// internally (the drivers wrap them in one tokenizer mutex).
+  SimilarityServer(SimilarityService* service,
+                   ServiceDispatcher::TokenizeFn tokenize,
+                   ServiceDispatcher::HookFn before_insert,
+                   ServerOptions options);
+  ~SimilarityServer();
+
+  SimilarityServer(const SimilarityServer&) = delete;
+  SimilarityServer& operator=(const SimilarityServer&) = delete;
+
+  /// Binds, listens and spawns the acceptor + worker threads.
+  Status Start();
+
+  /// The bound port (after Start).
+  uint16_t port() const { return listener_.port(); }
+
+  /// Graceful shutdown: close the listener (new connections refused),
+  /// drain queued responses for up to drain_timeout_ms, close every
+  /// connection, stop and join all threads. Idempotent; also run by the
+  /// destructor.
+  void Shutdown();
+
+  /// Snapshot of the front-end counters.
+  NetStats net_stats() const { return counters_.Snapshot(); }
+
+ private:
+  class Worker;
+
+  SimilarityService* service_;
+  ServiceDispatcher dispatcher_;
+  ServerOptions options_;
+  ServerCounters counters_;
+
+  Listener listener_;
+  std::unique_ptr<EventLoop> acceptor_loop_;
+  std::thread acceptor_thread_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  size_t next_worker_ = 0;
+  bool started_ = false;
+  bool shut_down_ = false;
+};
+
+}  // namespace ssjoin::net
+
+#endif  // SSJOIN_NET_SERVER_H_

@@ -61,6 +61,29 @@ void AppendField(std::string* out, const char* key, uint64_t value,
 
 }  // namespace
 
+std::string NetStats::ToJson() const {
+  std::string out = "{";
+  AppendField(&out, "connections_accepted", connections_accepted);
+  AppendField(&out, "active_connections", active_connections);
+  AppendField(&out, "requests", requests);
+  AppendField(&out, "protocol_errors", protocol_errors);
+  AppendField(&out, "idle_closes", idle_closes);
+  AppendField(&out, "bytes_read", bytes_read);
+  AppendField(&out, "bytes_written", bytes_written, /*trailing_comma=*/false);
+  out += "}";
+  return out;
+}
+
+std::string AppendNetSection(std::string stats_json, const NetStats& net) {
+  // ServiceStats::ToJson always ends in "}"; splice before it.
+  if (stats_json.empty() || stats_json.back() != '}') return stats_json;
+  stats_json.pop_back();
+  stats_json += ", \"net\": ";
+  stats_json += net.ToJson();
+  stats_json += "}";
+  return stats_json;
+}
+
 std::string ServiceStats::ToJson() const {
   std::string out = "{";
   AppendField(&out, "point_queries", point_queries);

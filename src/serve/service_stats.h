@@ -47,6 +47,27 @@ struct ShardStats {
   uint64_t rebuilds = 0;    // base rebuilds (initial build + dirty compactions)
 };
 
+/// Network front-end counters, maintained by net::SimilarityServer and
+/// spliced into the stats JSON as a "net" object so `stats` over the
+/// wire reports the front door next to the service it fronts. A plain
+/// value: the server snapshots its atomics into one of these.
+struct NetStats {
+  uint64_t connections_accepted = 0;  // lifetime accepts
+  uint64_t active_connections = 0;    // gauge: currently-open sockets
+  uint64_t requests = 0;              // complete requests parsed
+  uint64_t protocol_errors = 0;       // malformed/oversized frames
+  uint64_t idle_closes = 0;           // connections reaped by idle timeout
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+
+  /// The counters as one JSON object, e.g. {"connections_accepted": 3, ...}.
+  std::string ToJson() const;
+};
+
+/// Splices `net` into a ServiceStats::ToJson() string as a trailing
+/// "net" member, keeping the service's own formatter net-agnostic.
+std::string AppendNetSection(std::string stats_json, const NetStats& net);
+
 /// Aggregate serving counters, recorded per query/insert/compaction by
 /// SimilarityService. A plain value: stats() hands out a copy, so readers
 /// never hold the service's stats lock while formatting.

@@ -599,6 +599,11 @@ Status SimilarityService::durability_status() const {
   return durability_status_;
 }
 
+uint64_t SimilarityService::wal_sequence() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return wal_ ? wal_next_seq_ : 0;
+}
+
 bool SimilarityService::CompactLocked(bool count_compaction) {
   std::shared_ptr<const IndexSnapshot> prev = snapshot();  // null first time
   // A compaction with nothing pending — no memtable records, no

@@ -202,6 +202,12 @@ class SimilarityService {
   /// checkpoint covers the gap and clears the error.
   Status durability_status() const;
 
+  /// Sequence number the next WAL frame would carry (1 on a fresh log);
+  /// `wal_sequence() - 1` is the last durable operation. Meaningful only
+  /// for durable services; graceful shutdown logs it so operators can
+  /// line a restart up against the WAL tail. 0 when not durable.
+  uint64_t wal_sequence();
+
   /// Copy of the aggregate serving counters.
   ServiceStats stats() const;
   /// Counters, latency quantiles and snapshot shape as a JSON object.

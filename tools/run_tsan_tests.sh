@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # Builds the ThreadSanitizer configuration and runs the concurrency test
-# suite (thread pool, parallel joins, serving layer) under it.
+# suite (thread pool, parallel joins, serving layer, network loopback)
+# under it.
 #
 #   tools/run_tsan_tests.sh [build-dir]
 #
@@ -14,7 +15,8 @@ build_dir=${1:-"$repo_root/build-tsan"}
 cmake -B "$build_dir" -S "$repo_root" -DSSJOIN_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j --target \
-      thread_pool_test parallel_join_test serve_test serve_shard_test
+      thread_pool_test parallel_join_test serve_test serve_shard_test \
+      net_loopback_test
 # The differential harness — including its scripted Delete schedules
 # (tombstones riding delta images under concurrent readers) — is
 # CPU-heavy under TSan; keep the sweep small here (override by exporting
@@ -23,5 +25,5 @@ cmake --build "$build_dir" -j --target \
 SSJOIN_DIFF_SEEDS=${SSJOIN_DIFF_SEEDS:-2}
 export SSJOIN_DIFF_SEEDS
 ctest --test-dir "$build_dir" \
-      -R '(thread_pool|parallel_join|serve_test|serve_shard_test)' \
+      -R '(thread_pool|parallel_join|serve_test|serve_shard_test|net_loopback)' \
       --output-on-failure

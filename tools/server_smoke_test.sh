@@ -1,0 +1,76 @@
+#!/bin/sh
+# End-to-end smoke test for the network front door, run from ctest:
+#   server_smoke_test.sh <ssjoin_server> <ssjoin_loadgen> <corpus>
+#
+# Starts ssjoin_server on an ephemeral port (--port=0), reads the
+# "PORT <n>" stdout handshake, runs the loadgen protocol-conformance
+# check plus a tiny closed-loop sweep against it, then SIGTERMs the
+# server and asserts a clean (exit 0) drain.
+
+server=$1
+loadgen=$2
+corpus=$3
+workdir=$(mktemp -d) || exit 1
+trap 'rm -rf "$workdir"' EXIT
+
+"$server" --corpus="$corpus" --predicate=jaccard --threshold=0.5 \
+  --port=0 --net-threads=2 --max-request-bytes=65536 \
+  > "$workdir/stdout" 2> "$workdir/stderr" &
+pid=$!
+
+port=
+tries=0
+while [ $tries -lt 200 ]; do
+  port=$(sed -n 's/^PORT //p' "$workdir/stdout")
+  [ -n "$port" ] && break
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "server died before reporting a port" >&2
+    cat "$workdir/stderr" >&2
+    exit 1
+  fi
+  sleep 0.05
+  tries=$((tries + 1))
+done
+if [ -z "$port" ]; then
+  echo "server never printed the PORT handshake" >&2
+  kill -KILL "$pid" 2>/dev/null
+  exit 1
+fi
+
+rc=0
+if ! "$loadgen" --port="$port" --check; then
+  echo "loadgen protocol check failed" >&2
+  rc=1
+fi
+if ! "$loadgen" --port="$port" --input="$corpus" \
+    --connections=1,2 --pipeline=4 --ops=50 > "$workdir/sweep"; then
+  echo "loadgen sweep failed" >&2
+  rc=1
+fi
+# Two sweep rows (header + 2 connection counts) with zero errors each.
+if [ "$(wc -l < "$workdir/sweep")" != 3 ]; then
+  echo "unexpected sweep output:" >&2
+  cat "$workdir/sweep" >&2
+  rc=1
+fi
+if tail -n +2 "$workdir/sweep" | grep -qv ',0$'; then
+  echo "sweep reported request errors:" >&2
+  cat "$workdir/sweep" >&2
+  rc=1
+fi
+
+kill -TERM "$pid"
+wait "$pid"
+server_rc=$?
+if [ "$server_rc" != 0 ]; then
+  echo "server exited $server_rc after SIGTERM (want 0)" >&2
+  cat "$workdir/stderr" >&2
+  rc=1
+fi
+# The drain summary is part of the shutdown contract.
+if ! grep -q 'served .* requests over .* connections' "$workdir/stderr"; then
+  echo "server shutdown summary missing:" >&2
+  cat "$workdir/stderr" >&2
+  rc=1
+fi
+exit $rc

@@ -1,0 +1,588 @@
+// ssjoin_loadgen — closed-loop load generator for ssjoin_server: N
+// concurrent connections, each keeping a fixed pipeline of requests in
+// flight, sweeping connections x pipeline-depth x op-mix and reporting
+// achieved QPS and p50/p99/p999 request latency.
+//
+//   ssjoin_loadgen --port=7878 --input=records.txt
+//   ssjoin_loadgen --port=7878 --input=records.txt --connections=1,8,64,256
+//   ssjoin_loadgen --port=7878 --input=records.txt --insert-pct=5 --json
+//   ssjoin_loadgen --port=7878 --check        # protocol conformance smoke
+//
+// Closed loop: a connection sends its next request only when one of its
+// in-flight requests completes, so achieved QPS is the equilibrium
+// throughput at that concurrency, not an offered-load guess. Latency is
+// send-to-response per request (queueing inside the pipeline included).
+// --check drives one scripted connection through every command form
+// (including pipelining and expected errors) and exits nonzero on any
+// protocol deviation — the CI server smoke test.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/wire.h"
+#include "serve_common.h"
+
+namespace {
+
+using namespace ssjoin;
+using namespace ssjoin::tools;
+
+constexpr const char kUsage[] =
+    "usage: ssjoin_loadgen --port=N (--input=FILE | --check) [flags]\n"
+    "  --port=N            server port (required)\n"
+    "  --host=ADDR         server IPv4 address (default 127.0.0.1)\n"
+    "  --input=FILE        texts for queries/inserts, one per line\n"
+    "  --connections=LIST  comma-separated sweep, e.g. 1,8,64,256\n"
+    "                      (default 1,8,64,256)\n"
+    "  --pipeline=N        requests kept in flight per connection\n"
+    "                      (default 8)\n"
+    "  --ops=N             requests per connection per sweep point\n"
+    "                      (default 2000)\n"
+    "  --insert-pct=P      percent of ops that insert (default 0)\n"
+    "  --delete-pct=P      percent of ops that delete a record this\n"
+    "                      connection inserted (default 0)\n"
+    "  --json              emit one JSON array of sweep rows on stdout\n"
+    "                      (default CSV)\n"
+    "  --check             protocol conformance smoke: one scripted\n"
+    "                      connection, exit nonzero on any deviation\n";
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  uint64_t port = 0;
+  std::string input;
+  std::vector<uint64_t> connections = {1, 8, 64, 256};
+  uint64_t pipeline = 8;
+  uint64_t ops = 2000;
+  uint64_t insert_pct = 0;
+  uint64_t delete_pct = 0;
+  bool json = false;
+  bool check = false;
+};
+
+uint64_t MonotonicMicros() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000;
+}
+
+bool ParseConnectionList(const std::string& text,
+                         std::vector<uint64_t>* out) {
+  out->clear();
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    size_t comma = text.find(',', begin);
+    size_t end = comma == std::string::npos ? text.size() : comma;
+    uint64_t value = 0;
+    if (!ParseUint64(text.substr(begin, end - begin), &value) ||
+        value == 0 || value > 4096) {
+      return false;
+    }
+    out->push_back(value);
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return !out->empty();
+}
+
+std::optional<LoadGenOptions> ParseArgs(int argc, char** argv) {
+  LoadGenOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--host", &value)) {
+      options.host = value;
+    } else if (ParseFlag(argv[i], "--port", &value)) {
+      if (!ParseUint64(value, &options.port) || options.port == 0 ||
+          options.port > 65535) {
+        std::fprintf(stderr, "invalid --port=%s (need 1..65535)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+    } else if (ParseFlag(argv[i], "--input", &value)) {
+      options.input = value;
+    } else if (ParseFlag(argv[i], "--connections", &value)) {
+      if (!ParseConnectionList(value, &options.connections)) {
+        std::fprintf(stderr,
+                     "invalid --connections=%s (want e.g. 1,8,64,256; "
+                     "each 1..4096)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+    } else if (ParseFlag(argv[i], "--pipeline", &value)) {
+      if (!ParseUint64(value, &options.pipeline) || options.pipeline == 0 ||
+          options.pipeline > 4096) {
+        std::fprintf(stderr, "invalid --pipeline=%s (need 1..4096)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+    } else if (ParseFlag(argv[i], "--ops", &value)) {
+      if (!ParseUint64(value, &options.ops) || options.ops == 0) {
+        std::fprintf(stderr, "invalid --ops=%s (need an integer > 0)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+    } else if (ParseFlag(argv[i], "--insert-pct", &value)) {
+      if (!ParseUint64(value, &options.insert_pct) ||
+          options.insert_pct > 100) {
+        std::fprintf(stderr, "invalid --insert-pct=%s (need 0..100)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+    } else if (ParseFlag(argv[i], "--delete-pct", &value)) {
+      if (!ParseUint64(value, &options.delete_pct) ||
+          options.delete_pct > 100) {
+        std::fprintf(stderr, "invalid --delete-pct=%s (need 0..100)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      options.json = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      options.check = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return std::nullopt;
+    }
+  }
+  if (options.port == 0) {
+    std::fprintf(stderr, "--port=N is required\n");
+    return std::nullopt;
+  }
+  if (options.insert_pct + options.delete_pct > 100) {
+    std::fprintf(stderr, "--insert-pct + --delete-pct must be <= 100\n");
+    return std::nullopt;
+  }
+  if (!options.check && options.input.empty()) {
+    std::fprintf(stderr, "--input=FILE is required (except with --check)\n");
+    return std::nullopt;
+  }
+  return options;
+}
+
+/// Blocking client socket, TCP_NODELAY. Returns -1 after printing.
+int Connect(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "socket: %s\n", std::strerror(errno));
+    return -1;
+  }
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "not an IPv4 address: %s\n", host.c_str());
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    std::fprintf(stderr, "connect %s:%u: %s\n", host.c_str(), port,
+                 std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool WriteAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads until `count` responses have been decoded (appended to out).
+bool ReadResponses(int fd, net::ResponseReader* reader, size_t count,
+                   std::vector<net::WireResponse>* out) {
+  while (out->size() < count) {
+    char buffer[65536];
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // premature EOF
+    if (!reader->Feed(std::string_view(buffer, static_cast<size_t>(n)),
+                      out)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// -------------------------------------------------------------------
+// Sweep mode.
+
+struct ConnectionResult {
+  std::vector<uint32_t> latencies_us;
+  uint64_t errors = 0;  // unexpected ERR frames or transport failures
+  bool transport_ok = true;
+};
+
+/// Deterministic per-connection op stream (64-bit LCG — this is load,
+/// not statistics).
+class OpStream {
+ public:
+  OpStream(uint64_t seed, const LoadGenOptions* options,
+           const std::vector<std::string>* lines)
+      : state_(seed * 2654435761u + 99991), options_(options),
+        lines_(lines) {}
+
+  /// The next request line (with trailing newline); `expect_err` is set
+  /// for ops whose ERR response is part of the schedule (none today).
+  std::string Next() {
+    uint64_t roll = NextRand() % 100;
+    if (roll < options_->insert_pct) {
+      pending_inserts_++;
+      return "+ " + Text() + "\n";
+    }
+    if (roll < options_->insert_pct + options_->delete_pct &&
+        !owned_ids_.empty()) {
+      uint32_t id = owned_ids_.front();
+      owned_ids_.pop_front();
+      return "- " + std::to_string(id) + "\n";
+    }
+    // The explicit query form: input lines may begin with sigil bytes.
+    return "? " + Text() + "\n";
+  }
+
+  /// Called per completed response, in order, to harvest inserted ids
+  /// for later deletes.
+  void OnResponse(const net::WireResponse& response) {
+    if (response.ok && response.payload.rfind("inserted ", 0) == 0) {
+      owned_ids_.push_back(static_cast<uint32_t>(
+          std::strtoul(response.payload.c_str() + 9, nullptr, 10)));
+    }
+  }
+
+ private:
+  uint64_t NextRand() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 33;
+  }
+  std::string Text() {
+    return (*lines_)[NextRand() % lines_->size()];
+  }
+
+  uint64_t state_;
+  const LoadGenOptions* options_;
+  const std::vector<std::string>* lines_;
+  std::deque<uint32_t> owned_ids_;
+  uint64_t pending_inserts_ = 0;
+};
+
+void RunConnection(const LoadGenOptions& options,
+                   const std::vector<std::string>& lines, uint64_t seed,
+                   std::atomic<uint64_t>* ready, uint64_t total_threads,
+                   ConnectionResult* result) {
+  int fd = Connect(options.host, static_cast<uint16_t>(options.port));
+  if (fd < 0) {
+    result->transport_ok = false;
+    return;
+  }
+  // Barrier: connect everyone first so the timed region measures
+  // steady-state serving, not accept-queue churn.
+  ready->fetch_add(1, std::memory_order_acq_rel);
+  while (ready->load(std::memory_order_acquire) < total_threads) {
+    std::this_thread::yield();
+  }
+
+  OpStream ops(seed, &options, &lines);
+  net::ResponseReader reader;
+  std::vector<net::WireResponse> responses;
+  std::deque<uint64_t> send_ts;
+  uint64_t sent = 0, done = 0;
+  result->latencies_us.reserve(options.ops);
+  while (done < options.ops) {
+    // Top the pipeline up in one write.
+    if (sent < options.ops && send_ts.size() < options.pipeline) {
+      std::string batch;
+      uint64_t now = MonotonicMicros();
+      while (sent < options.ops && send_ts.size() < options.pipeline) {
+        batch += ops.Next();
+        send_ts.push_back(now);
+        ++sent;
+      }
+      if (!WriteAll(fd, batch)) {
+        result->transport_ok = false;
+        break;
+      }
+    }
+    responses.clear();
+    if (!ReadResponses(fd, &reader, 1, &responses)) {
+      result->transport_ok = false;
+      break;
+    }
+    uint64_t now = MonotonicMicros();
+    for (const net::WireResponse& response : responses) {
+      if (send_ts.empty()) {
+        result->transport_ok = false;  // more responses than requests
+        break;
+      }
+      result->latencies_us.push_back(
+          static_cast<uint32_t>(std::min<uint64_t>(
+              now - send_ts.front(), UINT32_MAX)));
+      send_ts.pop_front();
+      ++done;
+      ops.OnResponse(response);
+      // Deletes may legitimately miss (a pipelined delete of an id a
+      // concurrent compaction dropped cannot happen — ids are ours — so
+      // any ERR here is unexpected).
+      if (!response.ok) result->errors++;
+    }
+  }
+  ::close(fd);
+}
+
+struct SweepRow {
+  uint64_t connections;
+  uint64_t pipeline;
+  uint64_t total_ops;
+  double seconds;
+  double qps;
+  uint64_t p50_us, p90_us, p99_us, p999_us, max_us;
+  uint64_t errors;
+};
+
+uint64_t Percentile(const std::vector<uint32_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t rank = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+
+bool RunSweepPoint(const LoadGenOptions& options,
+                   const std::vector<std::string>& lines,
+                   uint64_t connections, SweepRow* row) {
+  std::vector<ConnectionResult> results(connections);
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> ready{0};
+  uint64_t start = MonotonicMicros();
+  for (uint64_t c = 0; c < connections; ++c) {
+    threads.emplace_back(RunConnection, std::cref(options),
+                         std::cref(lines), c + 1, &ready, connections,
+                         &results[c]);
+  }
+  for (std::thread& thread : threads) thread.join();
+  uint64_t elapsed = MonotonicMicros() - start;
+
+  std::vector<uint32_t> all;
+  uint64_t errors = 0;
+  bool ok = true;
+  for (ConnectionResult& result : results) {
+    all.insert(all.end(), result.latencies_us.begin(),
+               result.latencies_us.end());
+    errors += result.errors;
+    ok = ok && result.transport_ok;
+  }
+  std::sort(all.begin(), all.end());
+  row->connections = connections;
+  row->pipeline = options.pipeline;
+  row->total_ops = all.size();
+  row->seconds = static_cast<double>(elapsed) / 1e6;
+  row->qps = row->seconds > 0
+                 ? static_cast<double>(all.size()) / row->seconds
+                 : 0;
+  row->p50_us = Percentile(all, 0.50);
+  row->p90_us = Percentile(all, 0.90);
+  row->p99_us = Percentile(all, 0.99);
+  row->p999_us = Percentile(all, 0.999);
+  row->max_us = all.empty() ? 0 : all.back();
+  row->errors = errors;
+  return ok;
+}
+
+int RunSweep(const LoadGenOptions& options) {
+  std::optional<std::vector<std::string>> lines = ReadLines(options.input);
+  if (!lines.has_value()) return 1;
+  if (lines->empty()) {
+    std::fprintf(stderr, "%s holds no lines\n", options.input.c_str());
+    return 1;
+  }
+  if (!options.json) {
+    std::printf(
+        "connections,pipeline,total_ops,seconds,qps,p50_us,p90_us,p99_us,"
+        "p999_us,max_us,errors\n");
+  } else {
+    std::printf("[\n");
+  }
+  bool ok = true;
+  for (size_t i = 0; i < options.connections.size(); ++i) {
+    SweepRow row;
+    ok = RunSweepPoint(options, *lines, options.connections[i], &row) && ok;
+    if (options.json) {
+      std::printf(
+          "  {\"connections\": %llu, \"pipeline\": %llu, "
+          "\"total_ops\": %llu, \"seconds\": %.3f, \"qps\": %.0f, "
+          "\"p50_us\": %llu, \"p90_us\": %llu, \"p99_us\": %llu, "
+          "\"p999_us\": %llu, \"max_us\": %llu, \"errors\": %llu}%s\n",
+          static_cast<unsigned long long>(row.connections),
+          static_cast<unsigned long long>(row.pipeline),
+          static_cast<unsigned long long>(row.total_ops), row.seconds,
+          row.qps, static_cast<unsigned long long>(row.p50_us),
+          static_cast<unsigned long long>(row.p90_us),
+          static_cast<unsigned long long>(row.p99_us),
+          static_cast<unsigned long long>(row.p999_us),
+          static_cast<unsigned long long>(row.max_us),
+          static_cast<unsigned long long>(row.errors),
+          i + 1 < options.connections.size() ? "," : "");
+    } else {
+      std::printf("%llu,%llu,%llu,%.3f,%.0f,%llu,%llu,%llu,%llu,%llu,%llu\n",
+                  static_cast<unsigned long long>(row.connections),
+                  static_cast<unsigned long long>(row.pipeline),
+                  static_cast<unsigned long long>(row.total_ops),
+                  row.seconds, row.qps,
+                  static_cast<unsigned long long>(row.p50_us),
+                  static_cast<unsigned long long>(row.p90_us),
+                  static_cast<unsigned long long>(row.p99_us),
+                  static_cast<unsigned long long>(row.p999_us),
+                  static_cast<unsigned long long>(row.max_us),
+                  static_cast<unsigned long long>(row.errors));
+    }
+    std::fflush(stdout);
+  }
+  if (options.json) std::printf("]\n");
+  return ok ? 0 : 1;
+}
+
+// -------------------------------------------------------------------
+// Check mode: drive one connection through every command form and fail
+// loudly on any deviation from the protocol contract.
+
+#define CHECK_OR_FAIL(cond, what)                                   \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      std::fprintf(stderr, "check failed: %s\n", what);             \
+      return 1;                                                     \
+    }                                                               \
+  } while (0)
+
+int RunCheck(const LoadGenOptions& options) {
+  int fd = Connect(options.host, static_cast<uint16_t>(options.port));
+  if (fd < 0) return 1;
+  net::ResponseReader reader;
+  std::vector<net::WireResponse> responses;
+  auto roundtrip = [&](const std::string& request,
+                       size_t count) -> bool {
+    responses.clear();
+    return WriteAll(fd, request) &&
+           ReadResponses(fd, &reader, count, &responses);
+  };
+
+  // 1. stats — and over the network it must carry the net section.
+  CHECK_OR_FAIL(roundtrip("? stats\n", 1), "stats roundtrip");
+  CHECK_OR_FAIL(responses[0].ok, "stats is OK");
+  CHECK_OR_FAIL(
+      responses[0].payload.find("\"point_queries\"") != std::string::npos,
+      "stats payload is the service JSON");
+  CHECK_OR_FAIL(responses[0].payload.find("\"net\"") != std::string::npos,
+                "stats payload has the net counter section");
+
+  // 2. insert; harvest the id.
+  CHECK_OR_FAIL(roundtrip("+ loadgen check record alpha beta gamma\n", 1),
+                "insert roundtrip");
+  CHECK_OR_FAIL(responses[0].ok &&
+                    responses[0].payload.rfind("inserted ", 0) == 0,
+                "insert acknowledges 'inserted <id>'");
+  std::string idText =
+      responses[0].payload.substr(9, responses[0].payload.size() - 10);
+  // 3. query finds it (explicit and bare forms).
+  CHECK_OR_FAIL(roundtrip("? loadgen check record alpha beta gamma\n", 1),
+                "query roundtrip");
+  CHECK_OR_FAIL(responses[0].ok &&
+                    responses[0].payload.find(idText + "\t") !=
+                        std::string::npos,
+                "query answer lists the inserted id");
+  CHECK_OR_FAIL(roundtrip("loadgen check record alpha beta gamma\n", 1),
+                "bare query roundtrip");
+  CHECK_OR_FAIL(responses[0].ok &&
+                    responses[0].payload.find(idText + "\t") !=
+                        std::string::npos,
+                "bare query answer lists the inserted id");
+
+  // 4. top-k.
+  CHECK_OR_FAIL(roundtrip("?k 1 loadgen check record alpha beta gamma\n", 1),
+                "topk roundtrip");
+  CHECK_OR_FAIL(responses[0].ok && !responses[0].payload.empty(),
+                "topk returns one ranked line");
+
+  // 5. pipelined burst: five queries in one write, five responses, in
+  // order, every one identical to the single-shot answer.
+  std::string expected = responses[0].payload;
+  std::string burst;
+  for (int i = 0; i < 5; ++i) {
+    burst += "?k 1 loadgen check record alpha beta gamma\n";
+  }
+  CHECK_OR_FAIL(roundtrip(burst, 5), "pipelined burst roundtrip");
+  for (int i = 0; i < 5; ++i) {
+    CHECK_OR_FAIL(responses[i].ok && responses[i].payload == expected,
+                  "pipelined responses match the single-shot answer");
+  }
+
+  // 6. delete; double delete errs with the REPL's exact message.
+  CHECK_OR_FAIL(roundtrip("- " + idText + "\n", 1), "delete roundtrip");
+  CHECK_OR_FAIL(responses[0].ok &&
+                    responses[0].payload == "deleted " + idText + "\n",
+                "delete acknowledges");
+  CHECK_OR_FAIL(roundtrip("- " + idText + "\n", 1),
+                "double delete roundtrip");
+  CHECK_OR_FAIL(!responses[0].ok &&
+                    responses[0].payload ==
+                        "no live record with id " + idText,
+                "double delete errs with the REPL string");
+
+  // 7. malformed delete: the REPL's exact ERR detail.
+  CHECK_OR_FAIL(roundtrip("- xyz\n", 1), "malformed delete roundtrip");
+  CHECK_OR_FAIL(!responses[0].ok &&
+                    responses[0].payload ==
+                        "malformed delete '- xyz' (want '- <id>')",
+                "malformed delete errs with the REPL string");
+
+  // 8. compact.
+  CHECK_OR_FAIL(roundtrip("! compact\n", 1), "compact roundtrip");
+  CHECK_OR_FAIL(responses[0].ok &&
+                    responses[0].payload.rfind("compacted;", 0) == 0,
+                "compact acknowledges");
+
+  ::close(fd);
+  std::fprintf(stderr, "check ok\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<LoadGenOptions> options = ParseArgs(argc, argv);
+  if (!options.has_value()) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  signal(SIGPIPE, SIG_IGN);
+  if (options->check) return RunCheck(*options);
+  return RunSweep(*options);
+}

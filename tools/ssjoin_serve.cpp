@@ -5,47 +5,38 @@
 //   ssjoin_serve --corpus=records.txt --queries=queries.txt --threads=4
 //   ssjoin_serve --corpus=records.txt --topk=5 < queries.txt
 //
-// Interactive commands (stdin, one per line):
+// Interactive commands (stdin, one per line) are the shared
+// serve/protocol grammar — the same one ssjoin_server speaks over TCP:
 //   <text>        look up the record; prints "id<TAB>score" per match
 //   + <text>      insert the record into the corpus (empty text is legal)
 //   - <id>        delete record <id> (tombstoned; dropped at compaction)
+//   ?k <k> <text> rank the k nearest records for this one query
 //   ! compact     fold the memtable into the base index
-//   ? stats       print the service stats JSON
+//   ? stats       print the service stats JSON ("stats" works too)
 // A malformed or unknown command prints one "ERR ..." line; when stdin is
 // not a terminal (a scripted pipe or file), any ERR also makes the
 // process exit nonzero, so driver scripts cannot silently lose commands.
-// (EOF quits; stats JSON also lands on stderr at exit with --stats-json)
+// SIGINT/SIGTERM drain the in-flight command and exit cleanly (logging
+// the final WAL position when --data-dir is set); a second signal
+// force-exits. (EOF quits; stats JSON also lands on stderr at exit with
+// --stats-json)
 
 #include <unistd.h>
 
-#include <cerrno>
-#include <cmath>
-#include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <fstream>
 #include <iostream>
-#include <iterator>
 #include <memory>
 #include <optional>
 #include <string>
-#include <string_view>
 #include <vector>
 
-#include "core/cosine_predicate.h"
-#include "core/dice_predicate.h"
-#include "core/edit_distance_predicate.h"
-#include "core/jaccard_predicate.h"
-#include "core/overlap_predicate.h"
-#include "data/corpus_builder.h"
-#include "serve/checkpoint.h"
-#include "serve/similarity_service.h"
-#include "text/token_dictionary.h"
+#include "serve/protocol.h"
+#include "serve_common.h"
 
 namespace {
 
 using namespace ssjoin;
+using namespace ssjoin::tools;
 
 constexpr const char kUsage[] =
     "usage: ssjoin_serve --corpus=FILE [flags]\n"
@@ -74,274 +65,21 @@ constexpr const char kUsage[] =
     "                        process, not of the machine)\n"
     "  --stats-json          print the stats JSON to stderr at exit\n";
 
-struct ServeCliOptions {
-  std::string corpus;
-  std::string queries;
-  std::string predicate = "jaccard";
-  double threshold = 0.8;
-  std::string tokens = "words";
-  uint64_t topk = 0;
-  int threads = 0;
-  uint64_t shards = 1;
-  uint64_t memtable_limit = 256;
-  std::string data_dir;
-  std::string wal_sync = "always";
-  bool stats_json = false;
-};
-
-bool ParseFlag(const char* arg, const char* name, std::string* out) {
-  size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
-  *out = arg + len + 1;
-  return true;
-}
-
-bool ParseDouble(const std::string& text, double* out) {
-  if (text.empty()) return false;
-  errno = 0;
-  char* end = nullptr;
-  double value = std::strtod(text.c_str(), &end);
-  if (errno != 0 || end != text.c_str() + text.size()) return false;
-  if (!std::isfinite(value)) return false;
-  *out = value;
-  return true;
-}
-
-bool ParseUint64(const std::string& text, uint64_t* out) {
-  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
-  errno = 0;
-  char* end = nullptr;
-  unsigned long long value = std::strtoull(text.c_str(), &end, 10);
-  if (errno != 0 || end != text.c_str() + text.size()) return false;
-  *out = value;
-  return true;
-}
-
 std::optional<ServeCliOptions> ParseArgs(int argc, char** argv) {
   ServeCliOptions options;
   for (int i = 1; i < argc; ++i) {
-    std::string value;
-    if (ParseFlag(argv[i], "--corpus", &value)) {
-      options.corpus = value;
-    } else if (ParseFlag(argv[i], "--queries", &value)) {
-      options.queries = value;
-    } else if (ParseFlag(argv[i], "--predicate", &value)) {
-      options.predicate = value;
-    } else if (ParseFlag(argv[i], "--threshold", &value)) {
-      if (!ParseDouble(value, &options.threshold) ||
-          options.threshold <= 0) {
-        std::fprintf(stderr, "invalid --threshold=%s (need a number > 0)\n",
-                     value.c_str());
+    switch (ParseServeFlag(argv[i], &options)) {
+      case FlagOutcome::kMatched:
+        continue;
+      case FlagOutcome::kInvalid:
         return std::nullopt;
-      }
-    } else if (ParseFlag(argv[i], "--tokens", &value)) {
-      options.tokens = value;
-    } else if (ParseFlag(argv[i], "--topk", &value)) {
-      if (!ParseUint64(value, &options.topk) || options.topk == 0) {
-        std::fprintf(stderr, "invalid --topk=%s (need an integer > 0)\n",
-                     value.c_str());
+      case FlagOutcome::kUnmatched:
+        std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
         return std::nullopt;
-      }
-    } else if (ParseFlag(argv[i], "--threads", &value)) {
-      uint64_t threads = 0;
-      if (!ParseUint64(value, &threads) || threads == 0 || threads > 1024) {
-        std::fprintf(stderr, "invalid --threads=%s (need 1..1024)\n",
-                     value.c_str());
-        return std::nullopt;
-      }
-      options.threads = static_cast<int>(threads);
-    } else if (ParseFlag(argv[i], "--shards", &value)) {
-      if (!ParseUint64(value, &options.shards) || options.shards == 0 ||
-          options.shards > 1024) {
-        std::fprintf(stderr, "invalid --shards=%s (need 1..1024)\n",
-                     value.c_str());
-        return std::nullopt;
-      }
-    } else if (ParseFlag(argv[i], "--memtable-limit", &value)) {
-      if (!ParseUint64(value, &options.memtable_limit)) {
-        std::fprintf(stderr,
-                     "invalid --memtable-limit=%s (need an integer >= 0)\n",
-                     value.c_str());
-        return std::nullopt;
-      }
-    } else if (ParseFlag(argv[i], "--data-dir", &value)) {
-      if (value.empty()) {
-        std::fprintf(stderr, "--data-dir needs a directory path\n");
-        return std::nullopt;
-      }
-      options.data_dir = value;
-    } else if (ParseFlag(argv[i], "--wal-sync", &value)) {
-      if (value != "always" && value != "never") {
-        std::fprintf(stderr, "invalid --wal-sync=%s (want always | never)\n",
-                     value.c_str());
-        return std::nullopt;
-      }
-      options.wal_sync = value;
-    } else if (std::strcmp(argv[i], "--stats-json") == 0) {
-      options.stats_json = true;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
-      return std::nullopt;
     }
   }
-  // With a data_dir the corpus may come from a previous incarnation's
-  // checkpoint instead of a file; main() enforces that one of the two
-  // sources actually exists.
-  if (options.corpus.empty() && options.data_dir.empty()) {
-    std::fprintf(stderr, "--corpus=FILE is required\n");
-    return std::nullopt;
-  }
-  if (options.predicate != "overlap" && options.predicate != "jaccard" &&
-      options.predicate != "cosine" && options.predicate != "dice" &&
-      options.predicate != "edit-distance") {
-    std::fprintf(stderr, "unknown predicate: %s\n",
-                 options.predicate.c_str());
-    return std::nullopt;
-  }
-  if (options.tokens != "words" && options.tokens != "2gram" &&
-      options.tokens != "3gram" && options.tokens != "4gram") {
-    std::fprintf(stderr, "unknown tokens mode: %s\n",
-                 options.tokens.c_str());
-    return std::nullopt;
-  }
+  if (!ValidateServeOptions(options)) return std::nullopt;
   return options;
-}
-
-std::optional<std::vector<std::string>> ReadLines(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
-    return std::nullopt;
-  }
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
-  return lines;
-}
-
-std::unique_ptr<Predicate> MakePredicate(const ServeCliOptions& options,
-                                         int q) {
-  const std::string& name = options.predicate;
-  double t = options.threshold;
-  if (name == "overlap") return std::make_unique<OverlapPredicate>(t);
-  if (name == "jaccard") return std::make_unique<JaccardPredicate>(t);
-  if (name == "cosine") return std::make_unique<CosinePredicate>(t);
-  if (name == "dice") return std::make_unique<DicePredicate>(t);
-  return std::make_unique<EditDistancePredicate>(static_cast<int>(t), q);
-}
-
-/// Append-only sidecar persisting TokenDictionary growth next to the
-/// service's checkpoint/WAL: one token per line, in id order (ids are
-/// dense first-seen, so line i IS token id i). The checkpoint stores
-/// records as token ids only; without the string->id mapping a restored
-/// service could not tokenize new queries consistently. The log is
-/// synced BEFORE each insert reaches the service, so every id a
-/// WAL-logged record references is covered by a complete line; a torn
-/// final line (crash mid-append) can only name an id no durable record
-/// uses yet, and reload drops it. Growth from queries rides along in the
-/// same id-ordered sweep. Writes reach the page cache (process-crash
-/// safe, like --wal-sync=never); sidecar failures warn and never stop
-/// serving, matching SimilarityService's durability policy.
-class DictLog {
- public:
-  /// Fresh durable start: truncate and write every token interned so far.
-  bool OpenFresh(const std::string& path, const TokenDictionary& dict) {
-    path_ = path;
-    out_.open(path, std::ios::binary | std::ios::trunc);
-    if (!out_) {
-      Warn();
-      return false;
-    }
-    return Sync(dict);
-  }
-
-  /// Restore: intern every complete line in id order, dropping a torn
-  /// final line, then rewrite the file (self-healing the tail).
-  bool OpenExisting(const std::string& path, TokenDictionary* dict) {
-    {
-      std::ifstream in(path, std::ios::binary);
-      if (in) {
-        std::string contents((std::istreambuf_iterator<char>(in)),
-                             std::istreambuf_iterator<char>());
-        size_t begin = 0;
-        while (true) {
-          size_t end = contents.find('\n', begin);
-          if (end == std::string::npos) break;
-          dict->Intern(std::string_view(contents).substr(begin, end - begin));
-          begin = end + 1;
-        }
-      }
-    }
-    return OpenFresh(path, *dict);
-  }
-
-  /// Appends tokens the dictionary has grown since the last sync. A
-  /// no-op for non-durable services (never opened).
-  bool Sync(const TokenDictionary& dict) {
-    if (!out_.is_open() || failed_) return false;
-    for (; written_ < dict.size(); ++written_) {
-      out_ << dict.ToString(static_cast<TokenId>(written_)) << '\n';
-    }
-    out_.flush();
-    if (!out_) {
-      failed_ = true;
-      Warn();
-      return false;
-    }
-    return true;
-  }
-
- private:
-  void Warn() {
-    std::fprintf(stderr,
-                 "warning: cannot write token dictionary %s: %s "
-                 "(serving continues; restores may mis-tokenize queries)\n",
-                 path_.c_str(), std::strerror(errno));
-  }
-
-  std::ofstream out_;
-  std::string path_;
-  size_t written_ = 0;
-  bool failed_ = false;
-};
-
-/// Tokenizer shared by the corpus, inserts and queries: every text goes
-/// through the same builder with the same (growing) dictionary, so query
-/// tokens line up with index tokens.
-class LineTokenizer {
- public:
-  LineTokenizer(std::string mode, TokenDictionary* dict)
-      : mode_(std::move(mode)), dict_(dict) {}
-
-  int q() const { return mode_ == "words" ? 3 : mode_[0] - '0'; }
-
-  RecordSet Build(const std::vector<std::string>& lines) const {
-    if (mode_ == "words") return BuildWordCorpus(lines, dict_);
-    return BuildQGramCorpus(lines, q(), dict_);
-  }
-
-  RecordSet BuildOne(const std::string& line) const {
-    return Build(std::vector<std::string>{line});
-  }
-
- private:
-  std::string mode_;
-  TokenDictionary* dict_;
-};
-
-void PrintMatches(const std::vector<QueryMatch>& matches) {
-  for (const QueryMatch& m : matches) {
-    std::printf("%u\t%.6g\n", m.id, m.score);
-  }
-}
-
-std::vector<QueryMatch> Answer(const SimilarityService& service,
-                               const ServeCliOptions& options,
-                               RecordView query, std::string text) {
-  if (options.topk > 0) {
-    return service.QueryTopK(query, options.topk, std::move(text));
-  }
-  return service.Query(query, std::move(text));
 }
 
 int RunBatch(const SimilarityService& service,
@@ -367,20 +105,6 @@ int RunBatch(const SimilarityService& service,
   return 0;
 }
 
-std::string Trim(const std::string& text) {
-  size_t begin = text.find_first_not_of(" \t\r");
-  if (begin == std::string::npos) return "";
-  size_t end = text.find_last_not_of(" \t\r");
-  return text.substr(begin, end - begin + 1);
-}
-
-void WarnIfDurabilityDegraded(const SimilarityService& service) {
-  if (service.durable() && !service.durability_status().ok()) {
-    std::fprintf(stderr, "warning: durability degraded: %s\n",
-                 service.durability_status().ToString().c_str());
-  }
-}
-
 int RunRepl(SimilarityService* service, const ServeCliOptions& options,
             const LineTokenizer& tokenizer, const TokenDictionary& dict,
             DictLog* dict_log) {
@@ -389,59 +113,40 @@ int RunRepl(SimilarityService* service, const ServeCliOptions& options,
   // silently ignored. At a terminal the ERR line alone is the feedback.
   const bool scripted = isatty(fileno(stdin)) == 0;
   int rc = 0;
-  auto err = [&](const std::string& detail) {
-    std::printf("ERR %s\n", detail.c_str());
-    if (scripted) rc = 1;
-  };
+  // The exact session the network front door runs per connection: shared
+  // grammar, shared execution, shared output bytes.
+  ServiceDispatcher dispatcher(
+      service,
+      [&tokenizer](const std::vector<std::string>& lines) {
+        return tokenizer.Build(lines);
+      },
+      static_cast<size_t>(options.topk),
+      // New tokens must hit the sidecar before the record hits the WAL.
+      [&dict, dict_log] { dict_log->Sync(dict); });
   // std::getline delivers a final line even when the input ends without a
   // trailing newline, so a scripted pipe like `printf '+ a b c'` still
   // executes its last command (tools/CMakeLists.txt smoke-tests this).
+  // A first SIGINT/SIGTERM interrupts the blocking read (no SA_RESTART),
+  // which lands here as a failed getline — the in-flight command always
+  // finishes before the loop is left.
   std::string line;
-  while (std::getline(std::cin, line)) {
-    if (Trim(line).empty()) continue;
-    const char op = line[0];
-    if (op == '!') {
-      const std::string arg = Trim(line.substr(1));
-      if (!arg.empty() && arg != "compact") {
-        err("unknown command '" + line + "' (want '! compact')");
-      } else {
-        service->Compact();
-        std::printf("compacted; %zu records, epoch %llu\n", service->size(),
-                    static_cast<unsigned long long>(service->epoch()));
-        WarnIfDurabilityDegraded(*service);
-      }
-    } else if (op == '?') {
-      const std::string arg = Trim(line.substr(1));
-      if (!arg.empty() && arg != "stats") {
-        err("unknown command '" + line + "' (want '? stats')");
-      } else {
-        std::printf("%s\n", service->StatsJson().c_str());
-      }
-    } else if (op == '+') {
-      // Empty text is legal: token-less records route to shard 0 and can
-      // only be found by short-record predicates (edit distance).
-      RecordSet staged = tokenizer.BuildOne(Trim(line.substr(1)));
-      // New tokens must hit the sidecar before the record hits the WAL.
-      dict_log->Sync(dict);
-      RecordId id = service->Insert(staged.record(0), staged.text(0));
-      std::printf("inserted %u\n", id);
-    } else if (op == '-') {
-      const std::string arg = Trim(line.substr(1));
-      uint64_t id = 0;
-      if (!ParseUint64(arg, &id) || id > UINT32_MAX) {
-        err("malformed delete '" + line + "' (want '- <id>')");
-      } else if (service->Delete(static_cast<RecordId>(id))) {
-        std::printf("deleted %llu\n", static_cast<unsigned long long>(id));
-      } else {
-        err("no live record with id " + arg);
-      }
+  while (!ShutdownRequested() && std::getline(std::cin, line)) {
+    Request request = ParseRequest(line);
+    if (request.type == RequestType::kNone) continue;
+    Response response = dispatcher.Execute(request);
+    if (response.ok) {
+      std::fwrite(response.payload.data(), 1, response.payload.size(),
+                  stdout);
     } else {
-      RecordSet staged = tokenizer.BuildOne(line);
-      PrintMatches(
-          Answer(*service, options, staged.record(0), staged.text(0)));
+      std::printf("ERR %s\n", response.payload.c_str());
+      if (scripted) rc = 1;
+    }
+    if (request.type == RequestType::kCompact) {
+      WarnIfDurabilityDegraded(*service);
     }
     std::fflush(stdout);
   }
+  if (ShutdownRequested()) LogCleanShutdown(service);
   return rc;
 }
 
@@ -458,58 +163,11 @@ int main(int argc, char** argv) {
   LineTokenizer tokenizer(options->tokens, &dict);
   std::unique_ptr<Predicate> pred = MakePredicate(*options, tokenizer.q());
 
-  ServiceOptions service_options;
-  service_options.memtable_limit =
-      static_cast<size_t>(options->memtable_limit);
-  service_options.num_threads = options->threads;
-  service_options.num_shards = static_cast<size_t>(options->shards);
-  service_options.data_dir = options->data_dir;
-  service_options.wal_sync = options->wal_sync == "never"
-                                 ? WalSyncPolicy::kNever
-                                 : WalSyncPolicy::kAlways;
-
   DictLog dict_log;
-  std::unique_ptr<SimilarityService> service;
-  if (!options->data_dir.empty() && CheckpointExists(options->data_dir)) {
-    // Restore: the checkpoint + WAL are the source of truth, --corpus is
-    // deliberately not re-read (inserting it again would duplicate every
-    // record the previous incarnation already made durable).
-    dict_log.OpenExisting(options->data_dir + "/dict.log", &dict);
-    Result<std::unique_ptr<SimilarityService>> restored =
-        SimilarityService::Open(*pred, service_options);
-    if (!restored.ok()) {
-      std::fprintf(stderr, "cannot restore from %s: %s\n",
-                   options->data_dir.c_str(),
-                   restored.status().ToString().c_str());
-      return 1;
-    }
-    service = std::move(restored).value();
-    std::fprintf(stderr, "restored %zu records from %s (epoch %llu)\n",
-                 service->size(), options->data_dir.c_str(),
-                 static_cast<unsigned long long>(service->epoch()));
-  } else {
-    if (options->corpus.empty()) {
-      std::fprintf(stderr, "no checkpoint in %s and no --corpus to start from\n",
-                   options->data_dir.c_str());
-      return 1;
-    }
-    std::optional<std::vector<std::string>> corpus_lines =
-        ReadLines(options->corpus);
-    if (!corpus_lines.has_value()) return 1;
-    RecordSet corpus = tokenizer.Build(*corpus_lines);
-    if (!options->data_dir.empty()) {
-      // The dictionary must be on disk before the constructor writes the
-      // initial checkpoint: a crash between the two must never leave a
-      // restorable checkpoint without its token mapping.
-      if (Status made = EnsureDataDir(options->data_dir); !made.ok()) {
-        std::fprintf(stderr, "warning: %s\n", made.ToString().c_str());
-      }
-      dict_log.OpenFresh(options->data_dir + "/dict.log", dict);
-    }
-    service = std::make_unique<SimilarityService>(std::move(corpus), *pred,
-                                                  service_options);
-  }
-  WarnIfDurabilityDegraded(*service);
+  InstallShutdownSignals();
+  std::unique_ptr<SimilarityService> service =
+      SetUpService(*options, *pred, tokenizer, &dict, &dict_log);
+  if (service == nullptr) return 1;
   std::fprintf(stderr, "serving %zu records (%s, %s, %zu shards%s)\n",
                service->size(), options->predicate.c_str(),
                options->tokens.c_str(), service->num_shards(),
