@@ -47,6 +47,7 @@ class CosinePredicate : public Predicate {
   double MinMatchOverlap(double /*norm_r*/) const override {
     return fraction_;
   }
+  bool supports_bitmap_pruning() const override { return true; }
 
   double fraction() const { return fraction_; }
 

@@ -34,6 +34,7 @@ class DicePredicate : public Predicate {
   double MinMatchOverlap(double norm_r) const override {
     return fraction_ * norm_r / (2.0 - fraction_);
   }
+  bool supports_bitmap_pruning() const override { return true; }
 
   double fraction() const { return fraction_; }
 

@@ -36,6 +36,7 @@ class JaccardPredicate : public Predicate {
   double MinMatchOverlap(double norm_r) const override {
     return fraction_ * norm_r;
   }
+  bool supports_bitmap_pruning() const override { return true; }
 
   double fraction() const { return fraction_; }
   bool weighted() const { return !token_weights_.empty(); }

@@ -2,6 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdlib>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 #include "util/logging.h"
 
@@ -12,6 +18,8 @@ MergeStats& MergeStats::operator+=(const MergeStats& other) {
   heap_pops += other.heap_pops;
   gallop_probes += other.gallop_probes;
   candidates += other.candidates;
+  bitmap_checked += other.bitmap_checked;
+  bitmap_pruned += other.bitmap_pruned;
   lists_direct += other.lists_direct;
   lists_merged += other.lists_merged;
   return *this;
@@ -21,12 +29,22 @@ double PruneBound(double bound) {
   return bound - 1e-7 * std::max(1.0, std::fabs(bound));
 }
 
+namespace {
+/// The bitmap gate consults only candidates guaranteed at least this many
+/// direct searches (see Next): one consult costs roughly one cold cache
+/// line, a direct search from its rolling hint often costs less, so
+/// shallow candidates are cheaper to search than to gate. Purely a
+/// cost knob — any value yields identical candidate streams.
+constexpr size_t kBitmapGateMinDepth = 4;
+}  // namespace
+
 void ListMerger::Reset(const std::vector<PostingListView>& lists,
                        const std::vector<double>& probe_scores,
                        const std::vector<RecordId>* id_offsets, double floor,
                        FunctionRef<double(RecordId)> required,
                        FunctionRef<bool(RecordId)> filter,
-                       MergeOptions options, MergeStats* stats) {
+                       MergeOptions options, MergeStats* stats,
+                       const BitmapGate* gate) {
   SSJOIN_CHECK(lists.size() == probe_scores.size());
   SSJOIN_CHECK(id_offsets == nullptr || id_offsets->size() == lists.size());
   floor_ = floor;
@@ -34,7 +52,9 @@ void ListMerger::Reset(const std::vector<PostingListView>& lists,
   filter_ = filter;
   options_ = options;
   stats_ = stats;
+  gate_ = gate;
   split_k_ = 0;
+  max_l_pair_weight_ = 0;
   heap_.clear();
   if (stats_ != nullptr) ++stats_->merges;
 
@@ -94,6 +114,10 @@ void ListMerger::RecomputeSplit() {
     // direct-search start: everything before it was already consumed
     // through the heap.
     search_pos_[k] = frontier_[k];
+    // The bitmap gate bounds each still-unseen common token's overlap
+    // contribution by the largest probe-weight * list-max-score over L.
+    max_l_pair_weight_ = std::max(max_l_pair_weight_,
+                                  probe_scores_[k] * lists_[k].max_score());
     if (stats_ != nullptr) ++stats_->lists_direct;
     ++k;
   }
@@ -130,7 +154,7 @@ bool ListMerger::Next(MergeCandidate* out) {
     // advancing their frontier: the direct search covers them.
     RecordId id = heap_.front().id;
     double overlap = 0;
-    bool any_live = false;
+    uint32_t s_matched = 0;  // distinct probe tokens matched via the heap
     while (!heap_.empty() && heap_.front().id == id) {
       std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
       uint32_t i = heap_.back().list;
@@ -142,12 +166,68 @@ bool ListMerger::Next(MergeCandidate* out) {
       ++frontier_[i];
       if (stats_ != nullptr) ++stats_->heap_pops;
       PushFrontier(i);
-      any_live = true;
+      // Each live pop is one distinct common token: probe tokens are
+      // strictly increasing, and in chain mode a token's per-segment
+      // lists cover disjoint id ranges, so at most one holds `id`.
+      ++s_matched;
     }
-    if (!any_live) continue;
+    if (s_matched == 0) continue;
+
+    // Floor-based viability, BEFORE the per-candidate required_() call:
+    // the emit bound is at least the floor, so a candidate that cannot
+    // reach the floor even with full membership in every L list is
+    // discarded without paying required_'s indirect call and norm
+    // lookup. (The descent's own first check repeats this against the
+    // tighter bound.)
+    const double l_potential =
+        split_k_ > 0 ? cumulative_weight_[split_k_ - 1] : 0.0;
+    if (overlap + l_potential < PruneBound(floor_)) continue;
+
+    // Bitmap prefilter, stage 1: the XOR-popcount bound caps this
+    // candidate's distinct common tokens; beyond the s_matched already
+    // accumulated, each remaining one lives in some L list and
+    // contributes at most max_l_pair_weight_. If even that ceiling
+    // cannot reach the floor, the final `overlap < PruneBound(bound)`
+    // check below (bound >= floor) would discard the candidate anyway —
+    // pruning here changes no output, it only skips the required_()
+    // lookup and the direct searches. With an empty L the overlap is
+    // already exact, so there is nothing left to save.
+    //
+    // The consult itself costs a cache line (the candidate's bitmap
+    // arena entry), so it runs only when the descent has real work at
+    // stake: the all-miss descent depth is the number of L levels whose
+    // viability check passes, and requiring viability at level
+    // split_k_ - kBitmapGateMinDepth guarantees at least that many
+    // direct searches would run. Shallower candidates are cheaper to
+    // just search than to look up.
+    double bitmap_cap = -1;  // < 0: gate not consulted for this candidate
+    if (gate_ != nullptr && split_k_ >= kBitmapGateMinDepth &&
+        overlap + cumulative_weight_[split_k_ - kBitmapGateMinDepth] >=
+            PruneBound(floor_)) {
+      const BitmapCandidate cand = gate_->lookup(id);
+      if (stats_ != nullptr) ++stats_->bitmap_checked;
+      const uint32_t ub =
+          TokenBitmapOverlapBound(gate_->probe_bits, gate_->probe_tokens,
+                                  cand.bits, cand.tokens, gate_->words);
+      const double remaining =
+          ub > s_matched ? static_cast<double>(ub - s_matched) : 0.0;
+      bitmap_cap = remaining * max_l_pair_weight_;
+      if (overlap + bitmap_cap < PruneBound(floor_)) {
+        if (stats_ != nullptr) ++stats_->bitmap_pruned;
+        continue;
+      }
+    }
 
     double bound = floor_;
     if (required_ != nullptr) bound = std::max(bound, required_(id));
+
+    // Bitmap prefilter, stage 2: the same cached cap re-checked against
+    // the per-candidate bound — catches candidates whose required(id)
+    // exceeds the floor, at the cost of one comparison (no new loads).
+    if (bitmap_cap >= 0 && overlap + bitmap_cap < PruneBound(bound)) {
+      if (stats_ != nullptr) ++stats_->bitmap_pruned;
+      continue;
+    }
 
     // Steps 8-11: direct search of the L lists from the smallest
     // cumulative potential upwards, abandoning the candidate as soon as
@@ -161,7 +241,7 @@ bool ListMerger::Next(MergeCandidate* out) {
       if (id < offsets_[i]) continue;  // below this list's id range
       RecordId target = id - offsets_[i];
       uint64_t* cost = stats_ != nullptr ? &stats_->gallop_probes : nullptr;
-      size_t pos = lists_[i].GallopLowerBound(target, search_pos_[i], cost);
+      size_t pos = MergeLowerBound(lists_[i], target, search_pos_[i], cost);
       search_pos_[i] = pos;  // candidates arrive in increasing id order
       if (pos < lists_[i].size() && lists_[i][pos].id == target) {
         overlap += probe_scores_[i] * lists_[i][pos].score;
@@ -176,6 +256,113 @@ bool ListMerger::Next(MergeCandidate* out) {
     return true;
   }
   return false;
+}
+
+namespace {
+
+size_t ScalarLowerBound(const PostingListView& list, RecordId id, size_t start,
+                        uint64_t* probe_cost) {
+  return list.GallopLowerBound(id, start, probe_cost);
+}
+
+#if defined(__x86_64__)
+
+// Same contract as GallopLowerBound, compiled for AVX2 without requiring a
+// global -mavx2: gallop exactly like the scalar primitive, binary-search
+// the window down to a few vector strides, then compare 8 gathered ids per
+// step. The returned position is the unique lower bound, so it is
+// identical to the scalar path by construction; only the probe_cost
+// comparison accounting differs (one increment per 8-lane compare).
+__attribute__((target("avx2"))) size_t Avx2LowerBound(
+    const PostingListView& list, RecordId id, size_t start,
+    uint64_t* probe_cost) {
+  const size_t n = list.size();
+  if (start >= n) return n;
+  const Posting* data = &list[0];
+  size_t lo = start;
+  size_t step = 1;
+  size_t hi = start;
+  while (hi < n && data[hi].id < id) {
+    if (probe_cost != nullptr) ++*probe_cost;
+    lo = hi + 1;
+    hi = start + step;
+    step *= 2;
+  }
+  hi = std::min(hi, n);
+  while (hi - lo > 32) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (probe_cost != nullptr) ++*probe_cost;
+    if (data[mid].id < id) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  // Posting is 16 bytes with the id at offset 0 (checked at dispatch), so
+  // ids sit at every 4th int32; unsigned compares via the INT32_MIN bias.
+  const __m256i offsets = _mm256_setr_epi32(0, 4, 8, 12, 16, 20, 24, 28);
+  const __m256i bias = _mm256_set1_epi32(INT32_MIN);
+  const __m256i target =
+      _mm256_xor_si256(_mm256_set1_epi32(static_cast<int32_t>(id)), bias);
+  while (lo + 8 <= hi) {
+    const int* base = reinterpret_cast<const int*>(data + lo);
+    __m256i ids = _mm256_i32gather_epi32(base, offsets, 4);
+    ids = _mm256_xor_si256(ids, bias);
+    // Lane k set when data[lo + k].id < id.
+    const __m256i lt = _mm256_cmpgt_epi32(target, ids);
+    const int mask = _mm256_movemask_ps(_mm256_castsi256_ps(lt));
+    if (probe_cost != nullptr) ++*probe_cost;
+    if (mask != 0xFF) {
+      return lo + static_cast<size_t>(__builtin_ctz(~mask & 0xFF));
+    }
+    lo += 8;
+  }
+  while (lo < hi) {
+    if (probe_cost != nullptr) ++*probe_cost;
+    if (data[lo].id >= id) break;
+    ++lo;
+  }
+  return lo;
+}
+
+#endif  // defined(__x86_64__)
+
+using LowerBoundFn = size_t (*)(const PostingListView&, RecordId, size_t,
+                                uint64_t*);
+
+bool ForceScalarEnv() {
+  const char* v = std::getenv("SSJOIN_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+LowerBoundFn ResolveLowerBound() {
+#if defined(__x86_64__)
+  if (!ForceScalarEnv() && __builtin_cpu_supports("avx2") &&
+      sizeof(Posting) == 16 && offsetof(Posting, id) == 0) {
+    return &Avx2LowerBound;
+  }
+#endif
+  return &ScalarLowerBound;
+}
+
+LowerBoundFn ActiveLowerBound() {
+  // Resolved once per process: env + CPUID are stable for its lifetime.
+  static const LowerBoundFn fn = ResolveLowerBound();
+  return fn;
+}
+
+}  // namespace
+
+const char* ActiveMergeBackend() {
+#if defined(__x86_64__)
+  if (ActiveLowerBound() == &Avx2LowerBound) return "avx2";
+#endif
+  return "scalar";
+}
+
+size_t MergeLowerBound(const PostingListView& list, RecordId id, size_t start,
+                       uint64_t* probe_cost) {
+  return ActiveLowerBound()(list, id, start, probe_cost);
 }
 
 void CollectProbeLists(const InvertedIndex& index, RecordView probe,

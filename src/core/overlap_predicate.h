@@ -36,6 +36,7 @@ class OverlapPredicate : public Predicate {
   double MinMatchOverlap(double /*norm_r*/) const override {
     return threshold_;
   }
+  bool supports_bitmap_pruning() const override { return true; }
 
   double threshold() const { return threshold_; }
   bool weighted() const { return !token_weights_.empty(); }

@@ -113,6 +113,15 @@ class Predicate {
   /// bound. A return value <= 0 disables prefix filtering for the
   /// predicate (the default).
   virtual double MinMatchOverlap(double norm_r) const;
+
+  /// True when the token-bitmap candidate prefilter (data/token_bitmap.h)
+  /// may ride this predicate's probes. Requires only that matching is
+  /// decided by the merged token overlap against the merge bound —
+  /// overlap/jaccard/dice/cosine opt in; predicates with side channels
+  /// beyond the overlap test (edit distance's short-record pool and
+  /// verification) stay out. The filter never changes answers either
+  /// way; this merely keeps it off paths it was not measured on.
+  virtual bool supports_bitmap_pruning() const { return false; }
 };
 
 }  // namespace ssjoin

@@ -68,6 +68,18 @@ Result<JoinStats> ProbeJoin(const RecordSet& records, const Predicate& pred,
   merge_options.split_lists = options.optimized_merge;
   merge_options.apply_filter = options.apply_filter;
 
+  // Bitmap prefilter plumbing: the candidate lookup maps a processing
+  // position back through `order` to its record's bitmap; the probe side
+  // of the gate is re-pointed per probe below.
+  const bool use_bitmaps =
+      options.bitmap_filter && pred.supports_bitmap_pruning();
+  auto bitmap_lookup = [&](RecordId m) {
+    const TokenBitmapEntry& e = records.token_bitmap_entry(order[m]);
+    return BitmapCandidate{e.bits, static_cast<uint32_t>(e.tokens)};
+  };
+  BitmapGate gate;
+  gate.lookup = bitmap_lookup;
+
   // Probe-loop scratch, allocated once and reused: no per-record heap
   // allocations inside the loop.
   ProbeScratch scratch;
@@ -75,6 +87,42 @@ Result<JoinStats> ProbeJoin(const RecordSet& records, const Predicate& pred,
   for (uint32_t pos = 0; pos < n; ++pos) {
     RecordId probe_id = order[pos];
     const RecordView probe = records.record(probe_id);
+    if (use_bitmaps) {
+      gate.probe_bits = records.token_bitmap(probe_id);
+      gate.probe_tokens = static_cast<uint32_t>(probe.size());
+    }
+
+    // Emit-level gate, stopword mode only: there the merger holds
+    // candidates to the REDUCED threshold while verification runs the
+    // full constant threshold, so the bitmap bound gets a second cut at
+    // the gap. Each common token contributes at most probe-score times
+    // corpus-max-score, so ub * probe_pair_max bounds the pair's exact
+    // overlap; below the full threshold, Matches() must fail, and the
+    // verification is skipped without changing the emitted pairs. (The
+    // non-stopword paths need no emit gate: their merger already holds
+    // candidates to the exact per-pair threshold.)
+    const bool emit_gated = use_bitmaps && options.stopwords;
+    double probe_pair_max = 0;
+    if (emit_gated) {
+      for (size_t i = 0; i < probe.size(); ++i) {
+        probe_pair_max =
+            std::max(probe_pair_max,
+                     probe.score(i) * stop_plan.max_score[probe.token(i)]);
+      }
+    }
+    auto emit_gate_prunes = [&](uint32_t m) {
+      const BitmapCandidate cand = bitmap_lookup(m);
+      ++stats.merge.bitmap_checked;
+      const uint32_t ub =
+          TokenBitmapOverlapBound(gate.probe_bits, gate.probe_tokens,
+                                  cand.bits, cand.tokens, gate.words);
+      if (static_cast<double>(ub) * probe_pair_max <
+          PruneBound(stop_plan.threshold)) {
+        ++stats.merge.bitmap_pruned;
+        return true;
+      }
+      return false;
+    };
 
     if (index.num_entities() > 0) {
       double floor;
@@ -91,6 +139,7 @@ Result<JoinStats> ProbeJoin(const RecordSet& records, const Predicate& pred,
           uint32_t limit = options.online ? pos : static_cast<uint32_t>(n);
           for (uint32_t m = 0; m < limit; ++m) {
             if (!options.online && m >= pos) break;
+            if (emit_gated && emit_gate_prunes(m)) continue;
             verify_and_emit(order[m], probe_id);
           }
           if (options.online) index.Insert(pos, probe, skip);
@@ -109,16 +158,20 @@ Result<JoinStats> ProbeJoin(const RecordSet& records, const Predicate& pred,
       if (options.apply_filter && pred.has_norm_filter()) {
         filter = filter_fn;
       }
-      ProbeOne(index, probe, floor, required, filter, merge_options,
-               &stats.merge, &scratch, [&](const MergeCandidate& candidate) {
-                 if (!options.online && candidate.id >= pos) {
-                   // Two-pass mode indexes every record: skip self matches
-                   // and emit each unordered pair from its later endpoint
-                   // only.
-                   return;
-                 }
-                 verify_and_emit(order[candidate.id], probe_id);
-               });
+      ProbeOne(
+          index, probe, floor, required, filter, merge_options, &stats.merge,
+          &scratch,
+          [&](const MergeCandidate& candidate) {
+            if (!options.online && candidate.id >= pos) {
+              // Two-pass mode indexes every record: skip self matches
+              // and emit each unordered pair from its later endpoint
+              // only.
+              return;
+            }
+            if (emit_gated && emit_gate_prunes(candidate.id)) return;
+            verify_and_emit(order[candidate.id], probe_id);
+          },
+          use_bitmaps ? &gate : nullptr);
     }
 
     if (options.online) index.Insert(pos, probe, skip);

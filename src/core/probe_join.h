@@ -39,6 +39,13 @@ struct ProbeJoinOptions {
 
   /// Apply the predicate's norm filter while merging.
   bool apply_filter = true;
+
+  /// Arm the token-bitmap candidate prefilter (data/token_bitmap.h) for
+  /// predicates that opt in via supports_bitmap_pruning(). Answers are
+  /// byte-identical either way; the filter only skips merge/verify work.
+  /// Off by default so the serial join remains the instrumentation
+  /// baseline the parallel driver's stats are compared against.
+  bool bitmap_filter = false;
 };
 
 /// Runs the configured Probe-Count variant. `records` must already be

@@ -41,6 +41,12 @@ RecordId RecordSet::Add(RecordView record, std::string text) {
                                  : record.scores().data();
   std::copy(src_tokens, src_tokens + count, token_arena_.begin() + old_size);
   std::copy(src_scores, src_scores + count, score_arena_.begin() + old_size);
+  bitmap_arena_.emplace_back();
+  TokenBitmapEntry& entry = bitmap_arena_.back();
+  for (size_t i = 0; i < count; ++i) {
+    TokenBitmapFlip(entry.bits, token_arena_[old_size + i]);
+  }
+  entry.tokens = count;
   offsets_.push_back(offsets_.back() + count);
   norms_.push_back(record.norm());
   text_lengths_.push_back(record.text_length());
@@ -86,6 +92,7 @@ uint64_t RecordSet::ApproxMemoryBytes() const {
   uint64_t bytes = 0;
   bytes += token_arena_.size() * sizeof(TokenId);
   bytes += score_arena_.size() * sizeof(double);
+  bytes += bitmap_arena_.size() * sizeof(TokenBitmapEntry);
   bytes += offsets_.size() * sizeof(size_t);
   bytes += norms_.size() * sizeof(double);
   bytes += text_lengths_.size() * sizeof(uint32_t);

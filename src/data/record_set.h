@@ -8,6 +8,7 @@
 
 #include "data/record.h"
 #include "data/record_view.h"
+#include "data/token_bitmap.h"
 #include "text/token_dictionary.h"
 
 namespace ssjoin {
@@ -76,6 +77,24 @@ class RecordSet {
     return offsets_[id + 1] - offsets_[id];
   }
 
+  /// Record `id`'s fixed-width token parity bitmap (kTokenBitmapWords
+  /// words, see data/token_bitmap.h), built by Add alongside the CSR
+  /// arena append — every RecordSet carries bitmaps, whether it backs a
+  /// compacted segment, a memtable or a staged query, and a decoded
+  /// checkpoint rebuilds them bit-identically because decoding re-Adds.
+  /// Bitmaps depend only on token SETS, never on scores, so Prepare /
+  /// set_score cannot stale them. Valid until the next Add.
+  const uint64_t* token_bitmap(RecordId id) const {
+    return bitmap_arena_[id].bits;
+  }
+
+  /// The full cache-line arena slot (parity bitmap + token count): what
+  /// BitmapGate lookups should hand to the merger, so one aligned load
+  /// resolves the entire filter input for a candidate.
+  const TokenBitmapEntry& token_bitmap_entry(RecordId id) const {
+    return bitmap_arena_[id];
+  }
+
   /// Rewrites score(token i, record id); used by Predicate::Prepare.
   /// Value-change detection keeps the token-stats cache warm across
   /// idempotent re-Prepares with the same predicate.
@@ -141,6 +160,7 @@ class RecordSet {
   // Columnar CSR arena (see class comment).
   std::vector<TokenId> token_arena_;
   std::vector<double> score_arena_;
+  std::vector<TokenBitmapEntry> bitmap_arena_;  // one cache line per record
   std::vector<size_t> offsets_{0};  // offsets_[n] == arena size
   std::vector<double> norms_;
   std::vector<uint32_t> text_lengths_;

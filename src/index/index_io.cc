@@ -60,6 +60,17 @@ bool GetFixed32(const std::string& data, size_t* offset, uint32_t* v) {
   return true;
 }
 
+void PutFixed64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool GetFixed64(const std::string& data, size_t* offset, uint64_t* v) {
+  if (*offset + sizeof(uint64_t) > data.size()) return false;
+  std::memcpy(v, data.data() + *offset, sizeof(*v));
+  *offset += sizeof(*v);
+  return true;
+}
+
 uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
   // Table-driven IEEE 802.3 CRC-32 (reflected polynomial 0xEDB88320),
   // built once. No external dependency (zlib may be absent).

@@ -51,6 +51,12 @@ void PutFixed32(std::string* out, uint32_t v);
 /// Decodes a fixed32 at data[*offset]; advances *offset. False if short.
 bool GetFixed32(const std::string& data, size_t* offset, uint32_t* v);
 
+/// Appends `v` as 8 raw bytes (host endian). Used for the fixed-width
+/// token-bitmap words of segment files.
+void PutFixed64(std::string* out, uint64_t v);
+/// Decodes a fixed64 at data[*offset]; advances *offset. False if short.
+bool GetFixed64(const std::string& data, size_t* offset, uint64_t* v);
+
 /// CRC-32 (IEEE 802.3 polynomial) of `n` bytes — the frame checksum of
 /// the WAL and checkpoint formats. `seed` chains incremental updates
 /// (pass a previous return value to continue a running checksum).

@@ -23,7 +23,12 @@ constexpr char kCheckpointFile[] = "checkpoint.ssc";
 constexpr char kWalFile[] = "wal.log";
 
 constexpr char kSegmentMagic[4] = {'S', 'S', 'S', 'G'};
-constexpr uint32_t kSegmentVersion = 1;
+// v2: trailing per-record token-bitmap block (kTokenBitmapWords fixed64
+// words per record). Bitmaps are deterministically rebuilt by decoding
+// anyway, so the stored copy is an end-to-end integrity check on the
+// arena rather than extra state; v1 files (no block) are rejected with a
+// clear "unsupported segment version" error.
+constexpr uint32_t kSegmentVersion = 2;
 constexpr char kSegmentPrefix[] = "segment-";
 constexpr char kSegmentSuffix[] = ".sseg";
 
@@ -353,6 +358,13 @@ Status WriteSegmentFile(const std::string& data_dir,
     PutIdList(&buffer, part.short_ids);
     PutIndex(&buffer, part.index);
   }
+  // v2 bitmap block: every record's token parity bitmap, in record order.
+  for (RecordId id = 0; id < segment.records->size(); ++id) {
+    const uint64_t* bitmap = segment.records->token_bitmap(id);
+    for (size_t w = 0; w < kTokenBitmapWords; ++w) {
+      PutFixed64(&buffer, bitmap[w]);
+    }
+  }
   PutFixed32(&buffer, Crc32(buffer.data(), buffer.size()));
   return WriteFileAtomic(SegmentFilePath(data_dir, segment.id), buffer);
 }
@@ -436,6 +448,21 @@ Result<std::shared_ptr<const CorpusSegment>> LoadSegmentFile(
   // the partition).
   if (members_total != owned->size()) {
     return Corrupt("segment shard parts do not partition records", path);
+  }
+  // v2 bitmap block: decoding re-Added every record, so the arena already
+  // carries freshly built bitmaps; the stored copy must agree word for
+  // word or the arena and the block disagree about the token sets.
+  for (RecordId id = 0; id < owned->size(); ++id) {
+    const uint64_t* rebuilt = owned->token_bitmap(id);
+    for (size_t w = 0; w < kTokenBitmapWords; ++w) {
+      uint64_t stored = 0;
+      if (!GetFixed64(body, &offset, &stored)) {
+        return Corrupt("truncated segment bitmap block", path);
+      }
+      if (stored != rebuilt[w]) {
+        return Corrupt("segment bitmap disagrees with arena", path);
+      }
+    }
   }
   if (offset != body.size()) {
     return Corrupt("trailing segment bytes", path);

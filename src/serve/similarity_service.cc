@@ -35,6 +35,16 @@ struct QueryContext {
 
 bool IdLess(const QueryMatch& a, const QueryMatch& b) { return a.id < b.id; }
 
+/// Bitmap-gate width in words for this service configuration: 0 (off)
+/// unless the predicate opted in, otherwise bitmap_bits rounded down to
+/// whole words and clamped to the stored width. Thresholded lookups gate
+/// with this; the top-k sweep never gates (its floor is 0 — nothing to
+/// prune against).
+size_t BitmapGateWords(const ServiceOptions& options, const Predicate& pred) {
+  if (!pred.supports_bitmap_pruning()) return 0;
+  return std::min(options.bitmap_bits / 64, kTokenBitmapWords);
+}
+
 /// A chain-wide id mapped back to its owning link and part-local id.
 struct ChainPos {
   size_t link;
@@ -108,9 +118,24 @@ void ProbeShardTier(const Predicate& pred, const ServiceOptions& options,
   };
   FunctionRef<bool(RecordId)> filter;
   if (options.apply_filter && pred.has_norm_filter()) filter = filter_fn;
+  auto gate_lookup = [&](RecordId m) {
+    const TokenBitmapEntry& e = backing.token_bitmap_entry(to_backing(m));
+    return BitmapCandidate{e.bits, static_cast<uint32_t>(e.tokens)};
+  };
+  BitmapGate gate;
+  gate.lookup = gate_lookup;
+  const BitmapGate* gate_ptr = nullptr;
+  if (const size_t gate_words = BitmapGateWords(options, pred);
+      gate_words > 0) {
+    gate.probe_bits = staged.token_bitmap(q);
+    gate.probe_tokens = static_cast<uint32_t>(probe.size());
+    gate.words = gate_words;
+    gate_ptr = &gate;
+  }
   probe_internal::ProbeOne(
       index, probe, floor, required, filter, options.merge, &ctx->merge,
-      &ctx->scratch, [&](const MergeCandidate& candidate) {
+      &ctx->scratch,
+      [&](const MergeCandidate& candidate) {
         if (tombstones != nullptr &&
             probe_internal::IsTombstoned(*tombstones,
                                          global_ids[candidate.id])) {
@@ -123,7 +148,8 @@ void ProbeShardTier(const Predicate& pred, const ServiceOptions& options,
           out->push_back({global_ids[candidate.id],
                           backing.record(bid).OverlapWith(probe)});
         }
-      });
+      },
+      gate_ptr);
 }
 
 /// ProbeShardTier's counterpart for the segment chain: each probe token
@@ -163,9 +189,27 @@ void ProbeShardChain(const Predicate& pred, const ServiceOptions& options,
   };
   FunctionRef<bool(RecordId)> filter;
   if (options.apply_filter && pred.has_norm_filter()) filter = filter_fn;
+  auto gate_lookup = [&](RecordId chain_id) {
+    const ChainPos pos = ResolveChain(tier, chain_id);
+    const ShardChainLink& link = tier.links[pos.link];
+    const TokenBitmapEntry& e = link.segment->records->token_bitmap_entry(
+        link.part->member_ids[pos.part_local]);
+    return BitmapCandidate{e.bits, static_cast<uint32_t>(e.tokens)};
+  };
+  BitmapGate gate;
+  gate.lookup = gate_lookup;
+  const BitmapGate* gate_ptr = nullptr;
+  if (const size_t gate_words = BitmapGateWords(options, pred);
+      gate_words > 0) {
+    gate.probe_bits = staged.token_bitmap(q);
+    gate.probe_tokens = static_cast<uint32_t>(probe.size());
+    gate.words = gate_words;
+    gate_ptr = &gate;
+  }
   probe_internal::ProbeChain(
       ctx->parts, probe, floor, required, filter, options.merge, &ctx->merge,
-      &ctx->scratch, [&](const MergeCandidate& candidate) {
+      &ctx->scratch,
+      [&](const MergeCandidate& candidate) {
         const ChainPos pos = ResolveChain(tier, candidate.id);
         const ShardChainLink& link = tier.links[pos.link];
         if (IsMaskedDead(link, pos.part_local)) return;
@@ -181,7 +225,8 @@ void ProbeShardChain(const Predicate& pred, const ServiceOptions& options,
           if (matched_chain != nullptr) matched_chain->insert(candidate.id);
           out->push_back({gid, backing.record(bid).OverlapWith(probe)});
         }
-      });
+      },
+      gate_ptr);
 }
 
 /// The short-record side pool, per shard tier: a short probe is checked

@@ -72,6 +72,14 @@ struct ServiceOptions {
   std::string data_dir;
   /// WAL fsync policy; meaningful only with a data_dir. See WalSyncPolicy.
   WalSyncPolicy wal_sync = WalSyncPolicy::kAlways;
+  /// Width of the token-bitmap candidate prefilter consulted per probe,
+  /// in bits: 0 disables the filter, otherwise a multiple of 64 up to
+  /// kTokenBitmapBits (values are clamped/rounded down to that grid).
+  /// Narrower widths read less memory per candidate but prune less.
+  /// Query/BatchQuery/QueryTopK answers are byte-identical for every
+  /// value — like num_shards, this is purely a cost knob. Only
+  /// predicates that opt in (supports_bitmap_pruning) are gated.
+  size_t bitmap_bits = kTokenBitmapBits;
 };
 
 /// A long-lived, thread-safe similarity-lookup service: owns a corpus and

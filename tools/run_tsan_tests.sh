@@ -16,7 +16,7 @@ cmake -B "$build_dir" -S "$repo_root" -DSSJOIN_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j --target \
       thread_pool_test parallel_join_test serve_test serve_shard_test \
-      net_loopback_test
+      bitmap_filter_test net_loopback_test
 # The differential harness — including its scripted Delete schedules
 # (tombstones riding delta images under concurrent readers) — is
 # CPU-heavy under TSan; keep the sweep small here (override by exporting
@@ -25,5 +25,5 @@ cmake --build "$build_dir" -j --target \
 SSJOIN_DIFF_SEEDS=${SSJOIN_DIFF_SEEDS:-2}
 export SSJOIN_DIFF_SEEDS
 ctest --test-dir "$build_dir" \
-      -R '(thread_pool|parallel_join|serve_test|serve_shard_test|net_loopback)' \
+      -R '(thread_pool|parallel_join|serve_test|serve_shard_test|bitmap_filter|net_loopback)' \
       --output-on-failure

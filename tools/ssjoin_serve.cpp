@@ -54,6 +54,9 @@ constexpr const char kUsage[] =
     "                        are identical for every value (default 1)\n"
     "  --memtable-limit=N    auto-compact at N memtable records\n"
     "                        (default 256; 0 = only on '! compact')\n"
+    "  --bitmap-bits=N       token-parity bitmap prefilter: 256 (default,\n"
+    "                        on) | 0 (off). Answers are identical either\n"
+    "                        way; the gate only skips merge work\n"
     "  --data-dir=DIR        durable mode: keep a checkpoint + write-ahead\n"
     "                        log under DIR. When DIR already holds a\n"
     "                        checkpoint the service restores from it\n"

@@ -43,7 +43,7 @@ constexpr const char kUsage[] =
     "  serving flags (same as ssjoin_serve):\n"
     "  --corpus=FILE --predicate=NAME --threshold=X --tokens=MODE\n"
     "  --topk=K --threads=N --shards=N --memtable-limit=N\n"
-    "  --data-dir=DIR --wal-sync=MODE --stats-json\n";
+    "  --bitmap-bits=N --data-dir=DIR --wal-sync=MODE --stats-json\n";
 
 struct ServerCliOptions {
   ServeCliOptions serve;
