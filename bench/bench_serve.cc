@@ -46,12 +46,23 @@
 // delta-scale neighbours — while the baseline rewrites the whole corpus
 // every round.
 //
+// The seventh sweep prices the out-of-core base tier: the same durable
+// corpus opened materialized (resident_budget_bytes = 0, every segment
+// arena heap-copied) and mapped (a budget a quarter of the segment
+// bytes, arenas served from the mmap'd .sseg files). Reported per mode:
+// cold Open time, point QPS, RSS after the query replay and after
+// re-applying the residency advice. The sweep ABORTS if the two modes
+// disagree on a single result count, or if dropping the over-budget
+// segments does not actually shrink RSS.
+//
 // Usage: bench_serve [--scale=F | --quick] [--threads=N]
 
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <cinttypes>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 
 #include "bench_util.h"
@@ -61,6 +72,22 @@
 
 using namespace ssjoin;
 using namespace ssjoin::bench;
+
+namespace {
+
+/// Resident set size from /proc/self/status, in kilobytes.
+uint64_t ResidentKb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return std::strtoull(line.c_str() + 6, nullptr, 10);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   double scale = ParseScale(argc, argv);
@@ -395,6 +422,112 @@ int main(int argc, char** argv) {
                   scale_queries.size() / point_seconds);
       std::fflush(stdout);
     }
+  }
+
+  // Out-of-core sweep: one durable corpus, opened materialized vs
+  // mapped under a budget a quarter of its segment bytes (so most of
+  // the chain is over budget and must be served from disk).
+  {
+    const std::string dir = "bench_serve_ooc";
+    uint64_t segment_bytes = 0;
+    uint64_t expected_size = 0;
+    {
+      ServiceOptions options;
+      options.memtable_limit = 0;
+      options.num_threads = threads;
+      options.num_shards = 4;
+      options.data_dir = dir;
+      options.wal_sync = WalSyncPolicy::kNever;
+      SimilarityService builder(corpus, pred, options);
+      const uint32_t kOocInserts = Scaled(2048, scale);
+      for (uint32_t i = 0; i < kOocInserts && i < inserts.size(); ++i) {
+        builder.Insert(inserts.record(i), inserts.text(i));
+      }
+      builder.Compact();
+      if (!builder.durability_status().ok()) {
+        std::fprintf(stderr, "durability degraded: %s\n",
+                     builder.durability_status().ToString().c_str());
+        return 1;
+      }
+      segment_bytes = builder.stats().segment_bytes;
+      expected_size = builder.size();
+    }
+    const uint64_t budget = segment_bytes / 4;
+    std::printf("\nout_of_core,segment_bytes=%" PRIu64 ",budget=%" PRIu64
+                "\nmode,open_sec,point_qps,rss_queries_kb,rss_advised_kb,"
+                "results\n",
+                segment_bytes, budget);
+    uint64_t leg_results[2] = {0, 0};
+    for (int leg = 0; leg < 2; ++leg) {
+      const bool mapped = leg == 0;
+      ServiceOptions options;
+      options.memtable_limit = 0;
+      options.num_threads = threads;
+      options.num_shards = 4;
+      options.data_dir = dir;
+      options.wal_sync = WalSyncPolicy::kNever;
+      options.resident_budget_bytes = mapped ? budget : 0;
+      Timer open_timer;
+      Result<std::unique_ptr<SimilarityService>> opened =
+          SimilarityService::Open(pred, options);
+      double open_seconds = open_timer.ElapsedSeconds();
+      if (!opened.ok() || opened.value()->size() != expected_size) {
+        std::fprintf(stderr, "out-of-core open failed\n");
+        return 1;
+      }
+      SimilarityService& service = *opened.value();
+      if (mapped && service.stats().mapped_bytes == 0) {
+        std::fprintf(stderr, "mapped leg has no mapped segments\n");
+        return 1;
+      }
+      uint64_t results = 0;
+      Timer point_timer;
+      for (RecordId q = 0; q < queries.size(); ++q) {
+        results += service.Query(queries.record(q), queries.text(q)).size();
+      }
+      double point_seconds = point_timer.ElapsedSeconds();
+      leg_results[leg] = results;
+      uint64_t rss_queries_kb = ResidentKb();
+      service.ApplyResidencyAdvice();
+      uint64_t rss_advised_kb = ResidentKb();
+      if (mapped) {
+        // The budget must have teeth: re-advising after the query replay
+        // faulted the arenas back in has to return the over-budget
+        // segments' pages to the kernel. (A quarter of the over-budget
+        // span is a conservative floor — queries leave text blobs and
+        // cold postings untouched.)
+        const uint64_t mapped_bytes = service.stats().mapped_bytes;
+        const uint64_t dropped_kb =
+            rss_queries_kb > rss_advised_kb ? rss_queries_kb - rss_advised_kb
+                                            : 0;
+        if (mapped_bytes > budget &&
+            dropped_kb * 1024 < (mapped_bytes - budget) / 4) {
+          std::fprintf(stderr,
+                       "residency budget had no effect: dropped %" PRIu64
+                       "KB, expected >= %" PRIu64 "KB\n",
+                       dropped_kb, (mapped_bytes - budget) / 4096);
+          return 1;
+        }
+      }
+      std::printf("%s,%.3f,%.0f,%" PRIu64 ",%" PRIu64 ",%" PRIu64 "\n",
+                  mapped ? "mapped" : "materialized", open_seconds,
+                  queries.size() / point_seconds, rss_queries_kb,
+                  rss_advised_kb, results);
+      std::fflush(stdout);
+    }
+    if (leg_results[0] != leg_results[1]) {
+      std::fprintf(stderr,
+                   "out-of-core result mismatch: mapped %" PRIu64
+                   " vs materialized %" PRIu64 "\n",
+                   leg_results[0], leg_results[1]);
+      return 1;
+    }
+    for (uint64_t id : ListSegmentFiles(dir)) {
+      ::unlink(SegmentFilePath(dir, id).c_str());
+    }
+    ::unlink(CheckpointFilePath(dir).c_str());
+    ::unlink(WalFilePath(dir).c_str());
+    ::rmdir(dir.c_str());
   }
   return 0;
 }

@@ -33,8 +33,9 @@ bool EditDistancePredicate::NormFilter(double norm_r, double norm_s) const {
 bool EditDistancePredicate::MatchesCross(const RecordSet& set_a, RecordId a,
                                          const RecordSet& set_b,
                                          RecordId b) const {
-  const std::string& text_a = set_a.text(a);
-  const std::string& text_b = set_b.text(b);
+  // text_view: either side may be a mapped (view-mode) segment arena.
+  const std::string_view text_a = set_a.text_view(a);
+  const std::string_view text_b = set_b.text_view(b);
   if (!NormFilter(static_cast<double>(text_a.size()),
                   static_cast<double>(text_b.size()))) {
     return false;

@@ -7,7 +7,33 @@
 
 namespace ssjoin {
 
+RecordSet RecordSet::MakeView(ViewSpec spec) {
+  SSJOIN_CHECK(spec.tokens != nullptr || spec.total_occurrences == 0)
+      << "view spec missing token arena";
+  SSJOIN_CHECK(!spec.offsets.empty() && spec.offsets.front() == 0 &&
+               spec.offsets.back() == spec.total_occurrences)
+      << "view spec offsets inconsistent";
+  const size_t n = spec.offsets.size() - 1;
+  SSJOIN_CHECK(spec.norms.size() == n && spec.text_lengths.size() == n &&
+               spec.bitmaps.size() == n)
+      << "view spec per-record tables inconsistent";
+  RecordSet set;
+  set.view_tokens_ = spec.tokens;
+  set.view_scores_ = spec.scores;
+  set.view_text_offsets_ = spec.text_offsets;
+  set.view_text_blob_ = spec.text_blob;
+  set.view_vocabulary_size_ = spec.vocabulary_size;
+  set.backing_ = std::move(spec.backing);
+  set.offsets_ = std::move(spec.offsets);
+  set.norms_ = std::move(spec.norms);
+  set.text_lengths_ = std::move(spec.text_lengths);
+  set.bitmap_arena_ = std::move(spec.bitmaps);
+  set.total_occurrences_ = spec.total_occurrences;
+  return set;
+}
+
 RecordId RecordSet::Add(RecordView record, std::string text) {
+  SSJOIN_CHECK(!is_view()) << "RecordSet::Add on a view set";
   RecordId id = static_cast<RecordId>(size());
   for (size_t i = 0; i < record.size(); ++i) {
     TokenId t = record.token(i);
@@ -102,6 +128,9 @@ uint64_t RecordSet::ApproxMemoryBytes() const {
 }
 
 const TokenStats& RecordSet::token_stats() const {
+  // View sets do not carry corpus frequency tables (mapped segments are
+  // probed through their prebuilt per-shard indexes, never re-planned).
+  SSJOIN_CHECK(!is_view()) << "RecordSet::token_stats on a view set";
   if (stats_structure_version_ == structure_version_ &&
       stats_score_version_ == score_version_) {
     return token_stats_;

@@ -3,13 +3,16 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "data/record.h"
 #include "data/record_view.h"
 #include "data/token_bitmap.h"
 #include "text/token_dictionary.h"
+#include "util/logging.h"
 
 namespace ssjoin {
 
@@ -42,6 +45,19 @@ struct TokenStats {
 /// [offsets_[id], offsets_[id+1]); no per-record heap allocations exist.
 /// Invariants: tokens within a record are strictly increasing; offsets_
 /// is non-decreasing with offsets_[0] == 0 and offsets_[n] == arena size.
+///
+/// Two storage modes share this one type (see DESIGN.md "Out-of-core
+/// segments"):
+///   * OWNED (default): every arena lives in the vectors below; Add()
+///     grows them. This is every memtable, staged query and hot segment.
+///   * VIEW (MakeView): the token/score arenas and text blob are BORROWED
+///     pointers into an immutable mapped `.sseg` body, kept alive by a
+///     shared backing handle, while the small per-record tables the probe
+///     paths gate on (offsets, norms, text lengths, token bitmaps) are
+///     heap-resident copies — candidate gating never faults a cold page.
+///     View sets are frozen: Add/set_score/text() are illegal; readers go
+///     through record()/text_view(), which behave identically in both
+///     modes, so probe and merge code never branches on the mode.
 class RecordSet {
  public:
   RecordSet() = default;
@@ -58,7 +74,34 @@ class RecordSet {
   }
 
   /// Appends a copy of `record` (e.g. a view into another RecordSet).
+  /// Illegal on a view-mode set (mapped arenas are immutable).
   RecordId Add(RecordView record, std::string text = {});
+
+  /// Borrowed + copied state of a view-mode set; see MakeView.
+  struct ViewSpec {
+    const TokenId* tokens = nullptr;   // borrowed; total_occurrences long
+    const double* scores = nullptr;    // borrowed; parallel to tokens
+    const uint64_t* text_offsets = nullptr;  // borrowed; num records + 1
+    const char* text_blob = nullptr;         // borrowed
+    std::vector<size_t> offsets;             // owned copy; num records + 1
+    std::vector<double> norms;               // owned copy
+    std::vector<uint32_t> text_lengths;      // owned copy
+    std::vector<TokenBitmapEntry> bitmaps;   // owned copy
+    uint64_t vocabulary_size = 0;
+    uint64_t total_occurrences = 0;
+    std::shared_ptr<const void> backing;  // keeps borrowed memory alive
+  };
+
+  /// Builds a view-mode set over arenas the caller borrowed (typically a
+  /// mapped segment file; `spec.backing` keeps the mapping alive for the
+  /// lifetime of this set and every copy of it). The owned-copy tables
+  /// must be internally consistent: offsets monotone from 0 to
+  /// total_occurrences, all per-record vectors the same length.
+  static RecordSet MakeView(ViewSpec spec);
+
+  /// Whether this set borrows its arenas (MakeView) instead of owning
+  /// them. Structural mutation is illegal in view mode.
+  bool is_view() const { return view_tokens_ != nullptr; }
 
   size_t size() const { return norms_.size(); }
   bool empty() const { return norms_.empty(); }
@@ -66,8 +109,11 @@ class RecordSet {
   /// View of record `id`; valid until the next Add (the arena may move).
   RecordView record(RecordId id) const {
     size_t begin = offsets_[id];
-    return RecordView(token_arena_.data() + begin,
-                      score_arena_.data() + begin,
+    const TokenId* tokens =
+        view_tokens_ != nullptr ? view_tokens_ : token_arena_.data();
+    const double* scores =
+        view_scores_ != nullptr ? view_scores_ : score_arena_.data();
+    return RecordView(tokens + begin, scores + begin,
                       static_cast<uint32_t>(offsets_[id + 1] - begin),
                       norms_[id], text_lengths_[id]);
   }
@@ -109,11 +155,35 @@ class RecordSet {
   void set_norm(RecordId id, double norm) { norms_[id] = norm; }
   void set_text_length(RecordId id, uint32_t len) { text_lengths_[id] = len; }
 
-  /// Original text of record `id`; empty if not retained.
-  const std::string& text(RecordId id) const { return texts_[id]; }
+  /// Original text of record `id`; empty if not retained. Owned mode
+  /// only — view-mode texts live in the mapped blob, use text_view().
+  const std::string& text(RecordId id) const {
+    SSJOIN_CHECK(!is_view()) << "RecordSet::text on a view set";
+    return texts_[id];
+  }
 
-  /// Number of distinct tokens seen across all records.
-  size_t vocabulary_size() const { return doc_frequency_.size(); }
+  /// Original text of record `id` as a borrowed view; empty if not
+  /// retained. Works in both modes — the one text reader probe/merge/
+  /// verify paths should use. Valid while the set (or its backing
+  /// mapping) is alive.
+  std::string_view text_view(RecordId id) const {
+    if (view_text_offsets_ != nullptr) {
+      uint64_t begin = view_text_offsets_[id];
+      uint64_t len = view_text_offsets_[id + 1] - begin;
+      if (len == 0) return std::string_view();
+      return std::string_view(view_text_blob_ + begin,
+                              static_cast<size_t>(len));
+    }
+    return texts_[id];
+  }
+
+  /// Number of distinct tokens seen across all records. In view mode
+  /// this is restored from the segment header (the per-token frequency
+  /// tables are not rebuilt for mapped segments).
+  size_t vocabulary_size() const {
+    return is_view() ? static_cast<size_t>(view_vocabulary_size_)
+                     : doc_frequency_.size();
+  }
 
   /// Number of records containing token `t` (0 for unseen tokens).
   uint64_t doc_frequency(TokenId t) const;
@@ -165,6 +235,17 @@ class RecordSet {
   std::vector<double> norms_;
   std::vector<uint32_t> text_lengths_;
   std::vector<std::string> texts_;
+
+  // View mode (MakeView): borrowed arena pointers, non-null iff is_view().
+  // The owned vectors above double as the heap-resident copies (offsets_,
+  // norms_, text_lengths_, bitmap_arena_); texts_/token_arena_/
+  // score_arena_ stay empty. backing_ pins the borrowed memory.
+  const TokenId* view_tokens_ = nullptr;
+  const double* view_scores_ = nullptr;
+  const uint64_t* view_text_offsets_ = nullptr;
+  const char* view_text_blob_ = nullptr;
+  uint64_t view_vocabulary_size_ = 0;
+  std::shared_ptr<const void> backing_;
 
   std::vector<uint64_t> doc_frequency_;
   std::vector<uint64_t> term_frequency_;

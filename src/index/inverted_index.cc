@@ -31,6 +31,30 @@ void InvertedIndex::PlanFromRecordsSubset(
   Plan(counts);
 }
 
+InvertedIndex InvertedIndex::MakeView(ViewSpec spec) {
+  SSJOIN_CHECK(spec.begin != nullptr && spec.size != nullptr &&
+               spec.max_score != nullptr)
+      << "view spec missing extent tables";
+  SSJOIN_CHECK(spec.postings != nullptr || spec.begin[spec.vocabulary_size] == 0)
+      << "view spec missing posting buffer";
+  InvertedIndex index;
+  index.view_postings_ = spec.postings;
+  index.view_begin_ = spec.begin;
+  index.view_size_ = spec.size;
+  index.view_max_score_ = spec.max_score;
+  index.view_vocabulary_size_ = spec.vocabulary_size;
+  index.backing_ = std::move(spec.backing);
+  index.num_nonempty_tokens_ = spec.num_nonempty_tokens;
+  index.num_entities_ = spec.num_entities;
+  if (spec.num_entities > 0) {
+    index.max_entity_id_ = static_cast<RecordId>(spec.num_entities - 1);
+  }
+  index.min_norm_ = spec.min_norm;
+  index.total_postings_ = spec.total_postings;
+  index.planned_ = true;  // frozen: Plan would be a second plan
+  return index;
+}
+
 void InvertedIndex::TrackEntity(RecordId id, double norm) {
   if (max_entity_id_ == std::numeric_limits<RecordId>::max() ||
       id > max_entity_id_) {
@@ -41,6 +65,7 @@ void InvertedIndex::TrackEntity(RecordId id, double norm) {
 }
 
 void InvertedIndex::AppendPosting(TokenId t, RecordId id, double score) {
+  SSJOIN_CHECK(!is_view()) << "InvertedIndex::AppendPosting on a view index";
   SSJOIN_DCHECK(planned_ && t < size_.size());
   size_t pos = begin_[t] + size_[t];
   SSJOIN_DCHECK(pos < begin_[t + 1]) << "extent overflow for token " << t;

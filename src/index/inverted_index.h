@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "data/record_set.h"
@@ -35,6 +36,13 @@ namespace ssjoin {
 /// For indexes whose membership is NOT known up front (cluster summaries
 /// under InsertOrUpdateMax, lazily grown member indexes, streaming
 /// insertion) use DynamicIndex instead.
+///
+/// Like RecordSet, two storage modes share this one type (see DESIGN.md
+/// "Out-of-core segments"): OWNED (default, built via Plan/Insert) and
+/// VIEW (MakeView), where the begin/size/max_score extent tables and the
+/// flat posting buffer are BORROWED pointers into an immutable mapped
+/// `.sseg` body. View indexes are frozen — Plan/Insert/AppendPosting are
+/// illegal — and list()/ForEachList behave identically in both modes.
 class InvertedIndex {
  public:
   InvertedIndex() = default;
@@ -75,8 +83,39 @@ class InvertedIndex {
   /// within the extent). Low-level primitive for Insert and restoration.
   void AppendPosting(TokenId t, RecordId id, double score);
 
+  /// Borrowed state of a view-mode index; see MakeView.
+  struct ViewSpec {
+    const Posting* postings = nullptr;   // borrowed; begin[vocab] slots
+    const uint64_t* begin = nullptr;     // borrowed; vocab + 1 extents
+    const uint32_t* size = nullptr;      // borrowed; live count per token
+    const double* max_score = nullptr;   // borrowed; per-token max score
+    uint64_t vocabulary_size = 0;
+    uint64_t num_nonempty_tokens = 0;
+    uint64_t num_entities = 0;
+    double min_norm = std::numeric_limits<double>::infinity();
+    uint64_t total_postings = 0;
+    std::shared_ptr<const void> backing;  // keeps borrowed memory alive
+  };
+
+  /// Builds a frozen view-mode index over extent tables and a posting
+  /// buffer the caller borrowed (typically a mapped segment file, kept
+  /// alive by `spec.backing`). Plan/Insert/AppendPosting are illegal on
+  /// the result; list()/ForEachList work unchanged.
+  static InvertedIndex MakeView(ViewSpec spec);
+
+  /// Whether this index borrows its extents (MakeView) instead of owning
+  /// them.
+  bool is_view() const { return view_begin_ != nullptr; }
+
   /// The posting run of token `t`; empty view when no record contains it.
   PostingListView list(TokenId t) const {
+    if (view_begin_ != nullptr) {
+      if (t >= view_vocabulary_size_ || view_size_[t] == 0) {
+        return PostingListView();
+      }
+      return PostingListView(view_postings_ + view_begin_[t], view_size_[t],
+                             view_max_score_[t]);
+    }
     if (t >= size_.size() || size_[t] == 0) return PostingListView();
     return PostingListView(postings_.data() + begin_[t], size_[t],
                            max_score_[t]);
@@ -87,11 +126,10 @@ class InvertedIndex {
   /// whole-index consumers (Pair-Count, compression, serialization).
   template <typename Fn>
   void ForEachList(Fn&& fn) const {
-    for (TokenId t = 0; t < size_.size(); ++t) {
-      if (size_[t] > 0) {
-        fn(t, PostingListView(postings_.data() + begin_[t], size_[t],
-                              max_score_[t]));
-      }
+    const size_t vocab = token_capacity();
+    for (TokenId t = 0; t < vocab; ++t) {
+      PostingListView view = list(t);
+      if (!view.empty()) fn(t, view);
     }
   }
 
@@ -99,7 +137,35 @@ class InvertedIndex {
   size_t num_tokens() const { return num_nonempty_tokens_; }
 
   /// Number of tokens with planned extents (the planning vocabulary).
-  size_t token_capacity() const { return size_.size(); }
+  size_t token_capacity() const {
+    return view_begin_ != nullptr
+               ? static_cast<size_t>(view_vocabulary_size_)
+               : size_.size();
+  }
+
+  /// Extent-table accessors for the segment writer (valid in both modes):
+  /// begin is the planned-capacity offset of token `t`'s extent in the
+  /// flat posting buffer, size the live posting count within it.
+  uint64_t extent_begin(TokenId t) const {
+    return view_begin_ != nullptr ? view_begin_[t]
+                                  : static_cast<uint64_t>(begin_[t]);
+  }
+  uint32_t extent_size(TokenId t) const {
+    return view_begin_ != nullptr ? view_size_[t] : size_[t];
+  }
+  double extent_max_score(TokenId t) const {
+    return view_begin_ != nullptr ? view_max_score_[t] : max_score_[t];
+  }
+  /// The flat posting buffer (extent_begin(vocab) slots, unfilled slots
+  /// zeroed in owned mode by Plan's value-initializing resize).
+  const Posting* postings_buffer() const {
+    return view_begin_ != nullptr ? view_postings_ : postings_.data();
+  }
+  /// Total planned posting capacity == extent_begin(token_capacity()).
+  uint64_t postings_capacity() const {
+    return view_begin_ != nullptr ? view_begin_[view_vocabulary_size_]
+                                  : static_cast<uint64_t>(postings_.size());
+  }
 
   /// Number of Insert target entities seen (records or positions).
   size_t num_entities() const { return num_entities_; }
@@ -121,6 +187,16 @@ class InvertedIndex {
   std::vector<size_t> begin_;      // extent start per token (size vocab+1)
   std::vector<uint32_t> size_;     // live postings per token
   std::vector<double> max_score_;  // per-token max posting score
+
+  // View mode (MakeView): borrowed extent tables, non-null iff is_view().
+  // The vectors above stay empty; backing_ pins the borrowed memory.
+  const Posting* view_postings_ = nullptr;
+  const uint64_t* view_begin_ = nullptr;
+  const uint32_t* view_size_ = nullptr;
+  const double* view_max_score_ = nullptr;
+  uint64_t view_vocabulary_size_ = 0;
+  std::shared_ptr<const void> backing_;
+
   size_t num_nonempty_tokens_ = 0;
   size_t num_entities_ = 0;
   RecordId max_entity_id_ = std::numeric_limits<RecordId>::max();  // none yet

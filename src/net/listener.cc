@@ -1,6 +1,7 @@
 #include "net/listener.h"
 
 #include <arpa/inet.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -15,44 +16,69 @@ Listener::~Listener() { Close(); }
 
 Status Listener::Listen(const std::string& host, uint16_t port,
                         int backlog) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) {
-    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  // Resolve through getaddrinfo so names ("localhost", a DNS host) work
+  // as well as dotted quads; the rest of the front-end speaks IPv4.
+  struct addrinfo hints = {};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* results = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &results);
+  if (rc != 0) {
+    return Status::InvalidArgument("cannot resolve " + host + ": " +
+                                   ::gai_strerror(rc));
   }
-  int one = 1;
-  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  struct sockaddr_in addr = {};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    Close();
-    return Status::InvalidArgument("not an IPv4 address: " + host);
+  std::string tried;     // every address we attempted, for the error
+  std::string last_err;  // errno text from the most recent failure
+  for (struct addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    if (ai->ai_family != AF_INET ||
+        ai->ai_addrlen < sizeof(struct sockaddr_in)) {
+      continue;
+    }
+    struct sockaddr_in addr = {};
+    std::memcpy(&addr, ai->ai_addr, sizeof(addr));
+    addr.sin_port = htons(port);
+    char text[INET_ADDRSTRLEN] = "?";
+    ::inet_ntop(AF_INET, &addr.sin_addr, text, sizeof(text));
+    if (!tried.empty()) tried += ", ";
+    tried += text;
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+      last_err = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      last_err = std::string("bind: ") + std::strerror(errno);
+      Close();
+      continue;
+    }
+    if (::listen(fd_, backlog) != 0) {
+      last_err = std::string("listen: ") + std::strerror(errno);
+      Close();
+      continue;
+    }
+    struct sockaddr_in bound = {};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                      &bound_len) != 0) {
+      last_err = std::string("getsockname: ") + std::strerror(errno);
+      Close();
+      continue;
+    }
+    port_ = ntohs(bound.sin_port);
+    ::freeaddrinfo(results);
+    return Status::OK();
   }
-  if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    Status status = Status::IOError("bind " + host + ":" +
-                                    std::to_string(port) + ": " +
-                                    std::strerror(errno));
-    Close();
-    return status;
+  ::freeaddrinfo(results);
+  if (tried.empty()) {
+    return Status::InvalidArgument("no IPv4 address for " + host);
   }
-  if (::listen(fd_, backlog) != 0) {
-    Status status =
-        Status::IOError(std::string("listen: ") + std::strerror(errno));
-    Close();
-    return status;
-  }
-  struct sockaddr_in bound = {};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&bound),
-                    &bound_len) != 0) {
-    Status status =
-        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
-    Close();
-    return status;
-  }
-  port_ = ntohs(bound.sin_port);
-  return Status::OK();
+  return Status::IOError("listen on " + host + ":" + std::to_string(port) +
+                         " failed (tried " + tried + "): " +
+                         (last_err.empty() ? "unknown error" : last_err));
 }
 
 void Listener::AcceptAll(FunctionRef<void(int fd)> sink) {

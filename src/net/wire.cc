@@ -1,10 +1,20 @@
 #include "net/wire.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "serve/protocol.h"
 
 namespace ssjoin::net {
+
+namespace {
+/// Upper bound on any single speculative payload reserve. A header may
+/// legally claim a payload up to max_payload_bytes, but the buffer must
+/// only ever be sized ahead of the bytes that actually arrived — a
+/// hostile or buggy peer announcing "OK <huge>" and then stalling must
+/// not pin that allocation.
+constexpr size_t kPayloadReserveChunk = size_t{64} << 10;
+}  // namespace
 
 bool LineFramer::Feed(std::string_view data,
                       FunctionRef<void(std::string_view)> sink) {
@@ -64,6 +74,13 @@ bool ResponseReader::Feed(std::string_view data,
     if (in_payload_) {
       size_t take = data.size() - begin;
       if (take > payload_needed_) take = payload_needed_;
+      if (current_.payload.size() + take > current_.payload.capacity()) {
+        // Grow toward the announced length one capped chunk at a time so
+        // capacity tracks delivered bytes, not the header's claim.
+        current_.payload.reserve(
+            current_.payload.size() +
+            std::max(take, std::min(payload_needed_, kPayloadReserveChunk)));
+      }
       current_.payload.append(data.substr(begin, take));
       payload_needed_ -= take;
       begin += take;
@@ -100,7 +117,9 @@ bool ResponseReader::Feed(std::string_view data,
     }
     current_.ok = true;
     current_.payload.clear();
-    current_.payload.reserve(static_cast<size_t>(length));
+    current_.payload.shrink_to_fit();
+    current_.payload.reserve(static_cast<size_t>(
+        std::min<uint64_t>(length, kPayloadReserveChunk)));
     payload_needed_ = static_cast<size_t>(length);
     in_payload_ = true;
   }

@@ -78,6 +78,11 @@ class ResponseReader {
   /// True while no partial frame is buffered (a clean stream boundary).
   bool idle() const { return buffer_.empty() && !in_payload_; }
 
+  /// Capacity of the in-flight payload buffer. Exposed so tests can
+  /// prove that a header announcing a huge payload does not reserve the
+  /// claimed length up front — capacity must track delivered bytes.
+  size_t payload_capacity() const { return current_.payload.capacity(); }
+
  private:
   size_t max_payload_bytes_;
   std::string buffer_;

@@ -4,13 +4,17 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <utility>
 
 #include "index/index_io.h"
+#include "util/logging.h"
+#include "util/mmap_file.h"
 #include "util/varint.h"
 
 namespace ssjoin {
@@ -23,12 +27,17 @@ constexpr char kCheckpointFile[] = "checkpoint.ssc";
 constexpr char kWalFile[] = "wal.log";
 
 constexpr char kSegmentMagic[4] = {'S', 'S', 'S', 'G'};
-// v2: trailing per-record token-bitmap block (kTokenBitmapWords fixed64
-// words per record). Bitmaps are deterministically rebuilt by decoding
-// anyway, so the stored copy is an end-to-end integrity check on the
-// arena rather than extra state; v1 files (no block) are rejected with a
-// clear "unsupported segment version" error.
-constexpr uint32_t kSegmentVersion = 2;
+// v3: the out-of-core layout. A CRC-protected fixed header carries every
+// count; all sections after it (record offsets, token/score CSR arenas,
+// text table + blob, global ids, per-shard id tables + posting extents,
+// and the token-bitmap block, in that order) are 64-byte-aligned and
+// byte-layout-identical to their in-memory form, so Open can mmap the
+// body and serve from views instead of decoding. The bitmap block sits
+// LAST so the whole-file integrity property of v2 (arena and bitmaps
+// must agree end to end) survives unchanged on the materialized path.
+// v1 (no bitmap block) and v2 (varint-packed body) files are rejected
+// with a clear "unsupported segment version" error.
+constexpr uint32_t kSegmentVersion = 3;
 constexpr char kSegmentPrefix[] = "segment-";
 constexpr char kSegmentSuffix[] = ".sseg";
 
@@ -68,94 +77,6 @@ bool GetIdList(const std::string& data, size_t* offset,
     prev += delta;
     ids->push_back(prev);
   }
-  return true;
-}
-
-/// Same index layout as SaveIndex but with full double posting scores:
-/// restored probes must prune on byte-identical score values.
-void PutIndex(std::string* out, const InvertedIndex& index) {
-  PutVarint64(out, index.num_entities());
-  PutDouble(out, index.min_norm());
-  PutVarint64(out, index.num_tokens());
-  index.ForEachList([out](TokenId token, PostingListView list) {
-    PutVarint32(out, token);
-    PutVarint32(out, static_cast<uint32_t>(list.size()));
-    RecordId prev = 0;
-    for (size_t i = 0; i < list.size(); ++i) {
-      PutVarint32(out, list[i].id - prev);
-      prev = list[i].id;
-    }
-    for (size_t i = 0; i < list.size(); ++i) {
-      PutDouble(out, list[i].score);
-    }
-  });
-}
-
-bool GetIndex(const std::string& data, size_t* offset, InvertedIndex* out) {
-  uint64_t num_entities = 0;
-  double min_norm = std::numeric_limits<double>::infinity();
-  uint64_t num_lists = 0;
-  if (!GetVarint64(data, offset, &num_entities) ||
-      !GetDouble(data, offset, &min_norm) ||
-      !GetVarint64(data, offset, &num_lists)) {
-    return false;
-  }
-  if (num_entities > std::numeric_limits<RecordId>::max()) return false;
-  if (num_lists > data.size()) return false;
-
-  // Two passes, like LoadIndex: collect counts to carve extents, then
-  // decode postings straight into them.
-  const size_t lists_offset = *offset;
-  std::vector<uint64_t> counts;
-  for (uint64_t l = 0; l < num_lists; ++l) {
-    uint32_t token = 0;
-    uint32_t count = 0;
-    if (!GetVarint32(data, offset, &token) ||
-        !GetVarint32(data, offset, &count)) {
-      return false;
-    }
-    if (token > (1u << 30) || count == 0 || count > num_entities) return false;
-    if (token >= counts.size()) counts.resize(token + 1, 0);
-    if (counts[token] != 0) return false;  // duplicate list
-    counts[token] = count;
-    for (uint32_t i = 0; i < count; ++i) {
-      uint32_t delta = 0;
-      if (!GetVarint32(data, offset, &delta)) return false;
-    }
-    const size_t score_bytes = static_cast<size_t>(count) * sizeof(double);
-    if (*offset + score_bytes > data.size()) return false;
-    *offset += score_bytes;
-  }
-
-  InvertedIndex index;
-  index.Plan(counts);
-  size_t pos = lists_offset;
-  for (uint64_t l = 0; l < num_lists; ++l) {
-    uint32_t token = 0;
-    uint32_t count = 0;
-    if (!GetVarint32(data, &pos, &token) ||
-        !GetVarint32(data, &pos, &count)) {
-      return false;
-    }
-    std::vector<RecordId> ids(count);
-    RecordId prev = 0;
-    for (uint32_t i = 0; i < count; ++i) {
-      uint32_t delta = 0;
-      if (!GetVarint32(data, &pos, &delta)) return false;
-      if (i > 0 && delta == 0) return false;
-      prev += delta;
-      if (prev >= num_entities) return false;
-      ids[i] = prev;
-    }
-    for (uint32_t i = 0; i < count; ++i) {
-      double score = 0;
-      if (!GetDouble(data, &pos, &score)) return false;
-      if (!std::isfinite(score)) return false;
-      index.AppendPosting(token, ids[i], score);
-    }
-  }
-  index.RestoreStats(num_entities, min_norm);
-  *out = std::move(index);
   return true;
 }
 
@@ -341,91 +262,483 @@ Result<RecordSet> DecodeRecordSet(const std::string& data, size_t* offset) {
 
 namespace {
 
-/// One immutable segment file: the segment's prepared arena, global-id
-/// table and every shard part's id tables and index, CRC32-trailered.
+// ---------------------------------------------------------------------
+// v3 segment files. One deterministic layout walk (ComputeSegmentLayout)
+// is shared by the writer, the materialized loader and the mapped opener,
+// so the three can never disagree about where a section lives. All
+// multi-byte fields are host-endian raw bytes, exactly as the in-memory
+// structures hold them — that equivalence is what makes mmap'ing the
+// body equivalent to decoding it.
+
+constexpr uint64_t kSegmentAlign = 64;
+// magic(4) + version(4) + segment_id, num_records, num_shards, vocab,
+// total_occurrences, text_blob_bytes, file_size (7 x fixed64).
+constexpr uint64_t kSegmentFixedHeaderBytes = 64;
+// members, shorts, postings_cap, total_postings, num_nonempty (fixed64
+// each) + min_norm (double).
+constexpr uint64_t kSegmentShardEntryBytes = 48;
+
+uint64_t AlignUp(uint64_t pos) {
+  return (pos + (kSegmentAlign - 1)) & ~(kSegmentAlign - 1);
+}
+
+struct ShardLayout {
+  // Counts, from the CRC-protected header entry.
+  uint64_t members = 0;
+  uint64_t shorts = 0;
+  uint64_t postings_cap = 0;
+  uint64_t total_postings = 0;
+  uint64_t num_nonempty = 0;
+  double min_norm = std::numeric_limits<double>::infinity();
+  // Section offsets, derived by ComputeSegmentLayout.
+  uint64_t member_ids_off = 0;
+  uint64_t short_ids_off = 0;
+  uint64_t begin_off = 0;
+  uint64_t size_off = 0;
+  uint64_t max_score_off = 0;
+  uint64_t postings_off = 0;
+};
+
+struct SegmentLayout {
+  uint64_t segment_id = 0;
+  uint64_t num_records = 0;
+  uint64_t vocab = 0;
+  uint64_t total_occurrences = 0;
+  uint64_t text_blob_bytes = 0;
+  uint64_t header_bytes = 0;
+  uint64_t file_size = 0;  // includes the trailing CRC
+  uint64_t offsets_off = 0;
+  uint64_t tokens_off = 0;
+  uint64_t scores_off = 0;
+  uint64_t norms_off = 0;
+  uint64_t text_lengths_off = 0;
+  uint64_t text_offsets_off = 0;
+  uint64_t text_blob_off = 0;
+  uint64_t global_ids_off = 0;
+  uint64_t bitmaps_off = 0;
+  std::vector<ShardLayout> shards;
+};
+
+/// Fills every section offset from the counts already present in
+/// `layout`. Section order: record offsets, tokens, scores, norms, text
+/// lengths, text offsets, text blob, global ids, then per shard (member
+/// ids, short ids, extent begin/size/max_score, postings), then the
+/// bitmap block LAST, then the trailing CRC. Every section starts
+/// 64-byte-aligned (gaps are zero padding).
+void ComputeSegmentLayout(SegmentLayout* layout) {
+  layout->header_bytes = kSegmentFixedHeaderBytes +
+                         kSegmentShardEntryBytes * layout->shards.size() +
+                         sizeof(uint32_t);  // header CRC
+  uint64_t pos = AlignUp(layout->header_bytes);
+  auto section = [&pos](uint64_t bytes) {
+    uint64_t off = pos;
+    pos = AlignUp(pos + bytes);
+    return off;
+  };
+  const uint64_t n = layout->num_records;
+  layout->offsets_off = section((n + 1) * sizeof(uint64_t));
+  layout->tokens_off = section(layout->total_occurrences * sizeof(TokenId));
+  layout->scores_off = section(layout->total_occurrences * sizeof(double));
+  layout->norms_off = section(n * sizeof(double));
+  layout->text_lengths_off = section(n * sizeof(uint32_t));
+  layout->text_offsets_off = section((n + 1) * sizeof(uint64_t));
+  layout->text_blob_off = section(layout->text_blob_bytes);
+  layout->global_ids_off = section(n * sizeof(RecordId));
+  for (ShardLayout& shard : layout->shards) {
+    shard.member_ids_off = section(shard.members * sizeof(RecordId));
+    shard.short_ids_off = section(shard.shorts * sizeof(RecordId));
+    shard.begin_off = section((layout->vocab + 1) * sizeof(uint64_t));
+    shard.size_off = section(layout->vocab * sizeof(uint32_t));
+    shard.max_score_off = section(layout->vocab * sizeof(double));
+    shard.postings_off = section(shard.postings_cap * sizeof(Posting));
+  }
+  layout->bitmaps_off = section(n * sizeof(TokenBitmapEntry));
+  layout->file_size = pos + sizeof(uint32_t);  // trailing CRC
+}
+
+uint32_t LoadU32(const char* base, uint64_t off) {
+  uint32_t v = 0;
+  std::memcpy(&v, base + off, sizeof(v));
+  return v;
+}
+
+uint64_t LoadU64(const char* base, uint64_t off) {
+  uint64_t v = 0;
+  std::memcpy(&v, base + off, sizeof(v));
+  return v;
+}
+
+double LoadF64(const char* base, uint64_t off) {
+  double v = 0;
+  std::memcpy(&v, base + off, sizeof(v));
+  return v;
+}
+
+/// Parses and verifies the v3 header of the byte range [data, data +
+/// size) — the common front half of the materialized and mapped paths.
+/// The version gate runs BEFORE the header checksum: a v1/v2 file has
+/// payload bytes where v3's header fields live, and its error must read
+/// "old format", not "corrupt". Every count is bounded against the real
+/// file size before the layout walk, so the walk cannot overflow and
+/// the derived section offsets are safe to dereference once
+/// `layout.file_size == size` holds (truncation therefore surfaces here
+/// as a Status, never as a fault on a mapped read).
+Result<SegmentLayout> ParseSegmentHeader(const char* data, uint64_t size,
+                                         uint64_t expected_id,
+                                         uint64_t num_shards,
+                                         const std::string& path) {
+  if (size < sizeof(kSegmentMagic) + sizeof(uint32_t) ||
+      std::memcmp(data, kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    return Corrupt("bad segment magic", path);
+  }
+  const uint32_t version = LoadU32(data, sizeof(kSegmentMagic));
+  if (version != kSegmentVersion) {
+    return Status::IOError("unsupported segment version: " + path);
+  }
+  if (size < kSegmentFixedHeaderBytes) {
+    return Corrupt("segment header truncated", path);
+  }
+  SegmentLayout layout;
+  layout.segment_id = LoadU64(data, 8);
+  layout.num_records = LoadU64(data, 16);
+  const uint64_t file_shards = LoadU64(data, 24);
+  layout.vocab = LoadU64(data, 32);
+  layout.total_occurrences = LoadU64(data, 40);
+  layout.text_blob_bytes = LoadU64(data, 48);
+  const uint64_t recorded_size = LoadU64(data, 56);
+  const uint64_t header_bytes = kSegmentFixedHeaderBytes +
+                                kSegmentShardEntryBytes * num_shards +
+                                sizeof(uint32_t);
+  if (size < header_bytes) {
+    return Corrupt("segment header truncated", path);
+  }
+  if (LoadU32(data, header_bytes - sizeof(uint32_t)) !=
+      Crc32(data, header_bytes - sizeof(uint32_t))) {
+    return Corrupt("segment header checksum mismatch", path);
+  }
+  // From here every header field is trustworthy (to CRC strength).
+  if (file_shards != num_shards) {
+    return Corrupt("segment shard count disagrees with manifest", path);
+  }
+  if (layout.segment_id != expected_id) {
+    return Corrupt("segment id disagrees with its file name", path);
+  }
+  if (recorded_size != size) {
+    return Corrupt("segment size disagrees with header", path);
+  }
+  // Bound every count by the file size (each element is >= 1 byte) and
+  // cap the size itself so the aligned layout walk cannot overflow.
+  if (size > (uint64_t{1} << 48)) {
+    return Corrupt("implausible segment size", path);
+  }
+  if (layout.num_records > size || layout.vocab > size ||
+      layout.total_occurrences > size || layout.text_blob_bytes > size) {
+    return Corrupt("implausible segment counts", path);
+  }
+  layout.shards.resize(num_shards);
+  for (uint64_t s = 0; s < num_shards; ++s) {
+    ShardLayout& shard = layout.shards[s];
+    const uint64_t off =
+        kSegmentFixedHeaderBytes + kSegmentShardEntryBytes * s;
+    shard.members = LoadU64(data, off);
+    shard.shorts = LoadU64(data, off + 8);
+    shard.postings_cap = LoadU64(data, off + 16);
+    shard.total_postings = LoadU64(data, off + 24);
+    shard.num_nonempty = LoadU64(data, off + 32);
+    shard.min_norm = LoadF64(data, off + 40);
+    if (shard.members > layout.num_records || shard.shorts > shard.members ||
+        shard.postings_cap > size ||
+        shard.total_postings > shard.postings_cap ||
+        shard.num_nonempty > layout.vocab) {
+      return Corrupt("bad segment shard entry", path);
+    }
+  }
+  ComputeSegmentLayout(&layout);
+  if (layout.file_size != size) {
+    return Corrupt("segment size disagrees with layout", path);
+  }
+  return layout;
+}
+
+/// Copies `count` elements of a mapped section into a fresh vector (the
+/// heap-resident tables of the mapped path).
+template <typename T>
+std::vector<T> CopySection(const char* base, uint64_t off, uint64_t count) {
+  std::vector<T> out(static_cast<size_t>(count));
+  if (count > 0) {
+    std::memcpy(out.data(), base + off, count * sizeof(T));
+  }
+  return out;
+}
+
+}  // namespace
+
+/// One immutable v3 segment file: the segment's prepared arena,
+/// global-id table and every shard part's id tables and CSR extents,
+/// laid out by ComputeSegmentLayout, header-CRC'd and whole-file-CRC'd.
 /// Dead masks and live counts are NOT here — they change after the
 /// segment is written and live in the manifest.
 Status WriteSegmentFile(const std::string& data_dir,
                         const CorpusSegment& segment) {
-  std::string buffer(kSegmentMagic, sizeof(kSegmentMagic));
-  PutFixed32(&buffer, kSegmentVersion);
-  PutVarint64(&buffer, segment.id);
-  EncodeRecordSet(*segment.records, &buffer);
-  PutIdList(&buffer, segment.global_ids);
-  PutVarint64(&buffer, segment.shards.size());
+  const RecordSet& records = *segment.records;
+  const uint64_t n = records.size();
+  SegmentLayout layout;
+  layout.segment_id = segment.id;
+  layout.num_records = n;
+  layout.total_occurrences = records.total_token_occurrences();
+  // Extent tables for every shard span one shared vocabulary (tokens a
+  // shard never saw get empty extents). A service-built segment plans
+  // each shard over the record set's full vocabulary already; the max
+  // keeps the writer total for any input.
+  uint64_t vocab = records.vocabulary_size();
   for (const SegmentShardPart& part : segment.shards) {
-    PutIdList(&buffer, part.member_ids);
-    PutIdList(&buffer, part.short_ids);
-    PutIndex(&buffer, part.index);
+    vocab = std::max<uint64_t>(vocab, part.index.token_capacity());
   }
-  // v2 bitmap block: every record's token parity bitmap, in record order.
-  for (RecordId id = 0; id < segment.records->size(); ++id) {
-    const uint64_t* bitmap = segment.records->token_bitmap(id);
+  layout.vocab = vocab;
+  uint64_t blob_bytes = 0;
+  for (RecordId id = 0; id < n; ++id) {
+    blob_bytes += records.text_view(id).size();
+  }
+  layout.text_blob_bytes = blob_bytes;
+  layout.shards.resize(segment.shards.size());
+  for (size_t s = 0; s < segment.shards.size(); ++s) {
+    const SegmentShardPart& part = segment.shards[s];
+    ShardLayout& shard = layout.shards[s];
+    shard.members = part.member_ids.size();
+    shard.shorts = part.short_ids.size();
+    shard.postings_cap = part.index.postings_capacity();
+    shard.total_postings = part.index.total_postings();
+    shard.num_nonempty = part.index.num_tokens();
+    shard.min_norm = part.index.min_norm();
+  }
+  ComputeSegmentLayout(&layout);
+
+  std::string buffer(static_cast<size_t>(layout.file_size), '\0');
+  auto put_bytes = [&buffer](uint64_t off, const void* src, size_t bytes) {
+    if (bytes > 0) std::memcpy(&buffer[static_cast<size_t>(off)], src, bytes);
+  };
+  auto put_u32 = [&put_bytes](uint64_t off, uint32_t v) {
+    put_bytes(off, &v, sizeof(v));
+  };
+  auto put_u64 = [&put_bytes](uint64_t off, uint64_t v) {
+    put_bytes(off, &v, sizeof(v));
+  };
+  auto put_f64 = [&put_bytes](uint64_t off, double v) {
+    put_bytes(off, &v, sizeof(v));
+  };
+
+  std::string head(kSegmentMagic, sizeof(kSegmentMagic));
+  PutFixed32(&head, kSegmentVersion);
+  PutFixed64(&head, layout.segment_id);
+  PutFixed64(&head, layout.num_records);
+  PutFixed64(&head, layout.shards.size());
+  PutFixed64(&head, layout.vocab);
+  PutFixed64(&head, layout.total_occurrences);
+  PutFixed64(&head, layout.text_blob_bytes);
+  PutFixed64(&head, layout.file_size);
+  for (const ShardLayout& shard : layout.shards) {
+    PutFixed64(&head, shard.members);
+    PutFixed64(&head, shard.shorts);
+    PutFixed64(&head, shard.postings_cap);
+    PutFixed64(&head, shard.total_postings);
+    PutFixed64(&head, shard.num_nonempty);
+    PutDouble(&head, shard.min_norm);
+  }
+  PutFixed32(&head, Crc32(head.data(), head.size()));
+  SSJOIN_DCHECK(head.size() == layout.header_bytes);
+  put_bytes(0, head.data(), head.size());
+
+  uint64_t token_run = 0;
+  uint64_t text_run = 0;
+  put_u64(layout.offsets_off, 0);
+  put_u64(layout.text_offsets_off, 0);
+  for (RecordId id = 0; id < n; ++id) {
+    const RecordView record = records.record(id);
+    put_bytes(layout.tokens_off + token_run * sizeof(TokenId),
+              record.tokens().data(), record.size() * sizeof(TokenId));
+    put_bytes(layout.scores_off + token_run * sizeof(double),
+              record.scores().data(), record.size() * sizeof(double));
+    token_run += record.size();
+    put_u64(layout.offsets_off + (id + 1) * sizeof(uint64_t), token_run);
+    put_f64(layout.norms_off + id * sizeof(double), record.norm());
+    put_u32(layout.text_lengths_off + id * sizeof(uint32_t),
+            record.text_length());
+    const std::string_view text = records.text_view(id);
+    put_bytes(layout.text_blob_off + text_run, text.data(), text.size());
+    text_run += text.size();
+    put_u64(layout.text_offsets_off + (id + 1) * sizeof(uint64_t), text_run);
+    // Bitmap entries go out word by word (bits, token count, zero pads)
+    // so the file bytes are deterministic whatever the compiler did with
+    // in-memory padding.
+    const TokenBitmapEntry& entry = records.token_bitmap_entry(id);
+    const uint64_t bm = layout.bitmaps_off + id * sizeof(TokenBitmapEntry);
     for (size_t w = 0; w < kTokenBitmapWords; ++w) {
-      PutFixed64(&buffer, bitmap[w]);
+      put_u64(bm + w * sizeof(uint64_t), entry.bits[w]);
+    }
+    put_u64(bm + kTokenBitmapWords * sizeof(uint64_t), entry.tokens);
+  }
+  put_bytes(layout.global_ids_off, segment.global_ids.data(),
+            segment.global_ids.size() * sizeof(RecordId));
+
+  for (size_t s = 0; s < segment.shards.size(); ++s) {
+    const SegmentShardPart& part = segment.shards[s];
+    const ShardLayout& shard = layout.shards[s];
+    put_bytes(shard.member_ids_off, part.member_ids.data(),
+              part.member_ids.size() * sizeof(RecordId));
+    put_bytes(shard.short_ids_off, part.short_ids.data(),
+              part.short_ids.size() * sizeof(RecordId));
+    const uint64_t cap_tokens = part.index.token_capacity();
+    for (uint64_t t = 0; t <= layout.vocab; ++t) {
+      put_u64(shard.begin_off + t * sizeof(uint64_t),
+              t <= cap_tokens
+                  ? part.index.extent_begin(static_cast<TokenId>(t))
+                  : shard.postings_cap);
+    }
+    for (uint64_t t = 0; t < layout.vocab; ++t) {
+      const bool in_cap = t < cap_tokens;
+      put_u32(shard.size_off + t * sizeof(uint32_t),
+              in_cap ? part.index.extent_size(static_cast<TokenId>(t)) : 0);
+      put_f64(shard.max_score_off + t * sizeof(double),
+              in_cap ? part.index.extent_max_score(static_cast<TokenId>(t))
+                     : 0.0);
+    }
+    // Posting slots are copied field by field: the struct carries 4
+    // padding bytes whose in-memory value is unspecified, and the file
+    // bytes must be deterministic. Unfilled capacity slots stay zero.
+    const Posting* postings = part.index.postings_buffer();
+    for (uint64_t t = 0; t < cap_tokens; ++t) {
+      const uint64_t extent = part.index.extent_begin(static_cast<TokenId>(t));
+      const uint32_t live = part.index.extent_size(static_cast<TokenId>(t));
+      for (uint32_t i = 0; i < live; ++i) {
+        const Posting& p = postings[extent + i];
+        const uint64_t slot =
+            shard.postings_off + (extent + i) * sizeof(Posting);
+        put_u32(slot, p.id);
+        put_f64(slot + sizeof(uint64_t), p.score);
+      }
     }
   }
-  PutFixed32(&buffer, Crc32(buffer.data(), buffer.size()));
+
+  put_u32(layout.file_size - sizeof(uint32_t),
+          Crc32(buffer.data(), layout.file_size - sizeof(uint32_t)));
   return WriteFileAtomic(SegmentFilePath(data_dir, segment.id), buffer);
 }
 
+namespace {
+
+/// The materialized (resident_budget_bytes == 0) loader: verifies the
+/// whole-file CRC, re-Adds every record (rebuilding frequency tables and
+/// bitmaps exactly as live insertion did), cross-checks the stored
+/// bitmap block word for word against the rebuilt arena, and rebuilds
+/// every shard index through Plan/AppendPosting with full structural
+/// validation against the stored extent tables. Everything a mapped open
+/// trusts, this path proves.
 Result<std::shared_ptr<const CorpusSegment>> LoadSegmentFile(
     const std::string& data_dir, uint64_t expected_id, uint64_t num_shards) {
   const std::string path = SegmentFilePath(data_dir, expected_id);
   Result<std::string> read = ReadFileToString(path);
   if (!read.ok()) return read.status();
   const std::string data = std::move(read).value();
-  if (data.size() < sizeof(kSegmentMagic) + 2 * sizeof(uint32_t) ||
-      std::memcmp(data.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
-    return Corrupt("bad segment magic", path);
-  }
-  const size_t body_size = data.size() - sizeof(uint32_t);
-  size_t crc_offset = body_size;
-  uint32_t stored_crc = 0;
-  GetFixed32(data, &crc_offset, &stored_crc);
-  if (Crc32(data.data(), body_size) != stored_crc) {
+  const char* base = data.data();
+  Result<SegmentLayout> parsed =
+      ParseSegmentHeader(base, data.size(), expected_id, num_shards, path);
+  if (!parsed.ok()) return parsed.status();
+  const SegmentLayout layout = std::move(parsed).value();
+  if (LoadU32(base, layout.file_size - sizeof(uint32_t)) !=
+      Crc32(base, layout.file_size - sizeof(uint32_t))) {
     return Corrupt("segment checksum mismatch", path);
   }
-  size_t offset = sizeof(kSegmentMagic);
-  uint32_t version = 0;
-  GetFixed32(data, &offset, &version);
-  if (version != kSegmentVersion) {
-    return Status::IOError("unsupported segment version: " + path);
-  }
-  const std::string body = data.substr(0, body_size);
+  const uint64_t n = layout.num_records;
 
   auto segment = std::make_shared<CorpusSegment>();
-  uint64_t file_id = 0;
-  if (!GetVarint64(body, &offset, &file_id) || file_id != expected_id) {
-    return Corrupt("segment id disagrees with its file name", path);
+  segment->id = layout.segment_id;
+
+  auto owned = std::make_shared<RecordSet>();
+  if (LoadU64(base, layout.offsets_off) != 0 ||
+      LoadU64(base, layout.text_offsets_off) != 0) {
+    return Corrupt("bad segment record offsets", path);
   }
-  segment->id = file_id;
-  Result<RecordSet> records = DecodeRecordSet(body, &offset);
-  if (!records.ok()) {
-    return Corrupt(records.status().message() + " [segment arena]", path);
+  uint64_t prev_end = 0;
+  uint64_t prev_text = 0;
+  for (RecordId id = 0; id < n; ++id) {
+    const uint64_t end =
+        LoadU64(base, layout.offsets_off + (id + 1) * sizeof(uint64_t));
+    if (end < prev_end || end > layout.total_occurrences) {
+      return Corrupt("bad segment record offsets", path);
+    }
+    const uint32_t count = static_cast<uint32_t>(end - prev_end);
+    const TokenId* tokens =
+        reinterpret_cast<const TokenId*>(base + layout.tokens_off) + prev_end;
+    const double* scores =
+        reinterpret_cast<const double*>(base + layout.scores_off) + prev_end;
+    for (uint32_t i = 0; i < count; ++i) {
+      if (i > 0 && tokens[i] <= tokens[i - 1]) {
+        return Corrupt("non-monotone record tokens [segment arena]", path);
+      }
+      if (tokens[i] >= layout.vocab) {
+        return Corrupt("segment token out of range", path);
+      }
+    }
+    const double norm = LoadF64(base, layout.norms_off + id * sizeof(double));
+    const uint32_t text_length =
+        LoadU32(base, layout.text_lengths_off + id * sizeof(uint32_t));
+    const uint64_t text_end =
+        LoadU64(base, layout.text_offsets_off + (id + 1) * sizeof(uint64_t));
+    if (text_end < prev_text || text_end > layout.text_blob_bytes) {
+      return Corrupt("bad segment text offsets", path);
+    }
+    std::string text(base + layout.text_blob_off + prev_text,
+                     static_cast<size_t>(text_end - prev_text));
+    owned->Add(RecordView(tokens, scores, count, norm, text_length),
+               std::move(text));
+    prev_end = end;
+    prev_text = text_end;
   }
-  auto owned = std::make_shared<RecordSet>(std::move(records).value());
+  if (prev_end != layout.total_occurrences ||
+      prev_text != layout.text_blob_bytes) {
+    return Corrupt("segment arena size disagrees with header", path);
+  }
   segment->records = owned;
-  if (!GetIdList(body, &offset, &segment->global_ids) ||
-      segment->global_ids.size() != owned->size() ||
-      !StrictlyIncreasing(segment->global_ids)) {
+
+  // Bitmap block: re-Adding rebuilt every bitmap from the arena; the
+  // stored block (bits, token count, zero pads — the full cache-line
+  // entry) must agree word for word or the arena and the block disagree
+  // about the token sets.
+  constexpr size_t kEntryWords = sizeof(TokenBitmapEntry) / sizeof(uint64_t);
+  for (RecordId id = 0; id < n; ++id) {
+    const uint64_t* rebuilt = owned->token_bitmap(id);
+    const uint64_t bm = layout.bitmaps_off + id * sizeof(TokenBitmapEntry);
+    for (size_t w = 0; w < kEntryWords; ++w) {
+      uint64_t expect;
+      if (w < kTokenBitmapWords) {
+        expect = rebuilt[w];
+      } else if (w == kTokenBitmapWords) {
+        expect = owned->record_size(id);
+      } else {
+        expect = 0;
+      }
+      if (LoadU64(base, bm + w * sizeof(uint64_t)) != expect) {
+        return Corrupt("segment bitmap disagrees with arena", path);
+      }
+    }
+  }
+
+  segment->global_ids =
+      CopySection<RecordId>(base, layout.global_ids_off, n);
+  if (!StrictlyIncreasing(segment->global_ids)) {
     return Corrupt("bad segment global ids", path);
   }
-  uint64_t file_shards = 0;
-  if (!GetVarint64(body, &offset, &file_shards) ||
-      file_shards != num_shards) {
-    return Corrupt("segment shard count disagrees with manifest", path);
-  }
+
   segment->shards.resize(num_shards);
   size_t members_total = 0;
-  for (SegmentShardPart& part : segment->shards) {
-    if (!GetIdList(body, &offset, &part.member_ids) ||
-        !GetIdList(body, &offset, &part.short_ids)) {
-      return Corrupt("truncated segment shard tables", path);
-    }
+  for (size_t s = 0; s < num_shards; ++s) {
+    const ShardLayout& sh = layout.shards[s];
+    SegmentShardPart& part = segment->shards[s];
+    part.member_ids =
+        CopySection<RecordId>(base, sh.member_ids_off, sh.members);
+    part.short_ids = CopySection<RecordId>(base, sh.short_ids_off, sh.shorts);
     if (!StrictlyIncreasing(part.member_ids) ||
-        (!part.member_ids.empty() &&
-         part.member_ids.back() >= owned->size())) {
+        (!part.member_ids.empty() && part.member_ids.back() >= n)) {
       return Corrupt("segment member out of range", path);
     }
     if (!StrictlyIncreasing(part.short_ids) ||
@@ -433,48 +746,234 @@ Result<std::shared_ptr<const CorpusSegment>> LoadSegmentFile(
          part.short_ids.back() >= part.member_ids.size())) {
       return Corrupt("segment short id out of range", path);
     }
-    if (!GetIndex(body, &offset, &part.index) ||
-        part.index.num_entities() != part.member_ids.size()) {
-      return Corrupt("bad segment shard index", path);
+    const uint64_t* begin =
+        reinterpret_cast<const uint64_t*>(base + sh.begin_off);
+    const uint32_t* live =
+        reinterpret_cast<const uint32_t*>(base + sh.size_off);
+    const double* max_score =
+        reinterpret_cast<const double*>(base + sh.max_score_off);
+    if (begin[0] != 0 || begin[layout.vocab] != sh.postings_cap) {
+      return Corrupt("bad segment extent table", path);
     }
+    std::vector<uint64_t> counts(static_cast<size_t>(layout.vocab), 0);
+    uint64_t total = 0;
+    uint64_t nonempty = 0;
+    for (uint64_t t = 0; t < layout.vocab; ++t) {
+      if (begin[t + 1] < begin[t] || live[t] > begin[t + 1] - begin[t] ||
+          live[t] > sh.members) {
+        return Corrupt("bad segment extent table", path);
+      }
+      counts[t] = live[t];
+      total += live[t];
+      if (live[t] > 0) ++nonempty;
+    }
+    if (total != sh.total_postings || nonempty != sh.num_nonempty) {
+      return Corrupt("segment extent table disagrees with header", path);
+    }
+    InvertedIndex index;
+    index.Plan(counts);
+    const Posting* postings =
+        reinterpret_cast<const Posting*>(base + sh.postings_off);
+    for (uint64_t t = 0; t < layout.vocab; ++t) {
+      double seen_max = 0.0;
+      for (uint32_t i = 0; i < live[t]; ++i) {
+        const Posting& p = postings[begin[t] + i];
+        if ((i > 0 && p.id <= postings[begin[t] + i - 1].id) ||
+            p.id >= sh.members || !std::isfinite(p.score)) {
+          return Corrupt("bad segment shard index", path);
+        }
+        index.AppendPosting(static_cast<TokenId>(t), p.id, p.score);
+        seen_max = std::max(seen_max, p.score);
+      }
+      if (max_score[t] != (live[t] > 0 ? seen_max : 0.0)) {
+        return Corrupt("segment extent table disagrees with header", path);
+      }
+    }
+    index.RestoreStats(sh.members, sh.min_norm);
+    part.index = std::move(index);
     part.global_ids.reserve(part.member_ids.size());
     for (RecordId local : part.member_ids) {
       part.global_ids.push_back(segment->global_ids[local]);
     }
-    members_total += part.member_ids.size();
+    members_total += sh.members;
   }
-  // Shard parts must partition the segment's records (each member id
-  // is in range and strictly increasing per shard; equal total forces
-  // the partition).
-  if (members_total != owned->size()) {
+  // Shard parts must partition the segment's records (each member id is
+  // in range and strictly increasing per shard; equal total forces the
+  // partition).
+  if (members_total != n) {
     return Corrupt("segment shard parts do not partition records", path);
-  }
-  // v2 bitmap block: decoding re-Added every record, so the arena already
-  // carries freshly built bitmaps; the stored copy must agree word for
-  // word or the arena and the block disagree about the token sets.
-  for (RecordId id = 0; id < owned->size(); ++id) {
-    const uint64_t* rebuilt = owned->token_bitmap(id);
-    for (size_t w = 0; w < kTokenBitmapWords; ++w) {
-      uint64_t stored = 0;
-      if (!GetFixed64(body, &offset, &stored)) {
-        return Corrupt("truncated segment bitmap block", path);
-      }
-      if (stored != rebuilt[w]) {
-        return Corrupt("segment bitmap disagrees with arena", path);
-      }
-    }
-  }
-  if (offset != body.size()) {
-    return Corrupt("trailing segment bytes", path);
   }
   segment->approx_bytes = ComputeSegmentApproxBytes(*segment);
   return std::shared_ptr<const CorpusSegment>(std::move(segment));
 }
 
+/// Unlinks every segment file in `data_dir` not in `referenced` and
+/// makes the removals durable. A failed unlink silently accretes
+/// garbage forever if nobody notices — count it (the counters land in
+/// ServiceStats) and log it; a crash right after an un-fsynced unlink
+/// can resurrect the file, so one directory fsync follows any removal.
+GcStats CollectSegmentGarbage(const std::string& data_dir,
+                              const std::set<uint64_t>& referenced) {
+  GcStats gc;
+  for (uint64_t id : ListSegmentFiles(data_dir)) {
+    if (referenced.count(id) != 0) continue;
+    const std::string path = SegmentFilePath(data_dir, id);
+    if (::unlink(path.c_str()) == 0) {
+      ++gc.unlinked_segments;
+    } else if (errno != ENOENT) {
+      ++gc.unlink_failures;
+      SSJOIN_LOG_WARNING << "segment GC cannot unlink " << path << ": "
+                         << std::strerror(errno);
+    }
+  }
+  if (gc.unlinked_segments > 0) {
+    Status synced = SyncParentDirectory(CheckpointFilePath(data_dir));
+    if (!synced.ok()) {
+      ++gc.unlink_failures;
+      SSJOIN_LOG_WARNING << "segment GC cannot fsync data directory: "
+                         << synced.message();
+    }
+  }
+  return gc;
+}
+
 }  // namespace
 
+Result<std::shared_ptr<const CorpusSegment>> MapSegmentFile(
+    const std::string& data_dir, uint64_t segment_id, uint64_t num_shards) {
+  const std::string path = SegmentFilePath(data_dir, segment_id);
+  Result<MappedFile> opened = MappedFile::Open(path);
+  if (!opened.ok()) return opened.status();
+  auto mapping =
+      std::make_shared<const MappedFile>(std::move(opened).value());
+  const char* base = mapping->data();
+  Result<SegmentLayout> parsed = ParseSegmentHeader(
+      base, mapping->size(), segment_id, num_shards, path);
+  if (!parsed.ok()) return parsed.status();
+  const SegmentLayout layout = std::move(parsed).value();
+  // No whole-file CRC pass here: verifying it would fault in every page,
+  // which is exactly what mapping exists to avoid. The header CRC covers
+  // every count the layout derives from; the tables copied to the heap
+  // below are validated structurally; segment files are written once
+  // (tmp + fsync + rename) and never modified afterwards. The
+  // materialized path still proves the whole file — point
+  // `--resident-budget=0` at a directory to audit it end to end.
+  const uint64_t n = layout.num_records;
+
+  // Heap-resident copies: everything candidate gating, norm filters and
+  // chain resolution touch per candidate, so the gating path never
+  // faults a cold page. The CSR arenas, text table/blob and posting
+  // extents stay in the mapping and page in on demand.
+  RecordSet::ViewSpec spec;
+  spec.offsets.resize(static_cast<size_t>(n) + 1);
+  uint64_t prev_end = 0;
+  for (uint64_t i = 0; i <= n; ++i) {
+    const uint64_t end =
+        LoadU64(base, layout.offsets_off + i * sizeof(uint64_t));
+    if ((i == 0 && end != 0) || end < prev_end ||
+        end > layout.total_occurrences) {
+      return Corrupt("bad segment record offsets", path);
+    }
+    spec.offsets[i] = static_cast<size_t>(end);
+    prev_end = end;
+  }
+  if (prev_end != layout.total_occurrences) {
+    return Corrupt("segment arena size disagrees with header", path);
+  }
+  uint64_t prev_text = 0;
+  for (uint64_t i = 0; i <= n; ++i) {
+    const uint64_t end =
+        LoadU64(base, layout.text_offsets_off + i * sizeof(uint64_t));
+    if ((i == 0 && end != 0) || end < prev_text ||
+        end > layout.text_blob_bytes) {
+      return Corrupt("bad segment text offsets", path);
+    }
+    prev_text = end;
+  }
+  if (prev_text != layout.text_blob_bytes) {
+    return Corrupt("segment arena size disagrees with header", path);
+  }
+  spec.norms = CopySection<double>(base, layout.norms_off, n);
+  spec.text_lengths = CopySection<uint32_t>(base, layout.text_lengths_off, n);
+  spec.bitmaps =
+      CopySection<TokenBitmapEntry>(base, layout.bitmaps_off, n);
+  for (uint64_t id = 0; id < n; ++id) {
+    // Cheap consistency tie between the bitmap block and the offsets
+    // table (the full bits-vs-arena check is the materialized path's).
+    if (spec.bitmaps[id].tokens !=
+        spec.offsets[id + 1] - spec.offsets[id]) {
+      return Corrupt("segment bitmap disagrees with arena", path);
+    }
+  }
+  spec.tokens = reinterpret_cast<const TokenId*>(base + layout.tokens_off);
+  spec.scores = reinterpret_cast<const double*>(base + layout.scores_off);
+  spec.text_offsets =
+      reinterpret_cast<const uint64_t*>(base + layout.text_offsets_off);
+  spec.text_blob = base + layout.text_blob_off;
+  spec.vocabulary_size = layout.vocab;
+  spec.total_occurrences = layout.total_occurrences;
+  spec.backing = mapping;
+
+  auto segment = std::make_shared<CorpusSegment>();
+  segment->id = segment_id;
+  segment->records =
+      std::make_shared<RecordSet>(RecordSet::MakeView(std::move(spec)));
+  segment->global_ids = CopySection<RecordId>(base, layout.global_ids_off, n);
+  if (!StrictlyIncreasing(segment->global_ids)) {
+    return Corrupt("bad segment global ids", path);
+  }
+  segment->shards.resize(num_shards);
+  size_t members_total = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const ShardLayout& sh = layout.shards[s];
+    SegmentShardPart& part = segment->shards[s];
+    part.member_ids =
+        CopySection<RecordId>(base, sh.member_ids_off, sh.members);
+    part.short_ids = CopySection<RecordId>(base, sh.short_ids_off, sh.shorts);
+    if (!StrictlyIncreasing(part.member_ids) ||
+        (!part.member_ids.empty() && part.member_ids.back() >= n)) {
+      return Corrupt("segment member out of range", path);
+    }
+    if (!StrictlyIncreasing(part.short_ids) ||
+        (!part.short_ids.empty() &&
+         part.short_ids.back() >= part.member_ids.size())) {
+      return Corrupt("segment short id out of range", path);
+    }
+    const uint64_t* begin =
+        reinterpret_cast<const uint64_t*>(base + sh.begin_off);
+    if (begin[0] != 0 || begin[layout.vocab] != sh.postings_cap) {
+      return Corrupt("bad segment extent table", path);
+    }
+    InvertedIndex::ViewSpec ispec;
+    ispec.postings = reinterpret_cast<const Posting*>(base + sh.postings_off);
+    ispec.begin = begin;
+    ispec.size = reinterpret_cast<const uint32_t*>(base + sh.size_off);
+    ispec.max_score = reinterpret_cast<const double*>(base + sh.max_score_off);
+    ispec.vocabulary_size = layout.vocab;
+    ispec.num_nonempty_tokens = sh.num_nonempty;
+    ispec.num_entities = sh.members;
+    ispec.min_norm = sh.min_norm;
+    ispec.total_postings = sh.total_postings;
+    ispec.backing = mapping;
+    part.index = InvertedIndex::MakeView(std::move(ispec));
+    part.global_ids.reserve(part.member_ids.size());
+    for (RecordId local : part.member_ids) {
+      part.global_ids.push_back(segment->global_ids[local]);
+    }
+    members_total += sh.members;
+  }
+  if (members_total != n) {
+    return Corrupt("segment shard parts do not partition records", path);
+  }
+  segment->mapping = mapping;
+  segment->mapped_bytes = mapping->size();
+  segment->approx_bytes = ComputeSegmentApproxBytes(*segment);
+  return std::shared_ptr<const CorpusSegment>(std::move(segment));
+}
+
 Status SaveCheckpoint(const std::string& data_dir, const CheckpointState& state,
-                      std::set<uint64_t>* persisted_segments) {
+                      std::set<uint64_t>* persisted_segments,
+                      GcStats* gc_stats) {
   if (state.deleted == nullptr || state.segments.empty() ||
       state.tombstones.empty() || persisted_segments == nullptr) {
     return Status::InvalidArgument("incomplete checkpoint state");
@@ -535,18 +1034,17 @@ Status SaveCheckpoint(const std::string& data_dir, const CheckpointState& state,
   if (!committed.ok()) return committed;
 
   // Phase 3: the new manifest is durable; segment files it no longer
-  // references (merged-away chains) are garbage. Unlink failures are
-  // ignored — LoadCheckpoint GCs leftovers on the next Open.
+  // references (merged-away chains) are garbage. Failures are counted
+  // and surfaced (LoadCheckpoint still GCs leftovers on the next Open,
+  // but a persistently failing unlink must not stay invisible).
   *persisted_segments = referenced;
-  for (uint64_t id : ListSegmentFiles(data_dir)) {
-    if (referenced.count(id) == 0) {
-      ::unlink(SegmentFilePath(data_dir, id).c_str());
-    }
-  }
+  const GcStats gc = CollectSegmentGarbage(data_dir, referenced);
+  if (gc_stats != nullptr) *gc_stats = gc;
   return Status::OK();
 }
 
-Result<ServiceCheckpoint> LoadCheckpoint(const std::string& data_dir) {
+Result<ServiceCheckpoint> LoadCheckpoint(const std::string& data_dir,
+                                         const CheckpointLoadOptions& options) {
   const std::string path = CheckpointFilePath(data_dir);
   Result<std::string> read = ReadFileToString(path);
   if (!read.ok()) return read.status();
@@ -656,6 +1154,11 @@ Result<ServiceCheckpoint> LoadCheckpoint(const std::string& data_dir) {
 
   // The manifest is whole; now load every referenced segment file and
   // cross-validate masks, live counts and the chain's global-id order.
+  // With a resident budget, segment bodies are mapped instead of decoded
+  // — except when the checkpoint carries a raw corpus (TF-IDF cosine),
+  // whose full-rebuild path re-Prepares owned record sets anyway.
+  const bool map_segments =
+      options.resident_budget_bytes > 0 && !cp.has_raw_corpus;
   std::set<uint64_t> referenced;
   RecordId prev_last_gid = 0;
   bool any_gid = false;
@@ -664,7 +1167,8 @@ Result<ServiceCheckpoint> LoadCheckpoint(const std::string& data_dir) {
     const uint64_t segment_id = segment_ids[i];
     referenced.insert(segment_id);
     Result<std::shared_ptr<const CorpusSegment>> loaded =
-        LoadSegmentFile(data_dir, segment_id, num_shards);
+        map_segments ? MapSegmentFile(data_dir, segment_id, num_shards)
+                     : LoadSegmentFile(data_dir, segment_id, num_shards);
     if (!loaded.ok()) return loaded.status();
     entry.segment = std::move(loaded).value();
     const CorpusSegment& segment = *entry.segment;
@@ -694,11 +1198,7 @@ Result<ServiceCheckpoint> LoadCheckpoint(const std::string& data_dir) {
   // followed by a crash before Phase-3 cleanup, leaves segment files no
   // manifest references. They are dead weight — delete them so the data
   // directory never accretes garbage across restarts.
-  for (uint64_t id : ListSegmentFiles(data_dir)) {
-    if (referenced.count(id) == 0) {
-      ::unlink(SegmentFilePath(data_dir, id).c_str());
-    }
-  }
+  cp.gc = CollectSegmentGarbage(data_dir, referenced);
   return cp;
 }
 

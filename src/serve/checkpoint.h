@@ -38,6 +38,15 @@ namespace ssjoin {
 /// collected: LoadCheckpoint unlinks every segment file the manifest
 /// does not reference. See DESIGN.md "Durability & recovery".
 ///
+/// Segment files are v3: every arena the probe path streams (record
+/// offsets, token/score CSR arenas, text blob, per-shard posting extents
+/// and the token-bitmap block) is written 64-byte-aligned and byte-
+/// layout-identical to its in-memory form, so Open can either
+/// materialize a segment (decode + revalidate everything, the
+/// `resident_budget_bytes == 0` path) or `mmap` the body read-only and
+/// serve straight from the page cache (MapSegmentFile; see DESIGN.md
+/// "Out-of-core segments").
+///
 /// Unlike SaveIndex (which quantizes posting scores to float32 — fine
 /// for batch candidate generation, where verification recomputes on full
 /// records), checkpointed shard indexes keep full double scores: the
@@ -96,6 +105,24 @@ struct CheckpointState {
   std::vector<const std::vector<RecordId>*> tombstones;  // per shard
 };
 
+/// Segment-file garbage-collection outcome (both Save and Load GC
+/// unreferenced segment files); failures feed ServiceStats so a disk
+/// that silently accretes garbage is visible to operators.
+struct GcStats {
+  uint64_t unlinked_segments = 0;
+  uint64_t unlink_failures = 0;
+};
+
+/// How LoadCheckpoint materializes segment bodies.
+struct CheckpointLoadOptions {
+  /// 0 (default): decode every segment into heap memory, fully verified
+  /// — the historical behavior. >0: mmap segment bodies read-only and
+  /// serve from views (unless the checkpoint carries a raw corpus, whose
+  /// full-rebuild path needs owned sets); the budget value itself only
+  /// steers residency advice, applied by the service after load.
+  uint64_t resident_budget_bytes = 0;
+};
+
 /// Owned counterpart produced by LoadCheckpoint.
 struct ServiceCheckpoint {
   uint64_t epoch = 0;
@@ -114,6 +141,8 @@ struct ServiceCheckpoint {
   };
   std::vector<Segment> segments;
   std::vector<std::vector<RecordId>> tombstones;  // per shard
+  /// Orphan-GC outcome of this load.
+  GcStats gc;
 
   size_t num_shards() const { return tombstones.size(); }
 };
@@ -128,12 +157,32 @@ struct ServiceCheckpoint {
 /// restorable — at worst unreferenced segment files linger until the
 /// next GC pass.
 Status SaveCheckpoint(const std::string& data_dir, const CheckpointState& state,
-                      std::set<uint64_t>* persisted_segments);
+                      std::set<uint64_t>* persisted_segments,
+                      GcStats* gc_stats = nullptr);
 
 /// Reads and verifies (magic, version, trailing CRC32, structural
 /// bounds) the manifest and every segment file it references, then
-/// garbage-collects unreferenced segment files.
-Result<ServiceCheckpoint> LoadCheckpoint(const std::string& data_dir);
+/// garbage-collects unreferenced segment files. With a non-zero
+/// resident budget, segment bodies are mapped instead of decoded (see
+/// CheckpointLoadOptions).
+Result<ServiceCheckpoint> LoadCheckpoint(
+    const std::string& data_dir, const CheckpointLoadOptions& options = {});
+
+/// Writes segment-<id>.sseg (v3, atomic tmp+rename). Exposed so the
+/// service can persist a freshly merged segment at compaction time and
+/// map it straight back (the O(delta)-RSS compaction path); SaveCheckpoint
+/// skips segments already recorded in `persisted_segments`.
+Status WriteSegmentFile(const std::string& data_dir,
+                        const CorpusSegment& segment);
+
+/// Maps segment-<id>.sseg read-only and builds a view-mode CorpusSegment
+/// over it: arenas and posting extents point into the mapping; the
+/// tables candidate gating reads (record offsets, norms, text lengths,
+/// token bitmaps, id tables) are small heap copies, validated against
+/// the CRC-protected header. Truncated or foreign files surface as a
+/// Status — the mapping is never dereferenced past its validated size.
+Result<std::shared_ptr<const CorpusSegment>> MapSegmentFile(
+    const std::string& data_dir, uint64_t segment_id, uint64_t num_shards);
 
 // ---------------------------------------------------------------------
 // Encoding primitives, exposed for the round-trip property tests.

@@ -100,6 +100,10 @@ std::string ServiceStats::ToJson() const {
   AppendField(&out, "segment_bytes", segment_bytes);
   AppendField(&out, "segments_merged", segments_merged);
   AppendField(&out, "last_compact_delta_records", last_compact_delta_records);
+  AppendField(&out, "mapped_segments", mapped_segments);
+  AppendField(&out, "mapped_bytes", mapped_bytes);
+  AppendField(&out, "gc_unlinked_segments", gc_unlinked_segments);
+  AppendField(&out, "gc_unlink_failures", gc_unlink_failures);
   AppendField(&out, "merges", merge.merges);
   AppendField(&out, "heap_pops", merge.heap_pops);
   AppendField(&out, "gallop_probes", merge.gallop_probes);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <unordered_set>
 #include <utility>
 
@@ -403,6 +404,19 @@ uint64_t ElapsedMicros(const Timer& timer) {
   return static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
 }
 
+/// The out-of-core budget a service runs with: the option, or the
+/// SSJOIN_RESIDENT_BUDGET environment variable when the option is 0 (the
+/// test/CI hook — lets existing harnesses exercise the mapped path
+/// without plumbing a flag everywhere). Unparsable values read as 0.
+uint64_t EffectiveResidentBudget(const ServiceOptions& options) {
+  if (options.resident_budget_bytes > 0) return options.resident_budget_bytes;
+  const char* env = std::getenv("SSJOIN_RESIDENT_BUDGET");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(env, &end, 10);
+  return end != nullptr && *end == '\0' ? static_cast<uint64_t>(value) : 0;
+}
+
 }  // namespace
 
 SimilarityService::SimilarityService(RecordSet corpus, const Predicate& pred,
@@ -410,6 +424,7 @@ SimilarityService::SimilarityService(RecordSet corpus, const Predicate& pred,
     : pred_(pred),
       options_(options),
       num_shards_(options.num_shards > 1 ? options.num_shards : 1),
+      resident_budget_(EffectiveResidentBudget(options_)),
       pool_(std::make_unique<ThreadPool>(
           options.num_threads > 0 ? options.num_threads
                                   : ThreadPool::DefaultNumThreads())),
@@ -434,6 +449,9 @@ SimilarityService::SimilarityService(RecordSet corpus, const Predicate& pred,
   // later compactions need.
   if (!keep_raw_) corpus_ = RecordSet();
   if (!options_.data_dir.empty()) InitDurabilityLocked();
+  // The initial checkpoint just wrote segment 0; in out-of-core mode,
+  // serve it mapped from the start instead of keeping the heap copy.
+  AdoptMappedSegmentsLocked();
 }
 
 SimilarityService::SimilarityService(ServiceCheckpoint checkpoint,
@@ -443,6 +461,7 @@ SimilarityService::SimilarityService(ServiceCheckpoint checkpoint,
     : pred_(pred),
       options_(std::move(options)),
       num_shards_(checkpoint.num_shards()),
+      resident_budget_(EffectiveResidentBudget(options_)),
       pool_(std::make_unique<ThreadPool>(
           options_.num_threads > 0 ? options_.num_threads
                                    : ThreadPool::DefaultNumThreads())),
@@ -489,6 +508,8 @@ SimilarityService::SimilarityService(ServiceCheckpoint checkpoint,
     uint64_t bytes = 0;
     for (const SegmentChainEntry& e : chain_) bytes += e.segment->approx_bytes;
     stats_.segment_bytes = bytes;
+    stats_.gc_unlinked_segments += checkpoint.gc.unlinked_segments;
+    stats_.gc_unlink_failures += checkpoint.gc.unlink_failures;
   }
 
   // Re-publish the checkpointed snapshot at its recorded epoch: chain
@@ -544,6 +565,10 @@ SimilarityService::SimilarityService(ServiceCheckpoint checkpoint,
     }
   }
   replaying_ = false;
+  // Checkpointed segments arrive mapped (LoadCheckpoint) and replay
+  // compactions map their own output; this covers any that fell back to
+  // heap, then applies the budget's residency advice across the chain.
+  AdoptMappedSegmentsLocked();
 }
 
 Result<std::unique_ptr<SimilarityService>> SimilarityService::Open(
@@ -551,7 +576,10 @@ Result<std::unique_ptr<SimilarityService>> SimilarityService::Open(
   if (options.data_dir.empty()) {
     return Status::InvalidArgument("Open requires ServiceOptions::data_dir");
   }
-  Result<ServiceCheckpoint> loaded = LoadCheckpoint(options.data_dir);
+  CheckpointLoadOptions load_options;
+  load_options.resident_budget_bytes = EffectiveResidentBudget(options);
+  Result<ServiceCheckpoint> loaded =
+      LoadCheckpoint(options.data_dir, load_options);
   if (!loaded.ok()) return loaded.status();
   ServiceCheckpoint checkpoint = std::move(loaded).value();
   if (checkpoint.predicate != pred.name()) {
@@ -587,6 +615,85 @@ void SimilarityService::InitDurabilityLocked() {
   if (!status.ok()) SetDurabilityErrorLocked(std::move(status));
 }
 
+void SimilarityService::AdoptMappedSegmentsLocked() {
+  if (wal_ == nullptr || resident_budget_ == 0 || keep_raw_) return;
+  bool swapped = false;
+  for (SegmentChainEntry& entry : chain_) {
+    if (entry.segment->mapping != nullptr) continue;
+    if (persisted_segments_.count(entry.segment->id) == 0) continue;
+    Result<std::shared_ptr<const CorpusSegment>> mapped =
+        MapSegmentFile(options_.data_dir, entry.segment->id, num_shards_);
+    if (!mapped.ok()) {
+      // Mapping is an optimization: the owned segment keeps serving.
+      SSJOIN_LOG_WARNING << "cannot map segment " << entry.segment->id
+                         << ", serving from heap: "
+                         << mapped.status().message();
+      continue;
+    }
+    entry.segment = std::move(mapped).value();
+    swapped = true;
+  }
+  if (swapped) {
+    // Republish in place at the CURRENT epoch: the mapped views answer
+    // byte-identically, so the swap must be invisible to readers — no
+    // epoch bump, delta images and counts carried over unchanged.
+    std::shared_ptr<const IndexSnapshot> prev = snapshot();
+    auto snap = std::make_shared<IndexSnapshot>();
+    snap->segments.reserve(chain_.size());
+    for (const SegmentChainEntry& entry : chain_) {
+      snap->segments.push_back(entry.segment);
+    }
+    snap->base.resize(num_shards_);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      snap->base[s] = BuildShardChainView(chain_, s);
+    }
+    snap->delta = prev->delta;
+    snap->epoch = prev->epoch;
+    snap->live_records = prev->live_records;
+    snap->pending_tombstones = prev->pending_tombstones;
+    {
+      std::lock_guard<std::mutex> snapshot_lock(snapshot_mutex_);
+      snapshot_ = std::move(snap);
+    }
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    uint64_t bytes = 0;
+    for (const SegmentChainEntry& e : chain_) bytes += e.segment->approx_bytes;
+    stats_.segment_bytes = bytes;
+  }
+  ApplyResidencyAdviceLocked();
+}
+
+void SimilarityService::ApplyResidencyAdviceLocked() {
+  uint64_t mapped_segments = 0;
+  uint64_t mapped_bytes = 0;
+  uint64_t resident = 0;
+  // Newest first: recent segments hold the hottest data (merges fold the
+  // old tail, inserts land at the head), so they get the budget. The
+  // advice is a hint either way — over-budget segments stay correct,
+  // they just refault from disk.
+  for (size_t i = chain_.size(); i-- > 0;) {
+    const CorpusSegment& seg = *chain_[i].segment;
+    if (seg.mapping == nullptr) continue;
+    ++mapped_segments;
+    mapped_bytes += seg.mapped_bytes;
+    if (resident + seg.mapped_bytes <= resident_budget_) {
+      resident += seg.mapped_bytes;
+      seg.mapping->Advise(MappedFile::Advice::kWillNeed);
+    } else {
+      seg.mapping->Advise(MappedFile::Advice::kRandom);
+      seg.mapping->Advise(MappedFile::Advice::kDontNeed);
+    }
+  }
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  stats_.mapped_segments = mapped_segments;
+  stats_.mapped_bytes = mapped_bytes;
+}
+
+void SimilarityService::ApplyResidencyAdvice() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  ApplyResidencyAdviceLocked();
+}
+
 Status SimilarityService::SaveCheckpointLocked() {
   std::shared_ptr<const IndexSnapshot> snap = snapshot();
   CheckpointState state;
@@ -614,8 +721,15 @@ Status SimilarityService::SaveCheckpointLocked() {
   for (size_t s = 0; s < num_shards_; ++s) {
     state.tombstones.push_back(&tombstones_[s]);
   }
-  return ssjoin::SaveCheckpoint(options_.data_dir, state,
-                                &persisted_segments_);
+  GcStats gc;
+  Status status = ssjoin::SaveCheckpoint(options_.data_dir, state,
+                                         &persisted_segments_, &gc);
+  if (gc.unlinked_segments > 0 || gc.unlink_failures > 0) {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    stats_.gc_unlinked_segments += gc.unlinked_segments;
+    stats_.gc_unlink_failures += gc.unlink_failures;
+  }
+  return status;
 }
 
 void SimilarityService::MaybeCheckpointLocked() {
@@ -689,7 +803,10 @@ bool SimilarityService::CompactLocked(bool count_compaction) {
       }
       for (RecordId local = 0; local < seg.records->size(); ++local) {
         if (dead_local[local]) continue;
-        merged.Add(seg.records->record(local), seg.records->text(local));
+        // text_view, not text: merge inputs may be mapped segments whose
+        // text blob lives in the mapping, not in owned strings.
+        merged.Add(seg.records->record(local),
+                   std::string(seg.records->text_view(local)));
         gids.push_back(seg.global_ids[local]);
       }
     }
@@ -852,6 +969,39 @@ bool SimilarityService::CompactLocked(bool count_compaction) {
         merge_trailing(2);
       }
     }
+  }
+
+  // Out-of-core mode: spill the segments this compaction built to disk
+  // and map them straight back, so the merged arenas leave the heap
+  // before the snapshot is published — peak RSS stays O(delta) plus the
+  // budget, never O(merged corpus). The files are recorded as persisted
+  // immediately (the upcoming checkpoint references them without
+  // rewriting; a crash before it leaves orphans the next load GCs).
+  // Either step failing just keeps the owned segment serving.
+  if (wal_ != nullptr && resident_budget_ > 0 && !keep_raw_) {
+    for (SegmentChainEntry& entry : chain_) {
+      if (entry.segment->mapping != nullptr) continue;
+      const uint64_t segment_id = entry.segment->id;
+      if (persisted_segments_.count(segment_id) == 0) {
+        Status status = WriteSegmentFile(options_.data_dir, *entry.segment);
+        if (!status.ok()) {
+          SSJOIN_LOG_WARNING << "cannot write segment " << segment_id
+                             << ", serving from heap: " << status.message();
+          continue;
+        }
+        persisted_segments_.insert(segment_id);
+      }
+      Result<std::shared_ptr<const CorpusSegment>> mapped =
+          MapSegmentFile(options_.data_dir, segment_id, num_shards_);
+      if (!mapped.ok()) {
+        SSJOIN_LOG_WARNING << "cannot map segment " << segment_id
+                           << ", serving from heap: "
+                           << mapped.status().message();
+        continue;
+      }
+      entry.segment = std::move(mapped).value();
+    }
+    ApplyResidencyAdviceLocked();
   }
 
   // Rebuild every shard's chain view (cheap — one link per segment) and

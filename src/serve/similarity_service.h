@@ -80,6 +80,20 @@ struct ServiceOptions {
   /// value — like num_shards, this is purely a cost knob. Only
   /// predicates that opt in (supports_bitmap_pruning) are gated.
   size_t bitmap_bits = kTokenBitmapBits;
+  /// Out-of-core base tier (durable services only). 0 (default): every
+  /// segment is materialized in heap memory at Open — the historical
+  /// behavior, fully verified end to end. >0: segment bodies are served
+  /// from mmap'd `.sseg` files (the heap holds only the gating tables:
+  /// record offsets, norms, text lengths, token bitmaps, id tables and
+  /// manifest state), and the budget steers residency advice — the
+  /// newest segments fitting under the budget are marked MADV_WILLNEED,
+  /// the rest MADV_RANDOM + MADV_DONTNEED so the kernel reclaims their
+  /// clean pages first. Query/BatchQuery/QueryTopK answers are
+  /// byte-identical for every value. Ignored for corpus-statistics
+  /// predicates (their full-rebuild path needs owned arenas) and for
+  /// memory-only services. The SSJOIN_RESIDENT_BUDGET environment
+  /// variable overrides a zero value (test/CI hook).
+  uint64_t resident_budget_bytes = 0;
 };
 
 /// A long-lived, thread-safe similarity-lookup service: owns a corpus and
@@ -216,6 +230,16 @@ class SimilarityService {
   /// line a restart up against the WAL tail. 0 when not durable.
   uint64_t wal_sequence();
 
+  /// Re-applies the residency-budget madvise policy over the mapped
+  /// chain (over-budget segments drop their clean pages; they reload
+  /// from disk on the next fault). A no-op for materialized chains.
+  /// Exposed so benchmarks can measure the post-advice RSS floor.
+  void ApplyResidencyAdvice();
+
+  /// The effective resident budget: the option, or the
+  /// SSJOIN_RESIDENT_BUDGET environment override when the option is 0.
+  uint64_t resident_budget_bytes() const { return resident_budget_; }
+
   /// Copy of the aggregate serving counters.
   ServiceStats stats() const;
   /// Counters, latency quantiles and snapshot shape as a JSON object.
@@ -242,6 +266,18 @@ class SimilarityService {
   /// Fresh-construction durability setup: data dir, empty WAL, initial
   /// checkpoint. Failures latch durability_status().
   void InitDurabilityLocked();
+  /// Out-of-core mode only: swaps every heap-materialized chain segment
+  /// whose file is already on disk for a mapped view of that file and
+  /// republishes in place at the CURRENT epoch (the answers are byte-
+  /// identical, so the swap is invisible to readers). Failures leave the
+  /// owned segments serving — mapping is an optimization, never a
+  /// correctness dependency.
+  void AdoptMappedSegmentsLocked();
+  /// Re-applies the residency-budget madvise policy over the mapped
+  /// chain, newest segment first: segments accumulating under the budget
+  /// get MADV_WILLNEED, the rest MADV_RANDOM + MADV_DONTNEED. Also
+  /// refreshes the mapped_segments/mapped_bytes gauges.
+  void ApplyResidencyAdviceLocked();
   /// Serializes the just-published compacted state (write_mutex_ held,
   /// memtables and tombstones empty).
   Status SaveCheckpointLocked();
@@ -267,6 +303,9 @@ class SimilarityService {
   const Predicate& pred_;
   const ServiceOptions options_;
   const size_t num_shards_;
+  /// Effective out-of-core budget (option or env override), fixed at
+  /// construction; 0 = materialized mode.
+  const uint64_t resident_budget_;
   std::unique_ptr<ThreadPool> pool_;
 
   // Writer-owned authoritative state, guarded by write_mutex_: the id

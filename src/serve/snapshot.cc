@@ -89,13 +89,18 @@ std::shared_ptr<const CorpusSegment> BuildCorpusSegment(
 }
 
 uint64_t ComputeSegmentApproxBytes(const CorpusSegment& segment) {
+  // A view-mode records/index reports only its heap-resident tables —
+  // the mapped body is page cache, not service heap, and is accounted
+  // separately via CorpusSegment::mapped_bytes.
   uint64_t bytes = segment.records->ApproxMemoryBytes();
   bytes += segment.global_ids.size() * sizeof(RecordId);
   for (const SegmentShardPart& part : segment.shards) {
     bytes += (part.member_ids.size() + part.global_ids.size() +
               part.short_ids.size()) *
              sizeof(RecordId);
-    bytes += part.index.total_postings() * sizeof(Posting);
+    if (!part.index.is_view()) {
+      bytes += part.index.total_postings() * sizeof(Posting);
+    }
   }
   return bytes;
 }

@@ -10,6 +10,7 @@
 #include "data/segmented_corpus.h"
 #include "index/dynamic_index.h"
 #include "index/inverted_index.h"
+#include "util/mmap_file.h"
 
 namespace ssjoin {
 
@@ -59,8 +60,18 @@ struct CorpusSegment {
   /// One part per token-range shard (size = the service's shard count).
   std::vector<SegmentShardPart> shards;
   /// Approximate in-memory bytes (arena + postings), computed at build
-  /// time so stats never rescan the chain.
+  /// time so stats never rescan the chain. For a mapped segment this
+  /// counts only the heap-resident tables — the mapped body is page
+  /// cache, accounted by mapped_bytes instead.
   uint64_t approx_bytes = 0;
+  /// Non-null iff this segment serves from a mapped `.sseg` body (the
+  /// out-of-core base tier): records/shard indexes are views into this
+  /// mapping, and the residency-budget policy issues madvise hints
+  /// through it. Segments built in memory (memtable folds before their
+  /// first checkpoint, cosine, non-durable mode) leave it null.
+  std::shared_ptr<const MappedFile> mapping;
+  /// Size of the mapped file (0 when mapping is null).
+  uint64_t mapped_bytes = 0;
 };
 
 /// One shard's view of one segment inside a published snapshot: the part

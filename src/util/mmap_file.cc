@@ -1,0 +1,86 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ssjoin {
+
+namespace {
+
+Status MapError(const std::string& what, const std::string& path) {
+  return Status::IOError(what + ": " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return MapError("cannot open for mapping", path);
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    Status status = MapError("cannot stat for mapping", path);
+    ::close(fd);
+    return status;
+  }
+  MappedFile mapped;
+  mapped.size_ = static_cast<size_t>(st.st_size);
+  if (mapped.size_ > 0) {
+    void* data =
+        ::mmap(nullptr, mapped.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (data == MAP_FAILED) {
+      Status status = MapError("cannot mmap", path);
+      ::close(fd);
+      return status;
+    }
+    mapped.data_ = data;
+  }
+  // The fd is not needed once the mapping exists; the kernel keeps the
+  // file pinned through the mapping itself.
+  ::close(fd);
+  return mapped;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void MappedFile::Advise(Advice advice) const {
+  if (data_ == nullptr) return;
+  int native = MADV_NORMAL;
+  switch (advice) {
+    case Advice::kNormal:
+      native = MADV_NORMAL;
+      break;
+    case Advice::kWillNeed:
+      native = MADV_WILLNEED;
+      break;
+    case Advice::kRandom:
+      native = MADV_RANDOM;
+      break;
+    case Advice::kDontNeed:
+      native = MADV_DONTNEED;
+      break;
+  }
+  ::madvise(data_, size_, native);
+}
+
+}  // namespace ssjoin

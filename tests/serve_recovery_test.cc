@@ -68,6 +68,55 @@ std::string FreshDataDir(const std::string& name) {
   return dir;
 }
 
+/// Pins a test to the materialized (budget = 0) loader even when the CI
+/// harness forces the mapped path via SSJOIN_RESIDENT_BUDGET: the deep
+/// verification under test (whole-file CRC, stored-vs-rebuilt bitmap
+/// comparison) is by design exclusive to the materialized path — a
+/// mapped open cannot run it without faulting the whole file in.
+class ScopedMaterialized {
+ public:
+  ScopedMaterialized() {
+    const char* env = std::getenv("SSJOIN_RESIDENT_BUDGET");
+    if (env != nullptr) {
+      saved_ = env;
+      had_value_ = true;
+      ::unsetenv("SSJOIN_RESIDENT_BUDGET");
+    }
+  }
+  ~ScopedMaterialized() {
+    if (had_value_) ::setenv("SSJOIN_RESIDENT_BUDGET", saved_.c_str(), 1);
+  }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+/// The opposite pin: forces the mapped path regardless of harness.
+class ScopedMapped {
+ public:
+  explicit ScopedMapped(uint64_t budget_bytes) {
+    const char* env = std::getenv("SSJOIN_RESIDENT_BUDGET");
+    if (env != nullptr) {
+      saved_ = env;
+      had_value_ = true;
+    }
+    ::setenv("SSJOIN_RESIDENT_BUDGET", std::to_string(budget_bytes).c_str(),
+             1);
+  }
+  ~ScopedMapped() {
+    if (had_value_) {
+      ::setenv("SSJOIN_RESIDENT_BUDGET", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("SSJOIN_RESIDENT_BUDGET");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
 RecordSet Slice(const RecordSet& corpus, RecordId begin, RecordId end) {
   RecordSet out;
   for (RecordId id = begin; id < end; ++id) {
@@ -503,6 +552,107 @@ TEST(CrashRecoveryDifferentialTest, Cosine) {
 }
 
 // ---------------------------------------------------------------------
+// Out-of-core base tier: mapped (.sseg mmap) and materialized opens of
+// the same data directory must answer byte-identically, and the mapped
+// chain must survive crash/reopen exactly like the materialized one.
+
+TEST(OutOfCoreTest, MappedAndMaterializedAnswerIdentically) {
+  OverlapPredicate pred(3);
+  for (size_t shards : {size_t{1}, size_t{3}}) {
+    for (size_t merge_ratio : {size_t{0}, size_t{2}}) {
+      const std::string context = "shards=" + std::to_string(shards) +
+                                  " ratio=" + std::to_string(merge_ratio);
+      RecordSet corpus = testing_util::MakeRandomRecordSet(
+          {.num_records = 60, .vocabulary = 40}, 211 + shards);
+      ServiceOptions options;
+      options.num_shards = shards;
+      options.segment_merge_ratio = merge_ratio;
+      options.memtable_limit = 12;  // several compactions -> several segments
+      options.data_dir = FreshDataDir(
+          "ooc_diff_" + std::to_string(shards) + "_" +
+          std::to_string(merge_ratio));
+      options.wal_sync = WalSyncPolicy::kNever;
+      RecordSet contents = corpus;
+      {
+        SimilarityService service(corpus, pred, options);
+        Rng rng(97);
+        ZipfTable zipf(40, 0.9);
+        for (int i = 0; i < 30; ++i) {
+          auto [record, text] = MakeRandomRecord(rng, zipf);
+          contents.Add(record, text);
+          service.Insert(record.view(), text);
+          if (i % 7 == 3) service.Delete(static_cast<RecordId>(i));
+        }
+        ASSERT_TRUE(service.durability_status().ok()) << context;
+      }
+
+      ScopedMaterialized no_env;  // the option below is the only knob
+      ServiceOptions materialized_options = options;
+      Result<std::unique_ptr<SimilarityService>> materialized =
+          SimilarityService::Open(pred, materialized_options);
+      ASSERT_TRUE(materialized.ok()) << context << " "
+                                     << materialized.status().ToString();
+      EXPECT_EQ(materialized.value()->stats().mapped_segments, 0u) << context;
+
+      // A tiny budget maps every segment and pushes all but the newest
+      // onto the MADV_RANDOM/DONTNEED side of the advice split — answers
+      // must not care.
+      ServiceOptions mapped_options = options;
+      mapped_options.resident_budget_bytes = 4096;
+      Result<std::unique_ptr<SimilarityService>> mapped =
+          SimilarityService::Open(pred, mapped_options);
+      ASSERT_TRUE(mapped.ok()) << context << " "
+                               << mapped.status().ToString();
+      const ServiceStats mapped_stats = mapped.value()->stats();
+      EXPECT_GT(mapped_stats.mapped_segments, 0u) << context;
+      EXPECT_GT(mapped_stats.mapped_bytes, 0u) << context;
+      EXPECT_EQ(mapped.value()->resident_budget_bytes(), 4096u) << context;
+
+      ExpectSameService(*materialized.value(), *mapped.value(), contents,
+                        13 + shards, "ooc " + context);
+
+      // Write through the MAPPED service (alone — the data_dir takes one
+      // writer), compacting so it spills fresh segments to disk and maps
+      // them back, then reopen both ways and re-check identity: the
+      // mapped write path must leave files the materialized loader fully
+      // re-verifies.
+      materialized.value().reset();
+      {
+        Rng rng(181);
+        ZipfTable zipf(40, 0.9);
+        for (int i = 0; i < 8; ++i) {
+          auto [record, text] = MakeRandomRecord(rng, zipf);
+          contents.Add(record, text);
+          mapped.value()->Insert(record.view(), text);
+        }
+        mapped.value()->Compact();
+        ASSERT_TRUE(mapped.value()->durability_status().ok()) << context;
+        mapped.value().reset();
+      }
+      materialized = SimilarityService::Open(pred, materialized_options);
+      ASSERT_TRUE(materialized.ok()) << context << " "
+                                     << materialized.status().ToString();
+      mapped = SimilarityService::Open(pred, mapped_options);
+      ASSERT_TRUE(mapped.ok()) << context << " "
+                               << mapped.status().ToString();
+      ExpectSameService(*materialized.value(), *mapped.value(), contents,
+                        17 + shards, "ooc post-insert " + context);
+    }
+  }
+}
+
+TEST(OutOfCoreTest, MappedChainSurvivesCrashAndReopen) {
+  // The full kill-at-random-op differential with the mapped path forced
+  // on: the durable (mapped) service must track its memory-only twin
+  // byte for byte through crashes, reopens and compactions.
+  ScopedMapped mapped(1);
+  OverlapPredicate pred(3);
+  RunCrashDifferential(pred, "overlap_mapped", 1);
+  JaccardPredicate jaccard(0.5);
+  RunCrashDifferential(jaccard, "jaccard_mapped", 2);
+}
+
+// ---------------------------------------------------------------------
 // WAL framing: torn tails are detected by CRC, truncated, and never
 // propagated; everything before the tear survives.
 
@@ -923,6 +1073,7 @@ TEST(SegmentFileTest, SegmentsWrittenBeforeManifestRenameAreOrphansOnReopen) {
 }
 
 TEST(SegmentFileTest, CorruptSegmentFileIsRejected) {
+  ScopedMaterialized materialized;
   OverlapPredicate pred(3);
   RecordSet corpus = testing_util::MakeRandomRecordSet(
       {.num_records = 20, .vocabulary = 15}, 96);
@@ -983,27 +1134,76 @@ TEST(SegmentFileTest, OldVersionSegmentIsRejectedWithClearError) {
   const std::string path = SegmentFilePath(options.data_dir, *files.begin());
   const std::string bytes = ReadAll(path);
 
-  // Rewind the version field (fixed32 right after the 4-byte magic) to a
-  // pre-bitmap v1 and reseal the CRC: the file is structurally intact,
-  // so the rejection must come from the version gate with an error an
-  // operator can act on — not a generic corruption message.
-  std::string old_version = bytes;
-  const uint32_t v1 = 1;
-  std::memcpy(old_version.data() + 4, &v1, sizeof(v1));
-  WriteAll(path, ResealSegment(std::move(old_version)));
-  Result<std::unique_ptr<SimilarityService>> restored =
-      SimilarityService::Open(pred, options);
-  ASSERT_FALSE(restored.ok());
-  EXPECT_NE(restored.status().message().find("unsupported segment version"),
-            std::string::npos)
-      << restored.status().ToString();
+  // Rewind the version field (fixed32 right after the 4-byte magic) to
+  // each superseded layout — v1 (pre-bitmap) and v2 (varint-packed, the
+  // pre-out-of-core layout) — and reseal the CRC: the file is
+  // structurally intact, so the rejection must come from the version
+  // gate with an error an operator can act on — not a generic
+  // corruption message. Both the materialized loader and the mapped
+  // opener take the same ParseSegmentHeader gate, so check both paths.
+  for (const uint32_t version : {uint32_t{1}, uint32_t{2}}) {
+    std::string old_version = bytes;
+    std::memcpy(old_version.data() + 4, &version, sizeof(version));
+    WriteAll(path, ResealSegment(std::move(old_version)));
+    for (const bool mapped : {false, true}) {
+      std::unique_ptr<ScopedMaterialized> pin_materialized;
+      std::unique_ptr<ScopedMapped> pin_mapped;
+      if (mapped) {
+        pin_mapped = std::make_unique<ScopedMapped>(1);
+      } else {
+        pin_materialized = std::make_unique<ScopedMaterialized>();
+      }
+      Result<std::unique_ptr<SimilarityService>> restored =
+          SimilarityService::Open(pred, options);
+      ASSERT_FALSE(restored.ok()) << "version=" << version
+                                  << " mapped=" << mapped;
+      EXPECT_NE(
+          restored.status().message().find("unsupported segment version"),
+          std::string::npos)
+          << restored.status().ToString();
+    }
+  }
 
   // The pristine (current-version) bytes still restore.
   WriteAll(path, bytes);
   EXPECT_TRUE(SimilarityService::Open(pred, options).ok());
 }
 
+TEST(SegmentFileTest, TruncatedSegmentMapFailsAsStatus) {
+  // A segment file cut short must surface as a clean Status from the
+  // MAPPED opener — never a SIGBUS from dereferencing a mapping past
+  // EOF. The header records the file size, so every truncation (even
+  // mid-header) is caught before any section pointer is formed.
+  ScopedMapped mapped(1);
+  OverlapPredicate pred(3);
+  RecordSet corpus = testing_util::MakeRandomRecordSet(
+      {.num_records = 20, .vocabulary = 15}, 103);
+  ServiceOptions options;
+  options.data_dir = FreshDataDir("seg_truncated_map");
+  options.wal_sync = WalSyncPolicy::kNever;
+  { SimilarityService service(corpus, pred, options); }
+  const std::set<uint64_t> files = ListSegmentFiles(options.data_dir);
+  ASSERT_FALSE(files.empty());
+  const std::string path = SegmentFilePath(options.data_dir, *files.begin());
+  const std::string bytes = ReadAll(path);
+
+  for (size_t keep : {bytes.size() - 1, bytes.size() / 2, bytes.size() / 8,
+                      size_t{70}, size_t{12}, size_t{3}, size_t{0}}) {
+    WriteAll(path, bytes.substr(0, keep));
+    Result<std::unique_ptr<SimilarityService>> restored =
+        SimilarityService::Open(pred, options);
+    ASSERT_FALSE(restored.ok()) << "keep=" << keep;
+    EXPECT_NE(restored.status().message().find("corrupt checkpoint"),
+              std::string::npos)
+        << "keep=" << keep << ": " << restored.status().ToString();
+  }
+
+  WriteAll(path, bytes);
+  EXPECT_TRUE(SimilarityService::Open(pred, options).ok());
+}
+
 TEST(SegmentFileTest, TamperedBitmapBlockIsRejected) {
+  ScopedMaterialized materialized;
   OverlapPredicate pred(3);
   RecordSet corpus = testing_util::MakeRandomRecordSet(
       {.num_records = 20, .vocabulary = 15}, 101);

@@ -11,6 +11,8 @@
 // CI widens the sweep via SSJOIN_DIFF_SEEDS (and
 // SSJOIN_DIFF_PREDICATES filters by predicate name for matrix jobs).
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdlib>
 #include <map>
@@ -27,6 +29,7 @@
 #include "core/jaccard_predicate.h"
 #include "core/join.h"
 #include "core/overlap_predicate.h"
+#include "serve/checkpoint.h"
 #include "serve/similarity_service.h"
 #include "serve/snapshot.h"
 #include "test_util.h"
@@ -34,6 +37,22 @@
 
 namespace ssjoin {
 namespace {
+
+/// A scrubbed data directory for the out-of-core rider (stale files from
+/// a previous run would otherwise leak into the fresh service's GC).
+std::string FreshDataDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(EnsureDataDir(dir).ok());
+  for (const std::string& file :
+       {CheckpointFilePath(dir), CheckpointFilePath(dir) + ".tmp",
+        WalFilePath(dir), WalFilePath(dir) + ".tmp"}) {
+    ::unlink(file.c_str());
+  }
+  for (uint64_t id : ListSegmentFiles(dir)) {
+    ::unlink(SegmentFilePath(dir, id).c_str());
+  }
+  return dir;
+}
 
 constexpr size_t kShardCounts[] = {1, 2, 7};
 
@@ -186,6 +205,20 @@ void RunDifferential(const Predicate& pred, const std::string& pred_name,
   for (size_t bits : {size_t{0}, size_t{64}}) {
     ServiceOptions rider = ShardOptions(2);
     rider.bitmap_bits = bits;
+    services.push_back(
+        std::make_unique<SimilarityService>(corpus, pred, rider));
+  }
+  // Out-of-core rider: a durable twin serving its base tier from mmap'd
+  // segment files under a tiny resident budget, bit-compared against the
+  // in-heap reference at every step. (Corpus-statistics predicates keep
+  // owned arenas regardless, so for those this degenerates to a durable
+  // twin — still a valid differential.)
+  {
+    ServiceOptions rider = ShardOptions(2);
+    rider.data_dir =
+        FreshDataDir("shard_ooc_" + pred_name + "_" + std::to_string(seed));
+    rider.wal_sync = WalSyncPolicy::kNever;
+    rider.resident_budget_bytes = 1;
     services.push_back(
         std::make_unique<SimilarityService>(corpus, pred, rider));
   }

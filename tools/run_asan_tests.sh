@@ -11,7 +11,10 @@
 # server), whose framers chew on byte-split and oversized input. The
 # bitmap differential rig rides along: its gather-based AVX2 lower-bound
 # searches and bitmap-arena reads are exactly the pointer arithmetic
-# ASan/UBSan exist to check.
+# ASan/UBSan exist to check. The serve_recovery_test_mapped leg (ctest
+# ENVIRONMENT SSJOIN_RESIDENT_BUDGET=1) repeats the recovery suite with
+# the base tier served from mmap'd segment files, so every view-mode
+# accessor path over the mapped arenas runs under ASan too.
 #
 #   tools/run_asan_tests.sh [build-dir]
 #

@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
 # Builds the ThreadSanitizer configuration and runs the concurrency test
 # suite (thread pool, parallel joins, serving layer, network loopback)
-# under it.
+# under it. The serve_test_mapped / serve_shard_test_mapped ctest legs
+# (ENVIRONMENT SSJOIN_RESIDENT_BUDGET=1) repeat the serving suites with
+# the base tier served from mmap'd segment files, putting the mapped
+# read path under concurrent readers and a compacting writer.
 #
 #   tools/run_tsan_tests.sh [build-dir]
 #

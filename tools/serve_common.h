@@ -53,6 +53,7 @@ struct ServeCliOptions {
   uint64_t bitmap_bits = kTokenBitmapBits;
   std::string data_dir;
   std::string wal_sync = "always";
+  uint64_t resident_budget = 0;
   bool stats_json = false;
 };
 
@@ -183,6 +184,16 @@ inline FlagOutcome ParseServeFlag(const char* arg, ServeCliOptions* options) {
     options->wal_sync = value;
     return FlagOutcome::kMatched;
   }
+  if (ParseFlag(arg, "--resident-budget", &value)) {
+    if (!ParseUint64(value, &options->resident_budget)) {
+      std::fprintf(stderr,
+                   "invalid --resident-budget=%s (need bytes >= 0; "
+                   "0 keeps the base tier fully in memory)\n",
+                   value.c_str());
+      return FlagOutcome::kInvalid;
+    }
+    return FlagOutcome::kMatched;
+  }
   if (std::strcmp(arg, "--stats-json") == 0) {
     options->stats_json = true;
     return FlagOutcome::kMatched;
@@ -210,6 +221,12 @@ inline bool ValidateServeOptions(const ServeCliOptions& options) {
       options.tokens != "3gram" && options.tokens != "4gram") {
     std::fprintf(stderr, "unknown tokens mode: %s\n",
                  options.tokens.c_str());
+    return false;
+  }
+  if (options.resident_budget > 0 && options.data_dir.empty()) {
+    std::fprintf(stderr,
+                 "--resident-budget needs --data-dir (segments are served "
+                 "from their on-disk files)\n");
     return false;
   }
   return true;
@@ -365,6 +382,7 @@ inline std::unique_ptr<SimilarityService> SetUpService(
   service_options.wal_sync = options.wal_sync == "never"
                                  ? WalSyncPolicy::kNever
                                  : WalSyncPolicy::kAlways;
+  service_options.resident_budget_bytes = options.resident_budget;
 
   std::unique_ptr<SimilarityService> service;
   if (!options.data_dir.empty() && CheckpointExists(options.data_dir)) {

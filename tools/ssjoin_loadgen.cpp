@@ -569,6 +569,27 @@ int RunCheck(const LoadGenOptions& options) {
                     responses[0].payload.rfind("compacted;", 0) == 0,
                 "compact acknowledges");
 
+  // 9. reader hardening (local, no server involved): a header line that
+  // never terminates must poison the reader once it passes the cap,
+  // instead of buffering without bound.
+  {
+    net::ResponseReader hostile(/*max_payload_bytes=*/1024);
+    std::vector<net::WireResponse> sink;
+    CHECK_OR_FAIL(!hostile.Feed(std::string(2048, 'x'), &sink),
+                  "oversized response header poisons the reader");
+  }
+
+  // 10. a legal header announcing a huge payload must not reserve the
+  // announced length up front — capacity tracks delivered bytes.
+  {
+    net::ResponseReader big;
+    std::vector<net::WireResponse> sink;
+    CHECK_OR_FAIL(big.Feed("OK 536870912\npartial", &sink),
+                  "huge announced payload is accepted");
+    CHECK_OR_FAIL(big.payload_capacity() < (size_t{1} << 20),
+                  "payload reserve stays capped ahead of delivery");
+  }
+
   ::close(fd);
   std::fprintf(stderr, "check ok\n");
   return 0;

@@ -66,6 +66,11 @@ constexpr const char kUsage[] =
     "  --wal-sync=MODE       always (default: fsync each op) | never\n"
     "                        (page cache only: survives a crash of this\n"
     "                        process, not of the machine)\n"
+    "  --resident-budget=N   out-of-core base tier (needs --data-dir):\n"
+    "                        serve segments from mmap'd files, keeping at\n"
+    "                        most ~N bytes of segment arenas resident;\n"
+    "                        answers are identical to the in-memory mode\n"
+    "                        (default 0 = fully in memory)\n"
     "  --stats-json          print the stats JSON to stderr at exit\n";
 
 std::optional<ServeCliOptions> ParseArgs(int argc, char** argv) {

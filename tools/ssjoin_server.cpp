@@ -33,7 +33,8 @@ constexpr const char kUsage[] =
     "  network flags:\n"
     "  --port=N              TCP port to listen on (0 = kernel-assigned\n"
     "                        ephemeral port, reported on stdout; default 0)\n"
-    "  --host=ADDR           IPv4 address to bind (default 127.0.0.1)\n"
+    "  --host=ADDR           IPv4 address or hostname to bind, resolved\n"
+    "                        via getaddrinfo (default 127.0.0.1)\n"
     "  --net-threads=N       worker event-loop threads (default\n"
     "                        min(hardware, 4); the acceptor adds one)\n"
     "  --idle-timeout-ms=N   close connections silent for N ms\n"
@@ -43,7 +44,8 @@ constexpr const char kUsage[] =
     "  serving flags (same as ssjoin_serve):\n"
     "  --corpus=FILE --predicate=NAME --threshold=X --tokens=MODE\n"
     "  --topk=K --threads=N --shards=N --memtable-limit=N\n"
-    "  --bitmap-bits=N --data-dir=DIR --wal-sync=MODE --stats-json\n";
+    "  --bitmap-bits=N --data-dir=DIR --wal-sync=MODE\n"
+    "  --resident-budget=BYTES --stats-json\n";
 
 struct ServerCliOptions {
   ServeCliOptions serve;
